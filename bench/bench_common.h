@@ -1,0 +1,92 @@
+// Shared helpers for the experiment-reproduction benches. Each bench binary
+// regenerates one table or figure from the paper's evaluation (Section 6)
+// and prints it in the paper's row/series format.
+
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/campaign.h"
+
+namespace healer {
+namespace bench {
+
+inline const std::vector<KernelVersion>& EvalVersions() {
+  // The versions of the coverage experiments (Figure 4 / Tables 1-3).
+  static const auto* versions = new std::vector<KernelVersion>{
+      KernelVersion::kV5_11, KernelVersion::kV5_4, KernelVersion::kV4_19};
+  return *versions;
+}
+
+inline CampaignOptions BaseOptions(ToolKind tool, KernelVersion version,
+                                   uint64_t seed, double hours = 24.0) {
+  CampaignOptions options;
+  options.tool = tool;
+  options.version = version;
+  options.seed = seed;
+  options.hours = hours;
+  options.sample_period = 15 * SimClock::kMinute;
+  return options;
+}
+
+struct ImprStats {
+  double min_impr = 0.0;
+  double max_impr = 0.0;
+  double avg_impr = 0.0;
+  double avg_speedup = 0.0;
+};
+
+// Per-round improvement of `ours` over `base` (matched seeds), plus the
+// speed-up for `ours` to reach each baseline's final coverage.
+inline ImprStats Compare(const std::vector<CampaignResult>& ours,
+                         const std::vector<CampaignResult>& base) {
+  ImprStats stats;
+  stats.min_impr = 1e9;
+  stats.max_impr = -1e9;
+  double impr_sum = 0.0;
+  double speedup_sum = 0.0;
+  size_t speedups = 0;
+  for (size_t i = 0; i < ours.size() && i < base.size(); ++i) {
+    const double impr =
+        (static_cast<double>(ours[i].final_coverage) -
+         static_cast<double>(base[i].final_coverage)) /
+        std::max<double>(1.0, static_cast<double>(base[i].final_coverage));
+    stats.min_impr = std::min(stats.min_impr, impr);
+    stats.max_impr = std::max(stats.max_impr, impr);
+    impr_sum += impr;
+    const double reach = HoursToReach(ours[i], base[i].final_coverage);
+    if (reach > 0.0) {
+      speedup_sum += ours[i].options.hours / reach;
+      ++speedups;
+    }
+  }
+  const size_t n = std::min(ours.size(), base.size());
+  stats.avg_impr = n == 0 ? 0.0 : impr_sum / static_cast<double>(n);
+  stats.avg_speedup =
+      speedups == 0 ? 0.0 : speedup_sum / static_cast<double>(speedups);
+  return stats;
+}
+
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const char* title, const char* paper_ref) {
+  PrintRule();
+  std::printf("%s\n(reproduces %s; absolute numbers are SimKernel-scale, "
+              "compare shapes)\n",
+              title, paper_ref);
+  PrintRule();
+}
+
+}  // namespace bench
+}  // namespace healer
+
+#endif  // BENCH_BENCH_COMMON_H_

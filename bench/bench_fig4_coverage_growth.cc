@@ -1,0 +1,65 @@
+// Figure 4: branch coverage growth of HEALER vs Syzkaller vs Moonshine on
+// three kernel versions over 24 simulated hours. Prints one series block
+// per (version, tool): hour -> mean branch coverage over the rounds.
+
+#include <map>
+
+#include "bench/bench_common.h"
+
+namespace healer {
+namespace {
+
+constexpr int kRounds = 2;
+constexpr double kHours = 24.0;
+
+size_t CoverageAtHour(const CampaignResult& result, double hour) {
+  size_t coverage = 0;
+  for (const auto& sample : result.samples) {
+    if (sample.hours <= hour) {
+      coverage = sample.branches;
+    }
+  }
+  return coverage;
+}
+
+void Run() {
+  bench::PrintHeader("Figure 4: branch coverage growth over 24 hours",
+                     "Fig. 4");
+  const ToolKind tools[] = {ToolKind::kHealer, ToolKind::kSyzkaller,
+                            ToolKind::kMoonshine};
+  for (KernelVersion version : bench::EvalVersions()) {
+    std::printf("\n== Linux v%s ==\n", KernelVersionName(version));
+    std::printf("%6s %12s %12s %12s\n", "hour", "healer", "syzkaller",
+                "moonshine");
+    std::map<ToolKind, std::vector<CampaignResult>> results;
+    for (ToolKind tool : tools) {
+      for (int round = 0; round < kRounds; ++round) {
+        results[tool].push_back(RunCampaign(bench::BaseOptions(
+            tool, version, 1000 + static_cast<uint64_t>(round), kHours)));
+      }
+    }
+    for (int hour = 0; hour <= 24; hour += 2) {
+      std::printf("%6d", hour);
+      for (ToolKind tool : tools) {
+        double sum = 0.0;
+        for (const auto& result : results[tool]) {
+          sum += static_cast<double>(
+              CoverageAtHour(result, static_cast<double>(hour)));
+        }
+        std::printf(" %12.0f", sum / kRounds);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\nExpected shape: healer > moonshine > syzkaller at 24h on "
+              "every version,\nwith curves separating after the early "
+              "hours once relations are learned.\n");
+}
+
+}  // namespace
+}  // namespace healer
+
+int main() {
+  healer::Run();
+  return 0;
+}

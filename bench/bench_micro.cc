@@ -1,0 +1,147 @@
+// Micro-benchmarks (google-benchmark): executor throughput, wire
+// serialization, relation-table operations, and the cost of minimization /
+// dynamic learning — quantifying Section 6.2's claim that relation learning
+// overhead is minimal ("HEALER can learn the relation in 4 extra
+// executions" for the typical <=5-call test case).
+
+#include <benchmark/benchmark.h>
+
+#include "src/exec/executor.h"
+#include "src/fuzz/call_selector.h"
+#include "src/fuzz/learner.h"
+#include "src/fuzz/minimizer.h"
+#include "src/fuzz/prog_builder.h"
+#include "src/fuzz/relation_table.h"
+#include "src/fuzz/templates.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+namespace {
+
+std::vector<int> AllIds(const Target& target) {
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  return ids;
+}
+
+Prog KvmChain() {
+  Rng rng(1);
+  const Target& target = BuiltinTarget();
+  return BuildChain(target, AllIds(target),
+                    {"openat$kvm", "ioctl$KVM_CREATE_VM",
+                     "ioctl$KVM_CREATE_VCPU",
+                     "ioctl$KVM_SET_USER_MEMORY_REGION", "ioctl$KVM_RUN"},
+                    &rng);
+}
+
+void BM_ExecutorRunKvmChain(benchmark::State& state) {
+  Executor executor(BuiltinTarget(),
+                    KernelConfig::ForVersion(KernelVersion::kV5_11));
+  const Prog prog = KvmChain();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.Run(prog, nullptr));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(prog.size()));
+}
+BENCHMARK(BM_ExecutorRunKvmChain);
+
+void BM_SerializeRoundTrip(benchmark::State& state) {
+  const Target& target = BuiltinTarget();
+  const Prog prog = KvmChain();
+  for (auto _ : state) {
+    const auto bytes = SerializeProg(prog);
+    auto decoded = DeserializeProg(target, bytes.data(), bytes.size());
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_SerializeRoundTrip);
+
+void BM_GenerateProgram(benchmark::State& state) {
+  const Target& target = BuiltinTarget();
+  Rng rng(2);
+  ProgBuilder builder(target, AllIds(target), &rng);
+  for (auto _ : state) {
+    Prog prog = builder.Generate(
+        [&](const std::vector<int>&) {
+          return static_cast<int>(rng.Below(target.NumSyscalls()));
+        },
+        10);
+    benchmark::DoNotOptimize(prog);
+  }
+}
+BENCHMARK(BM_GenerateProgram);
+
+void BM_RelationTableLookup(benchmark::State& state) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  StaticRelationLearn(target, &table);
+  uint64_t i = 0;
+  const size_t n = target.NumSyscalls();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.Get(static_cast<int>(i % n), static_cast<int>((i * 7) % n)));
+    ++i;
+  }
+}
+BENCHMARK(BM_RelationTableLookup);
+
+void BM_GuidedSelection(benchmark::State& state) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  StaticRelationLearn(target, &table);
+  Rng rng(3);
+  CallSelector selector(&table, AllIds(target), &rng);
+  const std::vector<int> prefix = {
+      target.FindSyscall("openat$kvm")->id,
+      target.FindSyscall("ioctl$KVM_CREATE_VM")->id,
+      target.FindSyscall("memfd_create")->id,
+  };
+  bool used = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(selector.Select(prefix, 0.9, &used));
+  }
+}
+BENCHMARK(BM_GuidedSelection);
+
+// Measures the *executions* (not time) minimization + learning cost for the
+// typical minimized length the paper cites. Reported as counters.
+void BM_LearningExecCost(benchmark::State& state) {
+  Executor executor(BuiltinTarget(),
+                    KernelConfig::ForVersion(KernelVersion::kV5_11));
+  const Prog prog = KvmChain();
+  SimClock clock;
+  uint64_t total_execs = 0;
+  uint64_t rounds = 0;
+  for (auto _ : state) {
+    // Fresh table per round so every adjacent pair is actually probed.
+    RelationTable table(BuiltinTarget().NumSyscalls());
+    DynamicLearner learner(
+        &table, [&](const Prog& p) { return executor.Run(p, nullptr); },
+        &clock);
+    learner.Learn(prog);
+    total_execs += learner.execs_used();
+    ++rounds;
+  }
+  state.counters["execs_per_learn"] =
+      static_cast<double>(total_execs) / static_cast<double>(rounds);
+}
+BENCHMARK(BM_LearningExecCost);
+
+void BM_KernelBoot(benchmark::State& state) {
+  const KernelConfig config = KernelConfig::ForVersion(KernelVersion::kV5_11);
+  GuestMem mem;
+  for (auto _ : state) {
+    mem.Reset();
+    Kernel kernel(config, &mem);
+    benchmark::DoNotOptimize(kernel);
+  }
+}
+BENCHMARK(BM_KernelBoot);
+
+}  // namespace
+}  // namespace healer
+
+BENCHMARK_MAIN();

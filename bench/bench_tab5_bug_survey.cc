@@ -1,0 +1,69 @@
+// Table 5: the extended bug survey — HEALER run on five kernel versions
+// (4.19, 5.0, 5.4, 5.6, 5.11) for an extended period, printing the found
+// bug inventory as (subsystem, operations, risk, version), the format of
+// the paper's Table 5, plus the risk-class breakdown from Section 6.3.
+
+#include <map>
+#include <set>
+
+#include "bench/bench_common.h"
+
+namespace healer {
+namespace {
+
+constexpr int kRounds = 2;
+constexpr double kHours = 72.0;  // "2 weeks" scaled to the simulator.
+
+void Run() {
+  bench::PrintHeader("Table 5: bug survey across five kernel versions",
+                     "Tab. 5 + Section 6.3's risk breakdown");
+  const KernelVersion versions[] = {
+      KernelVersion::kV5_11, KernelVersion::kV5_6, KernelVersion::kV5_4,
+      KernelVersion::kV5_0, KernelVersion::kV4_19};
+
+  std::set<BugId> found;
+  std::map<BugId, KernelVersion> found_version;
+  for (KernelVersion version : versions) {
+    for (int round = 0; round < kRounds; ++round) {
+      const CampaignResult result = RunCampaign(bench::BaseOptions(
+          ToolKind::kHealer, version, 7000 + static_cast<uint64_t>(round),
+          kHours));
+      for (const CrashRecord& crash : result.crashes) {
+        if (found.insert(crash.bug).second) {
+          found_version[crash.bug] = version;
+        }
+      }
+    }
+  }
+
+  std::printf("%-10s %-55s %-25s %s\n", "Subsystem", "Operations", "Risk",
+              "Version");
+  size_t deep = 0;
+  std::map<std::string, size_t> by_class;
+  for (BugId bug : found) {
+    const BugInfo& info = GetBugInfo(bug);
+    std::printf("%-10s %-55s %-25s %s\n", info.subsystem, info.title,
+                BugClassName(info.bug_class),
+                KernelVersionName(found_version[bug]));
+    deep += info.deep ? 1 : 0;
+    ++by_class[BugClassName(info.bug_class)];
+  }
+  std::printf("\nunique bugs found: %zu (%zu deep / previously-unknown "
+              "class)\n",
+              found.size(), deep);
+  std::printf("\nrisk breakdown (paper: 44.4%% memory errors, 25.9%% logic "
+              "assertions, 11.1%% concurrency):\n");
+  for (const auto& [cls, count] : by_class) {
+    std::printf("  %-26s %zu (%.1f%%)\n", cls.c_str(), count,
+                100.0 * static_cast<double>(count) /
+                    static_cast<double>(found.size()));
+  }
+}
+
+}  // namespace
+}  // namespace healer
+
+int main() {
+  healer::Run();
+  return 0;
+}

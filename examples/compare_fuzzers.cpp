@@ -1,0 +1,52 @@
+// Compare the four tools (HEALER, HEALER-, Syzkaller, Moonshine) on one
+// simulated kernel version — a miniature of the paper's Section 6.1
+// experiment.
+//
+//   ./build/examples/compare_fuzzers [hours] [version: 4.19|5.4|5.11]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/fuzz/campaign.h"
+
+namespace {
+
+healer::KernelVersion ParseVersion(const char* text) {
+  if (std::strcmp(text, "4.19") == 0) {
+    return healer::KernelVersion::kV4_19;
+  }
+  if (std::strcmp(text, "5.4") == 0) {
+    return healer::KernelVersion::kV5_4;
+  }
+  return healer::KernelVersion::kV5_11;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double hours = argc > 1 ? std::atof(argv[1]) : 8.0;
+  const healer::KernelVersion version =
+      ParseVersion(argc > 2 ? argv[2] : "5.11");
+
+  const healer::ToolKind tools[] = {
+      healer::ToolKind::kHealer, healer::ToolKind::kHealerMinus,
+      healer::ToolKind::kSyzkaller, healer::ToolKind::kMoonshine};
+
+  std::printf("%-10s %10s %10s %8s %10s %8s %10s\n", "tool", "branches",
+              "execs", "corpus", "mean-len", "bugs", "relations");
+  for (healer::ToolKind tool : tools) {
+    healer::CampaignOptions options;
+    options.tool = tool;
+    options.version = version;
+    options.hours = hours;
+    options.seed = 7;
+    const healer::CampaignResult result = healer::RunCampaign(options);
+    std::printf("%-10s %10zu %10llu %8zu %10.2f %8zu %10zu\n",
+                healer::ToolKindName(tool), result.final_coverage,
+                (unsigned long long)result.fuzz_execs, result.corpus_size,
+                result.corpus_mean_len, result.crashes.size(),
+                result.relations_total);
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Domain example: the paper's motivating KVM vulnerability (Section 3,
+// Listing 1). Demonstrates the library's layers directly:
+//
+//   1. Build the 5-call reproducer chain from the descriptions
+//      (openat$kvm -> KVM_CREATE_VM -> KVM_CREATE_VCPU ->
+//       KVM_SET_USER_MEMORY_REGION -> KVM_RUN).
+//   2. Execute it through the executor and show the crash report.
+//   3. Show why relations matter: measure how long a relation-guided
+//      campaign vs an unguided one takes to find the same bug.
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/exec/executor.h"
+#include "src/fuzz/campaign.h"
+#include "src/fuzz/templates.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace {
+
+using namespace healer;
+
+std::vector<int> AllIds(const Target& target) {
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  return ids;
+}
+
+void ReproduceByHand() {
+  std::printf("== 1. direct reproducer ==\n");
+  const Target& target = BuiltinTarget();
+  Rng rng(7);
+  Prog prog = BuildChain(target, AllIds(target),
+                         {"openat$kvm", "ioctl$KVM_CREATE_VM",
+                          "ioctl$KVM_CREATE_VCPU",
+                          "ioctl$KVM_SET_USER_MEMORY_REGION",
+                          "ioctl$KVM_RUN"},
+                         &rng);
+  // Pin the memslot into the Listing-1 corner case: the only slot lies
+  // entirely above the vcpu's fetch gfn, so the binary search's `start`
+  // runs off the end of the slot array.
+  Arg& region = *prog.calls()[3].args[2]->pointee;
+  region.inner[0]->val = 0;         // slot id.
+  region.inner[2]->val = 0x400000;  // guest_phys_addr.
+  region.inner[3]->val = 0x10000;   // memory_size.
+  std::printf("%s", prog.ToString().c_str());
+
+  Executor executor(target, KernelConfig::ForVersion(KernelVersion::kV5_6));
+  const ExecResult result = executor.Run(prog, nullptr);
+  if (result.Crashed()) {
+    std::printf("\n-> KASAN-style report: %s (call #%zu)\n\n",
+                result.crash->title.c_str(), result.crash->call_index + 1);
+  } else {
+    std::printf("\n-> no crash (unexpected)\n\n");
+  }
+}
+
+double HoursToFind(ToolKind tool, BugId bug, uint64_t seed) {
+  CampaignOptions options;
+  options.tool = tool;
+  options.version = KernelVersion::kV5_6;
+  options.seed = seed;
+  options.hours = 24.0;
+  const CampaignResult result = RunCampaign(options);
+  for (const auto& crash : result.crashes) {
+    if (crash.bug == bug) {
+      return static_cast<double>(crash.first_seen) / SimClock::kHour;
+    }
+  }
+  return -1.0;
+}
+
+void CompareDiscoverySpeed() {
+  std::printf("== 2. discovery speed: relation-guided vs unguided ==\n");
+  const BugId bug = BugId::kKvmGfnToHvaCacheOob;
+  for (ToolKind tool : {ToolKind::kHealer, ToolKind::kHealerMinus}) {
+    double best = -1.0;
+    for (uint64_t seed = 1; seed <= 3; ++seed) {
+      const double hours = HoursToFind(tool, bug, seed);
+      if (hours >= 0.0 && (best < 0.0 || hours < best)) {
+        best = hours;
+      }
+    }
+    if (best >= 0.0) {
+      std::printf("  %-10s first trigger after %5.2f simulated hours\n",
+                  ToolKindName(tool), best);
+    } else {
+      std::printf("  %-10s did not trigger the bug in 3x24h\n",
+                  ToolKindName(tool));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Reproducing the search_memslots out-of-bounds access "
+              "(Listing 1 of the paper)\n\n");
+  ReproduceByHand();
+  CompareDiscoverySpeed();
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Domain example: description bootstrapping from C headers — the paper's
+// Section 8 future-work feature. Converts a sample driver header into
+// HealLang, compiles it, and shows the resource flow the fuzzer would get
+// for free before any manual semantic refinement.
+//
+//   ./build/examples/header_convert [path-to-header]   (default: built-in)
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/fuzz/relation_table.h"
+#include "src/syzlang/header_gen.h"
+#include "src/syzlang/target.h"
+
+namespace {
+
+constexpr char kSampleHeader[] = R"(
+// A hypothetical character-device driver API.
+#define FOO_MAGIC 0xf00
+#define FOO_MAX_LEN 4096
+
+struct foo_config {
+  unsigned int mode;
+  long watermark;
+};
+
+int foo_open(const char *path);
+int foo_configure(int fd, struct foo_config *cfg);
+long foo_write(int fd, char *buf, size_t len);
+int foo_reset(int fd);
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string header = kSampleHeader;
+  if (argc > 1) {
+    std::ifstream in(argv[1]);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    header = buf.str();
+  }
+
+  auto converted = healer::ConvertHeaderToDescriptions(header);
+  if (!converted.ok()) {
+    std::fprintf(stderr, "conversion failed: %s\n",
+                 converted.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== generated HealLang ==\n%s\n", converted->c_str());
+
+  auto target = healer::Target::CompileSource(*converted, "from-header");
+  if (!target.ok()) {
+    std::fprintf(stderr, "generated description failed to compile: %s\n",
+                 target.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("== compiled: %zu syscalls, %zu resources ==\n",
+              target->NumSyscalls(), target->NumResources());
+
+  healer::RelationTable table(target->NumSyscalls());
+  healer::StaticRelationLearn(*target, &table);
+  std::printf("static relations derivable before any fuzzing: %zu\n",
+              table.Count());
+  for (const auto& edge : table.EdgesBefore()) {
+    std::printf("  %-20s -> %s\n",
+                target->syscall(edge.from).name.c_str(),
+                target->syscall(edge.to).name.c_str());
+  }
+  std::printf("\n(refine semantics by hand — flags sets, len[] links, "
+              "specializations — as the paper prescribes)\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Fixed-size bitmaps used for coverage accounting.
+//
+// CoverageBitmap is an AFL-style 2^16-slot hit map: edges are hashed into
+// slots and campaigns track the set of slots ever seen. MergeNew() returns
+// how many previously-unseen slots the merge contributed, which is the
+// "new coverage" signal consumed by the fuzzers.
+
+#ifndef SRC_BASE_BITMAP_H_
+#define SRC_BASE_BITMAP_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace healer {
+
+class Bitmap {
+ public:
+  explicit Bitmap(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  size_t size_bits() const { return bits_; }
+
+  bool Test(size_t idx) const {
+    return (words_[idx >> 6] >> (idx & 63)) & 1;
+  }
+
+  // Sets the bit; returns true iff it was previously clear.
+  bool Set(size_t idx) {
+    uint64_t& w = words_[idx >> 6];
+    const uint64_t mask = 1ULL << (idx & 63);
+    if (w & mask) {
+      return false;
+    }
+    w |= mask;
+    ++popcount_;
+    return true;
+  }
+
+  void Clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    popcount_ = 0;
+  }
+
+  // Number of set bits. O(1).
+  size_t Count() const { return popcount_; }
+
+  // ORs `other` in; returns the number of bits newly set in *this.
+  size_t MergeNew(const Bitmap& other) {
+    size_t fresh = 0;
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+      const uint64_t add = other.words_[i] & ~words_[i];
+      if (add != 0) {
+        fresh += static_cast<size_t>(__builtin_popcountll(add));
+        words_[i] |= add;
+      }
+    }
+    popcount_ += fresh;
+    return fresh;
+  }
+
+  // True iff `other` has at least one bit not present in *this.
+  bool HasNewBits(const Bitmap& other) const {
+    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+      if ((other.words_[i] & ~words_[i]) != 0) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  bool operator==(const Bitmap& other) const {
+    return bits_ == other.bits_ && words_ == other.words_;
+  }
+
+ private:
+  size_t bits_;
+  std::vector<uint64_t> words_;
+  size_t popcount_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_BASE_BITMAP_H_

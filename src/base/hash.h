@@ -1,0 +1,38 @@
+// Small non-cryptographic hash helpers shared across modules.
+
+#ifndef SRC_BASE_HASH_H_
+#define SRC_BASE_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace healer {
+
+// FNV-1a over a byte string; stable across platforms and runs.
+inline uint64_t Fnv1a(std::string_view data, uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Mixes a 64-bit value (finalizer from MurmurHash3).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace healer
+
+#endif  // SRC_BASE_HASH_H_

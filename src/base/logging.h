@@ -1,0 +1,58 @@
+// Minimal leveled logging.
+//
+// The fuzzer is throughput-sensitive, so logging is compiled around a global
+// level check and stream-style message assembly only happens for enabled
+// levels. Output goes to stderr.
+
+#ifndef SRC_BASE_LOGGING_H_
+#define SRC_BASE_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace healer {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+// Global minimum level; messages below it are discarded. Default: kWarning
+// so library users are quiet unless they opt in.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define HEALER_LOG(level)                                              \
+  if (::healer::LogLevel::level < ::healer::GetLogLevel()) {           \
+  } else                                                               \
+    ::healer::internal::LogMessage(::healer::LogLevel::level, __FILE__, \
+                                   __LINE__)                           \
+        .stream()
+
+#define LOG_DEBUG HEALER_LOG(kDebug)
+#define LOG_INFO HEALER_LOG(kInfo)
+#define LOG_WARNING HEALER_LOG(kWarning)
+#define LOG_ERROR HEALER_LOG(kError)
+
+}  // namespace healer
+
+#endif  // SRC_BASE_LOGGING_H_

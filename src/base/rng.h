@@ -1,0 +1,112 @@
+// Deterministic pseudo-random number generation for fuzzing.
+//
+// Rng wraps xoshiro256** seeded via splitmix64. Every fuzzing campaign is a
+// pure function of its seed, which the tests and benches rely on.
+
+#ifndef SRC_BASE_RNG_H_
+#define SRC_BASE_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace healer {
+
+// splitmix64 step; also used as a general-purpose integer mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x1234567890abcdefULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  // Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) {
+    assert(bound > 0);
+    // Lemire-style rejection-free reduction is fine for fuzzing purposes.
+    return Next() % bound;
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t InRange(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return lo + Below(hi - lo + 1);
+  }
+
+  // True with probability 1/n.
+  bool OneIn(uint64_t n) { return Below(n) == 0; }
+
+  // True with probability num/den.
+  bool Chance(uint64_t num, uint64_t den) { return Below(den) < num; }
+
+  // True with probability p (0..1).
+  bool Bernoulli(double p) {
+    if (p <= 0.0) {
+      return false;
+    }
+    if (p >= 1.0) {
+      return true;
+    }
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  // Picks an index in [0, weights.size()) proportionally to weights.
+  // Total weight must be positive.
+  size_t WeightedPick(const std::vector<uint64_t>& weights) {
+    uint64_t total = 0;
+    for (uint64_t w : weights) {
+      total += w;
+    }
+    assert(total > 0);
+    uint64_t roll = Below(total);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      if (roll < weights[i]) {
+        return i;
+      }
+      roll -= weights[i];
+    }
+    return weights.size() - 1;  // Unreachable with positive total.
+  }
+
+  template <typename T>
+  const T& PickOne(const std::vector<T>& items) {
+    assert(!items.empty());
+    return items[Below(items.size())];
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t s_[4];
+};
+
+}  // namespace healer
+
+#endif  // SRC_BASE_RNG_H_

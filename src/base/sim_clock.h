@@ -1,0 +1,38 @@
+// Simulated time.
+//
+// Campaign "hours" in the paper map onto a simulated clock: executing a test
+// case, booting a VM, or rebooting after a crash each advance it by a
+// modelled latency. This makes 24-hour experiments reproducible in seconds
+// of wall time and independent of host load.
+
+#ifndef SRC_BASE_SIM_CLOCK_H_
+#define SRC_BASE_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace healer {
+
+class SimClock {
+ public:
+  using Nanos = uint64_t;
+
+  static constexpr Nanos kMicrosecond = 1000;
+  static constexpr Nanos kMillisecond = 1000 * kMicrosecond;
+  static constexpr Nanos kSecond = 1000 * kMillisecond;
+  static constexpr Nanos kMinute = 60 * kSecond;
+  static constexpr Nanos kHour = 60 * kMinute;
+
+  Nanos now() const { return now_; }
+  void Advance(Nanos delta) { now_ += delta; }
+  void Reset() { now_ = 0; }
+
+  double hours() const { return static_cast<double>(now_) / kHour; }
+  double seconds() const { return static_cast<double>(now_) / kSecond; }
+
+ private:
+  Nanos now_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_BASE_SIM_CLOCK_H_

@@ -1,0 +1,145 @@
+// Error handling primitives for the HEALER library.
+//
+// Library code is exception-free: fallible operations return Status or
+// Result<T>. Both are cheap value types; the error payload is a code plus a
+// human-readable message.
+
+#ifndef SRC_BASE_STATUS_H_
+#define SRC_BASE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace healer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+  kResourceExhausted,
+  kParseError,
+};
+
+// Returns a stable, human-readable name for `code` ("OK", "PARSE_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error value. Default-constructed Status is OK.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE_NAME>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status(); }
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+inline Status Unimplemented(std::string msg) {
+  return Status(StatusCode::kUnimplemented, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status ParseError(std::string msg) {
+  return Status(StatusCode::kParseError, std::move(msg));
+}
+
+// Result<T> holds either a T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or an error keeps call sites terse.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+#define HEALER_RETURN_IF_ERROR(expr)      \
+  do {                                    \
+    ::healer::Status _st = (expr);        \
+    if (!_st.ok()) {                      \
+      return _st;                         \
+    }                                     \
+  } while (0)
+
+#define HEALER_ASSIGN_OR_RETURN(lhs, expr) \
+  auto HEALER_CONCAT_(_res_, __LINE__) = (expr);                   \
+  if (!HEALER_CONCAT_(_res_, __LINE__).ok()) {                     \
+    return HEALER_CONCAT_(_res_, __LINE__).status();               \
+  }                                                                \
+  lhs = std::move(HEALER_CONCAT_(_res_, __LINE__)).value()
+
+#define HEALER_CONCAT_INNER_(a, b) a##b
+#define HEALER_CONCAT_(a, b) HEALER_CONCAT_INNER_(a, b)
+
+}  // namespace healer
+
+#endif  // SRC_BASE_STATUS_H_

@@ -1,0 +1,30 @@
+// String helpers shared by the description parser and report printers.
+
+#ifndef SRC_BASE_STRING_UTIL_H_
+#define SRC_BASE_STRING_UTIL_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace healer {
+
+// Splits `text` on `sep`, keeping empty pieces.
+std::vector<std::string> StrSplit(std::string_view text, char sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view StrStrip(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Joins items with `sep`.
+std::string StrJoin(const std::vector<std::string>& items, std::string_view sep);
+
+}  // namespace healer
+
+#endif  // SRC_BASE_STRING_UTIL_H_

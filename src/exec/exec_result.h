@@ -1,0 +1,55 @@
+// Execution results: per-call return values, coverage signals and crash
+// reports — exactly the feedback HEALER's algorithms consume.
+
+#ifndef SRC_EXEC_EXEC_RESULT_H_
+#define SRC_EXEC_EXEC_RESULT_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/kernel/bugs.h"
+
+namespace healer {
+
+struct CallExecInfo {
+  bool executed = false;
+  int64_t retval = 0;
+  // Order-independent hash of the call's edge set; equal hashes mean "same
+  // coverage" for the minimizer and dynamic learner.
+  uint64_t signal = 0;
+  // Number of edges this call contributed that the campaign-global bitmap
+  // had never seen (0 when no global bitmap was supplied).
+  uint32_t new_edges = 0;
+  // Total edges this call touched.
+  uint32_t num_edges = 0;
+  // Result-slot values this call produced (slot -> value), parallel to
+  // ResultSlotsOf(call.meta).
+  std::vector<uint64_t> slot_values;
+};
+
+struct CrashInfo {
+  BugId bug;
+  std::string title;
+  // Index of the crashing call within the program.
+  size_t call_index = 0;
+};
+
+struct ExecResult {
+  std::vector<CallExecInfo> calls;
+  std::optional<CrashInfo> crash;
+
+  bool Crashed() const { return crash.has_value(); }
+  uint32_t TotalNewEdges() const {
+    uint32_t total = 0;
+    for (const auto& call : calls) {
+      total += call.new_edges;
+    }
+    return total;
+  }
+};
+
+}  // namespace healer
+
+#endif  // SRC_EXEC_EXEC_RESULT_H_

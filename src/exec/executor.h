@@ -1,0 +1,78 @@
+// Executor: the in-guest agent. Decodes wire-format programs, lays argument
+// data out in guest memory, issues each call to the SimKernel with per-call
+// KCOV collection, resolves resource references, and extracts out-parameter
+// resource values.
+//
+// A fresh Kernel is booted per program (the paper's executor forks per test
+// case for isolation; a fresh kernel object is the simulator equivalent and
+// keeps programs independent and deterministic).
+
+#ifndef SRC_EXEC_EXECUTOR_H_
+#define SRC_EXEC_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/base/bitmap.h"
+#include "src/exec/exec_result.h"
+#include "src/kernel/kernel.h"
+#include "src/prog/prog.h"
+#include "src/prog/serialize.h"
+
+namespace healer {
+
+class Executor {
+ public:
+  // `target` must outlive the executor. The handler table is resolved once:
+  // syscall id -> SyscallDef (nullptr => ENOSYS in the configured kernel).
+  Executor(const Target& target, const KernelConfig& config);
+
+  // Runs `prog` against a fresh kernel. If `global_coverage` is non-null,
+  // per-call edges are merged into it and CallExecInfo::new_edges reports
+  // the fresh ones; pass nullptr for side-effect-free runs (minimization).
+  ExecResult Run(const Prog& prog, Bitmap* global_coverage);
+
+  // Wire-format entry point used by the VM transport. Decoding failures
+  // yield an empty result (all calls unexecuted).
+  ExecResult RunSerialized(const uint8_t* data, size_t size,
+                           Bitmap* global_coverage);
+
+  // Ids of syscalls available in this kernel configuration.
+  const std::vector<int>& enabled_syscalls() const {
+    return enabled_syscalls_;
+  }
+  bool SyscallEnabled(int id) const {
+    return handlers_[static_cast<size_t>(id)] != nullptr;
+  }
+
+  const KernelConfig& config() const { return config_; }
+  const Target& target() const { return target_; }
+
+  // Number of kernel executions performed (programs, not calls).
+  uint64_t execs() const { return execs_; }
+
+ private:
+  // Writes `arg` into guest memory at `addr`; returns bytes written.
+  uint64_t StoreArg(Kernel& kernel, const Arg& arg,
+                    const std::vector<CallExecInfo>& done, uint64_t addr);
+  // Computes the flat syscall argument word for `arg` (allocating guest
+  // memory for pointees).
+  uint64_t EvalArg(Kernel& kernel, const Arg& arg,
+                   const std::vector<CallExecInfo>& done);
+  // Resolves a resource reference against completed calls.
+  uint64_t ResolveResource(const Arg& arg,
+                           const std::vector<CallExecInfo>& done) const;
+
+  const Target& target_;
+  KernelConfig config_;
+  std::vector<const SyscallDef*> handlers_;
+  std::vector<int> enabled_syscalls_;
+  CallCoverage cov_;
+  GuestMem mem_;  // Pooled across programs; Reset() per Run.
+  uint64_t execs_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_EXEC_EXECUTOR_H_

@@ -1,0 +1,85 @@
+// Fuzzer <-> executor transport, modelled on HEALER's architecture (Fig. 3):
+// test cases travel through an ivshmem-style shared-memory region in the
+// compact serialized representation, while a small control socket carries
+// handshakes and command/status frames.
+
+#ifndef SRC_EXEC_SHM_CHANNEL_H_
+#define SRC_EXEC_SHM_CHANNEL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <vector>
+
+namespace healer {
+
+// The shared-memory data plane. One in-flight program at a time, like the
+// paper's per-VM region.
+class ShmChannel {
+ public:
+  static constexpr size_t kSize = 1 << 20;
+
+  ShmChannel() : region_(kSize, 0) {}
+
+  // Copies a serialized program into the region. False when it won't fit.
+  bool WriteProg(const std::vector<uint8_t>& bytes) {
+    if (bytes.size() + 8 > kSize) {
+      return false;
+    }
+    const uint64_t len = bytes.size();
+    std::memcpy(region_.data(), &len, 8);
+    if (!bytes.empty()) {
+      std::memcpy(region_.data() + 8, bytes.data(), bytes.size());
+    }
+    return true;
+  }
+
+  const uint8_t* prog_data() const { return region_.data() + 8; }
+  size_t prog_size() const {
+    uint64_t len;
+    std::memcpy(&len, region_.data(), 8);
+    return static_cast<size_t>(len);
+  }
+
+ private:
+  std::vector<uint8_t> region_;
+};
+
+// The control plane: an in-memory duplex frame queue standing in for the
+// QEMU control socket.
+enum class CtrlKind : uint8_t {
+  kHandshake = 1,
+  kHandshakeAck = 2,
+  kExecRequest = 3,
+  kExecReply = 4,
+  kCrashNotice = 5,
+};
+
+struct CtrlFrame {
+  CtrlKind kind;
+  uint64_t payload = 0;
+};
+
+class ControlSocket {
+ public:
+  void Send(CtrlFrame frame) { queue_.push_back(frame); }
+
+  bool Recv(CtrlFrame* frame) {
+    if (queue_.empty()) {
+      return false;
+    }
+    *frame = queue_.front();
+    queue_.pop_front();
+    return true;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  std::deque<CtrlFrame> queue_;
+};
+
+}  // namespace healer
+
+#endif  // SRC_EXEC_SHM_CHANNEL_H_

@@ -1,0 +1,334 @@
+#include "src/fuzz/arg_gen.h"
+
+#include <algorithm>
+
+#include "src/kernel/guest_mem.h"
+
+namespace healer {
+
+namespace {
+
+// Default path candidates for filename args with no explicit candidates.
+const std::vector<std::string>& DefaultPaths() {
+  static const auto* paths = new std::vector<std::string>{
+      "/tmp/file0", "/tmp/file1", "/tmp/file2", "/tmp/dir0",
+      "/dev/custom0", "/tmp/nfsdata",
+  };
+  return *paths;
+}
+
+std::vector<uint8_t> StringBytes(const std::string& s) {
+  std::vector<uint8_t> bytes(s.begin(), s.end());
+  bytes.push_back(0);
+  return bytes;
+}
+
+}  // namespace
+
+const std::vector<uint64_t>& MagicNumbers() {
+  static const auto* magics = new std::vector<uint64_t>{
+      0,    1,     2,        3,         4,          7,          8,
+      15,   16,    31,       32,        63,         64,         100,
+      127,  128,   255,      256,       511,        512,        1000,
+      1023, 1024,  4095,     4096,      8191,       8192,       65535,
+      65536, 1u << 20, (1u << 20) + 1, 0x7fffffff, 0xffffffff,
+      0x8000000000000000ull, 0xffffffffffffffffull,
+  };
+  return *magics;
+}
+
+void ResourcePool::AddCall(const Syscall& call, int call_index) {
+  for (const ResultSlot& slot : ResultSlotsOf(call)) {
+    entries_.push_back(
+        Entry{slot.resource, Producer{call_index, slot.slot}});
+  }
+}
+
+std::vector<ResourcePool::Producer> ResourcePool::FindProducers(
+    const ResourceDesc* wanted) const {
+  std::vector<Producer> out;
+  for (const Entry& entry : entries_) {
+    if (entry.resource->IsCompatibleWith(wanted)) {
+      out.push_back(entry.producer);
+    }
+  }
+  return out;
+}
+
+uint64_t ArgGenerator::GenScalarValue(const Type* type) {
+  switch (type->kind) {
+    case TypeKind::kConst:
+      return type->const_val;
+    case TypeKind::kFlags: {
+      if (type->flag_values.empty()) {
+        return 0;
+      }
+      if (!type->flags_bitmask || rng_->OneIn(2)) {
+        return rng_->PickOne(type->flag_values);
+      }
+      // OR a random subset.
+      uint64_t value = 0;
+      for (uint64_t flag : type->flag_values) {
+        if (rng_->OneIn(3)) {
+          value |= flag;
+        }
+      }
+      return value;
+    }
+    case TypeKind::kInt: {
+      const bool has_range = type->range_min != 0 || type->range_max != 0;
+      if (has_range) {
+        // Bias toward the boundaries, which is where validation bugs live.
+        if (rng_->OneIn(4)) {
+          return rng_->OneIn(2) ? type->range_min : type->range_max;
+        }
+        return rng_->InRange(type->range_min, type->range_max);
+      }
+      if (rng_->OneIn(2)) {
+        return rng_->PickOne(MagicNumbers());
+      }
+      return rng_->Next() >> (rng_->Below(64));
+    }
+    case TypeKind::kLen:
+      return 0;  // Patched by Prog::FixupLens.
+    default:
+      return 0;
+  }
+}
+
+ArgPtr ArgGenerator::Gen(const Type* type, const ResourcePool& pool) {
+  switch (type->kind) {
+    case TypeKind::kInt:
+    case TypeKind::kConst:
+    case TypeKind::kFlags:
+    case TypeKind::kLen:
+      return MakeConstant(type, GenScalarValue(type));
+    case TypeKind::kResource: {
+      auto producers = pool.FindProducers(type->resource);
+      if (!producers.empty() && !rng_->OneIn(20)) {
+        const auto& pick = producers[rng_->Below(producers.size())];
+        return MakeResourceRef(type, pick.call_index, pick.slot);
+      }
+      // No producer (or deliberate negative test): use a special value or
+      // a small arbitrary number that might collide with a live fd.
+      uint64_t special = static_cast<uint64_t>(-1);
+      if (type->resource != nullptr &&
+          !type->resource->special_values.empty()) {
+        special = rng_->PickOne(type->resource->special_values);
+      }
+      if (rng_->OneIn(4)) {
+        special = rng_->Below(16);
+      }
+      return MakeResourceSpecial(type, special);
+    }
+    case TypeKind::kPtr: {
+      if (rng_->Bernoulli(kNullPtrChance)) {
+        return MakeNullPointer(type);
+      }
+      return MakePointer(type, Gen(type->elem, pool));
+    }
+    case TypeKind::kBuffer: {
+      const uint64_t lo = type->buf_min;
+      const uint64_t hi = std::max(type->buf_max, lo);
+      uint64_t size = rng_->InRange(lo, hi);
+      // Skew toward small buffers but keep the tail reachable.
+      if (size > 64 && rng_->Chance(2, 3)) {
+        size = rng_->InRange(lo, std::min<uint64_t>(hi, 64));
+      }
+      std::vector<uint8_t> data(size);
+      for (auto& byte : data) {
+        byte = static_cast<uint8_t>(rng_->Next());
+      }
+      return MakeData(type, std::move(data));
+    }
+    case TypeKind::kString: {
+      if (!type->str_values.empty()) {
+        return MakeData(type, StringBytes(rng_->PickOne(type->str_values)));
+      }
+      std::string s;
+      const uint64_t len = rng_->Below(12);
+      for (uint64_t i = 0; i < len; ++i) {
+        s.push_back(static_cast<char>('a' + rng_->Below(26)));
+      }
+      return MakeData(type, StringBytes(s));
+    }
+    case TypeKind::kFilename: {
+      const auto& candidates =
+          type->str_values.empty() ? DefaultPaths() : type->str_values;
+      return MakeData(type, StringBytes(rng_->PickOne(candidates)));
+    }
+    case TypeKind::kVma: {
+      const uint64_t pages = 1 + rng_->Below(16);
+      uint64_t page = next_vma_page_;
+      next_vma_page_ = (next_vma_page_ + pages + 1) % (GuestMem::kVmaPages - 64);
+      if (next_vma_page_ == 0) {
+        next_vma_page_ = 1;
+      }
+      const uint64_t addr = GuestMem::kVmaBase + page * GuestMem::kPageSize;
+      return MakeVma(type, addr, pages);
+    }
+    case TypeKind::kArray: {
+      const uint64_t count = rng_->InRange(
+          type->array_min, std::max(type->array_min, type->array_max));
+      std::vector<ArgPtr> inner;
+      inner.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        inner.push_back(Gen(type->array_elem, pool));
+      }
+      return MakeGroup(type, std::move(inner));
+    }
+    case TypeKind::kStruct: {
+      std::vector<ArgPtr> inner;
+      inner.reserve(type->fields.size());
+      for (const Field& field : type->fields) {
+        inner.push_back(Gen(field.type, pool));
+      }
+      return MakeGroup(type, std::move(inner));
+    }
+    case TypeKind::kUnion: {
+      const int index = static_cast<int>(rng_->Below(type->fields.size()));
+      return MakeUnion(
+          type, index,
+          Gen(type->fields[static_cast<size_t>(index)].type, pool));
+    }
+  }
+  return MakeConstant(type, 0);
+}
+
+bool ArgMutator::Mutate(Call* call, const ResourcePool& pool) {
+  // Collect mutable nodes.
+  std::vector<Arg*> nodes;
+  ForEachArg(*call, [&](Arg& arg) {
+    if (arg.type == nullptr) {
+      return;
+    }
+    switch (arg.type->kind) {
+      case TypeKind::kConst:
+      case TypeKind::kLen:
+        break;  // Fixed / derived.
+      default:
+        nodes.push_back(&arg);
+    }
+  });
+  if (nodes.empty()) {
+    return false;
+  }
+  Arg* node = nodes[rng_->Below(nodes.size())];
+  return MutateNode(node, pool);
+}
+
+bool ArgMutator::MutateNode(Arg* arg, const ResourcePool& pool) {
+  switch (arg->kind) {
+    case ArgKind::kConstant: {
+      switch (rng_->Below(4)) {
+        case 0:  // Bit flip.
+          arg->val ^= 1ull << rng_->Below(64);
+          break;
+        case 1:  // Nudge.
+          arg->val += rng_->OneIn(2) ? 1 : static_cast<uint64_t>(-1);
+          break;
+        case 2:  // Magic.
+          arg->val = rng_->PickOne(MagicNumbers());
+          break;
+        default:  // Regenerate.
+          arg->val = gen_.Gen(arg->type, pool)->val;
+          break;
+      }
+      return true;
+    }
+    case ArgKind::kData: {
+      if (arg->type->kind == TypeKind::kString ||
+          arg->type->kind == TypeKind::kFilename) {
+        ArgPtr fresh = gen_.Gen(arg->type, pool);
+        arg->data = std::move(fresh->data);
+        return true;
+      }
+      switch (rng_->Below(3)) {
+        case 0: {  // Resize.
+          const uint64_t hi = std::max<uint64_t>(arg->type->buf_max, 1);
+          arg->data.resize(rng_->InRange(arg->type->buf_min, hi));
+          break;
+        }
+        case 1:  // Corrupt bytes.
+          if (!arg->data.empty()) {
+            for (int i = 0; i < 4; ++i) {
+              arg->data[rng_->Below(arg->data.size())] =
+                  static_cast<uint8_t>(rng_->Next());
+            }
+          }
+          break;
+        default:  // Regenerate.
+          arg->data = gen_.Gen(arg->type, pool)->data;
+          break;
+      }
+      return true;
+    }
+    case ArgKind::kPointer: {
+      if (arg->pointee == nullptr || rng_->OneIn(10)) {
+        // Toggle nullness.
+        if (arg->pointee == nullptr) {
+          arg->pointee = gen_.Gen(arg->type->elem, pool)->Clone();
+        } else {
+          arg->pointee.reset();
+        }
+        return true;
+      }
+      return MutateNode(arg->pointee.get(), pool);
+    }
+    case ArgKind::kResource: {
+      auto producers = pool.FindProducers(arg->type->resource);
+      if (!producers.empty() && rng_->Chance(3, 4)) {
+        const auto& pick = producers[rng_->Below(producers.size())];
+        arg->res_ref = pick.call_index;
+        arg->res_slot = pick.slot;
+        arg->val = 0;
+      } else {
+        arg->res_ref = -1;
+        arg->res_slot = 0;
+        arg->val = rng_->OneIn(2) ? static_cast<uint64_t>(-1)
+                                  : rng_->Below(16);
+      }
+      return true;
+    }
+    case ArgKind::kVma: {
+      if (rng_->OneIn(2)) {
+        arg->vma_pages = 1 + rng_->Below(16);
+      } else {
+        const uint64_t page = 1 + rng_->Below(GuestMem::kVmaPages - 64);
+        arg->val = GuestMem::kVmaBase + page * GuestMem::kPageSize;
+      }
+      return true;
+    }
+    case ArgKind::kGroup: {
+      if (arg->type->kind == TypeKind::kArray && rng_->OneIn(3)) {
+        // Resize the array within bounds.
+        const uint64_t count = rng_->InRange(
+            arg->type->array_min,
+            std::max(arg->type->array_min, arg->type->array_max));
+        while (arg->inner.size() > count) {
+          arg->inner.pop_back();
+        }
+        while (arg->inner.size() < count) {
+          arg->inner.push_back(gen_.Gen(arg->type->array_elem, pool));
+        }
+        return true;
+      }
+      if (arg->inner.empty()) {
+        return false;
+      }
+      return MutateNode(arg->inner[rng_->Below(arg->inner.size())].get(),
+                        pool);
+    }
+    case ArgKind::kUnion: {
+      const int index = static_cast<int>(rng_->Below(arg->type->fields.size()));
+      arg->union_index = index;
+      arg->inner.clear();
+      arg->inner.push_back(
+          gen_.Gen(arg->type->fields[static_cast<size_t>(index)].type, pool));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace healer

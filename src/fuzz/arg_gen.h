@@ -1,0 +1,81 @@
+// Argument synthesis and mutation (Section 4.2 "parameter synthesis"):
+// per-type generation strategies (magic numbers, flag subsets, candidate
+// strings) and mutation operators (bit flips, value nudges, buffer edits),
+// as in existing work — the relation table only drives *call selection*.
+
+#ifndef SRC_FUZZ_ARG_GEN_H_
+#define SRC_FUZZ_ARG_GEN_H_
+
+#include <map>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/prog/prog.h"
+#include "src/prog/slots.h"
+
+namespace healer {
+
+// Tracks which result slots of already-placed calls can satisfy a resource
+// kind (inheritance-aware).
+class ResourcePool {
+ public:
+  struct Producer {
+    int call_index;
+    int slot;
+  };
+
+  // Registers the result slots of the call at `call_index`.
+  void AddCall(const Syscall& call, int call_index);
+
+  // Producers whose resource kind is compatible with `wanted`.
+  std::vector<Producer> FindProducers(const ResourceDesc* wanted) const;
+
+ private:
+  struct Entry {
+    const ResourceDesc* resource;
+    Producer producer;
+  };
+  std::vector<Entry> entries_;
+};
+
+class ArgGenerator {
+ public:
+  explicit ArgGenerator(Rng* rng) : rng_(rng) {}
+
+  // Generates an argument tree for `type`. `pool` supplies resource
+  // producers from the prefix of the program under construction.
+  ArgPtr Gen(const Type* type, const ResourcePool& pool);
+
+  // Fraction of pointer args generated as null (exercises EFAULT and
+  // missing-optional-argument kernel paths).
+  static constexpr double kNullPtrChance = 0.08;
+
+ private:
+  uint64_t GenScalarValue(const Type* type);
+
+  Rng* rng_;
+  uint64_t next_vma_page_ = 1;
+};
+
+class ArgMutator {
+ public:
+  explicit ArgMutator(Rng* rng) : rng_(rng), gen_(rng) {}
+
+  // Mutates one randomly chosen argument node of `call` in place. `pool`
+  // provides resource producers preceding the call. Returns false when the
+  // call has no mutable node.
+  bool Mutate(Call* call, const ResourcePool& pool);
+
+ private:
+  bool MutateNode(Arg* arg, const ResourcePool& pool);
+
+  Rng* rng_;
+  ArgGenerator gen_;
+};
+
+// Magic values favoured by numeric generation and mutation.
+const std::vector<uint64_t>& MagicNumbers();
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_ARG_GEN_H_

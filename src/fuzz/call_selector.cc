@@ -1,0 +1,81 @@
+#include "src/fuzz/call_selector.h"
+
+#include <algorithm>
+#include <map>
+
+namespace healer {
+
+void AlphaSchedule::Record(bool used_table, bool gained_coverage) {
+  if (used_table) {
+    ++table_execs_;
+    table_gains_ += gained_coverage ? 1 : 0;
+  } else {
+    ++random_execs_;
+    random_gains_ += gained_coverage ? 1 : 0;
+  }
+  if (++execs_in_window_ < kWindow) {
+    return;
+  }
+  // Rate of return of table-guided selection relative to random selection.
+  const double table_rate =
+      table_execs_ == 0 ? 0.0
+                        : static_cast<double>(table_gains_) /
+                              static_cast<double>(table_execs_);
+  const double random_rate =
+      random_execs_ == 0 ? 0.0
+                         : static_cast<double>(random_gains_) /
+                               static_cast<double>(random_execs_);
+  if (table_rate + random_rate > 0.0) {
+    alpha_ = table_rate / (table_rate + random_rate);
+    alpha_ = std::clamp(alpha_, kMin, kMax);
+  }
+  ++updates_;
+  execs_in_window_ = 0;
+  table_execs_ = table_gains_ = 0;
+  random_execs_ = random_gains_ = 0;
+}
+
+int CallSelector::RandomCall() {
+  return enabled_[rng_->Below(enabled_.size())];
+}
+
+int CallSelector::Select(const std::vector<int>& prefix, double alpha,
+                         bool* used_table) {
+  *used_table = false;
+  // Line 1-2: random selection with probability 1-α.
+  if (prefix.empty() || !rng_->Bernoulli(alpha)) {
+    return RandomCall();
+  }
+  if (enabled_mask_.empty()) {
+    enabled_mask_.resize(table_->n(), 0);
+    for (int id : enabled_) {
+      enabled_mask_[static_cast<size_t>(id)] = 1;
+    }
+  }
+  // Lines 3-7: candidate map M[c_j] = |{c_i in S : R[i][j] = 1}|.
+  std::map<int, uint64_t> candidates;
+  for (int ci : prefix) {
+    for (int cj : table_->InfluencedBy(ci)) {
+      if (enabled_mask_[static_cast<size_t>(cj)] != 0) {
+        ++candidates[cj];
+      }
+    }
+  }
+  // Lines 8-9: no information -> random.
+  if (candidates.empty()) {
+    return RandomCall();
+  }
+  // Lines 10-11: weighted random pick.
+  *used_table = true;
+  std::vector<int> calls;
+  std::vector<uint64_t> weights;
+  calls.reserve(candidates.size());
+  weights.reserve(candidates.size());
+  for (const auto& [call, weight] : candidates) {
+    calls.push_back(call);
+    weights.push_back(weight);
+  }
+  return calls[rng_->WeightedPick(weights)];
+}
+
+}  // namespace healer

@@ -1,0 +1,110 @@
+#include "src/fuzz/campaign.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/fuzz/corpus_io.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+
+bool CampaignResult::FoundBug(BugId bug) const {
+  return std::any_of(crashes.begin(), crashes.end(),
+                     [&](const CrashRecord& r) { return r.bug == bug; });
+}
+
+CampaignResult RunCampaign(const CampaignOptions& options) {
+  const Target& target = BuiltinTarget();
+  FuzzerOptions fuzz_options;
+  fuzz_options.tool = options.tool;
+  fuzz_options.version = options.version;
+  fuzz_options.seed = options.seed;
+  fuzz_options.num_vms = options.num_vms;
+  fuzz_options.latency = options.latency;
+  fuzz_options.moonshine_traces = options.moonshine_traces;
+  fuzz_options.guidance = options.guidance;
+  fuzz_options.fixed_alpha = options.fixed_alpha;
+  Fuzzer fuzzer(target, fuzz_options);
+
+  if (!options.initial_corpus_path.empty()) {
+    Result<std::vector<Prog>> seeds =
+        LoadProgs(options.initial_corpus_path, target);
+    if (seeds.ok()) {
+      fuzzer.SeedWith(*seeds);
+    } else {
+      LOG_WARNING << "failed to load initial corpus: "
+                  << seeds.status().ToString();
+    }
+  }
+
+  const SimClock::Nanos deadline = static_cast<SimClock::Nanos>(
+      options.hours * static_cast<double>(SimClock::kHour));
+
+  CampaignResult result;
+  result.options = options;
+  SimClock::Nanos next_sample = 0;
+  auto sample = [&] {
+    CoverageSample s;
+    s.hours = fuzzer.clock().hours();
+    s.branches = fuzzer.CoverageCount();
+    s.execs = fuzzer.FuzzExecs();
+    s.relations = fuzzer.relations().Count();
+    result.samples.push_back(s);
+  };
+
+  while (fuzzer.clock().now() < deadline &&
+         fuzzer.FuzzExecs() < options.max_execs) {
+    if (fuzzer.clock().now() >= next_sample) {
+      sample();
+      next_sample += options.sample_period;
+    }
+    fuzzer.Step();
+  }
+  sample();
+
+  result.final_coverage = fuzzer.CoverageCount();
+  result.fuzz_execs = fuzzer.FuzzExecs();
+  result.total_execs = fuzzer.TotalExecs();
+  result.corpus_size = fuzzer.corpus().size();
+  result.corpus_mean_len = fuzzer.corpus().MeanLength();
+  result.corpus_length_hist = fuzzer.corpus().LengthHistogram();
+  result.crashes = fuzzer.crashes().All();
+  result.relations_total = fuzzer.relations().Count();
+  result.relations_static =
+      fuzzer.relations().CountBySource(RelationSource::kStatic);
+  result.relations_dynamic =
+      fuzzer.relations().CountBySource(RelationSource::kDynamic);
+  result.relation_edges = fuzzer.relations().EdgesBefore();
+  result.final_alpha = fuzzer.alpha();
+
+  if (!options.save_corpus_path.empty()) {
+    const Status saved =
+        SaveProgs(options.save_corpus_path, fuzzer.corpus().ExportAll());
+    if (!saved.ok()) {
+      LOG_WARNING << "failed to save corpus: " << saved.ToString();
+    }
+  }
+  return result;
+}
+
+double HoursToReach(const CampaignResult& result, size_t coverage) {
+  const auto& samples = result.samples;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].branches >= coverage) {
+      if (i == 0) {
+        return samples[0].hours;
+      }
+      const auto& lo = samples[i - 1];
+      const auto& hi = samples[i];
+      if (hi.branches == lo.branches) {
+        return hi.hours;
+      }
+      const double frac = static_cast<double>(coverage - lo.branches) /
+                          static_cast<double>(hi.branches - lo.branches);
+      return lo.hours + frac * (hi.hours - lo.hours);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace healer

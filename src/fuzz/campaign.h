@@ -1,0 +1,70 @@
+// Campaign driver: runs a fuzzer for a simulated wall-clock duration,
+// sampling the coverage curve the way the paper samples each fuzzer's
+// statistics every minute over 24 hours. Campaigns are pure functions of
+// (tool, kernel version, seed, duration), which the benches exploit to run
+// repeated rounds.
+
+#ifndef SRC_FUZZ_CAMPAIGN_H_
+#define SRC_FUZZ_CAMPAIGN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/fuzz/fuzzer.h"
+
+namespace healer {
+
+struct CampaignOptions {
+  ToolKind tool = ToolKind::kHealer;
+  KernelVersion version = KernelVersion::kV5_11;
+  uint64_t seed = 1;
+  double hours = 24.0;
+  uint64_t max_execs = ~0ull;
+  size_t num_vms = 2;
+  size_t moonshine_traces = 64;
+  SimClock::Nanos sample_period = 5 * SimClock::kMinute;
+  VmLatencyModel latency;
+  // HEALER guidance ablation knobs (see GuidanceMode).
+  GuidanceMode guidance = GuidanceMode::kDefault;
+  double fixed_alpha = 0.8;
+  // Optional corpus persistence: seed programs loaded before fuzzing, and
+  // the final corpus written after it.
+  std::string initial_corpus_path;
+  std::string save_corpus_path;
+};
+
+struct CoverageSample {
+  double hours = 0.0;
+  size_t branches = 0;
+  uint64_t execs = 0;
+  size_t relations = 0;
+};
+
+struct CampaignResult {
+  CampaignOptions options;
+  std::vector<CoverageSample> samples;
+  size_t final_coverage = 0;
+  uint64_t fuzz_execs = 0;
+  uint64_t total_execs = 0;  // Including minimization / learning runs.
+  size_t corpus_size = 0;
+  double corpus_mean_len = 0.0;
+  std::vector<size_t> corpus_length_hist;  // Buckets 1,2,3,4,5+.
+  std::vector<CrashRecord> crashes;
+  size_t relations_total = 0;
+  size_t relations_static = 0;
+  size_t relations_dynamic = 0;
+  std::vector<RelationEdge> relation_edges;  // Timestamped learn log.
+  double final_alpha = 0.0;
+
+  bool FoundBug(BugId bug) const;
+};
+
+CampaignResult RunCampaign(const CampaignOptions& options);
+
+// Simulated hours at which `result` first reached `coverage` branches, or a
+// negative value if it never did. Linear interpolation between samples.
+double HoursToReach(const CampaignResult& result, size_t coverage);
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_CAMPAIGN_H_

@@ -1,0 +1,153 @@
+#include "src/fuzz/choice_table.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+namespace healer {
+
+namespace {
+
+// Collects the "argument type facts" syzkaller's static analysis compares:
+// resource kinds used anywhere in the call, plus coarse type categories.
+struct TypeFacts {
+  std::set<const ResourceDesc*> resources;
+  bool uses_vma = false;
+  bool uses_buffer = false;
+  bool uses_string = false;
+};
+
+TypeFacts FactsOf(const Syscall& call) {
+  TypeFacts facts;
+  std::function<void(const Type*)> walk = [&](const Type* type) {
+    switch (type->kind) {
+      case TypeKind::kResource:
+        facts.resources.insert(type->resource);
+        break;
+      case TypeKind::kVma:
+        facts.uses_vma = true;
+        break;
+      case TypeKind::kBuffer:
+        facts.uses_buffer = true;
+        break;
+      case TypeKind::kString:
+      case TypeKind::kFilename:
+        facts.uses_string = true;
+        break;
+      case TypeKind::kPtr:
+        walk(type->elem);
+        break;
+      case TypeKind::kArray:
+        walk(type->array_elem);
+        break;
+      case TypeKind::kStruct:
+      case TypeKind::kUnion:
+        for (const auto& field : type->fields) {
+          walk(field.type);
+        }
+        break;
+      default:
+        break;
+    }
+  };
+  for (const auto& arg : call.args) {
+    walk(arg.type);
+  }
+  if (call.ret != nullptr) {
+    facts.resources.insert(call.ret);
+  }
+  return facts;
+}
+
+uint32_t Normalize(uint32_t value, uint32_t max_value) {
+  // Scale to [10, 1000] with a factor of 1000, as the paper describes.
+  if (max_value == 0) {
+    return 10;
+  }
+  return 10 + static_cast<uint32_t>(
+                  990ull * std::min(value, max_value) / max_value);
+}
+
+}  // namespace
+
+ChoiceTable::ChoiceTable(const Target& target, std::vector<int> enabled)
+    : target_(target),
+      n_(target.NumSyscalls()),
+      enabled_(std::move(enabled)),
+      p0_(n_ * n_, 0),
+      adjacency_(n_ * n_, 0),
+      p_(n_ * n_, 0) {
+  BuildStatic();
+  Rebuild();
+}
+
+void ChoiceTable::BuildStatic() {
+  std::vector<TypeFacts> facts;
+  facts.reserve(n_);
+  for (size_t i = 0; i < n_; ++i) {
+    facts.push_back(FactsOf(target_.syscall(static_cast<int>(i))));
+  }
+  uint32_t max_raw = 0;
+  std::vector<uint32_t> raw(n_ * n_, 0);
+  for (size_t i = 0; i < n_; ++i) {
+    for (size_t j = 0; j < n_; ++j) {
+      if (i == j) {
+        continue;
+      }
+      uint32_t weight = 0;
+      // Hard-coded weights per common type, as in syzkaller: 10 per shared
+      // resource kind (inheritance-blind on purpose), 5 for vma, 1 each for
+      // buffer/string.
+      for (const ResourceDesc* res : facts[i].resources) {
+        if (facts[j].resources.count(res) != 0) {
+          weight += 10;
+        }
+      }
+      if (facts[i].uses_vma && facts[j].uses_vma) {
+        weight += 5;
+      }
+      if (facts[i].uses_buffer && facts[j].uses_buffer) {
+        weight += 1;
+      }
+      if (facts[i].uses_string && facts[j].uses_string) {
+        weight += 1;
+      }
+      raw[i * n_ + j] = weight;
+      max_raw = std::max(max_raw, weight);
+    }
+  }
+  for (size_t idx = 0; idx < raw.size(); ++idx) {
+    p0_[idx] = Normalize(raw[idx], max_raw);
+  }
+}
+
+void ChoiceTable::Rebuild() {
+  uint32_t max_adj = 0;
+  for (uint32_t count : adjacency_) {
+    max_adj = std::max(max_adj, count);
+  }
+  for (size_t idx = 0; idx < p_.size(); ++idx) {
+    const uint32_t p1 = Normalize(adjacency_[idx], max_adj);
+    p_[idx] = p0_[idx] * p1 / 1000;
+  }
+}
+
+int ChoiceTable::Choose(Rng* rng, int prev) const {
+  if (prev < 0) {
+    return enabled_[rng->Below(enabled_.size())];
+  }
+  std::vector<uint64_t> weights;
+  weights.reserve(enabled_.size());
+  uint64_t total = 0;
+  for (int candidate : enabled_) {
+    const uint64_t weight = 1 + P(prev, candidate);
+    weights.push_back(weight);
+    total += weight;
+  }
+  if (total == 0) {
+    return enabled_[rng->Below(enabled_.size())];
+  }
+  return enabled_[rng->WeightedPick(weights)];
+}
+
+}  // namespace healer

@@ -1,0 +1,56 @@
+// Syzkaller's choice table, implemented as Section 3 describes it:
+// P_ij = (P0_ij * P1_ij) / 1000, where P0 comes from a static analysis that
+// weights argument types two calls have in common (resource kinds weigh 10,
+// vma 5, ...) and P1 counts adjacent call pairs in the corpus. Both factors
+// are normalized to [10, 1000]. The paper argues this misleads selection —
+// implementing it verbatim lets the benches reproduce that effect.
+
+#ifndef SRC_FUZZ_CHOICE_TABLE_H_
+#define SRC_FUZZ_CHOICE_TABLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/syzlang/target.h"
+
+namespace healer {
+
+class ChoiceTable {
+ public:
+  ChoiceTable(const Target& target, std::vector<int> enabled);
+
+  // Static prior P0 over common argument types.
+  void BuildStatic();
+
+  // Records one adjacency observation (c_i immediately before c_j in a
+  // minimized corpus program); callers invoke Rebuild() periodically.
+  void NoteAdjacent(int before, int after) {
+    ++adjacency_[Index(before, after)];
+  }
+
+  // Recomputes P from P0 and the adjacency counts.
+  void Rebuild();
+
+  // Selects the next call biased by P[prev][*]; uniform among enabled calls
+  // when prev < 0.
+  int Choose(Rng* rng, int prev) const;
+
+  uint32_t P(int before, int after) const { return p_[Index(before, after)]; }
+
+ private:
+  size_t Index(int before, int after) const {
+    return static_cast<size_t>(before) * n_ + static_cast<size_t>(after);
+  }
+
+  const Target& target_;
+  size_t n_;
+  std::vector<int> enabled_;
+  std::vector<uint32_t> p0_;
+  std::vector<uint32_t> adjacency_;
+  std::vector<uint32_t> p_;
+};
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_CHOICE_TABLE_H_

@@ -1,0 +1,69 @@
+#include "src/fuzz/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace healer {
+
+bool Corpus::Add(Prog prog, uint32_t priority) {
+  if (entries_.size() >= kMaxEntries || prog.empty()) {
+    return false;
+  }
+  const std::vector<uint8_t> bytes = SerializeProg(prog);
+  const uint64_t hash =
+      Fnv1a(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                             bytes.size()));
+  if (!hashes_.insert(hash).second) {
+    return false;
+  }
+  priority = std::max<uint32_t>(priority, 1);
+  total_priority_ += priority;
+  entries_.push_back(Entry{std::move(prog), priority});
+  return true;
+}
+
+const Prog& Corpus::Choose(Rng* rng) const {
+  assert(!entries_.empty());
+  uint64_t roll = rng->Below(total_priority_);
+  for (const Entry& entry : entries_) {
+    if (roll < entry.priority) {
+      return entry.prog;
+    }
+    roll -= entry.priority;
+  }
+  return entries_.back().prog;
+}
+
+std::vector<size_t> Corpus::LengthHistogram() const {
+  std::vector<size_t> hist(5, 0);
+  for (const Entry& entry : entries_) {
+    const size_t len = entry.prog.size();
+    if (len == 0) {
+      continue;
+    }
+    hist[std::min<size_t>(len, 5) - 1] += 1;
+  }
+  return hist;
+}
+
+std::vector<Prog> Corpus::ExportAll() const {
+  std::vector<Prog> out;
+  out.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    out.push_back(entry.prog.Clone());
+  }
+  return out;
+}
+
+double Corpus::MeanLength() const {
+  if (entries_.empty()) {
+    return 0.0;
+  }
+  size_t total = 0;
+  for (const Entry& entry : entries_) {
+    total += entry.prog.size();
+  }
+  return static_cast<double>(total) / static_cast<double>(entries_.size());
+}
+
+}  // namespace healer

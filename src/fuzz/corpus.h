@@ -1,0 +1,55 @@
+// Corpus of interesting (minimized) programs, weighted by the amount of new
+// coverage they contributed when first seen.
+
+#ifndef SRC_FUZZ_CORPUS_H_
+#define SRC_FUZZ_CORPUS_H_
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/base/hash.h"
+#include "src/base/rng.h"
+#include "src/prog/prog.h"
+#include "src/prog/serialize.h"
+
+namespace healer {
+
+class Corpus {
+ public:
+  static constexpr size_t kMaxEntries = 16384;
+
+  // Adds a program (deduplicated by serialized content). Returns true if it
+  // was new.
+  bool Add(Prog prog, uint32_t priority);
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Priority-weighted random pick.
+  const Prog& Choose(Rng* rng) const;
+
+  const Prog& at(size_t index) const { return entries_[index].prog; }
+
+  // Histogram of program lengths: [1, 2, 3, 4, 5+] buckets (Figure 6).
+  std::vector<size_t> LengthHistogram() const;
+
+  // Mean program length.
+  double MeanLength() const;
+
+  // Deep copies of every program (for persistence via corpus_io).
+  std::vector<Prog> ExportAll() const;
+
+ private:
+  struct Entry {
+    Prog prog;
+    uint32_t priority;
+  };
+  std::vector<Entry> entries_;
+  std::set<uint64_t> hashes_;
+  uint64_t total_priority_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_CORPUS_H_

@@ -1,0 +1,96 @@
+#include "src/fuzz/corpus_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "src/base/string_util.h"
+#include "src/prog/serialize.h"
+
+namespace healer {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'C', 'O', 'R'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) {
+      std::fclose(f);
+    }
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU32(std::FILE* f, uint32_t v) {
+  return std::fwrite(&v, 4, 1, f) == 1;
+}
+
+bool ReadU32(std::FILE* f, uint32_t* v) {
+  return std::fread(v, 4, 1, f) == 1;
+}
+
+}  // namespace
+
+Status SaveProgs(const std::string& path, const std::vector<Prog>& progs) {
+  FilePtr file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Internal(StrFormat("cannot open '%s' for writing", path.c_str()));
+  }
+  if (std::fwrite(kMagic, 4, 1, file.get()) != 1 ||
+      !WriteU32(file.get(), static_cast<uint32_t>(progs.size()))) {
+    return Internal("short write");
+  }
+  for (const Prog& prog : progs) {
+    const std::vector<uint8_t> bytes = SerializeProg(prog);
+    if (!WriteU32(file.get(), static_cast<uint32_t>(bytes.size())) ||
+        (!bytes.empty() &&
+         std::fwrite(bytes.data(), bytes.size(), 1, file.get()) != 1)) {
+      return Internal("short write");
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::vector<Prog>> LoadProgs(const std::string& path,
+                                    const Target& target, size_t* skipped) {
+  if (skipped != nullptr) {
+    *skipped = 0;
+  }
+  FilePtr file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return NotFound(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  char magic[4];
+  if (std::fread(magic, 4, 1, file.get()) != 1 ||
+      std::memcmp(magic, kMagic, 4) != 0) {
+    return ParseError(StrFormat("'%s' is not a corpus file", path.c_str()));
+  }
+  uint32_t count;
+  if (!ReadU32(file.get(), &count) || count > (1u << 20)) {
+    return ParseError("bad corpus count");
+  }
+  std::vector<Prog> progs;
+  progs.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t len;
+    if (!ReadU32(file.get(), &len) || len > (1u << 24)) {
+      return ParseError(StrFormat("bad program length at entry %u", i));
+    }
+    std::vector<uint8_t> bytes(len);
+    if (len > 0 && std::fread(bytes.data(), len, 1, file.get()) != 1) {
+      return ParseError(StrFormat("truncated program at entry %u", i));
+    }
+    Result<Prog> prog = DeserializeProg(target, bytes.data(), bytes.size());
+    if (!prog.ok() || !prog->Validate().ok()) {
+      if (skipped != nullptr) {
+        ++*skipped;
+      }
+      continue;
+    }
+    progs.push_back(std::move(prog).value());
+  }
+  return progs;
+}
+
+}  // namespace healer

@@ -1,0 +1,29 @@
+// Corpus persistence: save/load program sets in the wire format, so a
+// campaign can start from "an initial corpus provided by the user"
+// (Section 4) and corpora can be carried across runs.
+//
+// File format: "HCOR" magic, u32 count, then per program u32 length +
+// SerializeProg bytes.
+
+#ifndef SRC_FUZZ_CORPUS_IO_H_
+#define SRC_FUZZ_CORPUS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/prog/prog.h"
+
+namespace healer {
+
+Status SaveProgs(const std::string& path, const std::vector<Prog>& progs);
+
+// Loads and validates programs against `target`; programs that fail to
+// decode or validate are skipped (counted in *skipped when non-null).
+Result<std::vector<Prog>> LoadProgs(const std::string& path,
+                                    const Target& target,
+                                    size_t* skipped = nullptr);
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_CORPUS_IO_H_

@@ -1,0 +1,218 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <algorithm>
+
+#include "src/fuzz/moonshine.h"
+#include "src/kernel/coverage.h"
+
+namespace healer {
+
+const char* ToolKindName(ToolKind tool) {
+  switch (tool) {
+    case ToolKind::kHealer:
+      return "healer";
+    case ToolKind::kHealerMinus:
+      return "healer-";
+    case ToolKind::kSyzkaller:
+      return "syzkaller";
+    case ToolKind::kMoonshine:
+      return "moonshine";
+  }
+  return "?";
+}
+
+const char* GuidanceModeName(GuidanceMode mode) {
+  switch (mode) {
+    case GuidanceMode::kDefault:
+      return "default";
+    case GuidanceMode::kStaticOnly:
+      return "static-only";
+    case GuidanceMode::kFixedAlpha:
+      return "fixed-alpha";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<int> EnabledSyscalls(const Target& target,
+                                 const KernelConfig& config) {
+  std::vector<int> enabled;
+  for (const auto& call : target.syscalls()) {
+    const SyscallDef* def = FindSyscallDef(call->name);
+    if (def != nullptr && SyscallAvailable(*def, config)) {
+      enabled.push_back(call->id);
+    }
+  }
+  return enabled;
+}
+
+}  // namespace
+
+Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
+    : target_(target),
+      options_(options),
+      rng_(options.seed),
+      pool_(target, KernelConfig::ForVersion(options.version), &clock_,
+            options.num_vms, options.latency),
+      coverage_(CallCoverage::kMapBits),
+      builder_(target,
+               EnabledSyscalls(target,
+                               KernelConfig::ForVersion(options.version)),
+               &rng_),
+      minimizer_(AnalysisExec()),
+      learner_(nullptr, AnalysisExec(), &clock_),
+      reproducer_(AnalysisExec()) {
+  relations_ = std::make_unique<RelationTable>(target.NumSyscalls());
+  const bool uses_relations = options_.tool == ToolKind::kHealer;
+  if (uses_relations) {
+    // Static learning runs once at initialization (Section 6.2).
+    StaticRelationLearn(target_, relations_.get());
+  }
+  selector_ = std::make_unique<CallSelector>(relations_.get(),
+                                             builder_.enabled(), &rng_);
+  if (options_.tool == ToolKind::kSyzkaller ||
+      options_.tool == ToolKind::kMoonshine) {
+    choice_table_ = std::make_unique<ChoiceTable>(target_, builder_.enabled());
+  }
+  learner_ = DynamicLearner(relations_.get(), AnalysisExec(), &clock_);
+  if (options_.tool == ToolKind::kMoonshine) {
+    LoadMoonshineSeeds();
+  }
+}
+
+ExecFn Fuzzer::AnalysisExec() {
+  // Analysis runs (minimization / dynamic learning) execute on the VM fleet
+  // and consume simulated time, but do not merge into campaign coverage.
+  return [this](const Prog& prog) {
+    return pool_.Next().Exec(prog, nullptr);
+  };
+}
+
+CallChooser Fuzzer::MakeChooser(bool* used_table) {
+  switch (options_.tool) {
+    case ToolKind::kHealer:
+      return [this, used_table](const std::vector<int>& prefix) {
+        const double alpha = options_.guidance == GuidanceMode::kFixedAlpha
+                                 ? options_.fixed_alpha
+                                 : alpha_.alpha();
+        bool used = false;
+        const int pick = selector_->Select(prefix, alpha, &used);
+        *used_table |= used;
+        return pick;
+      };
+    case ToolKind::kHealerMinus:
+      return [this](const std::vector<int>&) {
+        return selector_->RandomCall();
+      };
+    case ToolKind::kSyzkaller:
+    case ToolKind::kMoonshine:
+      return [this](const std::vector<int>& prefix) {
+        return choice_table_->Choose(&rng_,
+                                     prefix.empty() ? -1 : prefix.back());
+      };
+  }
+  return [this](const std::vector<int>&) { return selector_->RandomCall(); };
+}
+
+void Fuzzer::LoadMoonshineSeeds() {
+  Rng seed_rng(options_.seed ^ 0x5eedULL);
+  SeedWith(MoonshineSeeds(target_, builder_.enabled(),
+                          options_.moonshine_traces, &seed_rng));
+}
+
+void Fuzzer::SeedWith(const std::vector<Prog>& seeds) {
+  for (const Prog& seed : seeds) {
+    if (seed.empty() || !seed.Validate().ok()) {
+      continue;
+    }
+    const ExecResult result = pool_.Next().Exec(seed, &coverage_);
+    ++fuzz_execs_;
+    ProcessFeedback(seed, result);
+  }
+}
+
+void Fuzzer::Step() {
+  bool used_table = false;
+  CallChooser chooser = MakeChooser(&used_table);
+
+  Prog prog(&target_);
+  const bool generate = corpus_.empty() || rng_.Chance(2, 5);
+  if (generate) {
+    const size_t len =
+        rng_.InRange(options_.gen_len_min, options_.gen_len_max);
+    prog = builder_.Generate(chooser, len);
+  } else {
+    prog = corpus_.Choose(&rng_).Clone();
+    // Insertion first (call selection is where guidance acts), then
+    // parameter mutation.
+    if (rng_.Chance(7, 10)) {
+      builder_.MutateInsert(&prog, chooser);
+    }
+    if (rng_.Chance(6, 10)) {
+      builder_.MutateArgs(&prog);
+    }
+  }
+  if (prog.empty()) {
+    return;
+  }
+
+  const ExecResult result = pool_.Next().Exec(prog, &coverage_);
+  ++fuzz_execs_;
+
+  const bool gained = result.TotalNewEdges() > 0;
+  if (options_.tool == ToolKind::kHealer) {
+    alpha_.Record(used_table, gained);
+  }
+  ProcessFeedback(prog, result);
+}
+
+void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
+  if (result.Crashed()) {
+    const bool is_new =
+        crash_db_.Record(result.crash->bug, result.crash->title, clock_.now(),
+                         fuzz_execs_, result.crash->call_index + 1);
+    // For newly found bugs, extract the smallest reproducer (Section 4's
+    // crash reproduction component). The extra executions run on the VM
+    // fleet and consume simulated time like any other analysis.
+    if (is_new) {
+      std::optional<CrashRepro> repro =
+          reproducer_.Minimize(prog, result.crash->bug);
+      if (repro.has_value()) {
+        crash_db_.Record(result.crash->bug, result.crash->title, clock_.now(),
+                         fuzz_execs_, repro->prog.size());
+        repros_.emplace(result.crash->bug, std::move(repro->prog));
+      }
+    }
+  }
+  if (result.TotalNewEdges() == 0) {
+    return;
+  }
+  // Minimize, then learn relations from / archive each minimal sequence.
+  std::vector<MinimizedSeq> minimized = minimizer_.Minimize(prog, result);
+  for (MinimizedSeq& seq : minimized) {
+    if (options_.tool == ToolKind::kHealer &&
+        options_.guidance != GuidanceMode::kStaticOnly) {
+      learner_.Learn(seq.prog);
+    }
+    if (choice_table_ != nullptr && seq.prog.size() >= 2) {
+      for (size_t i = 1; i < seq.prog.size(); ++i) {
+        choice_table_->NoteAdjacent(seq.prog.calls()[i - 1].meta->id,
+                                    seq.prog.calls()[i].meta->id);
+      }
+      if (++adjacency_notes_ % 32 == 0) {
+        choice_table_->Rebuild();
+      }
+    }
+    const uint32_t prio =
+        std::max<uint32_t>(1, result.TotalNewEdges());
+    corpus_.Add(std::move(seq.prog), prio);
+  }
+}
+
+const Prog* Fuzzer::ReproFor(BugId bug) const {
+  auto it = repros_.find(bug);
+  return it == repros_.end() ? nullptr : &it->second;
+}
+
+}  // namespace healer

@@ -1,0 +1,124 @@
+// The fuzzing loop, parameterized by tool:
+//
+//   kHealer      — relation learning + guided selection (the paper's system)
+//   kHealerMinus — HEALER with relation learning disabled (ablation)
+//   kSyzkaller   — choice-table guided baseline
+//   kMoonshine   — Syzkaller + distilled initial seeds
+//
+// All tools share the executor substrate, parameter synthesis, corpus
+// policy and minimization, so measured differences isolate call-selection
+// strategy — the experimental design of Section 6.
+
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <map>
+#include <memory>
+
+#include "src/base/bitmap.h"
+#include "src/fuzz/call_selector.h"
+#include "src/fuzz/choice_table.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/crash_db.h"
+#include "src/fuzz/learner.h"
+#include "src/fuzz/minimizer.h"
+#include "src/fuzz/prog_builder.h"
+#include "src/fuzz/relation_table.h"
+#include "src/fuzz/repro.h"
+#include "src/vm/vm_pool.h"
+
+namespace healer {
+
+enum class ToolKind {
+  kHealer,
+  kHealerMinus,
+  kSyzkaller,
+  kMoonshine,
+};
+
+const char* ToolKindName(ToolKind tool);
+
+// Ablation hooks for HEALER's guidance (bench_ablation_guidance):
+//   kDefault    — static + dynamic learning, adaptive alpha (the paper)
+//   kStaticOnly — dynamic learning disabled; only description-derived edges
+//   kFixedAlpha — full learning but alpha pinned to `fixed_alpha`
+enum class GuidanceMode {
+  kDefault,
+  kStaticOnly,
+  kFixedAlpha,
+};
+
+const char* GuidanceModeName(GuidanceMode mode);
+
+struct FuzzerOptions {
+  ToolKind tool = ToolKind::kHealer;
+  KernelVersion version = KernelVersion::kV5_11;
+  uint64_t seed = 1;
+  size_t num_vms = 2;
+  VmLatencyModel latency;
+  // Number of synthesized traces for Moonshine's distillation.
+  size_t moonshine_traces = 64;
+  // Generated program length is drawn from [min, max].
+  size_t gen_len_min = 4;
+  size_t gen_len_max = 14;
+  // HEALER guidance ablation (ignored by the other tools).
+  GuidanceMode guidance = GuidanceMode::kDefault;
+  double fixed_alpha = 0.8;
+};
+
+class Fuzzer {
+ public:
+  Fuzzer(const Target& target, FuzzerOptions options);
+
+  // One fuzzing iteration: pick generate-or-mutate, execute, process
+  // feedback (crash triage, minimization, relation learning, corpus).
+  void Step();
+
+  // Executes user-provided seed programs and archives the interesting ones
+  // ("the user can optionally provide an initial corpus", Section 4).
+  void SeedWith(const std::vector<Prog>& seeds);
+
+  // ---- state accessors ----
+  SimClock& clock() { return clock_; }
+  size_t CoverageCount() const { return coverage_.Count(); }
+  uint64_t FuzzExecs() const { return fuzz_execs_; }
+  uint64_t TotalExecs() const { return pool_.TotalExecs(); }
+  const RelationTable& relations() const { return *relations_; }
+  const Corpus& corpus() const { return corpus_; }
+  const CrashDb& crashes() const { return crash_db_; }
+  double alpha() const { return alpha_.alpha(); }
+  VmPool& pool() { return pool_; }
+  const FuzzerOptions& options() const { return options_; }
+  // Minimized reproducer for a found bug, nullptr when unknown.
+  const Prog* ReproFor(BugId bug) const;
+
+ private:
+  CallChooser MakeChooser(bool* used_table);
+  ExecFn AnalysisExec();
+  void ProcessFeedback(const Prog& prog, const ExecResult& result);
+  void LoadMoonshineSeeds();
+
+  const Target& target_;
+  FuzzerOptions options_;
+  Rng rng_;
+  SimClock clock_;
+  VmPool pool_;
+  Bitmap coverage_;
+  Corpus corpus_;
+  CrashDb crash_db_;
+  std::unique_ptr<RelationTable> relations_;
+  std::unique_ptr<CallSelector> selector_;
+  std::unique_ptr<ChoiceTable> choice_table_;
+  ProgBuilder builder_;
+  Minimizer minimizer_;
+  DynamicLearner learner_;
+  CrashReproducer reproducer_;
+  AlphaSchedule alpha_;
+  std::map<BugId, Prog> repros_;
+  uint64_t fuzz_execs_ = 0;
+  uint64_t adjacency_notes_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_FUZZER_H_

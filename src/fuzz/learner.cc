@@ -1,0 +1,46 @@
+#include "src/fuzz/learner.h"
+
+namespace healer {
+
+size_t DynamicLearner::Learn(const Prog& minimized) {
+  const size_t len = minimized.size();
+  if (len < 2) {
+    return 0;
+  }
+  // Baseline per-call signals of the minimized sequence.
+  ++execs_used_;
+  const ExecResult baseline = exec_(minimized);
+  if (baseline.calls.size() < len) {
+    return 0;
+  }
+
+  size_t learned = 0;
+  for (size_t idx = 1; idx < len; ++idx) {
+    const int ci = minimized.calls()[idx - 1].meta->id;
+    const int cj = minimized.calls()[idx].meta->id;
+    // Line 6: skip pairs whose relation is already known (e.g. found by
+    // static learning).
+    if (table_->Get(ci, cj)) {
+      continue;
+    }
+    // Lines 7-8: remove C_i and re-execute.
+    Prog cand = minimized.Clone();
+    cand.RemoveCall(idx - 1);
+    ++execs_used_;
+    const ExecResult res = exec_(cand);
+    const size_t cj_pos = idx - 1;
+    // Lines 9-10: if C_j's coverage changed, C_i influences C_j.
+    const bool unchanged = cj_pos < res.calls.size() &&
+                           res.calls[cj_pos].executed &&
+                           res.calls[cj_pos].signal ==
+                               baseline.calls[idx].signal;
+    if (!unchanged) {
+      if (table_->Set(ci, cj, RelationSource::kDynamic, clock_->now())) {
+        ++learned;
+      }
+    }
+  }
+  return learned;
+}
+
+}  // namespace healer

@@ -1,0 +1,39 @@
+// Dynamic relation learning (Algorithm 2).
+//
+// For each pair of *consecutive* calls (C_i, C_j) of a minimized sequence
+// whose relation is still unknown, C_i is removed and the modified program
+// re-executed; a change in C_j's per-call coverage proves the influence
+// relation and sets R[i][j] = 1. Only adjacent pairs are analyzed, since a
+// coverage change after removing a non-adjacent call could be an indirect
+// effect (Section 4.1).
+
+#ifndef SRC_FUZZ_LEARNER_H_
+#define SRC_FUZZ_LEARNER_H_
+
+#include "src/base/sim_clock.h"
+#include "src/fuzz/minimizer.h"
+#include "src/fuzz/relation_table.h"
+
+namespace healer {
+
+class DynamicLearner {
+ public:
+  DynamicLearner(RelationTable* table, ExecFn exec, const SimClock* clock)
+      : table_(table), exec_(std::move(exec)), clock_(clock) {}
+
+  // Runs Algorithm 2 on one minimized sequence; returns the number of new
+  // relations learned.
+  size_t Learn(const Prog& minimized);
+
+  uint64_t execs_used() const { return execs_used_; }
+
+ private:
+  RelationTable* table_;
+  ExecFn exec_;
+  const SimClock* clock_;
+  uint64_t execs_used_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_LEARNER_H_

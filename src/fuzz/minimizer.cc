@@ -1,0 +1,56 @@
+#include "src/fuzz/minimizer.h"
+
+#include <numeric>
+
+namespace healer {
+
+std::vector<MinimizedSeq> Minimizer::Minimize(const Prog& prog,
+                                              const ExecResult& baseline) {
+  std::vector<MinimizedSeq> out;
+  const size_t len = prog.size();
+  if (len == 0 || baseline.calls.size() < len) {
+    return out;
+  }
+  std::vector<bool> reserved(len, false);
+
+  // Lines 3-7: extract a subsequence for each new-coverage call, in reverse
+  // order, skipping calls already included in another minimal sequence.
+  for (size_t ii = len; ii-- > 0;) {
+    if (reserved[ii] || baseline.calls[ii].new_edges == 0) {
+      continue;
+    }
+    reserved[ii] = true;
+    const uint64_t target_signal = baseline.calls[ii].signal;
+
+    Prog cur = prog.Clone();
+    cur.Truncate(ii + 1);
+    std::vector<size_t> orig(ii + 1);
+    std::iota(orig.begin(), orig.end(), 0);
+    size_t last = ii;  // Target call's index within `cur`.
+
+    // Lines 9-17: try removing each call before the target.
+    for (size_t jj = last; jj-- > 0;) {
+      Prog cand = cur.Clone();
+      cand.RemoveCall(jj);
+      ++execs_used_;
+      const ExecResult res = exec_(cand);
+      const size_t cand_last = last - 1;
+      const bool preserved =
+          cand_last < res.calls.size() && res.calls[cand_last].executed &&
+          res.calls[cand_last].signal == target_signal;
+      if (preserved) {
+        cur = std::move(cand);
+        orig.erase(orig.begin() + static_cast<long>(jj));
+        last = cand_last;
+      } else {
+        // The call is load-bearing: reserve it so it isn't re-extracted as
+        // its own minimal sequence.
+        reserved[orig[jj]] = true;
+      }
+    }
+    out.push_back(MinimizedSeq{std::move(cur), last, target_signal});
+  }
+  return out;
+}
+
+}  // namespace healer

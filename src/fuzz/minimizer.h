@@ -1,0 +1,53 @@
+// Sequence minimization (Algorithm 1).
+//
+// For each call that triggered new coverage (in reverse order, skipping
+// calls already reserved by another minimal sequence), the minimizer takes
+// the prefix ending at that call and greedily removes earlier calls,
+// keeping a removal only when the target call's per-call coverage signal is
+// preserved. The result is a set of independent, non-repetitive minimal
+// sequences — the inputs to dynamic relation learning and the corpus.
+
+#ifndef SRC_FUZZ_MINIMIZER_H_
+#define SRC_FUZZ_MINIMIZER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/exec/exec_result.h"
+#include "src/prog/prog.h"
+
+namespace healer {
+
+// Executes a program and returns per-call results. Implementations must not
+// merge coverage into the campaign-global bitmap (minimization re-runs are
+// analysis, not exploration).
+using ExecFn = std::function<ExecResult(const Prog&)>;
+
+struct MinimizedSeq {
+  Prog prog;
+  // Index of the new-coverage call within `prog`.
+  size_t target_index = 0;
+  // That call's coverage signal in the original execution.
+  uint64_t target_signal = 0;
+};
+
+class Minimizer {
+ public:
+  explicit Minimizer(ExecFn exec) : exec_(std::move(exec)) {}
+
+  // `baseline` must be the ExecResult of `prog` with per-call new_edges
+  // filled in (i.e. executed against the campaign-global bitmap).
+  std::vector<MinimizedSeq> Minimize(const Prog& prog,
+                                     const ExecResult& baseline);
+
+  // Total executions spent in minimization since construction.
+  uint64_t execs_used() const { return execs_used_; }
+
+ private:
+  ExecFn exec_;
+  uint64_t execs_used_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_MINIMIZER_H_

@@ -1,0 +1,106 @@
+#include "src/fuzz/moonshine.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/fuzz/prog_builder.h"
+#include "src/fuzz/templates.h"
+
+namespace healer {
+
+std::vector<Prog> SynthesizeTraces(const Target& target,
+                                   const std::vector<int>& enabled,
+                                   size_t count, Rng* rng) {
+  const auto chains = TemplateChains();
+  std::vector<Prog> traces;
+  traces.reserve(count);
+  ProgBuilder builder(target, enabled, rng);
+  for (size_t i = 0; i < count; ++i) {
+    const auto& chain = chains[rng->Below(chains.size())];
+    Prog prog = BuildChain(target, enabled, chain, rng);
+    if (prog.empty()) {
+      continue;
+    }
+    // Interleave unrelated noise calls, as a real strace of a test program
+    // would contain (mmap of the loader, clock reads, ...).
+    const size_t noise = rng->Below(4);
+    for (size_t ni = 0; ni < noise; ++ni) {
+      builder.MutateInsert(&prog, [&](const std::vector<int>&) {
+        return enabled[rng->Below(enabled.size())];
+      });
+    }
+    traces.push_back(std::move(prog));
+  }
+  return traces;
+}
+
+Prog DistillTrace(const Prog& trace) {
+  const size_t len = trace.size();
+  // Dependency edges: call -> the calls its resource args reference.
+  std::vector<std::vector<size_t>> deps(len);
+  std::vector<bool> referenced(len, false);
+  for (size_t ci = 0; ci < len; ++ci) {
+    ForEachArg(trace.calls()[ci], [&](const Arg& arg) {
+      if (arg.kind == ArgKind::kResource && arg.res_ref >= 0) {
+        deps[ci].push_back(static_cast<size_t>(arg.res_ref));
+        referenced[static_cast<size_t>(arg.res_ref)] = true;
+      }
+    });
+  }
+  // Anchors: calls that consume resources (they exercise kernel state set
+  // up by others). Keep the closure of their dependencies.
+  std::vector<bool> keep(len, false);
+  for (size_t ci = 0; ci < len; ++ci) {
+    if (deps[ci].empty()) {
+      continue;
+    }
+    // Closure walk.
+    std::vector<size_t> stack{ci};
+    while (!stack.empty()) {
+      const size_t cur = stack.back();
+      stack.pop_back();
+      if (keep[cur]) {
+        continue;
+      }
+      keep[cur] = true;
+      for (size_t dep : deps[cur]) {
+        stack.push_back(dep);
+      }
+    }
+  }
+  // Rebuild the program from kept calls, remapping resource references.
+  Prog out(trace.target());
+  std::vector<int> remap(len, -1);
+  for (size_t ci = 0; ci < len; ++ci) {
+    if (!keep[ci]) {
+      continue;
+    }
+    remap[ci] = static_cast<int>(out.size());
+    Call call = trace.calls()[ci].Clone();
+    ForEachArg(call, [&](Arg& arg) {
+      if (arg.kind == ArgKind::kResource && arg.res_ref >= 0) {
+        arg.res_ref = remap[static_cast<size_t>(arg.res_ref)];
+        if (arg.res_ref < 0) {
+          arg.val = static_cast<uint64_t>(-1);
+        }
+      }
+    });
+    out.calls().push_back(std::move(call));
+  }
+  return out;
+}
+
+std::vector<Prog> MoonshineSeeds(const Target& target,
+                                 const std::vector<int>& enabled,
+                                 size_t count, Rng* rng) {
+  std::vector<Prog> seeds;
+  for (Prog& trace : SynthesizeTraces(target, enabled, count, rng)) {
+    Prog distilled = DistillTrace(trace);
+    if (!distilled.empty()) {
+      seeds.push_back(std::move(distilled));
+    }
+  }
+  return seeds;
+}
+
+}  // namespace healer

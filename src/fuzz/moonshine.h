@@ -1,0 +1,35 @@
+// Moonshine's seed distillation, reproduced per Section 3: system-call
+// traces (here synthesized from ground-truth template chains interleaved
+// with noise, standing in for strace over LTP) are filtered by static
+// read-write dependency analysis — calls without dependencies on the
+// trace's coverage-bearing calls are dropped. The distilled seeds feed the
+// Syzkaller baseline ("Moonshine" = Syzkaller + distilled initial corpus).
+
+#ifndef SRC_FUZZ_MOONSHINE_H_
+#define SRC_FUZZ_MOONSHINE_H_
+
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/prog/prog.h"
+
+namespace healer {
+
+// Synthesizes `count` traces: template chains with random unrelated calls
+// interleaved (as real traces contain).
+std::vector<Prog> SynthesizeTraces(const Target& target,
+                                   const std::vector<int>& enabled,
+                                   size_t count, Rng* rng);
+
+// Distills one trace: keeps the resource-dependency closure of each
+// dependency-bearing call, dropping unrelated noise.
+Prog DistillTrace(const Prog& trace);
+
+// Full pipeline: synthesize + distill + dedupe.
+std::vector<Prog> MoonshineSeeds(const Target& target,
+                                 const std::vector<int>& enabled,
+                                 size_t count, Rng* rng);
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_MOONSHINE_H_

@@ -1,0 +1,169 @@
+#include "src/fuzz/parallel.h"
+
+#include <vector>
+
+#include "src/vm/vm_pool.h"
+
+namespace healer {
+
+namespace {
+
+std::vector<int> EnabledIds(const Target& target, const KernelConfig& config) {
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    const SyscallDef* def = FindSyscallDef(call->name);
+    if (def != nullptr && SyscallAvailable(*def, config)) {
+      ids.push_back(call->id);
+    }
+  }
+  return ids;
+}
+
+// One Job_i of Figure 3: owns a VM, an RNG and builders; everything else
+// lives in the shared state.
+class Worker {
+ public:
+  Worker(const Target& target, const ParallelOptions& options,
+         SharedFuzzState* shared, size_t index, GuestVm* vm)
+      : target_(target),
+        options_(options),
+        shared_(shared),
+        rng_(options.seed * 7919 + index),
+        vm_(*vm),
+        builder_(target,
+                 EnabledIds(target, KernelConfig::ForVersion(options.version)),
+                 &rng_),
+        selector_(&shared->relations, builder_.enabled(), &rng_) {}
+
+  void Run() {
+    while (true) {
+      {
+        std::lock_guard<std::mutex> lock(shared_->mu);
+        if (shared_->fuzz_execs >= options_.total_execs) {
+          return;
+        }
+        ++shared_->fuzz_execs;
+      }
+      StepLocked();
+    }
+  }
+
+ private:
+  // A chooser bound to the shared relation table / alpha.
+  CallChooser MakeChooser(double alpha, bool* used_table) {
+    if (options_.tool == ToolKind::kHealer) {
+      return [this, alpha, used_table](const std::vector<int>& prefix) {
+        bool used = false;
+        const int pick = selector_.Select(prefix, alpha, &used);
+        *used_table |= used;
+        return pick;
+      };
+    }
+    return [this](const std::vector<int>&) { return selector_.RandomCall(); };
+  }
+
+  void StepLocked() {
+    bool used_table = false;
+    double alpha = 0.0;
+    Prog prog(&target_);
+    {
+      std::lock_guard<std::mutex> lock(shared_->mu);
+      alpha = shared_->alpha.alpha();
+      if (!shared_->corpus.empty() && rng_.Chance(3, 5)) {
+        prog = shared_->corpus.Choose(&rng_).Clone();
+      }
+    }
+    CallChooser chooser = MakeChooser(alpha, &used_table);
+    if (prog.empty()) {
+      prog = builder_.Generate(chooser, 4 + rng_.Below(10));
+    } else {
+      if (rng_.Chance(7, 10)) {
+        builder_.MutateInsert(&prog, chooser);
+      }
+      if (rng_.Chance(6, 10)) {
+        builder_.MutateArgs(&prog);
+      }
+    }
+    if (prog.empty()) {
+      return;
+    }
+
+    // Execute + merge feedback under the shared-state lock (see header).
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    const ExecResult result = vm_.Exec(prog, &shared_->coverage);
+    const bool gained = result.TotalNewEdges() > 0;
+    if (options_.tool == ToolKind::kHealer) {
+      shared_->alpha.Record(used_table, gained);
+    }
+    if (result.Crashed()) {
+      shared_->crashes.Record(result.crash->bug, result.crash->title, 0,
+                              shared_->fuzz_execs,
+                              result.crash->call_index + 1);
+    }
+    if (!gained) {
+      return;
+    }
+    Minimizer minimizer(
+        [this](const Prog& p) { return vm_.Exec(p, nullptr); });
+    DynamicLearner learner(
+        &shared_->relations,
+        [this](const Prog& p) { return vm_.Exec(p, nullptr); }, &clock_);
+    for (MinimizedSeq& seq : minimizer.Minimize(prog, result)) {
+      if (options_.tool == ToolKind::kHealer) {
+        learner.Learn(seq.prog);
+      }
+      shared_->corpus.Add(std::move(seq.prog),
+                          std::max<uint32_t>(1, result.TotalNewEdges()));
+    }
+  }
+
+  const Target& target_;
+  const ParallelOptions& options_;
+  SharedFuzzState* shared_;
+  Rng rng_;
+  SimClock clock_;  // Worker-local timestamps for learned relations.
+  GuestVm& vm_;
+  ProgBuilder builder_;
+  CallSelector selector_;
+};
+
+}  // namespace
+
+ParallelResult RunParallelFuzz(const Target& target,
+                               const ParallelOptions& options) {
+  SharedFuzzState shared(target.NumSyscalls());
+  if (options.tool == ToolKind::kHealer) {
+    StaticRelationLearn(target, &shared.relations);
+  }
+  SimClock clock;  // Shared simulated clock (advanced under the lock).
+  VmPool pool(target, KernelConfig::ForVersion(options.version), &clock,
+              options.num_workers);
+  Monitor monitor(&pool);
+  monitor.Start();
+
+  std::vector<std::unique_ptr<Worker>> workers;
+  for (size_t i = 0; i < options.num_workers; ++i) {
+    workers.push_back(
+        std::make_unique<Worker>(target, options, &shared, i, &pool.vm(i)));
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers.size());
+  for (auto& worker : workers) {
+    threads.emplace_back([&worker] { worker->Run(); });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  monitor.Stop();
+
+  ParallelResult result;
+  result.coverage = shared.coverage.Count();
+  result.fuzz_execs = shared.fuzz_execs;
+  result.corpus_size = shared.corpus.size();
+  result.unique_bugs = shared.crashes.UniqueBugs();
+  result.relations = shared.relations.Count();
+  result.monitor_lines = monitor.lines_collected();
+  return result;
+}
+
+}  // namespace healer

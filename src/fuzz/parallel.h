@@ -1,0 +1,69 @@
+// Multi-worker fuzzing (Figure 3): worker threads (Job_i) drive the entire
+// fuzzing process on the host and synchronize directly through a shared
+// fuzzing state — coverage bitmap, corpus, crash db, relation table, alpha
+// schedule — while each worker owns a guest VM. A background Monitor
+// thread drains the VMs' console logs.
+//
+// SimKernel executes in-process at microsecond scale, so the shared-state
+// lock is held across execution; against a real target the executor runs
+// inside the guest and the lock would only cover feedback merging. The
+// parallel mode demonstrates the architecture and scales state safely; the
+// deterministic single-threaded Fuzzer remains the benchmarking path.
+
+#ifndef SRC_FUZZ_PARALLEL_H_
+#define SRC_FUZZ_PARALLEL_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/fuzz/call_selector.h"
+#include "src/fuzz/corpus.h"
+#include "src/fuzz/crash_db.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/learner.h"
+#include "src/fuzz/minimizer.h"
+#include "src/fuzz/prog_builder.h"
+#include "src/fuzz/relation_table.h"
+
+namespace healer {
+
+// The "Shared Fuzz State" box of Figure 3.
+struct SharedFuzzState {
+  explicit SharedFuzzState(size_t num_syscalls)
+      : coverage(CallCoverage::kMapBits), relations(num_syscalls) {}
+
+  std::mutex mu;
+  Bitmap coverage;
+  Corpus corpus;
+  CrashDb crashes;
+  RelationTable relations;  // Internally reader-writer locked.
+  AlphaSchedule alpha;
+  uint64_t fuzz_execs = 0;
+};
+
+struct ParallelOptions {
+  ToolKind tool = ToolKind::kHealer;
+  KernelVersion version = KernelVersion::kV5_11;
+  uint64_t seed = 1;
+  size_t num_workers = 4;
+  uint64_t total_execs = 10000;
+};
+
+struct ParallelResult {
+  size_t coverage = 0;
+  uint64_t fuzz_execs = 0;
+  size_t corpus_size = 0;
+  size_t unique_bugs = 0;
+  size_t relations = 0;
+  size_t monitor_lines = 0;
+};
+
+// Runs `num_workers` threads until `total_execs` test cases have executed.
+ParallelResult RunParallelFuzz(const Target& target,
+                               const ParallelOptions& options);
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_PARALLEL_H_

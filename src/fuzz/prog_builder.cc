@@ -1,0 +1,173 @@
+#include "src/fuzz/prog_builder.h"
+
+#include <algorithm>
+
+namespace healer {
+
+ProgBuilder::ProgBuilder(const Target& target, std::vector<int> enabled,
+                         Rng* rng)
+    : target_(target),
+      enabled_(std::move(enabled)),
+      enabled_mask_(target.NumSyscalls(), 0),
+      rng_(rng),
+      gen_(rng),
+      mutator_(rng) {
+  for (int id : enabled_) {
+    enabled_mask_[static_cast<size_t>(id)] = 1;
+  }
+}
+
+ResourcePool ProgBuilder::PoolFor(const Prog& prog, size_t upto) const {
+  ResourcePool pool;
+  for (size_t i = 0; i < upto && i < prog.size(); ++i) {
+    pool.AddCall(*prog.calls()[i].meta, static_cast<int>(i));
+  }
+  return pool;
+}
+
+size_t ProgBuilder::AppendCall(Prog* prog, int syscall_id, int depth) {
+  if (prog->size() >= kMaxProgLen) {
+    return 0;
+  }
+  const Syscall& meta = target_.syscall(syscall_id);
+  size_t appended = 0;
+
+  // Satisfy unmet resource needs by prepending producers (recursively).
+  if (depth < kMaxProducerDepth) {
+    ResourcePool pool = PoolFor(*prog, prog->size());
+    for (const ResourceDesc* wanted : meta.consumed_resources) {
+      if (!pool.FindProducers(wanted).empty() || rng_->OneIn(16)) {
+        continue;  // Satisfied (or deliberately left dangling).
+      }
+      std::vector<int> producers;
+      for (int producer : target_.ProducersOf(wanted)) {
+        if (enabled_mask_[static_cast<size_t>(producer)] != 0 &&
+            producer != syscall_id) {
+          producers.push_back(producer);
+        }
+      }
+      if (producers.empty()) {
+        continue;
+      }
+      appended += AppendCall(prog, producers[rng_->Below(producers.size())],
+                             depth + 1);
+      pool = PoolFor(*prog, prog->size());
+    }
+  }
+
+  if (prog->size() >= kMaxProgLen) {
+    return appended;
+  }
+  ResourcePool pool = PoolFor(*prog, prog->size());
+  Call call;
+  call.meta = &meta;
+  call.args.reserve(meta.args.size());
+  for (const Field& arg : meta.args) {
+    call.args.push_back(gen_.Gen(arg.type, pool));
+  }
+  prog->calls().push_back(std::move(call));
+  return appended + 1;
+}
+
+Prog ProgBuilder::Generate(const CallChooser& choose, size_t target_len) {
+  Prog prog(&target_);
+  target_len = std::min(target_len, kMaxProgLen);
+
+  // Seed with a producer/consumer pair over a random resource kind.
+  if (!target_.resources().empty()) {
+    for (int attempt = 0; attempt < 4 && prog.empty(); ++attempt) {
+      const auto& res =
+          target_.resources()[rng_->Below(target_.resources().size())];
+      std::vector<int> producers;
+      for (int id : target_.ProducersOf(res.get())) {
+        if (enabled_mask_[static_cast<size_t>(id)] != 0) {
+          producers.push_back(id);
+        }
+      }
+      std::vector<int> consumers;
+      for (int id : enabled_) {
+        if (Target::Consumes(target_.syscall(id), res.get())) {
+          consumers.push_back(id);
+        }
+      }
+      if (producers.empty() || consumers.empty()) {
+        continue;
+      }
+      AppendCall(&prog, producers[rng_->Below(producers.size())]);
+      AppendCall(&prog, consumers[rng_->Below(consumers.size())]);
+    }
+  }
+
+  // Extend with guided selection.
+  while (prog.size() < target_len) {
+    std::vector<int> prefix;
+    prefix.reserve(prog.size());
+    for (const Call& call : prog.calls()) {
+      prefix.push_back(call.meta->id);
+    }
+    const int next = choose(prefix);
+    if (AppendCall(&prog, next) == 0) {
+      break;
+    }
+  }
+  prog.FixupLens();
+  return prog;
+}
+
+bool ProgBuilder::MutateInsert(Prog* prog, const CallChooser& choose) {
+  if (prog->size() >= kMaxProgLen) {
+    return false;
+  }
+  const size_t pos = rng_->Below(prog->size() + 1);
+  std::vector<int> prefix;
+  prefix.reserve(pos);
+  for (size_t i = 0; i < pos; ++i) {
+    prefix.push_back(prog->calls()[i].meta->id);
+  }
+  const int chosen = choose(prefix);
+
+  // Build the insertion (with producer chains) against the prefix only.
+  Prog head(prog->target());
+  for (size_t i = 0; i < pos; ++i) {
+    head.calls().push_back(prog->calls()[i].Clone());
+  }
+  const size_t before = head.size();
+  AppendCall(&head, chosen);
+  const size_t inserted = head.size() - before;
+  if (inserted == 0) {
+    return false;
+  }
+
+  // Re-attach the tail, shifting resource references past the insertion.
+  for (size_t i = pos; i < prog->size(); ++i) {
+    Call tail_call = prog->calls()[i].Clone();
+    ForEachArg(tail_call, [&](Arg& arg) {
+      if (arg.kind == ArgKind::kResource && arg.res_ref >= 0 &&
+          static_cast<size_t>(arg.res_ref) >= pos) {
+        arg.res_ref += static_cast<int>(inserted);
+      }
+    });
+    head.calls().push_back(std::move(tail_call));
+  }
+  head.Truncate(kMaxProgLen);
+  head.FixupLens();
+  *prog = std::move(head);
+  return true;
+}
+
+bool ProgBuilder::MutateArgs(Prog* prog) {
+  if (prog->empty()) {
+    return false;
+  }
+  bool any = false;
+  const size_t rounds = 1 + rng_->Below(3);
+  for (size_t i = 0; i < rounds; ++i) {
+    const size_t idx = rng_->Below(prog->size());
+    ResourcePool pool = PoolFor(*prog, idx);
+    any |= mutator_.Mutate(&prog->calls()[idx], pool);
+  }
+  prog->FixupLens();
+  return any;
+}
+
+}  // namespace healer

@@ -1,0 +1,145 @@
+#include "src/fuzz/relation_table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace healer {
+
+bool RelationTable::Set(int from, int to, RelationSource source,
+                        SimClock::Nanos learned_at) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  uint8_t& cell = cells_[Index(from, to)];
+  if (cell != 0) {
+    return false;
+  }
+  cell = 1;
+  edges_.push_back(RelationEdge{from, to, source, learned_at});
+  return true;
+}
+
+size_t RelationTable::CountBySource(RelationSource source) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return static_cast<size_t>(
+      std::count_if(edges_.begin(), edges_.end(),
+                    [&](const RelationEdge& e) { return e.source == source; }));
+}
+
+std::vector<RelationEdge> RelationTable::EdgesBefore(
+    SimClock::Nanos cutoff) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<RelationEdge> out;
+  for (const RelationEdge& edge : edges_) {
+    if (edge.learned_at <= cutoff) {
+      out.push_back(edge);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RelationEdge& a, const RelationEdge& b) {
+              return a.learned_at < b.learned_at;
+            });
+  return out;
+}
+
+std::vector<int> RelationTable::InfluencedBy(int from) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<int> out;
+  const size_t base = static_cast<size_t>(from) * n_;
+  for (size_t to = 0; to < n_; ++to) {
+    if (cells_[base + to] != 0) {
+      out.push_back(static_cast<int>(to));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// True when producing `produced` is a *specific* way to satisfy `wanted`:
+// either the exact kind, or `wanted` is itself a specific (non-root) kind
+// that `produced` inherits from. Pairs related only through a root kind
+// (e.g. any-fd-producer -> close(fd)) convey no influence information —
+// every call would be related to every other — and are left to dynamic
+// learning, which only records influences it has actually observed.
+bool SpecificMatch(const ResourceDesc* produced, const ResourceDesc* wanted) {
+  if (produced == wanted) {
+    return wanted->parent != nullptr || produced == wanted;
+  }
+  return wanted->parent != nullptr && produced->IsCompatibleWith(wanted);
+}
+
+}  // namespace
+
+Status RelationTable::SaveToFile(const std::string& path,
+                                 const Target& target) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Internal("cannot open relation file for writing");
+  }
+  for (const RelationEdge& edge : EdgesBefore()) {
+    std::fprintf(f, "%s %s\n", target.syscall(edge.from).name.c_str(),
+                 target.syscall(edge.to).name.c_str());
+  }
+  std::fclose(f);
+  return OkStatus();
+}
+
+Result<size_t> RelationTable::LoadFromFile(const std::string& path,
+                                           const Target& target) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return NotFound("cannot open relation file");
+  }
+  size_t loaded = 0;
+  char from_name[256];
+  char to_name[256];
+  while (std::fscanf(f, "%255s %255s", from_name, to_name) == 2) {
+    const Syscall* from = target.FindSyscall(from_name);
+    const Syscall* to = target.FindSyscall(to_name);
+    if (from == nullptr || to == nullptr) {
+      continue;  // Description changed since the table was saved.
+    }
+    if (Set(from->id, to->id, RelationSource::kDynamic, 0)) {
+      ++loaded;
+    }
+  }
+  std::fclose(f);
+  return loaded;
+}
+
+size_t StaticRelationLearn(const Target& target, RelationTable* table) {
+  size_t added = 0;
+  const size_t n = target.NumSyscalls();
+  for (size_t i = 0; i < n; ++i) {
+    const Syscall& producer = target.syscall(static_cast<int>(i));
+    if (producer.produced_resources.empty()) {
+      continue;
+    }
+    for (size_t j = 0; j < n; ++j) {
+      if (i == j) {
+        continue;
+      }
+      const Syscall& consumer = target.syscall(static_cast<int>(j));
+      bool influences = false;
+      for (const ResourceDesc* produced : producer.produced_resources) {
+        for (const ResourceDesc* wanted : consumer.consumed_resources) {
+          if (SpecificMatch(produced, wanted)) {
+            influences = true;
+            break;
+          }
+        }
+        if (influences) {
+          break;
+        }
+      }
+      if (influences &&
+          table->Set(static_cast<int>(i), static_cast<int>(j),
+                     RelationSource::kStatic, 0)) {
+        ++added;
+      }
+    }
+  }
+  return added;
+}
+
+}  // namespace healer

@@ -1,0 +1,90 @@
+// The relation table R^{n×n} (Section 4.1): R[i][j] = 1 iff syscall C_i
+// influences C_j's execution path. Seeded by static learning over resource
+// flows in the descriptions, refined by dynamic learning during fuzzing.
+//
+// Implemented as a flat byte matrix behind a reader-writer lock (the paper's
+// "high performance hash-table ... optimized for access speed through
+// read-write lock" — a dense matrix is the faster equivalent for our dense
+// integer ids). Every learned edge is timestamped with the simulated clock
+// so relation-evolution snapshots (Figure 5) can be reconstructed.
+
+#ifndef SRC_FUZZ_RELATION_TABLE_H_
+#define SRC_FUZZ_RELATION_TABLE_H_
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+#include "src/base/status.h"
+#include "src/syzlang/target.h"
+
+namespace healer {
+
+enum class RelationSource { kStatic, kDynamic };
+
+struct RelationEdge {
+  int from = 0;
+  int to = 0;
+  RelationSource source = RelationSource::kStatic;
+  SimClock::Nanos learned_at = 0;
+};
+
+class RelationTable {
+ public:
+  explicit RelationTable(size_t num_syscalls)
+      : n_(num_syscalls), cells_(num_syscalls * num_syscalls, 0) {}
+
+  size_t n() const { return n_; }
+
+  bool Get(int from, int to) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return cells_[Index(from, to)] != 0;
+  }
+
+  // Sets R[from][to] = 1. Returns true iff the edge was new.
+  bool Set(int from, int to, RelationSource source,
+           SimClock::Nanos learned_at);
+
+  size_t Count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return edges_.size();
+  }
+
+  size_t CountBySource(RelationSource source) const;
+
+  // All edges learned at or before `cutoff` (everything when cutoff is the
+  // max value). Sorted by learn time.
+  std::vector<RelationEdge> EdgesBefore(
+      SimClock::Nanos cutoff = ~SimClock::Nanos{0}) const;
+
+  // Influence candidates of call `from` (all `to` with R[from][to] = 1).
+  std::vector<int> InfluencedBy(int from) const;
+
+  // Persistence: relations learned in one campaign can warm-start another
+  // (edges are stored as syscall-name pairs so they survive description
+  // changes; unknown names are skipped).
+  Status SaveToFile(const std::string& path, const Target& target) const;
+  // Returns the number of edges loaded (as dynamic edges at time 0).
+  Result<size_t> LoadFromFile(const std::string& path, const Target& target);
+
+ private:
+  size_t Index(int from, int to) const {
+    return static_cast<size_t>(from) * n_ + static_cast<size_t>(to);
+  }
+
+  size_t n_;
+  mutable std::shared_mutex mu_;
+  std::vector<uint8_t> cells_;
+  std::vector<RelationEdge> edges_;
+};
+
+// Static learning (Section 4.1): R[i][j] = 1 when C_i produces a resource
+// (return value or out-pointer) that C_j consumes, honoring resource
+// inheritance. Returns the number of edges added.
+size_t StaticRelationLearn(const Target& target, RelationTable* table);
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_RELATION_TABLE_H_

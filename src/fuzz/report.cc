@@ -1,0 +1,74 @@
+#include "src/fuzz/report.h"
+
+#include "src/base/string_util.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+
+std::string FormatCampaignReport(const CampaignResult& result,
+                                 const ReportOptions& options) {
+  std::string out;
+  const CampaignOptions& opts = result.options;
+  out += StrFormat("=== %s on sim-linux %s, %.1f simulated hours (seed %llu) "
+                   "===\n",
+                   ToolKindName(opts.tool), KernelVersionName(opts.version),
+                   opts.hours, (unsigned long long)opts.seed);
+  out += StrFormat("coverage   : %zu branches\n", result.final_coverage);
+  out += StrFormat("executions : %llu fuzzing + %llu analysis\n",
+                   (unsigned long long)result.fuzz_execs,
+                   (unsigned long long)(result.total_execs -
+                                        result.fuzz_execs));
+  out += StrFormat("corpus     : %zu programs, mean length %.2f\n",
+                   result.corpus_size, result.corpus_mean_len);
+  if (result.corpus_length_hist.size() == 5) {
+    out += StrFormat("  lengths  : 1:%zu 2:%zu 3:%zu 4:%zu 5+:%zu\n",
+                     result.corpus_length_hist[0],
+                     result.corpus_length_hist[1],
+                     result.corpus_length_hist[2],
+                     result.corpus_length_hist[3],
+                     result.corpus_length_hist[4]);
+  }
+  out += StrFormat("relations  : %zu total (%zu static, %zu dynamic), "
+                   "alpha %.2f\n",
+                   result.relations_total, result.relations_static,
+                   result.relations_dynamic, result.final_alpha);
+
+  out += StrFormat("crashes    : %zu unique\n", result.crashes.size());
+  size_t shown = 0;
+  for (const CrashRecord& crash : result.crashes) {
+    if (shown++ >= options.max_crashes) {
+      out += StrFormat("  ... and %zu more\n",
+                       result.crashes.size() - options.max_crashes);
+      break;
+    }
+    out += StrFormat("  [%6.2fh] %-55s repro=%zu hits=%llu\n",
+                     static_cast<double>(crash.first_seen) / SimClock::kHour,
+                     crash.title.c_str(), crash.shortest_repro,
+                     (unsigned long long)crash.hits);
+  }
+
+  if (options.include_samples) {
+    out += "coverage curve (hours, branches, execs):\n";
+    for (const CoverageSample& sample : result.samples) {
+      out += StrFormat("  %6.2f %8zu %10llu\n", sample.hours,
+                       sample.branches, (unsigned long long)sample.execs);
+    }
+  }
+  if (options.include_relations) {
+    const Target& target = BuiltinTarget();
+    out += "learned relations (from -> to, hour):\n";
+    for (const RelationEdge& edge : result.relation_edges) {
+      if (edge.source != RelationSource::kDynamic) {
+        continue;
+      }
+      out += StrFormat("  %-36s -> %-36s %6.2f\n",
+                       target.syscall(edge.from).name.c_str(),
+                       target.syscall(edge.to).name.c_str(),
+                       static_cast<double>(edge.learned_at) /
+                           SimClock::kHour);
+    }
+  }
+  return out;
+}
+
+}  // namespace healer

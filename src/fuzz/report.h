@@ -1,0 +1,26 @@
+// Human-readable campaign reports, syz-manager-status style: coverage,
+// throughput, corpus composition, learned-relation summary, and a crash
+// list with reproducer lengths.
+
+#ifndef SRC_FUZZ_REPORT_H_
+#define SRC_FUZZ_REPORT_H_
+
+#include <string>
+
+#include "src/fuzz/campaign.h"
+
+namespace healer {
+
+struct ReportOptions {
+  bool include_samples = false;   // Appends the full coverage curve.
+  bool include_relations = false; // Appends every learned relation edge.
+  size_t max_crashes = 64;
+};
+
+// Formats `result` as a multi-line text report.
+std::string FormatCampaignReport(const CampaignResult& result,
+                                 const ReportOptions& options = {});
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_REPORT_H_

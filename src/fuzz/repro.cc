@@ -1,0 +1,46 @@
+#include "src/fuzz/repro.h"
+
+namespace healer {
+
+std::optional<CrashRepro> CrashReproducer::Minimize(const Prog& prog,
+                                                    BugId bug) {
+  CrashRepro repro{prog.Clone(), bug, 0};
+
+  auto crashes_same = [&](const Prog& candidate) {
+    ++repro.execs;
+    const ExecResult result = exec_(candidate);
+    return result.Crashed() && result.crash->bug == bug;
+  };
+
+  if (!crashes_same(repro.prog)) {
+    return std::nullopt;
+  }
+
+  // Drop the tail after the crashing call: re-execute to find the crash
+  // index, then truncate.
+  {
+    ++repro.execs;
+    const ExecResult result = exec_(repro.prog);
+    if (result.Crashed()) {
+      repro.prog.Truncate(result.crash->call_index + 1);
+    }
+  }
+
+  // Greedy removal passes until a fixpoint: try each call from the back
+  // (keeping the final, crashing call).
+  bool changed = true;
+  while (changed && repro.prog.size() > 1) {
+    changed = false;
+    for (size_t i = repro.prog.size() - 1; i-- > 0;) {
+      Prog candidate = repro.prog.Clone();
+      candidate.RemoveCall(i);
+      if (crashes_same(candidate)) {
+        repro.prog = std::move(candidate);
+        changed = true;
+      }
+    }
+  }
+  return repro;
+}
+
+}  // namespace healer

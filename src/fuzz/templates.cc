@@ -1,0 +1,89 @@
+#include "src/fuzz/templates.h"
+
+#include <algorithm>
+
+#include "src/fuzz/prog_builder.h"
+
+namespace healer {
+
+std::vector<std::vector<std::string>> TemplateChains() {
+  return {
+      {"openat$kvm", "ioctl$KVM_CREATE_VM", "ioctl$KVM_CREATE_VCPU",
+       "ioctl$KVM_SET_USER_MEMORY_REGION", "ioctl$KVM_RUN"},
+      {"openat$kvm", "ioctl$KVM_CREATE_VM", "ioctl$KVM_CREATE_IRQCHIP",
+       "ioctl$KVM_IRQ_LINE"},
+      {"memfd_create", "write$memfd", "fcntl$ADD_SEALS", "mmap"},
+      {"memfd_create", "ftruncate$memfd", "mmap", "munmap"},
+      {"socket$tcp", "bind", "listen", "accept4"},
+      {"socket$tcp", "bind", "listen", "connect", "sendto", "recvfrom"},
+      {"socket$udp", "bind", "sendto", "recvfrom"},
+      {"pipe2", "write$pipe", "read$pipe"},
+      {"pipe2", "pipe2", "write$pipe", "splice", "read$pipe"},
+      {"epoll_create1", "pipe2", "epoll_ctl$ADD", "epoll_wait"},
+      {"eventfd2", "write$eventfd", "read$eventfd"},
+      {"openat$file", "write", "fsync", "read", "close"},
+      {"openat$file", "write", "lseek", "pread64", "fstat"},
+      {"openat$ptmx", "ioctl$TCSETS", "write$ptmx", "read$ptmx"},
+      {"openat$ptmx", "ioctl$TIOCSETD", "ioctl$GSMIOC_CONFIG", "write$ptmx"},
+      {"openat$vcs", "ioctl$VT_RESIZE", "write$vcs", "read$vcs"},
+      {"openat$fb0", "ioctl$FBIOPUT_VSCREENINFO", "ioctl$FBIOPAN_DISPLAY",
+       "write$fb"},
+      {"timerfd_create", "timerfd_settime", "read$timerfd"},
+      {"io_uring_setup", "io_uring_register$BUFFERS", "io_uring_enter"},
+      {"openat$nbd", "socket$tcp", "ioctl$NBD_SET_SOCK", "ioctl$NBD_DO_IT"},
+      {"openat$loop", "openat$file", "ioctl$LOOP_SET_FD",
+       "ioctl$LOOP_CLR_FD"},
+      {"openat$rdma_cm", "write$rdma_create_id", "write$rdma_bind_addr",
+       "write$rdma_listen"},
+      {"io_setup", "openat$file", "io_submit", "io_getevents", "io_destroy"},
+      {"socket$nl802154", "bind$netlink", "sendmsg$nl802154_add_key"},
+      {"prctl$PR_SET_DUMPABLE", "ptrace$SETREGSET", "tgkill$self"},
+      {"openat$video0", "ioctl$VIDIOC_REQBUFS", "ioctl$VIDIOC_STREAMON",
+       "ioctl$VIDIOC_STREAMOFF"},
+  };
+}
+
+Prog BuildChain(const Target& target, const std::vector<int>& enabled,
+                const std::vector<std::string>& chain, Rng* rng) {
+  std::vector<uint8_t> enabled_mask(target.NumSyscalls(), 0);
+  for (int id : enabled) {
+    enabled_mask[static_cast<size_t>(id)] = 1;
+  }
+  ProgBuilder builder(target, enabled, rng);
+  Prog prog(&target);
+  for (const std::string& name : chain) {
+    const Syscall* call = target.FindSyscall(name);
+    if (call == nullptr || enabled_mask[static_cast<size_t>(call->id)] == 0) {
+      return Prog(&target);
+    }
+    builder.AppendCall(&prog, call->id);
+  }
+  // Templates are ground truth: deterministically wire every resource
+  // argument to the most recent compatible producer and materialize null
+  // pointers, so a chain always exercises its intended path regardless of
+  // the generator's negative-testing randomness.
+  ArgGenerator gen(rng);
+  for (size_t ci = 0; ci < prog.size(); ++ci) {
+    ResourcePool pool;
+    for (size_t pi = 0; pi < ci; ++pi) {
+      pool.AddCall(*prog.calls()[pi].meta, static_cast<int>(pi));
+    }
+    ForEachArg(prog.calls()[ci], [&](Arg& arg) {
+      if (arg.kind == ArgKind::kResource && arg.type != nullptr &&
+          arg.type->resource != nullptr) {
+        const auto producers = pool.FindProducers(arg.type->resource);
+        if (!producers.empty()) {
+          arg.res_ref = producers.back().call_index;
+          arg.res_slot = producers.back().slot;
+        }
+      } else if (arg.kind == ArgKind::kPointer && arg.pointee == nullptr &&
+                 arg.type != nullptr && arg.type->elem != nullptr) {
+        arg.pointee = gen.Gen(arg.type->elem, pool);
+      }
+    });
+  }
+  prog.FixupLens();
+  return prog;
+}
+
+}  // namespace healer

@@ -1,0 +1,27 @@
+// Ground-truth multi-call program templates: the well-formed chains a
+// hand-written test suite (LTP-style) would contain. Used to synthesize
+// Moonshine's input traces and as known-good programs in tests.
+
+#ifndef SRC_FUZZ_TEMPLATES_H_
+#define SRC_FUZZ_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/base/rng.h"
+#include "src/prog/prog.h"
+
+namespace healer {
+
+// Name sequences of the built-in chains (only chains whose calls all exist
+// in `enabled_names` are returned).
+std::vector<std::vector<std::string>> TemplateChains();
+
+// Builds a program from a chain of syscall names, wiring resources through
+// ProgBuilder. Returns an empty prog when a name is unknown or disabled.
+Prog BuildChain(const Target& target, const std::vector<int>& enabled,
+                const std::vector<std::string>& chain, Rng* rng);
+
+}  // namespace healer
+
+#endif  // SRC_FUZZ_TEMPLATES_H_

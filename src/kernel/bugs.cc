@@ -1,0 +1,218 @@
+#include "src/kernel/bugs.h"
+
+#include <cassert>
+
+namespace healer {
+
+const char* BugClassName(BugClass cls) {
+  switch (cls) {
+    case BugClass::kDataRace:
+      return "data race";
+    case BugClass::kUseAfterFree:
+      return "use after free";
+    case BugClass::kOutOfBounds:
+      return "out of bounds";
+    case BugClass::kNullPtrDeref:
+      return "null-ptr-deref";
+    case BugClass::kUninitValue:
+      return "uninit value";
+    case BugClass::kMemoryLeak:
+      return "memory leak";
+    case BugClass::kDeadlock:
+      return "deadlock";
+    case BugClass::kRefcountBug:
+      return "refcount bug";
+    case BugClass::kGeneralProtectionFault:
+      return "general protection fault";
+    case BugClass::kPagingFault:
+      return "paging fault";
+    case BugClass::kDivideError:
+      return "divide error";
+    case BugClass::kKernelBug:
+      return "kernel bug";
+    case BugClass::kInconsistentLockState:
+      return "inconsistent lock state";
+  }
+  return "?";
+}
+
+namespace {
+
+using V = KernelVersion;
+using C = BugClass;
+
+std::vector<BugInfo> BuildRegistry() {
+  std::vector<BugInfo> bugs = {
+      // ---- Table 4 ----
+      {BugId::kConsoleUnlockDeadlock, "deadlock in console_unlock", "TTY",
+       C::kDeadlock, V::kV5_6, V::kV5_11, 18, true},
+      {BugId::kPutDeviceNullDeref, "null-ptr-deref in put_device", "Block",
+       C::kNullPtrDeref, V::kV5_6, V::kV5_11, 8, true},
+      {BugId::kL2capChanPutRefcount, "refcount bug in l2cap_chan_put",
+       "Network", C::kRefcountBug, V::kV5_6, V::kV5_11, 7, true},
+      {BugId::kNbdDisconnectNullDeref,
+       "null-ptr-deref in nbd_disconnect_and_put", "Block", C::kNullPtrDeref,
+       V::kV5_6, V::kV5_11, 6, true},
+      {BugId::kIoremapPageRangeBug, "kernel bug in ioremap_page_range", "MM",
+       C::kKernelBug, V::kV5_6, V::kV5_11, 6, true},
+      {BugId::kKvmHvIrqRoutingNullDeref,
+       "null-ptr-deref in kvm_hv_irq_routing_update", "KVM", C::kNullPtrDeref,
+       V::kV5_6, V::kV5_11, 6, true},
+      {BugId::kIeee802154LlsecParseKeyId,
+       "null-ptr-deref in ieee802154_llsec_parse_key_id", "Network",
+       C::kNullPtrDeref, V::kV5_6, V::kV5_11, 5, true},
+      {BugId::kBitPutcsOob, "out-of-bounds read in bit_putcs", "Video",
+       C::kOutOfBounds, V::kV5_4, V::kV5_4, 8, true},
+      {BugId::kTpkWriteBug, "kernel bug in tpk_write", "TTY", C::kKernelBug,
+       V::kV5_0, V::kV5_4, 6, true},
+      {BugId::kNl802154DelLlsecKey,
+       "null-ptr-deref in nl802154_del_llsec_key", "Network", C::kNullPtrDeref,
+       V::kV5_0, V::kV5_4, 5, true},
+      {BugId::kLlcpSockGetname, "null-ptr-deref in llcp_sock_getname",
+       "Network", C::kNullPtrDeref, V::kV5_0, V::kV5_4, 5, true},
+      {BugId::kVividStopGenerating,
+       "null-ptr-deref in vivid_stop_generating_vid_cap", "Video",
+       C::kNullPtrDeref, V::kV4_19, V::kV4_19, 10, true},
+      {BugId::kBitfillAlignedBug, "kernel bug in bitfill_aligned", "Video",
+       C::kKernelBug, V::kV4_19, V::kV4_19, 9, true},
+      {BugId::kFbconGetFontOob, "out-of-bounds in fbcon_get_font", "Video",
+       C::kOutOfBounds, V::kV4_19, V::kV4_19, 6, true},
+      {BugId::kVcsWriteOob, "out-of-bounds in vcs_write", "TTY",
+       C::kOutOfBounds, V::kV4_19, V::kV4_19, 5, true},
+
+      // ---- Table 5 ----
+      {BugId::kExt4MarkIlocDirtyRace,
+       "data race ext4_mark_iloc_dirty / jbd2_journal_commit_transaction",
+       "Ext4", C::kDataRace, V::kV5_11, V::kV5_11, 4, true},
+      {BugId::kJbd2FileBufferRace,
+       "data race __jbd2_journal_file_buffer / jbd2_journal_dirty_metadata",
+       "Ext4", C::kDataRace, V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kExt4DirtyMetadataRace,
+       "data race __ext4_handle_dirty_metadata / "
+       "jbd2_journal_commit_transaction",
+       "Ext4", C::kDataRace, V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kExt4FcCommitRace, "data race ext4_fc_commit / ext4_fc_commit",
+       "Ext4", C::kDataRace, V::kV5_11, V::kV5_11, 4, true},
+      {BugId::kFputEpRemoveRace, "data race __fput / ep_remove", "VFS",
+       C::kDataRace, V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kE1000CleanXmitRace,
+       "data race e1000_clean / e1000_xmit_frame", "Network", C::kDataRace,
+       V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kCdevDelRefcount, "refcount bug in cdev_del", "VFS",
+       C::kRefcountBug, V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kCmaCancelOperationUaf,
+       "use-after-free in cma_cancel_operation", "Rdma", C::kUseAfterFree,
+       V::kV5_11, V::kV5_11, 6, true},
+      {BugId::kMacvlanBroadcastUaf, "use-after-free in macvlan_broadcast",
+       "Network", C::kUseAfterFree, V::kV5_11, V::kV5_11, 6, true},
+      {BugId::kRdmaListenUaf, "use-after-free in rdma_listen", "Rdma",
+       C::kUseAfterFree, V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kIeee802154TxUaf, "use-after-free in ieee802154_tx", "Network",
+       C::kUseAfterFree, V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kQdiscCalculatePktLenOob,
+       "out-of-bounds in __qdisc_calculate_pkt_len", "Network",
+       C::kOutOfBounds, V::kV5_11, V::kV5_11, 4, true},
+      {BugId::kNttyOpenPagingFault, "paging fault in n_tty_open", "TTY",
+       C::kPagingFault, V::kV5_11, V::kV5_11, 4, true},
+      {BugId::kBuildSkbPagingFault, "paging fault in __build_skb", "Network",
+       C::kPagingFault, V::kV5_11, V::kV5_11, 4, true},
+      {BugId::kKvmUnregisterCoalescedMmioGpf,
+       "general protection fault in kvm_vm_ioctl_unregister_coalesced_mmio",
+       "KVM", C::kGeneralProtectionFault, V::kV5_11, V::kV5_11, 4, true},
+      {BugId::kBlkAddPartitionsPagingFault,
+       "paging fault in blk_add_partitions", "Block", C::kPagingFault,
+       V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kKvmIoBusUnregisterLeak,
+       "memory leak in kvm_io_bus_unregister_dev", "KVM", C::kMemoryLeak,
+       V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kIoUringCancelNullDeref,
+       "null-ptr-deref in io_uring_cancel_task_requests", "IO-uring",
+       C::kNullPtrDeref, V::kV5_11, V::kV5_11, 5, true},
+      {BugId::kGsmldAttachNullDeref, "null-ptr-deref in gsmld_attach_gsm",
+       "TTY", C::kNullPtrDeref, V::kV5_11, V::kV5_11, 4, true},
+      {BugId::kDropNlinkFillattrRace,
+       "data race drop_nlink / generic_fillattr", "VFS", C::kDataRace,
+       V::kV5_6, V::kV5_6, 4, true},
+      {BugId::kKvmGfnToHvaCacheOob,
+       "out-of-bounds in kvm_gfn_to_hva_cache_init", "KVM", C::kOutOfBounds,
+       V::kV5_6, V::kV5_6, 5, true},
+      {BugId::kNfsParseMonolithicLeak,
+       "memory leak in nfs23_parse_monolithic", "NFS", C::kMemoryLeak,
+       V::kV5_6, V::kV5_6, 3, true},
+      {BugId::kRxrpcLookupLocalLeak, "memory leak in rxrpc_lookup_local",
+       "Network", C::kMemoryLeak, V::kV5_6, V::kV5_6, 4, true},
+      {BugId::kFillThreadCoreUninit,
+       "uninit value in fill_thread_core_info", "VFS", C::kUninitValue,
+       V::kV4_19, V::kV5_6, 5, true},
+      {BugId::kRdsIbAddConnNullDeref, "null-ptr-deref in rds_ib_add_conn",
+       "Network", C::kNullPtrDeref, V::kV5_6, V::kV5_6, 4, true},
+      {BugId::kVcsScrReadwOob, "out-of-bounds in vcs_scr_readw", "TTY",
+       C::kOutOfBounds, V::kV5_0, V::kV5_0, 5, true},
+      {BugId::kNttyReceiveBufUaf,
+       "use-after-free in n_tty_receive_buf_common", "TTY", C::kUseAfterFree,
+       V::kV5_0, V::kV5_0, 5, true},
+      {BugId::kSoftCursorOob, "out-of-bounds in soft_cursor", "Video",
+       C::kOutOfBounds, V::kV5_0, V::kV5_0, 6, true},
+      {BugId::kIoSubmitOneDeadlock, "deadlock in io_submit_one", "VFS",
+       C::kDeadlock, V::kV5_0, V::kV5_0, 4, true},
+      {BugId::kFreeIoctxUsersDeadlock, "deadlock in free_ioctx_users", "VFS",
+       C::kDeadlock, V::kV5_0, V::kV5_0, 5, true},
+      {BugId::kFbVarToVideomodeDivide,
+       "divide error in fb_var_to_videomode", "Video", C::kDivideError,
+       V::kV4_19, V::kV4_19, 3, true},
+      {BugId::kFsReclaimLockState,
+       "inconsistent lock state in fs_reclaim_acquire", "VFS",
+       C::kInconsistentLockState, V::kV4_19, V::kV4_19, 4, true},
+      {BugId::kReiserfsFillSuperBug, "kernel bug in reiserfs_fill_super",
+       "Reiserfs", C::kKernelBug, V::kV4_19, V::kV4_19, 2, true},
+
+      // ---- Shallow previously-known pool ----
+      {BugId::kTimerfdSettimeBug, "kernel bug in timerfd_settime", "Timer",
+       C::kKernelBug, V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kEventfdCounterOverflow, "kernel bug in eventfd_write",
+       "Eventfd", C::kKernelBug, V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kPipeSetSizeOob, "out-of-bounds in pipe_set_size", "Pipe",
+       C::kOutOfBounds, V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kSockoptHugeOptlenOob, "out-of-bounds in sock_setsockopt",
+       "Network", C::kOutOfBounds, V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kMmapZeroLenBug, "kernel bug in do_mmap", "MM", C::kKernelBug,
+       V::kV4_19, V::kV5_11, 1, false},
+      {BugId::kSeekNegativeBug, "kernel bug in vfs_llseek", "VFS",
+       C::kKernelBug, V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kFcntlBadCmdBug, "kernel bug in do_fcntl", "VFS", C::kKernelBug,
+       V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kEpollSelfAddDeadlock, "deadlock in ep_loop_check", "VFS",
+       C::kDeadlock, V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kFallocateHugeBug, "kernel bug in ext4_fallocate", "Ext4",
+       C::kKernelBug, V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kDupLimitLeak, "memory leak in dup_fd", "VFS", C::kMemoryLeak,
+       V::kV4_19, V::kV5_11, 2, false},
+      {BugId::kNanosleepOverflowBug, "kernel bug in hrtimer_nanosleep",
+       "Timer", C::kKernelBug, V::kV4_19, V::kV5_11, 1, false},
+      {BugId::kSendtoNoDestBug, "kernel bug in udp_sendmsg", "Network",
+       C::kKernelBug, V::kV4_19, V::kV5_11, 2, false},
+  };
+  assert(bugs.size() == static_cast<size_t>(BugId::kNumBugs));
+  for (size_t i = 0; i < bugs.size(); ++i) {
+    assert(bugs[i].id == static_cast<BugId>(i));
+  }
+  return bugs;
+}
+
+}  // namespace
+
+const std::vector<BugInfo>& AllBugs() {
+  static const auto* bugs = new std::vector<BugInfo>(BuildRegistry());
+  return *bugs;
+}
+
+const BugInfo& GetBugInfo(BugId id) {
+  return AllBugs()[static_cast<size_t>(id)];
+}
+
+bool BugLiveIn(BugId id, KernelVersion version) {
+  const BugInfo& info = GetBugInfo(id);
+  return VersionAtLeast(version, info.lo) && VersionAtMost(version, info.hi);
+}
+
+}  // namespace healer

@@ -1,0 +1,132 @@
+// Registry of bugs injected into SimKernel.
+//
+// Each entry mirrors a vulnerability from the paper's evaluation (Tables 4
+// and 5) plus a pool of shallower previously-known bugs that populate the
+// 24-hour experiments. A bug is *live* only within its [lo, hi] version
+// range; handlers call Kernel::TriggerBug at the guarded site and abort the
+// call if the bug is live, which the executor surfaces as a crash. The
+// `repro_len` field documents the minimum syscall-sequence length that can
+// reach the guard (the "Length to Reproduce" column of Table 4).
+
+#ifndef SRC_KERNEL_BUGS_H_
+#define SRC_KERNEL_BUGS_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "src/kernel/config.h"
+
+namespace healer {
+
+enum class BugClass {
+  kDataRace,
+  kUseAfterFree,
+  kOutOfBounds,
+  kNullPtrDeref,
+  kUninitValue,
+  kMemoryLeak,
+  kDeadlock,
+  kRefcountBug,
+  kGeneralProtectionFault,
+  kPagingFault,
+  kDivideError,
+  kKernelBug,  // Logic assertion.
+  kInconsistentLockState,
+};
+
+const char* BugClassName(BugClass cls);
+
+enum class BugId : int {
+  // ---- Table 4: deep bugs found only by HEALER in the 24h runs ----
+  kConsoleUnlockDeadlock = 0,   // deadlock in console_unlock, 5.11, len 18
+  kPutDeviceNullDeref,          // null-ptr-deref in put_device, 5.11, len 8
+  kL2capChanPutRefcount,        // refcount bug in l2cap_chan_put, 5.11, len 7
+  kNbdDisconnectNullDeref,      // null-ptr-deref nbd_disconnect_and_put, 5.11, len 6
+  kIoremapPageRangeBug,         // kernel bug in ioremap_page_range, 5.11, len 6
+  kKvmHvIrqRoutingNullDeref,    // null-ptr-deref kvm_hv_irq_routing_update, 5.11, len 6
+  kIeee802154LlsecParseKeyId,   // null-ptr-deref ieee802154_llsec_parse_key_id, 5.11, len 5
+  kBitPutcsOob,                 // out-of-bounds read in bit_putcs, 5.4, len 8
+  kTpkWriteBug,                 // kernel bug in tpk_write, 5.4, len 6
+  kNl802154DelLlsecKey,         // null-ptr-deref nl802154_del_llsec_key, 5.4, len 5
+  kLlcpSockGetname,             // null-ptr-deref llcp_sock_getname, 5.4, len 5
+  kVividStopGenerating,         // null-ptr-deref vivid_stop_generating_vid_cap, 4.19, len 10
+  kBitfillAlignedBug,           // kernel bug in bitfill_aligned, 4.19, len 9
+  kFbconGetFontOob,             // out-of-bounds in fbcon_get_font, 4.19, len 6
+  kVcsWriteOob,                 // out-of-bounds in vcs_write, 4.19, len 5
+
+  // ---- Table 5: previously-unknown bug survey ----
+  kExt4MarkIlocDirtyRace,       // data race, 5.11
+  kJbd2FileBufferRace,          // data race, 5.11
+  kExt4DirtyMetadataRace,       // data race, 5.11
+  kExt4FcCommitRace,            // data race, 5.11
+  kFputEpRemoveRace,            // data race, 5.11
+  kE1000CleanXmitRace,          // data race, 5.11
+  kCdevDelRefcount,             // refcount bug, 5.11
+  kCmaCancelOperationUaf,       // use after free, 5.11
+  kMacvlanBroadcastUaf,         // use after free, 5.11
+  kRdmaListenUaf,               // use after free, 5.11
+  kIeee802154TxUaf,             // use after free, 5.11
+  kQdiscCalculatePktLenOob,     // out of bounds, 5.11
+  kNttyOpenPagingFault,         // paging fault, 5.11
+  kBuildSkbPagingFault,         // paging fault, 5.11
+  kKvmUnregisterCoalescedMmioGpf,  // general protection fault, 5.11
+  kBlkAddPartitionsPagingFault, // paging fault, 5.11
+  kKvmIoBusUnregisterLeak,      // memory leak, 5.11
+  kIoUringCancelNullDeref,      // null-ptr-deref, 5.11
+  kGsmldAttachNullDeref,        // null-ptr-deref, 5.11
+  kDropNlinkFillattrRace,       // data race, 5.6
+  kKvmGfnToHvaCacheOob,         // out of bounds, 5.6
+  kNfsParseMonolithicLeak,      // memory leak, 5.6
+  kRxrpcLookupLocalLeak,        // memory leak, 5.6
+  kFillThreadCoreUninit,        // uninit value, 5.6 (the case-study bug)
+  kRdsIbAddConnNullDeref,       // null-ptr-deref, 5.6
+  kVcsScrReadwOob,              // out of bounds, 5.0
+  kNttyReceiveBufUaf,           // use after free, 5.0
+  kSoftCursorOob,               // out of bounds, 5.0
+  kIoSubmitOneDeadlock,         // deadlock, 5.0
+  kFreeIoctxUsersDeadlock,      // deadlock, 5.0
+  kFbVarToVideomodeDivide,      // divide error, 4.19
+  kFsReclaimLockState,          // inconsistent lock state, 4.19
+  kReiserfsFillSuperBug,        // kernel bug, 4.19
+
+  // ---- Shallow previously-known pool (low-hanging fruit every tool finds)
+  kTimerfdSettimeBug,
+  kEventfdCounterOverflow,
+  kPipeSetSizeOob,
+  kSockoptHugeOptlenOob,
+  kMmapZeroLenBug,
+  kSeekNegativeBug,
+  kFcntlBadCmdBug,
+  kEpollSelfAddDeadlock,
+  kFallocateHugeBug,
+  kDupLimitLeak,
+  kNanosleepOverflowBug,
+  kSendtoNoDestBug,
+
+  kNumBugs,
+};
+
+struct BugInfo {
+  BugId id;
+  // Title as a crash report would render it, e.g.
+  // "KASAN: use-after-free in macvlan_broadcast".
+  const char* title;
+  const char* subsystem;
+  BugClass bug_class;
+  KernelVersion lo;  // First version where the bug is live.
+  KernelVersion hi;  // Last version where the bug is live.
+  int repro_len;     // Minimum syscalls to reach the guard.
+  bool deep;         // True for Table-4-style deep bugs.
+};
+
+// Full registry, indexed by BugId.
+const std::vector<BugInfo>& AllBugs();
+const BugInfo& GetBugInfo(BugId id);
+
+// True iff `id` is live in `version`.
+bool BugLiveIn(BugId id, KernelVersion version);
+
+}  // namespace healer
+
+#endif  // SRC_KERNEL_BUGS_H_

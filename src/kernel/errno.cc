@@ -1,0 +1,94 @@
+#include "src/kernel/errno.h"
+
+namespace healer {
+
+const char* ErrnoName(int err) {
+  switch (err) {
+    case kEPERM:
+      return "EPERM";
+    case kENOENT:
+      return "ENOENT";
+    case kESRCH:
+      return "ESRCH";
+    case kEINTR:
+      return "EINTR";
+    case kEIO:
+      return "EIO";
+    case kENXIO:
+      return "ENXIO";
+    case kEBADF:
+      return "EBADF";
+    case kEAGAIN:
+      return "EAGAIN";
+    case kENOMEM:
+      return "ENOMEM";
+    case kEACCES:
+      return "EACCES";
+    case kEFAULT:
+      return "EFAULT";
+    case kEBUSY:
+      return "EBUSY";
+    case kEEXIST:
+      return "EEXIST";
+    case kENODEV:
+      return "ENODEV";
+    case kENOTDIR:
+      return "ENOTDIR";
+    case kEISDIR:
+      return "EISDIR";
+    case kEINVAL:
+      return "EINVAL";
+    case kENFILE:
+      return "ENFILE";
+    case kEMFILE:
+      return "EMFILE";
+    case kENOTTY:
+      return "ENOTTY";
+    case kETXTBSY:
+      return "ETXTBSY";
+    case kEFBIG:
+      return "EFBIG";
+    case kENOSPC:
+      return "ENOSPC";
+    case kESPIPE:
+      return "ESPIPE";
+    case kEROFS:
+      return "EROFS";
+    case kEPIPE:
+      return "EPIPE";
+    case kERANGE:
+      return "ERANGE";
+    case kENOSYS:
+      return "ENOSYS";
+    case kENOTEMPTY:
+      return "ENOTEMPTY";
+    case kEOPNOTSUPP:
+      return "EOPNOTSUPP";
+    case kEADDRINUSE:
+      return "EADDRINUSE";
+    case kEADDRNOTAVAIL:
+      return "EADDRNOTAVAIL";
+    case kENETDOWN:
+      return "ENETDOWN";
+    case kECONNRESET:
+      return "ECONNRESET";
+    case kEISCONN:
+      return "EISCONN";
+    case kENOTCONN:
+      return "ENOTCONN";
+    case kETIMEDOUT:
+      return "ETIMEDOUT";
+    case kECONNREFUSED:
+      return "ECONNREFUSED";
+    case kEALREADY:
+      return "EALREADY";
+    case kEINPROGRESS:
+      return "EINPROGRESS";
+    case kEDESTADDRREQ:
+      return "EDESTADDRREQ";
+    default:
+      return "E?";
+  }
+}
+
+}  // namespace healer

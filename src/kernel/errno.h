@@ -1,0 +1,58 @@
+// Errno values used by the simulated kernel. Numerically aligned with Linux
+// x86-64 so traces read naturally.
+
+#ifndef SRC_KERNEL_ERRNO_H_
+#define SRC_KERNEL_ERRNO_H_
+
+#include <cstdint>
+
+namespace healer {
+
+inline constexpr int kEPERM = 1;
+inline constexpr int kENOENT = 2;
+inline constexpr int kESRCH = 3;
+inline constexpr int kEINTR = 4;
+inline constexpr int kEIO = 5;
+inline constexpr int kENXIO = 6;
+inline constexpr int kEBADF = 9;
+inline constexpr int kEAGAIN = 11;
+inline constexpr int kENOMEM = 12;
+inline constexpr int kEACCES = 13;
+inline constexpr int kEFAULT = 14;
+inline constexpr int kEBUSY = 16;
+inline constexpr int kEEXIST = 17;
+inline constexpr int kENODEV = 19;
+inline constexpr int kENOTDIR = 20;
+inline constexpr int kEISDIR = 21;
+inline constexpr int kEINVAL = 22;
+inline constexpr int kENFILE = 23;
+inline constexpr int kEMFILE = 24;
+inline constexpr int kENOTTY = 25;
+inline constexpr int kETXTBSY = 26;
+inline constexpr int kEFBIG = 27;
+inline constexpr int kENOSPC = 28;
+inline constexpr int kESPIPE = 29;
+inline constexpr int kEROFS = 30;
+inline constexpr int kEPIPE = 32;
+inline constexpr int kERANGE = 34;
+inline constexpr int kENOSYS = 38;
+inline constexpr int kENOTEMPTY = 39;
+inline constexpr int kEOPNOTSUPP = 95;
+inline constexpr int kEADDRINUSE = 98;
+inline constexpr int kEADDRNOTAVAIL = 99;
+inline constexpr int kENETDOWN = 100;
+inline constexpr int kECONNRESET = 104;
+inline constexpr int kEISCONN = 106;
+inline constexpr int kENOTCONN = 107;
+inline constexpr int kETIMEDOUT = 110;
+inline constexpr int kECONNREFUSED = 111;
+inline constexpr int kEALREADY = 114;
+inline constexpr int kEINPROGRESS = 115;
+inline constexpr int kEDESTADDRREQ = 89;
+
+// Returns a short name for an errno value ("EINVAL"); "E?" when unknown.
+const char* ErrnoName(int err);
+
+}  // namespace healer
+
+#endif  // SRC_KERNEL_ERRNO_H_

@@ -1,0 +1,184 @@
+#include "src/kernel/kernel.h"
+
+#include <algorithm>
+
+#include "src/base/logging.h"
+#include "src/kernel/errno.h"
+
+namespace healer {
+
+// Subsystem registration hooks; each subsys_*.cc appends its defs.
+void RegisterVfsSyscalls(std::vector<SyscallDef>& defs);
+void RegisterMemfdSyscalls(std::vector<SyscallDef>& defs);
+void RegisterMmSyscalls(std::vector<SyscallDef>& defs);
+void RegisterPipeSyscalls(std::vector<SyscallDef>& defs);
+void RegisterEpollSyscalls(std::vector<SyscallDef>& defs);
+void RegisterSocketSyscalls(std::vector<SyscallDef>& defs);
+void RegisterNetlinkSyscalls(std::vector<SyscallDef>& defs);
+void RegisterKvmSyscalls(std::vector<SyscallDef>& defs);
+void RegisterTtySyscalls(std::vector<SyscallDef>& defs);
+void RegisterTimerSyscalls(std::vector<SyscallDef>& defs);
+void RegisterUringSyscalls(std::vector<SyscallDef>& defs);
+void RegisterBlockSyscalls(std::vector<SyscallDef>& defs);
+void RegisterRdmaSyscalls(std::vector<SyscallDef>& defs);
+void RegisterAioSyscalls(std::vector<SyscallDef>& defs);
+void RegisterCoredumpSyscalls(std::vector<SyscallDef>& defs);
+
+const std::vector<SyscallDef>& AllSyscallDefs() {
+  static const auto* defs = [] {
+    auto* all = new std::vector<SyscallDef>();
+    RegisterVfsSyscalls(*all);
+    RegisterMemfdSyscalls(*all);
+    RegisterMmSyscalls(*all);
+    RegisterPipeSyscalls(*all);
+    RegisterEpollSyscalls(*all);
+    RegisterSocketSyscalls(*all);
+    RegisterNetlinkSyscalls(*all);
+    RegisterKvmSyscalls(*all);
+    RegisterTtySyscalls(*all);
+    RegisterTimerSyscalls(*all);
+    RegisterUringSyscalls(*all);
+    RegisterBlockSyscalls(*all);
+    RegisterRdmaSyscalls(*all);
+    RegisterAioSyscalls(*all);
+    RegisterCoredumpSyscalls(*all);
+    return all;
+  }();
+  return *defs;
+}
+
+const SyscallDef* FindSyscallDef(std::string_view name) {
+  static const auto* by_name = [] {
+    auto* index = new std::map<std::string_view, const SyscallDef*>();
+    for (const SyscallDef& def : AllSyscallDefs()) {
+      (*index)[def.name] = &def;
+    }
+    return index;
+  }();
+  auto it = by_name->find(name);
+  return it == by_name->end() ? nullptr : it->second;
+}
+
+bool SyscallAvailable(const SyscallDef& def, const KernelConfig& config) {
+  if (!VersionAtLeast(config.version, def.min_version) ||
+      !VersionAtMost(config.version, def.max_version)) {
+    return false;
+  }
+  const std::string_view subsystem = def.subsystem;
+  if (subsystem == "io_uring" && !config.has_io_uring) {
+    return false;
+  }
+  if (subsystem == "rdma" && !config.has_rdma) {
+    return false;
+  }
+  if (subsystem == "aio" && !config.has_aio) {
+    return false;
+  }
+  if (subsystem == "reiserfs" && !config.has_reiserfs) {
+    return false;
+  }
+  return true;
+}
+
+Kernel::Kernel(const KernelConfig& config, GuestMem* mem) : config_(config) {
+  if (mem == nullptr) {
+    owned_mem_ = std::make_unique<GuestMem>();
+    mem_ = owned_mem_.get();
+  } else {
+    mem_ = mem;
+  }
+  fds_.resize(3);  // 0-2 reserved for std streams.
+}
+
+bool Kernel::TriggerBug(BugId id) {
+  if (crashed()) {
+    return true;  // Already down; propagate.
+  }
+  if (!BugLiveIn(id, config_.version)) {
+    return false;
+  }
+  const BugInfo& info = GetBugInfo(id);
+  crash_ = CrashReport{id, info.title};
+  LOG_DEBUG << "kernel crash: " << info.title;
+  return true;
+}
+
+int Kernel::AllocFd(std::shared_ptr<KObject> obj) {
+  for (size_t i = 3; i < fds_.size(); ++i) {
+    if (fds_[i] == nullptr) {
+      fds_[i] = std::move(obj);
+      return static_cast<int>(i);
+    }
+  }
+  if (fds_.size() >= 1024) {
+    return -kEMFILE;
+  }
+  fds_.push_back(std::move(obj));
+  return static_cast<int>(fds_.size() - 1);
+}
+
+std::shared_ptr<KObject> Kernel::GetFd(int fd) {
+  if (fd < 3 || static_cast<size_t>(fd) >= fds_.size()) {
+    return nullptr;
+  }
+  return fds_[static_cast<size_t>(fd)];
+}
+
+int Kernel::CloseFd(int fd) {
+  if (fd < 3 || static_cast<size_t>(fd) >= fds_.size() ||
+      fds_[static_cast<size_t>(fd)] == nullptr) {
+    return -kEBADF;
+  }
+  std::shared_ptr<KObject> obj = std::move(fds_[static_cast<size_t>(fd)]);
+  fds_[static_cast<size_t>(fd)] = nullptr;
+  // If this was the last fd reference the object is "freed"; subsystems that
+  // kept weak references now dangle, which UAF guards inspect.
+  if (obj.use_count() == 1) {
+    obj->freed = true;
+  }
+  return 0;
+}
+
+size_t Kernel::NumOpenFds() const {
+  size_t n = 0;
+  for (const auto& fd : fds_) {
+    if (fd != nullptr) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+int64_t Kernel::Exec(const SyscallDef& def, const uint64_t args[6]) {
+  if (crashed()) {
+    return -kEIO;
+  }
+  ++tick_;
+  // A journal commit started by the previous call "races" with this one;
+  // the window closes after one syscall.
+  const bool commit_window = vfs.journal_committing;
+  const int64_t ret = def.handler(*this, args);
+  if (commit_window) {
+    vfs.journal_committing = false;
+  }
+  return ret;
+}
+
+int64_t Kernel::ExecByName(std::string_view name, const uint64_t args[6]) {
+  const SyscallDef* def = FindSyscallDef(name);
+  if (def == nullptr || !SyscallAvailable(*def, config_)) {
+    return -kENOSYS;
+  }
+  return Exec(*def, args);
+}
+
+bool Kernel::AllocAttempt() {
+  ++alloc_counter_;
+  if (config_.fail_nth_alloc != 0 &&
+      alloc_counter_ % config_.fail_nth_alloc == 0) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace healer

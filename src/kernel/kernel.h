@@ -1,0 +1,187 @@
+// SimKernel: the simulated operating-system kernel under test.
+//
+// A Kernel instance models one booted guest. Syscall handlers are free
+// functions registered per subsystem; they branch on kernel state with
+// KCOV_BLOCK instrumentation, so per-call coverage reflects how deep a call
+// got — which is exactly the signal HEALER's relation learning consumes.
+// Handlers call TriggerBug() at guarded vulnerable sites; if the bug is live
+// in the configured version, the kernel "crashes" and the executor reports
+// it like a sanitizer splat.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/kernel/bugs.h"
+#include "src/kernel/config.h"
+#include "src/kernel/coverage.h"
+#include "src/kernel/guest_mem.h"
+#include "src/kernel/objects.h"
+
+namespace healer {
+
+class Kernel;
+
+// A syscall handler: receives up to 6 raw argument words (pointers are
+// guest addresses into k.mem()) and returns a value >= 0 or -errno.
+using SyscallHandler = int64_t (*)(Kernel& k, const uint64_t args[6]);
+
+struct SyscallDef {
+  const char* name;        // Matches the HealLang description name.
+  SyscallHandler handler;
+  const char* subsystem;
+  KernelVersion min_version = KernelVersion::kV4_19;
+  KernelVersion max_version = KernelVersion::kV5_11;
+};
+
+// The full table of handlers across all subsystems (version-independent);
+// built once at startup.
+const std::vector<SyscallDef>& AllSyscallDefs();
+// nullptr if no handler with that name exists.
+const SyscallDef* FindSyscallDef(std::string_view name);
+// True iff `def` exists in kernels configured as `config`.
+bool SyscallAvailable(const SyscallDef& def, const KernelConfig& config);
+
+// ---- Global (non-fd) subsystem state ----
+
+struct Inode {
+  std::string path;
+  std::vector<uint8_t> data;
+  uint32_t mode = 0644;
+  bool is_dir = false;
+  int nlink = 1;
+  bool unlinked_while_open = false;
+};
+
+struct VfsState {
+  std::map<std::string, int> path_to_inode;
+  std::vector<Inode> inodes;
+  // ext4/jbd2 journal model: a commit is "in flight" for the duration of the
+  // syscall following the one that started it, which is how the data-race
+  // guards observe racing accesses in a deterministic simulator.
+  bool journal_committing = false;
+  int journal_dirty = 0;
+  bool fc_commit_inflight = false;
+  int mounts = 0;
+};
+
+struct MmState {
+  struct Mapping {
+    uint64_t page = 0;
+    uint64_t npages = 0;
+    uint32_t prot = 0;
+    bool shared = false;
+    bool memfd_backed = false;
+    std::weak_ptr<KObject> backing;
+  };
+  std::vector<Mapping> maps;
+  int mprotect_calls = 0;
+};
+
+struct NetState {
+  std::map<uint16_t, std::weak_ptr<KObject>> listeners;
+  bool macvlan_created = false;
+  bool macvlan_removed = false;
+  int rxrpc_local_endpoints = 0;
+  bool e1000_tx_pending = false;
+  // Set by the netlink 802.15.4 security path when a llsec key is deleted;
+  // a queued wpan frame still references the key.
+  bool wpan_key_deleted = false;
+};
+
+struct ConsoleState {
+  int printk_pressure = 0;
+  bool console_locked = false;
+  int vt_resizes = 0;
+};
+
+struct CoredumpState {
+  bool dumpable = false;
+  uint32_t regset_bytes = 0;
+  bool regset_partial = false;
+};
+
+class Kernel {
+ public:
+  // `mem` is the guest memory backing this kernel's user space; it is owned
+  // by the caller (the executor pools one across programs) and must already
+  // be Reset(). When null, an internal GuestMem is created (convenient for
+  // tests and examples).
+  explicit Kernel(const KernelConfig& config, GuestMem* mem = nullptr);
+
+  const KernelConfig& config() const { return config_; }
+  GuestMem& mem() { return *mem_; }
+
+  // ---- coverage ----
+  void SetCoverage(CallCoverage* cov) { cov_ = cov; }
+  void CovHit(uint32_t block) {
+    if (cov_ != nullptr) {
+      cov_->HitBlock(block);
+    }
+  }
+
+  // ---- crash handling ----
+  struct CrashReport {
+    BugId bug;
+    std::string title;
+  };
+  bool crashed() const { return crash_.has_value(); }
+  const CrashReport& crash() const { return *crash_; }
+  // Returns true (and records the crash) iff `id` is live in this kernel's
+  // version; callers abort the syscall in that case.
+  bool TriggerBug(BugId id);
+
+  // ---- fd table ----
+  int AllocFd(std::shared_ptr<KObject> obj);
+  // nullptr for bad/closed fds.
+  std::shared_ptr<KObject> GetFd(int fd);
+  int CloseFd(int fd);
+  template <typename T>
+  T* GetFdAs(int fd) {
+    auto obj = GetFd(fd);
+    return obj == nullptr ? nullptr : obj->As<T>();
+  }
+  size_t NumOpenFds() const;
+
+  // ---- dispatch ----
+  // Executes the handler for `def`, advancing internal bookkeeping.
+  int64_t Exec(const SyscallDef& def, const uint64_t args[6]);
+  // Name-based convenience (tests, examples). ENOSYS when unavailable.
+  int64_t ExecByName(std::string_view name, const uint64_t args[6]);
+
+  // Number of syscalls executed since boot; handlers use it to model
+  // time-like ordering (e.g. "racing" window expiry).
+  uint64_t tick() const { return tick_; }
+
+  // ---- subsystem state (owned here, mutated by handlers) ----
+  VfsState vfs;
+  MmState mm;
+  NetState net;
+  ConsoleState console;
+  CoredumpState coredump;
+
+  // Allocation-failure injection (see KernelConfig::fail_nth_alloc).
+  // Returns false when the modelled allocation fails.
+  bool AllocAttempt();
+
+ private:
+  KernelConfig config_;
+  std::unique_ptr<GuestMem> owned_mem_;
+  GuestMem* mem_ = nullptr;
+  CallCoverage* cov_ = nullptr;
+  std::optional<CrashReport> crash_;
+  std::vector<std::shared_ptr<KObject>> fds_;
+  uint64_t tick_ = 0;
+  uint64_t alloc_counter_ = 0;
+};
+
+}  // namespace healer
+
+#endif  // SRC_KERNEL_KERNEL_H_

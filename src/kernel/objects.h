@@ -1,0 +1,270 @@
+// Kernel object model.
+//
+// Every file descriptor in SimKernel refers to a KObject whose `state`
+// variant holds the subsystem-specific data. Cross-object references use
+// shared_ptr/weak_ptr; a weak_ptr that expired while a subsystem still holds
+// it models the dangling references behind the injected use-after-free bugs.
+
+#ifndef SRC_KERNEL_OBJECTS_H_
+#define SRC_KERNEL_OBJECTS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace healer {
+
+struct KObject;
+
+// ---- VFS ----
+
+struct FileObj {
+  int inode = -1;       // Index into VfsState::inodes.
+  uint64_t pos = 0;
+  uint32_t open_flags = 0;
+  bool is_device = false;
+  std::string devname;  // For device files ("nbd0", "loop0", ...).
+};
+
+// ---- memfd ----
+
+inline constexpr uint32_t kSealSeal = 0x0001;
+inline constexpr uint32_t kSealShrink = 0x0002;
+inline constexpr uint32_t kSealGrow = 0x0004;
+inline constexpr uint32_t kSealWrite = 0x0008;
+
+struct MemfdObj {
+  std::string name;
+  std::vector<uint8_t> data;
+  uint32_t seals = 0;
+  bool allow_sealing = false;
+  bool mapped_shared = false;
+};
+
+// ---- pipes ----
+
+struct PipeState {
+  std::vector<uint8_t> buf;
+  uint64_t capacity = 65536;
+  bool read_open = true;
+  bool write_open = true;
+  bool packet_mode = false;
+};
+
+struct PipeEndObj {
+  std::shared_ptr<PipeState> pipe;
+  bool read_end = false;
+};
+
+// ---- sockets ----
+
+enum class SockProto {
+  kTcp,
+  kUdp,
+  kUnix,
+  kNetlink,
+  kRxrpc,
+  kRds,
+  kL2cap,     // Bluetooth-ish.
+  kLlcp,      // NFC-ish.
+  kIeee802154,
+};
+
+enum class SockState {
+  kNew,
+  kBound,
+  kListening,
+  kConnected,
+  kShutdown,
+};
+
+struct SockObj {
+  SockProto proto = SockProto::kTcp;
+  SockState state = SockState::kNew;
+  uint16_t bound_port = 0;
+  uint16_t peer_port = 0;
+  std::weak_ptr<KObject> peer;
+  std::vector<uint8_t> rxbuf;
+  int backlog = 0;
+  int pending_connections = 0;
+  std::map<uint32_t, uint64_t> opts;
+  std::string bound_device;
+  // Netlink / 802.15.4 security state.
+  bool llsec_key_added = false;
+  int nl_families_probed = 0;
+  // Send-path shaping state (qdisc model).
+  uint32_t qdisc_overhead = 0;
+  bool qdisc_stab_set = false;
+  int tx_in_flight = 0;
+};
+
+// ---- epoll / eventfd / timerfd ----
+
+struct EpollItem {
+  int fd = -1;
+  std::weak_ptr<KObject> obj;
+  uint32_t events = 0;
+};
+
+struct EpollObj {
+  std::vector<EpollItem> items;
+  int waits_since_close = 0;
+};
+
+struct EventfdObj {
+  uint64_t counter = 0;
+  bool semaphore = false;
+};
+
+struct TimerfdObj {
+  int clockid = 0;
+  uint64_t value_ns = 0;
+  uint64_t interval_ns = 0;
+  bool armed = false;
+  uint64_t expirations = 0;
+};
+
+// ---- KVM ----
+
+struct KvmMemslot {
+  uint32_t slot = 0;
+  uint32_t flags = 0;
+  uint64_t base_gfn = 0;
+  uint64_t npages = 0;
+  uint64_t userspace_addr = 0;
+};
+
+struct KvmObj {};  // /dev/kvm handle.
+
+struct KvmVmObj {
+  std::vector<KvmMemslot> memslots;  // Kept sorted by base_gfn.
+  bool irqchip_created = false;
+  int nr_vcpus = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> coalesced_zones;
+  int io_bus_devices = 0;
+  bool ioeventfd_armed = false;
+  bool hv_synic_active = false;
+  bool gfn_cache_inited = false;
+};
+
+struct KvmVcpuObj {
+  std::weak_ptr<KObject> vm;
+  int vcpu_id = 0;
+  bool lapic_set = false;
+  bool guest_debug = false;
+  bool smi_pending = false;
+  bool cap_hyperv_synic = false;
+  uint64_t regs[4] = {0, 0, 0, 0};
+  int runs = 0;
+};
+
+// ---- TTY / console / video ----
+
+enum class TtyKind { kPtmx, kVcs, kFb, kTtyprintk, kVideo };
+
+// Line disciplines (subset).
+inline constexpr int kLdiscNTty = 0;
+inline constexpr int kLdiscSlip = 1;
+inline constexpr int kLdiscPpp = 3;
+inline constexpr int kLdiscGsm = 21;
+
+struct TtyObj {
+  TtyKind kind = TtyKind::kPtmx;
+  int ldisc = kLdiscNTty;
+  int prev_ldisc = kLdiscNTty;
+  bool pkt_mode = false;
+  bool termios_set = false;
+  bool gsm_configured = false;
+  int ldisc_switches = 0;
+  std::vector<uint8_t> inbuf;
+  bool rx_pending = false;
+  // Console / framebuffer geometry.
+  uint32_t cols = 80;
+  uint32_t rows = 25;
+  uint32_t xres = 1024;
+  uint32_t yres = 768;
+  uint32_t bpp = 32;
+  uint32_t pixclock = 39722;
+  bool font_set = false;
+  uint32_t font_height = 16;
+  bool cursor_soft = false;
+  bool panned = false;
+  int pans = 0;
+  int writes = 0;
+  // Video-capture (vivid model) state.
+  bool streaming = false;
+  int bufs_requested = 0;
+  int stream_stops = 0;
+};
+
+// ---- io_uring ----
+
+struct UringObj {
+  uint32_t entries = 0;
+  bool buffers_registered = false;
+  bool files_registered = false;
+  std::vector<std::weak_ptr<KObject>> reg_files;
+  uint32_t submitted = 0;
+  uint32_t completed = 0;
+};
+
+// ---- block (nbd / loop) ----
+
+struct NbdObj {
+  std::weak_ptr<KObject> sock;
+  bool sock_set = false;
+  bool connected = false;
+  int disconnects = 0;
+  bool partitions_rescanned = false;
+};
+
+struct LoopObj {
+  std::weak_ptr<KObject> backing;
+  bool bound = false;
+  bool ever_bound = false;
+  int clears = 0;
+};
+
+// ---- RDMA CM ----
+
+enum class RdmaState { kIdle, kBound, kResolving, kListening, kDestroyed };
+
+struct RdmaCmObj {
+  RdmaState state = RdmaState::kIdle;
+  bool id_created = false;
+  int events_pending = 0;
+};
+
+// ---- AIO ----
+
+struct AioCtxObj {
+  uint32_t nr_events = 0;
+  int in_flight = 0;
+  bool destroyed = false;
+};
+
+struct KObject {
+  std::variant<FileObj, MemfdObj, PipeEndObj, SockObj, EpollObj, EventfdObj,
+               TimerfdObj, KvmObj, KvmVmObj, KvmVcpuObj, TtyObj, UringObj,
+               NbdObj, LoopObj, RdmaCmObj, AioCtxObj>
+      state;
+  // Set when the last fd referring to the object is closed while a
+  // subsystem still holds a reference (use-after-free modelling).
+  bool freed = false;
+
+  template <typename T>
+  T* As() {
+    return std::get_if<T>(&state);
+  }
+  template <typename T>
+  const T* As() const {
+    return std::get_if<T>(&state);
+  }
+};
+
+}  // namespace healer
+
+#endif  // SRC_KERNEL_OBJECTS_H_

@@ -1,0 +1,133 @@
+// AIO subsystem (io_setup / io_submit / io_getevents / io_destroy).
+// The context id is written through an out-pointer — a second exercise of
+// the executor's out-parameter resource extraction.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+int64_t IoSetup(Kernel& k, const uint64_t a[6]) {
+  const uint32_t nr = AsU32(a[0]);
+  if (nr == 0 || nr > 1024) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  auto obj = std::make_shared<KObject>();
+  AioCtxObj ctx;
+  ctx.nr_events = nr;
+  obj->state = ctx;
+  const int id = k.AllocFd(std::move(obj));
+  if (id < 0) {
+    KCOV_BLOCK(k);
+    return id;
+  }
+  if (!k.mem().Write64(a[1], static_cast<uint64_t>(id))) {
+    KCOV_BLOCK(k);
+    k.CloseFd(id);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+// Each iocb (model): { u64 fd; u64 op; u64 buf; u64 len }.
+int64_t IoSubmit(Kernel& k, const uint64_t a[6]) {
+  auto* ctx = k.GetFdAs<AioCtxObj>(AsFd(a[0]));
+  if (ctx == nullptr || ctx->destroyed) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint64_t nr = a[1];
+  KCOV_STATE(k, (ctx->in_flight & 0xf) |
+                    ((ctx->nr_events > 16 ? 1 : 0) << 4));
+  if (nr == 0) {
+    KCOV_BLOCK(k);
+    return 0;
+  }
+  if (nr > 64) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (ctx->in_flight + static_cast<int>(nr) >
+      static_cast<int>(ctx->nr_events)) {
+    KCOV_BLOCK(k);
+    // Over-submission blocks on a full ring with the ctx lock held.
+    if (k.TriggerBug(BugId::kIoSubmitOneDeadlock)) {
+      return -kEIO;
+    }
+    return -kEAGAIN;
+  }
+  uint64_t accepted = 0;
+  for (uint64_t i = 0; i < nr; ++i) {
+    uint64_t iocb[4];
+    if (!k.mem().Read(a[2] + 32 * i, iocb, sizeof(iocb))) {
+      KCOV_BLOCK(k);
+      return accepted > 0 ? static_cast<int64_t>(accepted) : -kEFAULT;
+    }
+    const uint64_t op = iocb[1];
+    if (op > 8) {
+      KCOV_BLOCK(k);
+      return accepted > 0 ? static_cast<int64_t>(accepted) : -kEINVAL;
+    }
+    auto target = k.GetFd(static_cast<int>(static_cast<int64_t>(iocb[0])));
+    if (target == nullptr) {
+      KCOV_BLOCK(k);
+      return accepted > 0 ? static_cast<int64_t>(accepted) : -kEBADF;
+    }
+    KCOV_BLOCK(k);
+    ++ctx->in_flight;
+    ++accepted;
+  }
+  KCOV_BLOCK(k);
+  return static_cast<int64_t>(accepted);
+}
+
+int64_t IoGetevents(Kernel& k, const uint64_t a[6]) {
+  auto* ctx = k.GetFdAs<AioCtxObj>(AsFd(a[0]));
+  if (ctx == nullptr || ctx->destroyed) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint32_t want = AsU32(a[2]);
+  const int done = std::min<int>(static_cast<int>(want), ctx->in_flight);
+  KCOV_BLOCK(k);
+  ctx->in_flight -= done;
+  return done;
+}
+
+int64_t IoDestroy(Kernel& k, const uint64_t a[6]) {
+  auto* ctx = k.GetFdAs<AioCtxObj>(AsFd(a[0]));
+  if (ctx == nullptr || ctx->destroyed) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (ctx->in_flight > 0) {
+    KCOV_BLOCK(k);
+    // Tearing down with requests in flight waits on users that already
+    // dropped their references.
+    if (k.TriggerBug(BugId::kFreeIoctxUsersDeadlock)) {
+      return -kEIO;
+    }
+  }
+  KCOV_BLOCK(k);
+  ctx->destroyed = true;
+  return 0;
+}
+
+}  // namespace
+
+void RegisterAioSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"io_setup", IoSetup, "aio"},
+    {"io_submit", IoSubmit, "aio"},
+    {"io_getevents", IoGetevents, "aio"},
+    {"io_destroy", IoDestroy, "aio"},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,218 @@
+// Block subsystem: nbd and loop devices. nbd consumes a socket fd
+// (cross-subsystem resource edge); the teardown orderings host the
+// nbd/put_device/blk_add_partitions bugs.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+int64_t OpenatNbd(Kernel& k, const uint64_t a[6]) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 64, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (path != "/dev/nbd0") {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  obj->state = NbdObj{};
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t OpenatLoop(Kernel& k, const uint64_t a[6]) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 64, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (path != "/dev/loop0") {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  obj->state = LoopObj{};
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t NbdSetSock(Kernel& k, const uint64_t a[6]) {
+  auto* nbd = k.GetFdAs<NbdObj>(AsFd(a[0]));
+  if (nbd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  auto sock_obj = k.GetFd(AsFd(a[2]));
+  if (sock_obj == nullptr || sock_obj->As<SockObj>() == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (nbd->connected) {
+    KCOV_BLOCK(k);
+    return -kEBUSY;
+  }
+  KCOV_BLOCK(k);
+  nbd->sock = sock_obj;  // Weak: nbd does not pin the socket.
+  nbd->sock_set = true;
+  return 0;
+}
+
+int64_t NbdDoIt(Kernel& k, const uint64_t a[6]) {
+  auto* nbd = k.GetFdAs<NbdObj>(AsFd(a[0]));
+  if (nbd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!nbd->sock_set) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  nbd->connected = true;
+  return 0;
+}
+
+int64_t NbdClearSock(Kernel& k, const uint64_t a[6]) {
+  auto* nbd = k.GetFdAs<NbdObj>(AsFd(a[0]));
+  if (nbd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_BLOCK(k);
+  nbd->sock_set = false;
+  nbd->sock.reset();
+  return 0;
+}
+
+int64_t NbdDisconnect(Kernel& k, const uint64_t a[6]) {
+  auto* nbd = k.GetFdAs<NbdObj>(AsFd(a[0]));
+  if (nbd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_STATE(k, (nbd->sock_set ? 1 : 0) | (nbd->connected ? 2 : 0) |
+                    ((nbd->disconnects & 3) << 2) |
+                    (nbd->partitions_rescanned ? 0x10 : 0));
+  ++nbd->disconnects;
+  if (!nbd->connected) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  auto sock = nbd->sock.lock();
+  if (nbd->sock_set && (sock == nullptr || sock->freed)) {
+    KCOV_BLOCK(k);
+    // Disconnect sends a request down a socket whose last fd was closed.
+    if (k.TriggerBug(BugId::kNbdDisconnectNullDeref)) {
+      return -kEFAULT;
+    }
+  }
+  KCOV_BLOCK(k);
+  nbd->connected = false;
+  return 0;
+}
+
+int64_t BlkRrpart(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (auto* nbd = obj->As<NbdObj>()) {
+    KCOV_BLOCK(k);
+    if (nbd->connected && nbd->disconnects > 0) {
+      KCOV_BLOCK(k);
+      // Partition rescan touches the request queue torn down by the
+      // earlier (failed) disconnect.
+      if (k.TriggerBug(BugId::kBlkAddPartitionsPagingFault)) {
+        return -kEFAULT;
+      }
+    }
+    if (!nbd->connected) {
+      KCOV_BLOCK(k);
+      return -kENXIO;
+    }
+    nbd->partitions_rescanned = true;
+    return 0;
+  }
+  if (auto* loop = obj->As<LoopObj>()) {
+    KCOV_BLOCK(k);
+    if (!loop->bound) {
+      KCOV_BLOCK(k);
+      return -kENXIO;
+    }
+    return 0;
+  }
+  KCOV_BLOCK(k);
+  return -kENOTTY;
+}
+
+int64_t LoopSetFd(Kernel& k, const uint64_t a[6]) {
+  auto* loop = k.GetFdAs<LoopObj>(AsFd(a[0]));
+  if (loop == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  auto backing = k.GetFd(AsFd(a[2]));
+  if (backing == nullptr || backing->As<FileObj>() == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (loop->bound) {
+    KCOV_BLOCK(k);
+    return -kEBUSY;
+  }
+  KCOV_BLOCK(k);
+  loop->backing = backing;
+  loop->bound = true;
+  loop->ever_bound = true;
+  return 0;
+}
+
+int64_t LoopClrFd(Kernel& k, const uint64_t a[6]) {
+  auto* loop = k.GetFdAs<LoopObj>(AsFd(a[0]));
+  if (loop == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  ++loop->clears;
+  if (!loop->bound) {
+    KCOV_BLOCK(k);
+    // Double-clear after the backing file went away drops the device
+    // reference twice.
+    auto backing = loop->backing.lock();
+    if (loop->ever_bound && loop->clears >= 2 &&
+        (backing == nullptr || backing->freed) &&
+        k.TriggerBug(BugId::kPutDeviceNullDeref)) {
+      return -kEFAULT;
+    }
+    return -kENXIO;
+  }
+  KCOV_BLOCK(k);
+  loop->bound = false;
+  return 0;
+}
+
+}  // namespace
+
+void RegisterBlockSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"openat$nbd", OpenatNbd, "block"},
+    {"openat$loop", OpenatLoop, "block"},
+    {"ioctl$NBD_SET_SOCK", NbdSetSock, "block"},
+    {"ioctl$NBD_DO_IT", NbdDoIt, "block"},
+    {"ioctl$NBD_CLEAR_SOCK", NbdClearSock, "block"},
+    {"ioctl$NBD_DISCONNECT", NbdDisconnect, "block"},
+    {"ioctl$BLKRRPART", BlkRrpart, "block"},
+    {"ioctl$LOOP_SET_FD", LoopSetFd, "block"},
+    {"ioctl$LOOP_CLR_FD", LoopClrFd, "block"},
+  });
+}
+
+}  // namespace healer

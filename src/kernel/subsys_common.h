@@ -1,0 +1,21 @@
+// Shared helpers for syscall handler implementations.
+
+#ifndef SRC_KERNEL_SUBSYS_COMMON_H_
+#define SRC_KERNEL_SUBSYS_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/kernel/errno.h"
+#include "src/kernel/kernel.h"
+
+namespace healer {
+
+// Raw argument words carry fds as sign-extended 32-bit values.
+inline int AsFd(uint64_t v) { return static_cast<int32_t>(v); }
+inline int64_t AsI64(uint64_t v) { return static_cast<int64_t>(v); }
+inline uint32_t AsU32(uint64_t v) { return static_cast<uint32_t>(v); }
+
+}  // namespace healer
+
+#endif  // SRC_KERNEL_SUBSYS_COMMON_H_

@@ -1,0 +1,112 @@
+// Core-dump subsystem: prctl / ptrace regset state / tgkill. Reproduces the
+// paper's case-study bug (Listing 2): fill_thread_core_info kmallocs the
+// regset buffer without initialization; a partially-filled regset leaks
+// kernel memory into the dump, caught by the KMSAN-style uninit guard.
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kPrSetDumpable = 4;
+constexpr uint32_t kSigsegv = 11;
+
+int64_t Prctl(Kernel& k, const uint64_t a[6]) {
+  const uint32_t option = AsU32(a[0]);
+  if (option != kPrSetDumpable) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint32_t value = AsU32(a[1]);
+  if (value > 1) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  k.coredump.dumpable = value == 1;
+  return 0;
+}
+
+// ptrace$SETREGSET(type, data ptr[in, buffer], size): a size that is not a
+// multiple of the regset slot width leaves the tail slots unwritten.
+int64_t PtraceSetregset(Kernel& k, const uint64_t a[6]) {
+  const uint32_t type = AsU32(a[0]);
+  if (type > 2) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint64_t size = a[2];
+  if (size == 0 || size > 512) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  std::vector<uint8_t> data(size);
+  if (!k.mem().Read(a[1], data.data(), size)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  k.coredump.regset_bytes = static_cast<uint32_t>(size);
+  k.coredump.regset_partial = size % 16 != 0;
+  return 0;
+}
+
+int64_t PtraceGetregset(Kernel& k, const uint64_t a[6]) {
+  const uint32_t type = AsU32(a[0]);
+  if (type > 2) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint64_t size =
+      k.coredump.regset_bytes == 0 ? 16 : k.coredump.regset_bytes;
+  std::vector<uint8_t> out(size, 0);
+  if (!k.mem().Write(a[1], out.data(), size)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return static_cast<int64_t>(size);
+}
+
+int64_t TgkillSelf(Kernel& k, const uint64_t a[6]) {
+  const uint32_t sig = AsU32(a[0]);
+  if (sig == 0 || sig > 31) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (sig != kSigsegv) {
+    KCOV_BLOCK(k);
+    return 0;  // Signal delivered; no dump in the model.
+  }
+  if (!k.coredump.dumpable) {
+    KCOV_BLOCK(k);
+    return 0;
+  }
+  KCOV_BLOCK(k);
+  KCOV_STATE(k, (k.coredump.regset_partial ? 1 : 0) |
+                    ((k.coredump.regset_bytes & 0x3f) << 1));
+  // do_coredump -> fill_thread_core_info: kmalloc(size) without init; a
+  // partial regset leaves kilobytes of kernel heap in the dump file.
+  if (k.coredump.regset_partial) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kFillThreadCoreUninit)) {
+      return -kEIO;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+void RegisterCoredumpSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"prctl$PR_SET_DUMPABLE", Prctl, "coredump"},
+    {"ptrace$SETREGSET", PtraceSetregset, "coredump"},
+    {"ptrace$GETREGSET", PtraceGetregset, "coredump"},
+    {"tgkill$self", TgkillSelf, "coredump"},
+  });
+}
+
+}  // namespace healer

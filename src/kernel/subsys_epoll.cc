@@ -1,0 +1,234 @@
+// epoll + eventfd subsystem. The interest list holds weak references, so a
+// close() behind epoll's back leaves a dangling item — the state behind the
+// __fput/ep_remove race guard.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+int64_t EpollCreate1(Kernel& k, const uint64_t a[6]) {
+  const uint32_t flags = AsU32(a[0]);
+  if ((flags & ~1u) != 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  obj->state = EpollObj{};
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t EpollCtlCommon(Kernel& k, const uint64_t a[6], int op) {
+  auto ep_obj = k.GetFd(AsFd(a[0]));
+  if (ep_obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  auto* ep = ep_obj->As<EpollObj>();
+  if (ep == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const int target_fd = AsFd(a[2]);
+  auto target = k.GetFd(target_fd);
+  if (target == nullptr && op != 2 /* DEL tolerates stale fds */) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (target == ep_obj) {
+    KCOV_BLOCK(k);
+    // Adding an epoll to itself forms a wait-loop cycle.
+    if (k.TriggerBug(BugId::kEpollSelfAddDeadlock)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  uint32_t events = 0;
+  if (op != 2) {
+    uint32_t ev32;
+    if (!k.mem().Read32(a[3], &ev32)) {
+      KCOV_BLOCK(k);
+      return -kEFAULT;
+    }
+    events = ev32;
+  }
+  auto it = std::find_if(ep->items.begin(), ep->items.end(),
+                         [&](const EpollItem& i) { return i.fd == target_fd; });
+  switch (op) {
+    case 1:  // ADD
+      if (it != ep->items.end()) {
+        KCOV_BLOCK(k);
+        return -kEEXIST;
+      }
+      KCOV_BLOCK(k);
+      ep->items.push_back(EpollItem{target_fd, target, events});
+      return 0;
+    case 3:  // MOD
+      if (it == ep->items.end()) {
+        KCOV_BLOCK(k);
+        return -kENOENT;
+      }
+      KCOV_BLOCK(k);
+      it->events = events;
+      return 0;
+    case 2:  // DEL
+      if (it == ep->items.end()) {
+        KCOV_BLOCK(k);
+        return -kENOENT;
+      }
+      KCOV_BLOCK(k);
+      ep->items.erase(it);
+      return 0;
+    default:
+      KCOV_BLOCK(k);
+      return -kEINVAL;
+  }
+}
+
+int64_t EpollCtlAdd(Kernel& k, const uint64_t a[6]) {
+  return EpollCtlCommon(k, a, 1);
+}
+int64_t EpollCtlMod(Kernel& k, const uint64_t a[6]) {
+  return EpollCtlCommon(k, a, 3);
+}
+int64_t EpollCtlDel(Kernel& k, const uint64_t a[6]) {
+  return EpollCtlCommon(k, a, 2);
+}
+
+int64_t EpollWait(Kernel& k, const uint64_t a[6]) {
+  auto* ep = k.GetFdAs<EpollObj>(AsFd(a[0]));
+  if (ep == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t events_addr = a[1];
+  const uint32_t max_events = AsU32(a[2]);
+  if (max_events == 0 || max_events > 64) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_STATE(k, (ep->items.size() & 0xf));
+  uint32_t ready = 0;
+  for (const EpollItem& item : ep->items) {
+    auto obj = item.obj.lock();
+    if (obj == nullptr || obj->freed) {
+      KCOV_BLOCK(k);
+      // The interest item outlived the final fput of its file.
+      if (k.TriggerBug(BugId::kFputEpRemoveRace)) {
+        return -kEIO;
+      }
+      continue;
+    }
+    bool is_ready = false;
+    if (auto* pipe_end = obj->As<PipeEndObj>()) {
+      KCOV_BLOCK(k);
+      is_ready = pipe_end->read_end ? !pipe_end->pipe->buf.empty()
+                                    : pipe_end->pipe->buf.size() <
+                                          pipe_end->pipe->capacity;
+    } else if (auto* sock = obj->As<SockObj>()) {
+      KCOV_BLOCK(k);
+      is_ready = !sock->rxbuf.empty() || sock->pending_connections > 0;
+    } else if (auto* efd = obj->As<EventfdObj>()) {
+      KCOV_BLOCK(k);
+      is_ready = efd->counter > 0;
+    } else if (auto* tfd = obj->As<TimerfdObj>()) {
+      KCOV_BLOCK(k);
+      is_ready = tfd->expirations > 0;
+    } else {
+      KCOV_BLOCK(k);
+      is_ready = true;  // Regular files are always ready.
+    }
+    if (is_ready && ready < max_events) {
+      if (!k.mem().Write32(events_addr + 8ull * ready,
+                           static_cast<uint32_t>(item.fd))) {
+        KCOV_BLOCK(k);
+        return -kEFAULT;
+      }
+      ++ready;
+    }
+  }
+  KCOV_BLOCK(k);
+  return ready;
+}
+
+int64_t Eventfd2(Kernel& k, const uint64_t a[6]) {
+  const uint32_t initval = AsU32(a[0]);
+  const uint32_t flags = AsU32(a[1]);
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  EventfdObj efd;
+  efd.counter = initval;
+  efd.semaphore = (flags & 1) != 0;
+  obj->state = efd;
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t WriteEventfd(Kernel& k, const uint64_t a[6]) {
+  auto* efd = k.GetFdAs<EventfdObj>(AsFd(a[0]));
+  if (efd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint64_t add;
+  if (!k.mem().Read64(a[1], &add)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (add == UINT64_MAX) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (efd->counter + add < efd->counter) {
+    KCOV_BLOCK(k);
+    // Counter overflow misses the wraparound check.
+    if (k.TriggerBug(BugId::kEventfdCounterOverflow)) {
+      return -kEIO;
+    }
+    return -kEAGAIN;
+  }
+  KCOV_BLOCK(k);
+  efd->counter += add;
+  return 8;
+}
+
+int64_t ReadEventfd(Kernel& k, const uint64_t a[6]) {
+  auto* efd = k.GetFdAs<EventfdObj>(AsFd(a[0]));
+  if (efd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (efd->counter == 0) {
+    KCOV_BLOCK(k);
+    return -kEAGAIN;
+  }
+  const uint64_t value = efd->semaphore ? 1 : efd->counter;
+  if (!k.mem().Write64(a[1], value)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  efd->counter -= value;
+  return 8;
+}
+
+}  // namespace
+
+void RegisterEpollSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"epoll_create1", EpollCreate1, "epoll"},
+    {"epoll_ctl$ADD", EpollCtlAdd, "epoll"},
+    {"epoll_ctl$MOD", EpollCtlMod, "epoll"},
+    {"epoll_ctl$DEL", EpollCtlDel, "epoll"},
+    {"epoll_wait", EpollWait, "epoll"},
+    {"eventfd2", Eventfd2, "epoll"},
+    {"write$eventfd", WriteEventfd, "epoll"},
+    {"read$eventfd", ReadEventfd, "epoll"},
+  });
+}
+
+}  // namespace healer

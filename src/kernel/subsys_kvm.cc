@@ -1,0 +1,509 @@
+// KVM subsystem: the paper's motivating example (Section 3, Listing 1).
+// The memslot lookup reproduces the buggy binary search of
+// search_memslots(), where `start` can land one past the last slot and the
+// subsequent bounds check reads out of range.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+int64_t OpenatKvm(Kernel& k, const uint64_t a[6]) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 64, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (path != "/dev/kvm") {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  obj->state = KvmObj{};
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t KvmCreateVm(Kernel& k, const uint64_t a[6]) {
+  auto* kvm = k.GetFdAs<KvmObj>(AsFd(a[0]));
+  if (kvm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!k.AllocAttempt()) {
+    KCOV_BLOCK(k);
+    return -kENOMEM;  // Fault-injected allocation failure.
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  obj->state = KvmVmObj{};
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t KvmCreateVcpu(Kernel& k, const uint64_t a[6]) {
+  auto vm_obj = k.GetFd(AsFd(a[0]));
+  auto* vm = vm_obj == nullptr ? nullptr : vm_obj->As<KvmVmObj>();
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint32_t vcpu_id = AsU32(a[2]);
+  if (vcpu_id > 8) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (vm->nr_vcpus >= 4) {
+    KCOV_BLOCK(k);
+    return -kEMFILE;
+  }
+  KCOV_BLOCK(k);
+  ++vm->nr_vcpus;
+  auto obj = std::make_shared<KObject>();
+  KvmVcpuObj vcpu;
+  vcpu.vm = vm_obj;
+  vcpu.vcpu_id = static_cast<int>(vcpu_id);
+  obj->state = std::move(vcpu);
+  return k.AllocFd(std::move(obj));
+}
+
+// struct kvm_userspace_memory_region {
+//   u32 slot; u32 flags; u64 guest_phys_addr; u64 memory_size; u64 uaddr; }
+int64_t KvmSetUserMemoryRegion(Kernel& k, const uint64_t a[6]) {
+  auto* vm = k.GetFdAs<KvmVmObj>(AsFd(a[0]));
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint8_t raw[32];
+  if (!k.mem().Read(a[2], raw, sizeof(raw))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KvmMemslot slot;
+  std::memcpy(&slot.slot, raw, 4);
+  std::memcpy(&slot.flags, raw + 4, 4);
+  std::memcpy(&slot.base_gfn, raw + 8, 8);
+  std::memcpy(&slot.npages, raw + 16, 8);
+  std::memcpy(&slot.userspace_addr, raw + 24, 8);
+  slot.base_gfn /= GuestMem::kPageSize;  // guest_phys_addr -> gfn
+  slot.npages /= GuestMem::kPageSize;    // memory_size -> pages
+
+  if (slot.slot >= 32) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_STATE(k, (vm->memslots.size() & 7) | ((slot.slot & 7) << 3) |
+                    (slot.npages == 0 ? 0x40 : 0) |
+                    ((vm->nr_vcpus & 3) << 7));
+  auto existing = std::find_if(
+      vm->memslots.begin(), vm->memslots.end(),
+      [&](const KvmMemslot& s) { return s.slot == slot.slot; });
+  if (slot.npages == 0) {
+    KCOV_BLOCK(k);
+    // Deleting a slot.
+    if (existing != vm->memslots.end()) {
+      KCOV_BLOCK(k);
+      vm->memslots.erase(existing);
+    }
+    return 0;
+  }
+  if (slot.npages > (1 << 16)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (existing != vm->memslots.end()) {
+    KCOV_BLOCK(k);
+    *existing = slot;
+  } else {
+    KCOV_BLOCK(k);
+    vm->memslots.push_back(slot);
+  }
+  // Keep sorted by base_gfn descending, as kvm does for the binary search.
+  std::sort(vm->memslots.begin(), vm->memslots.end(),
+            [](const KvmMemslot& x, const KvmMemslot& y) {
+              return x.base_gfn > y.base_gfn;
+            });
+  return 0;
+}
+
+// Faithful port of Listing 1. `memslots` is sorted by base_gfn descending.
+// Returns the matching slot index, or the out-of-range index that the buggy
+// follow-up check reads (signalled via *oob).
+int SearchMemslots(Kernel& k, const std::vector<KvmMemslot>& memslots,
+                   uint64_t gfn, bool* oob) {
+  *oob = false;
+  int start = 0;
+  int end = static_cast<int>(memslots.size());
+  // Binary search: after the loop, start may equal the original end.
+  while (start < end) {
+    KCOV_BLOCK(k);
+    const int slot = start + (end - start) / 2;
+    if (gfn >= memslots[static_cast<size_t>(slot)].base_gfn) {
+      end = slot;
+    } else {
+      start = slot + 1;
+    }
+  }
+  // FLAW: out-of-bounds access when start == memslots.size().
+  if (start >= static_cast<int>(memslots.size())) {
+    KCOV_BLOCK(k);
+    *oob = true;
+    return start;
+  }
+  const KvmMemslot& cand = memslots[static_cast<size_t>(start)];
+  if (gfn >= cand.base_gfn && gfn < cand.base_gfn + cand.npages) {
+    KCOV_BLOCK(k);
+    return start;
+  }
+  KCOV_BLOCK(k);
+  return -1;
+}
+
+int64_t KvmRun(Kernel& k, const uint64_t a[6]) {
+  auto* vcpu = k.GetFdAs<KvmVcpuObj>(AsFd(a[0]));
+  if (vcpu == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  auto vm_obj = vcpu->vm.lock();
+  auto* vm = vm_obj == nullptr ? nullptr : vm_obj->As<KvmVmObj>();
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kENODEV;
+  }
+  KCOV_STATE(k, (vm->memslots.size() & 7) |
+                    (vm->irqchip_created ? 0x08 : 0) |
+                    (vcpu->lapic_set ? 0x10 : 0) |
+                    (vcpu->smi_pending ? 0x20 : 0) |
+                    (vcpu->guest_debug ? 0x40 : 0) |
+                    (vm->hv_synic_active ? 0x80 : 0));
+  if (vm->memslots.empty()) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;  // No memory to fetch the first instruction from.
+  }
+  ++vcpu->runs;
+  // Instruction fetch: the guest resets at a gfn derived from the vcpu's
+  // register state (0 unless KVM_SET_REGS changed it).
+  const uint64_t fetch_gfn = vcpu->regs[0] / GuestMem::kPageSize + 0x100;
+  bool oob = false;
+  const int idx = SearchMemslots(k, vm->memslots, fetch_gfn, &oob);
+  if (oob) {
+    KCOV_BLOCK(k);
+    // Reading memslots[start] past the end (Listing 1's FLAW line).
+    if (k.TriggerBug(BugId::kKvmGfnToHvaCacheOob)) {
+      return -kEIO;
+    }
+    return -kEFAULT;
+  }
+  if (idx < 0) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (vcpu->smi_pending) {
+    KCOV_BLOCK(k);
+    vcpu->smi_pending = false;
+  }
+  if (vm->hv_synic_active && !vm->irqchip_created) {
+    KCOV_BLOCK(k);
+    // Hyper-V SynIC routing update without an irqchip.
+    if (k.TriggerBug(BugId::kKvmHvIrqRoutingNullDeref)) {
+      return -kEFAULT;
+    }
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t KvmCreateIrqchip(Kernel& k, const uint64_t a[6]) {
+  auto* vm = k.GetFdAs<KvmVmObj>(AsFd(a[0]));
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (vm->irqchip_created) {
+    KCOV_BLOCK(k);
+    return -kEEXIST;
+  }
+  KCOV_BLOCK(k);
+  vm->irqchip_created = true;
+  return 0;
+}
+
+// struct kvm_irq_level { u32 irq; u32 level; }
+int64_t KvmIrqLine(Kernel& k, const uint64_t a[6]) {
+  auto* vm = k.GetFdAs<KvmVmObj>(AsFd(a[0]));
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!vm->irqchip_created) {
+    KCOV_BLOCK(k);
+    return -kENXIO;
+  }
+  uint32_t irq;
+  if (!k.mem().Read32(a[2], &irq)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (irq >= 24) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+// struct kvm_enable_cap { u32 cap; u32 flags; u64 args[2]; }
+int64_t KvmEnableCapCpu(Kernel& k, const uint64_t a[6]) {
+  auto* vcpu = k.GetFdAs<KvmVcpuObj>(AsFd(a[0]));
+  if (vcpu == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint32_t cap;
+  if (!k.mem().Read32(a[2], &cap)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  switch (cap) {
+    case 123: {  // KVM_CAP_HYPERV_SYNIC (model number).
+      KCOV_BLOCK(k);
+      vcpu->cap_hyperv_synic = true;
+      auto vm_obj = vcpu->vm.lock();
+      if (vm_obj != nullptr) {
+        if (auto* vm = vm_obj->As<KvmVmObj>()) {
+          vm->hv_synic_active = true;
+        }
+      }
+      return 0;
+    }
+    case 7:  // KVM_CAP_SYNC_REGS-ish.
+      KCOV_BLOCK(k);
+      return 0;
+    default:
+      KCOV_BLOCK(k);
+      return -kEINVAL;
+  }
+}
+
+int64_t KvmSetLapic(Kernel& k, const uint64_t a[6]) {
+  auto* vcpu = k.GetFdAs<KvmVcpuObj>(AsFd(a[0]));
+  if (vcpu == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  auto vm_obj = vcpu->vm.lock();
+  auto* vm = vm_obj == nullptr ? nullptr : vm_obj->As<KvmVmObj>();
+  if (vm == nullptr || !vm->irqchip_created) {
+    KCOV_BLOCK(k);
+    return -kENXIO;
+  }
+  uint8_t page[64];
+  if (!k.mem().Read(a[2], page, sizeof(page))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  vcpu->lapic_set = true;
+  return 0;
+}
+
+int64_t KvmSmi(Kernel& k, const uint64_t a[6]) {
+  auto* vcpu = k.GetFdAs<KvmVcpuObj>(AsFd(a[0]));
+  if (vcpu == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_BLOCK(k);
+  vcpu->smi_pending = true;
+  return 0;
+}
+
+// struct kvm_guest_debug { u32 control; ... }
+int64_t KvmSetGuestDebug(Kernel& k, const uint64_t a[6]) {
+  auto* vcpu = k.GetFdAs<KvmVcpuObj>(AsFd(a[0]));
+  if (vcpu == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint32_t control;
+  if (!k.mem().Read32(a[2], &control)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if ((control & 1) == 0 && vcpu->guest_debug) {
+    KCOV_BLOCK(k);
+    vcpu->guest_debug = false;
+    return 0;
+  }
+  KCOV_BLOCK(k);
+  vcpu->guest_debug = (control & 1) != 0;
+  return 0;
+}
+
+int64_t KvmGetRegs(Kernel& k, const uint64_t a[6]) {
+  auto* vcpu = k.GetFdAs<KvmVcpuObj>(AsFd(a[0]));
+  if (vcpu == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!k.mem().Write(a[2], vcpu->regs, sizeof(vcpu->regs))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t KvmSetRegs(Kernel& k, const uint64_t a[6]) {
+  auto* vcpu = k.GetFdAs<KvmVcpuObj>(AsFd(a[0]));
+  if (vcpu == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!k.mem().Read(a[2], vcpu->regs, sizeof(vcpu->regs))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+// struct kvm_coalesced_mmio_zone { u64 addr; u64 size; }
+int64_t KvmRegisterCoalescedMmio(Kernel& k, const uint64_t a[6]) {
+  auto* vm = k.GetFdAs<KvmVmObj>(AsFd(a[0]));
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint64_t zone[2];
+  if (!k.mem().Read(a[2], zone, sizeof(zone))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (zone[1] == 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  vm->coalesced_zones.emplace_back(zone[0], zone[1]);
+  ++vm->io_bus_devices;
+  return 0;
+}
+
+int64_t KvmUnregisterCoalescedMmio(Kernel& k, const uint64_t a[6]) {
+  auto* vm = k.GetFdAs<KvmVmObj>(AsFd(a[0]));
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint64_t zone[2];
+  if (!k.mem().Read(a[2], zone, sizeof(zone))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (vm->coalesced_zones.empty()) {
+    KCOV_BLOCK(k);
+    // Unregistering with no zones walks a freed bus pointer.
+    if (vm->io_bus_devices > 0 &&
+        k.TriggerBug(BugId::kKvmUnregisterCoalescedMmioGpf)) {
+      return -kEFAULT;
+    }
+    return -kENOENT;
+  }
+  auto it = std::find(vm->coalesced_zones.begin(), vm->coalesced_zones.end(),
+                      std::make_pair(zone[0], zone[1]));
+  if (it == vm->coalesced_zones.end()) {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  KCOV_BLOCK(k);
+  vm->coalesced_zones.erase(it);
+  // io_bus_devices intentionally not decremented: the leaked bus device is
+  // the kvm_io_bus_unregister_dev memory leak.
+  if (vm->io_bus_devices >= 3 &&
+      k.TriggerBug(BugId::kKvmIoBusUnregisterLeak)) {
+    return -kENOMEM;
+  }
+  return 0;
+}
+
+// struct kvm_ioeventfd (model) { u64 addr; u64 len; u64 fd; } — consumes an
+// eventfd, a cross-subsystem resource edge.
+int64_t KvmIoeventfd(Kernel& k, const uint64_t a[6]) {
+  auto* vm = k.GetFdAs<KvmVmObj>(AsFd(a[0]));
+  if (vm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint64_t raw[3];
+  if (!k.mem().Read(a[2], raw, sizeof(raw))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  const int efd_num = static_cast<int>(static_cast<int64_t>(raw[2]));
+  auto* efd = k.GetFdAs<EventfdObj>(efd_num);
+  if (efd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_BLOCK(k);
+  vm->ioeventfd_armed = true;
+  ++vm->io_bus_devices;
+  return 0;
+}
+
+int64_t KvmCheckExtension(Kernel& k, const uint64_t a[6]) {
+  auto* kvm = k.GetFdAs<KvmObj>(AsFd(a[0]));
+  if (kvm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint32_t ext = AsU32(a[2]);
+  KCOV_BLOCK(k);
+  return ext < 200 ? 1 : 0;
+}
+
+int64_t KvmGetVcpuMmapSize(Kernel& k, const uint64_t a[6]) {
+  auto* kvm = k.GetFdAs<KvmObj>(AsFd(a[0]));
+  if (kvm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_BLOCK(k);
+  return GuestMem::kPageSize;
+}
+
+}  // namespace
+
+void RegisterKvmSyscalls(std::vector<SyscallDef>& defs) {
+  using V = KernelVersion;
+  defs.insert(defs.end(), {
+    {"openat$kvm", OpenatKvm, "kvm"},
+    {"ioctl$KVM_CREATE_VM", KvmCreateVm, "kvm"},
+    {"ioctl$KVM_CREATE_VCPU", KvmCreateVcpu, "kvm"},
+    {"ioctl$KVM_SET_USER_MEMORY_REGION", KvmSetUserMemoryRegion, "kvm"},
+    {"ioctl$KVM_RUN", KvmRun, "kvm"},
+    {"ioctl$KVM_CREATE_IRQCHIP", KvmCreateIrqchip, "kvm"},
+    {"ioctl$KVM_IRQ_LINE", KvmIrqLine, "kvm"},
+    {"ioctl$KVM_ENABLE_CAP_CPU", KvmEnableCapCpu, "kvm"},
+    {"ioctl$KVM_SET_LAPIC", KvmSetLapic, "kvm"},
+    {"ioctl$KVM_SMI", KvmSmi, "kvm", V::kV5_0},
+    {"ioctl$KVM_SET_GUEST_DEBUG", KvmSetGuestDebug, "kvm"},
+    {"ioctl$KVM_GET_REGS", KvmGetRegs, "kvm"},
+    {"ioctl$KVM_SET_REGS", KvmSetRegs, "kvm"},
+    {"ioctl$KVM_REGISTER_COALESCED_MMIO", KvmRegisterCoalescedMmio, "kvm"},
+    {"ioctl$KVM_UNREGISTER_COALESCED_MMIO", KvmUnregisterCoalescedMmio,
+     "kvm"},
+    {"ioctl$KVM_IOEVENTFD", KvmIoeventfd, "kvm"},
+    {"ioctl$KVM_CHECK_EXTENSION", KvmCheckExtension, "kvm"},
+    {"ioctl$KVM_GET_VCPU_MMAP_SIZE", KvmGetVcpuMmapSize, "kvm"},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,146 @@
+// memfd subsystem: anonymous memory files with sealing (the paper's running
+// example: memfd_create -> write -> fcntl$ADD_SEALS -> mmap).
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kMfdCloexec = 1;
+constexpr uint32_t kMfdAllowSealing = 2;
+constexpr uint64_t kMaxMemfdSize = 1 << 20;
+
+int64_t MemfdCreate(Kernel& k, const uint64_t a[6]) {
+  std::string name;
+  if (!k.mem().ReadString(a[0], 128, &name)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  const uint32_t flags = AsU32(a[1]);
+  if ((flags & ~(kMfdCloexec | kMfdAllowSealing)) != 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (!k.AllocAttempt()) {
+    KCOV_BLOCK(k);
+    return -kENOMEM;  // Fault-injected allocation failure.
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  MemfdObj memfd;
+  memfd.name = name;
+  memfd.allow_sealing = (flags & kMfdAllowSealing) != 0;
+  if (!memfd.allow_sealing) {
+    KCOV_BLOCK(k);
+    memfd.seals = kSealSeal;
+  }
+  obj->state = std::move(memfd);
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t FcntlAddSeals(Kernel& k, const uint64_t a[6]) {
+  auto* memfd = k.GetFdAs<MemfdObj>(AsFd(a[0]));
+  if (memfd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint32_t seals = AsU32(a[2]);
+  KCOV_STATE(k, memfd->seals | (memfd->mapped_shared ? 0x10 : 0) |
+                    (memfd->data.empty() ? 0 : 0x20));
+  if ((memfd->seals & kSealSeal) != 0) {
+    KCOV_BLOCK(k);
+    return -kEPERM;
+  }
+  if ((seals & kSealWrite) != 0 && memfd->mapped_shared) {
+    KCOV_BLOCK(k);
+    return -kEBUSY;  // Cannot add write seal with shared mappings live.
+  }
+  KCOV_BLOCK(k);
+  memfd->seals |= seals & 0xf;
+  return 0;
+}
+
+int64_t FcntlGetSeals(Kernel& k, const uint64_t a[6]) {
+  auto* memfd = k.GetFdAs<MemfdObj>(AsFd(a[0]));
+  if (memfd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  return memfd->seals;
+}
+
+// write on a memfd (specialized to exercise the seal checks).
+int64_t WriteMemfd(Kernel& k, const uint64_t a[6]) {
+  auto* memfd = k.GetFdAs<MemfdObj>(AsFd(a[0]));
+  if (memfd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = a[2];
+  KCOV_STATE(k, memfd->seals | (memfd->mapped_shared ? 0x10 : 0) |
+                    ((memfd->data.size() >> 6) != 0 ? 0x20 : 0));
+  if ((memfd->seals & kSealWrite) != 0) {
+    KCOV_BLOCK(k);
+    return -kEPERM;
+  }
+  if (count > kMaxMemfdSize) {
+    KCOV_BLOCK(k);
+    return -kEFBIG;
+  }
+  if (memfd->data.size() + count > memfd->data.capacity() &&
+      (memfd->seals & kSealGrow) != 0) {
+    KCOV_BLOCK(k);
+    return -kEPERM;
+  }
+  std::vector<uint8_t> tmp(count);
+  if (count > 0 && !k.mem().Read(a[1], tmp.data(), count)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  memfd->data.insert(memfd->data.end(), tmp.begin(), tmp.end());
+  return static_cast<int64_t>(count);
+}
+
+int64_t FtruncateMemfd(Kernel& k, const uint64_t a[6]) {
+  auto* memfd = k.GetFdAs<MemfdObj>(AsFd(a[0]));
+  if (memfd == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t len = a[1];
+  if (len > kMaxMemfdSize) {
+    KCOV_BLOCK(k);
+    return -kEFBIG;
+  }
+  if (len < memfd->data.size() && (memfd->seals & kSealShrink) != 0) {
+    KCOV_BLOCK(k);
+    return -kEPERM;
+  }
+  if (len > memfd->data.size() && (memfd->seals & kSealGrow) != 0) {
+    KCOV_BLOCK(k);
+    return -kEPERM;
+  }
+  KCOV_BLOCK(k);
+  memfd->data.resize(len);
+  return 0;
+}
+
+}  // namespace
+
+void RegisterMemfdSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"memfd_create", MemfdCreate, "memfd"},
+    {"fcntl$ADD_SEALS", FcntlAddSeals, "memfd"},
+    {"fcntl$GET_SEALS", FcntlGetSeals, "memfd"},
+    {"write$memfd", WriteMemfd, "memfd"},
+    {"ftruncate$memfd", FtruncateMemfd, "memfd"},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,241 @@
+// mm subsystem: guest mmap/munmap/mprotect over the GuestMem VMA window.
+// mmap of a sealed memfd and the mprotect-then-remap dance drive the
+// relation-sensitive branches the paper's Figure 2 example describes.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kProtRead = 1;
+constexpr uint32_t kProtWrite = 2;
+constexpr uint32_t kProtExec = 4;
+constexpr uint32_t kMapShared = 1;
+constexpr uint32_t kMapPrivate = 2;
+constexpr uint32_t kMapAnon = 0x20;
+constexpr uint32_t kMapFixed = 0x10;
+
+bool PageRangeValid(uint64_t addr, uint64_t len) {
+  if (addr < GuestMem::kVmaBase || len == 0) {
+    return false;
+  }
+  const uint64_t end = addr + len;
+  return end > addr && end <= GuestMem::kVmaBase + GuestMem::kVmaSize;
+}
+
+MmState::Mapping* FindMapping(Kernel& k, uint64_t page) {
+  for (auto& m : k.mm.maps) {
+    if (page >= m.page && page < m.page + m.npages) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+int64_t Mmap(Kernel& k, const uint64_t a[6]) {
+  const uint64_t addr = a[0];
+  const uint64_t len = a[1];
+  const uint32_t prot = AsU32(a[2]);
+  const uint32_t flags = AsU32(a[3]);
+  const int fd = AsFd(a[4]);
+
+  if (len == 0) {
+    KCOV_BLOCK(k);
+    // Zero-length anonymous fixed mapping hits an unchecked path.
+    if ((flags & kMapFixed) != 0 && k.TriggerBug(BugId::kMmapZeroLenBug)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  if (!PageRangeValid(addr, len)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if ((flags & (kMapShared | kMapPrivate)) == 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+
+  std::shared_ptr<KObject> backing;
+  bool memfd_backed = false;
+  if ((flags & kMapAnon) == 0) {
+    backing = k.GetFd(fd);
+    if (backing == nullptr) {
+      KCOV_BLOCK(k);
+      return -kEBADF;
+    }
+    if (auto* memfd = backing->As<MemfdObj>()) {
+      KCOV_BLOCK(k);
+      KCOV_STATE(k, memfd->seals | ((prot & 7) << 4) |
+                        ((flags & kMapShared) != 0 ? 0x80 : 0));
+      memfd_backed = true;
+      // Sealed-for-write memfds refuse shared writable mappings: this branch
+      // is only reachable after fcntl$ADD_SEALS, i.e. exactly the influence
+      // relation HEALER's dynamic learning discovers in Figure 2.
+      if ((memfd->seals & kSealWrite) != 0) {
+        KCOV_BLOCK(k);
+        if ((flags & kMapShared) != 0 && (prot & kProtWrite) != 0) {
+          KCOV_BLOCK(k);
+          return -kEPERM;
+        }
+      }
+      if ((flags & kMapShared) != 0) {
+        KCOV_BLOCK(k);
+        memfd->mapped_shared = true;
+      }
+      if ((memfd->seals & kSealGrow) != 0 &&
+          len > ((memfd->data.size() + GuestMem::kPageSize - 1) &
+                 ~(GuestMem::kPageSize - 1)) &&
+          !memfd->data.empty()) {
+        KCOV_BLOCK(k);
+        return -kEPERM;
+      }
+    } else if (auto* file = backing->As<FileObj>()) {
+      KCOV_BLOCK(k);
+      if (file->is_device) {
+        KCOV_BLOCK(k);
+        return -kENODEV;
+      }
+    } else {
+      KCOV_BLOCK(k);
+      return -kEACCES;  // Sockets etc. are not mappable in the model.
+    }
+  }
+
+  const uint64_t page = addr / GuestMem::kPageSize;
+  const uint64_t npages =
+      (len + GuestMem::kPageSize - 1) / GuestMem::kPageSize;
+
+  if ((flags & kMapFixed) != 0 && FindMapping(k, page) != nullptr) {
+    KCOV_BLOCK(k);
+    // Remapping over an existing region after repeated mprotect splits
+    // corrupts the ioremap bookkeeping.
+    if (k.mm.mprotect_calls >= 2 && (prot & kProtExec) != 0) {
+      KCOV_BLOCK(k);
+      if (k.TriggerBug(BugId::kIoremapPageRangeBug)) {
+        return -kEIO;
+      }
+    }
+  }
+
+  KCOV_BLOCK(k);
+  KCOV_STATE(k, (k.mm.maps.size() & 7) | ((prot & 7) << 3) |
+                    (memfd_backed ? 0x40 : 0) |
+                    ((flags & kMapFixed) != 0 ? 0x80 : 0));
+  MmState::Mapping mapping;
+  mapping.page = page;
+  mapping.npages = npages;
+  mapping.prot = prot;
+  mapping.shared = (flags & kMapShared) != 0;
+  mapping.memfd_backed = memfd_backed;
+  mapping.backing = backing;
+  k.mm.maps.push_back(std::move(mapping));
+  return static_cast<int64_t>(addr);
+}
+
+int64_t Munmap(Kernel& k, const uint64_t a[6]) {
+  const uint64_t addr = a[0];
+  const uint64_t len = a[1];
+  if (!PageRangeValid(addr, len)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint64_t page = addr / GuestMem::kPageSize;
+  for (size_t i = 0; i < k.mm.maps.size(); ++i) {
+    if (k.mm.maps[i].page == page) {
+      KCOV_BLOCK(k);
+      k.mm.maps.erase(k.mm.maps.begin() + static_cast<long>(i));
+      return 0;
+    }
+  }
+  KCOV_BLOCK(k);
+  return -kEINVAL;
+}
+
+int64_t Mprotect(Kernel& k, const uint64_t a[6]) {
+  const uint64_t addr = a[0];
+  const uint64_t len = a[1];
+  const uint32_t prot = AsU32(a[2]);
+  if (!PageRangeValid(addr, len)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  MmState::Mapping* m = FindMapping(k, addr / GuestMem::kPageSize);
+  if (m == nullptr) {
+    KCOV_BLOCK(k);
+    return -kENOMEM;
+  }
+  if (m->memfd_backed && (prot & kProtWrite) != 0 && m->shared) {
+    auto backing = m->backing.lock();
+    if (backing != nullptr) {
+      if (auto* memfd = backing->As<MemfdObj>()) {
+        if ((memfd->seals & kSealWrite) != 0) {
+          KCOV_BLOCK(k);
+          return -kEACCES;
+        }
+      }
+    }
+  }
+  KCOV_BLOCK(k);
+  m->prot = prot;
+  ++k.mm.mprotect_calls;
+  return 0;
+}
+
+int64_t Msync(Kernel& k, const uint64_t a[6]) {
+  const uint64_t addr = a[0];
+  const uint64_t len = a[1];
+  if (!PageRangeValid(addr, len)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (FindMapping(k, addr / GuestMem::kPageSize) == nullptr) {
+    KCOV_BLOCK(k);
+    return -kENOMEM;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t Madvise(Kernel& k, const uint64_t a[6]) {
+  const uint64_t addr = a[0];
+  const uint64_t len = a[1];
+  const uint32_t advice = AsU32(a[2]);
+  if (!PageRangeValid(addr, len)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  switch (advice) {
+    case 4:  // MADV_DONTNEED
+      KCOV_BLOCK(k);
+      return 0;
+    case 8:  // MADV_SEQUENTIAL
+    case 9:  // MADV_WILLNEED
+      KCOV_BLOCK(k);
+      return 0;
+    case 14:  // MADV_HWPOISON-like: privileged.
+      KCOV_BLOCK(k);
+      return -kEPERM;
+    default:
+      KCOV_BLOCK(k);
+      return -kEINVAL;
+  }
+}
+
+}  // namespace
+
+void RegisterMmSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"mmap", Mmap, "mm"},
+    {"munmap", Munmap, "mm"},
+    {"mprotect", Mprotect, "mm"},
+    {"msync", Msync, "mm"},
+    {"madvise", Madvise, "mm"},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,235 @@
+// Netlink subsystem: an 802.15.4 (wpan) configuration channel whose message
+// payloads are parsed as nested TLV attributes, giving heavily
+// parameter-dependent branches plus the llsec key-management bugs.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+struct NlAttr {
+  uint16_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Parses {u16 len, u16 type, payload[len-4]}* TLVs; returns false on a
+// malformed stream.
+bool ParseAttrs(Kernel& k, const std::vector<uint8_t>& buf,
+                std::vector<NlAttr>* out) {
+  size_t off = 0;
+  while (off + 4 <= buf.size()) {
+    KCOV_BLOCK(k);
+    uint16_t len = static_cast<uint16_t>(buf[off] | (buf[off + 1] << 8));
+    uint16_t type = static_cast<uint16_t>(buf[off + 2] | (buf[off + 3] << 8));
+    if (len < 4 || off + len > buf.size()) {
+      KCOV_BLOCK(k);
+      return false;
+    }
+    NlAttr attr;
+    attr.type = type;
+    attr.payload.assign(buf.begin() + static_cast<long>(off) + 4,
+                        buf.begin() + static_cast<long>(off + len));
+    out->push_back(std::move(attr));
+    off += (len + 3u) & ~3u;  // 4-byte alignment like NLA_ALIGN.
+  }
+  return off >= buf.size();
+}
+
+// Attribute type numbers (model).
+constexpr uint16_t kAttrIfIndex = 1;
+constexpr uint16_t kAttrKeyId = 2;
+constexpr uint16_t kAttrKeyBytes = 3;
+constexpr uint16_t kAttrSecLevel = 4;
+constexpr uint16_t kAttrFrameCounter = 5;
+
+int64_t SocketNl802154(Kernel& k, const uint64_t a[6]) {
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  SockObj sock;
+  sock.proto = SockProto::kNetlink;
+  obj->state = std::move(sock);
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t BindNetlink(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr || sock->proto != SockProto::kNetlink) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (sock->state != SockState::kNew) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  sock->state = SockState::kBound;
+  return 0;
+}
+
+bool ReadMsg(Kernel& k, const uint64_t a[6], std::vector<uint8_t>* buf) {
+  const uint64_t len = std::min<uint64_t>(a[2], 256);
+  buf->resize(len);
+  return len == 0 || k.mem().Read(a[1], buf->data(), len);
+}
+
+// NL802154_CMD_NEW_SEC_KEY.
+int64_t SendmsgAddKey(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr || sock->proto != SockProto::kNetlink) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  std::vector<uint8_t> buf;
+  if (!ReadMsg(k, a, &buf)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  std::vector<NlAttr> attrs;
+  if (!ParseAttrs(k, buf, &attrs)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  bool has_key_id = false;
+  bool has_key_bytes = false;
+  for (const NlAttr& attr : attrs) {
+    switch (attr.type) {
+      case kAttrKeyId:
+        KCOV_BLOCK(k);
+        has_key_id = attr.payload.size() >= 2;
+        break;
+      case kAttrKeyBytes:
+        KCOV_BLOCK(k);
+        has_key_bytes = attr.payload.size() >= 16;
+        break;
+      case kAttrSecLevel:
+      case kAttrFrameCounter:
+      case kAttrIfIndex:
+        KCOV_BLOCK(k);
+        break;
+      default:
+        KCOV_BLOCK(k);
+        break;
+    }
+  }
+  if (!has_key_id || !has_key_bytes) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  sock->llsec_key_added = true;
+  k.net.wpan_key_deleted = false;
+  return 0;
+}
+
+// NL802154_CMD_DEL_SEC_KEY.
+int64_t SendmsgDelKey(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr || sock->proto != SockProto::kNetlink) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  std::vector<uint8_t> buf;
+  if (!ReadMsg(k, a, &buf)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  std::vector<NlAttr> attrs;
+  if (!ParseAttrs(k, buf, &attrs)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const bool has_key_id = std::any_of(
+      attrs.begin(), attrs.end(),
+      [](const NlAttr& at) { return at.type == kAttrKeyId; });
+  if (!sock->llsec_key_added) {
+    KCOV_BLOCK(k);
+    // Deleting from an empty llsec table dereferences the absent entry.
+    if (has_key_id && k.TriggerBug(BugId::kNl802154DelLlsecKey)) {
+      return -kEFAULT;
+    }
+    return -kENOENT;
+  }
+  if (!has_key_id) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  sock->llsec_key_added = false;
+  // A queued wpan frame may still reference this key (ieee802154_tx UAF).
+  k.net.wpan_key_deleted = true;
+  return 0;
+}
+
+// NL802154_CMD_SET_SEC_PARAMS: the key id is a *nested* attribute; a
+// sec-level attribute without the nested key id dereferences a null id.
+int64_t SendmsgSetParams(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr || sock->proto != SockProto::kNetlink) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (sock->state == SockState::kNew) {
+    KCOV_BLOCK(k);
+    return -kENOTCONN;  // Must bind the genl socket first.
+  }
+  std::vector<uint8_t> buf;
+  if (!ReadMsg(k, a, &buf)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  std::vector<NlAttr> attrs;
+  if (!ParseAttrs(k, buf, &attrs)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_STATE(k, (sock->llsec_key_added ? 1 : 0) |
+                    (k.net.wpan_key_deleted ? 2 : 0) |
+                    ((attrs.size() & 7) << 2) |
+                    ((sock->nl_families_probed & 3) << 5));
+  bool has_sec_level = false;
+  bool has_nested_key_id = false;
+  for (const NlAttr& attr : attrs) {
+    if (attr.type == kAttrSecLevel) {
+      KCOV_BLOCK(k);
+      has_sec_level = true;
+      // The key id must be nested inside the sec-level attribute.
+      std::vector<NlAttr> nested;
+      if (ParseAttrs(k, attr.payload, &nested)) {
+        for (const NlAttr& n : nested) {
+          if (n.type == kAttrKeyId) {
+            KCOV_BLOCK(k);
+            has_nested_key_id = true;
+          }
+        }
+      }
+    }
+  }
+  if (has_sec_level && !has_nested_key_id) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kIeee802154LlsecParseKeyId)) {
+      return -kEFAULT;
+    }
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  ++sock->nl_families_probed;
+  return 0;
+}
+
+}  // namespace
+
+void RegisterNetlinkSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"socket$nl802154", SocketNl802154, "netlink"},
+    {"bind$netlink", BindNetlink, "netlink"},
+    {"sendmsg$nl802154_add_key", SendmsgAddKey, "netlink"},
+    {"sendmsg$nl802154_del_key", SendmsgDelKey, "netlink"},
+    {"sendmsg$nl802154_set_params", SendmsgSetParams, "netlink"},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,190 @@
+// Pipe subsystem. pipe2 writes both end fds through an out-pointer, which
+// exercises the executor's out-parameter resource extraction.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kONonblock = 0x800;
+constexpr uint32_t kODirectPacket = 0x4000;
+
+int64_t Pipe2(Kernel& k, const uint64_t a[6]) {
+  const uint64_t fds_addr = a[0];
+  const uint32_t flags = AsU32(a[1]);
+  if ((flags & ~(kONonblock | kODirectPacket)) != 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  auto pipe = std::make_shared<PipeState>();
+  pipe->packet_mode = (flags & kODirectPacket) != 0;
+
+  auto read_obj = std::make_shared<KObject>();
+  read_obj->state = PipeEndObj{pipe, /*read_end=*/true};
+  auto write_obj = std::make_shared<KObject>();
+  write_obj->state = PipeEndObj{pipe, /*read_end=*/false};
+
+  const int rfd = k.AllocFd(std::move(read_obj));
+  if (rfd < 0) {
+    KCOV_BLOCK(k);
+    return rfd;
+  }
+  const int wfd = k.AllocFd(std::move(write_obj));
+  if (wfd < 0) {
+    KCOV_BLOCK(k);
+    k.CloseFd(rfd);
+    return wfd;
+  }
+  // struct pipe_fds { int64 rfd; int64 wfd; } in guest memory.
+  if (!k.mem().Write64(fds_addr, static_cast<uint64_t>(rfd)) ||
+      !k.mem().Write64(fds_addr + 8, static_cast<uint64_t>(wfd))) {
+    KCOV_BLOCK(k);
+    k.CloseFd(rfd);
+    k.CloseFd(wfd);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t WritePipe(Kernel& k, const uint64_t a[6]) {
+  auto* end = k.GetFdAs<PipeEndObj>(AsFd(a[0]));
+  if (end == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (end->read_end) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  PipeState& pipe = *end->pipe;
+  KCOV_STATE(k, std::min<uint64_t>(pipe.buf.size() >> 10, 7) |
+                    (pipe.packet_mode ? 0x08 : 0) |
+                    ((pipe.capacity != 65536) ? 0x10 : 0));
+  if (!pipe.read_open) {
+    KCOV_BLOCK(k);
+    return -kEPIPE;
+  }
+  const uint64_t count = a[2];
+  const uint64_t room =
+      pipe.buf.size() >= pipe.capacity ? 0 : pipe.capacity - pipe.buf.size();
+  const uint64_t n = std::min(count, room);
+  if (n == 0) {
+    KCOV_BLOCK(k);
+    return -kEAGAIN;
+  }
+  std::vector<uint8_t> tmp(n);
+  if (!k.mem().Read(a[1], tmp.data(), n)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (pipe.packet_mode && n > 4096) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;  // Packet writes are page-bounded.
+  }
+  KCOV_BLOCK(k);
+  pipe.buf.insert(pipe.buf.end(), tmp.begin(), tmp.end());
+  return static_cast<int64_t>(n);
+}
+
+int64_t ReadPipe(Kernel& k, const uint64_t a[6]) {
+  auto* end = k.GetFdAs<PipeEndObj>(AsFd(a[0]));
+  if (end == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!end->read_end) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  PipeState& pipe = *end->pipe;
+  const uint64_t count = a[2];
+  const uint64_t n = std::min<uint64_t>(count, pipe.buf.size());
+  if (n == 0) {
+    KCOV_BLOCK(k);
+    return pipe.write_open ? -kEAGAIN : 0;
+  }
+  if (!k.mem().Write(a[1], pipe.buf.data(), n)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  pipe.buf.erase(pipe.buf.begin(), pipe.buf.begin() + static_cast<long>(n));
+  return static_cast<int64_t>(n);
+}
+
+int64_t FcntlSetPipeSz(Kernel& k, const uint64_t a[6]) {
+  auto* end = k.GetFdAs<PipeEndObj>(AsFd(a[0]));
+  if (end == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t size = a[2];
+  if (size == 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (size > (1 << 20)) {
+    KCOV_BLOCK(k);
+    return -kEPERM;
+  }
+  PipeState& pipe = *end->pipe;
+  if (size < pipe.buf.size()) {
+    KCOV_BLOCK(k);
+    // Shrinking below the buffered length reallocates the ring one slot
+    // short (classic pipe_set_size off-by-one).
+    if (k.TriggerBug(BugId::kPipeSetSizeOob)) {
+      return -kEIO;
+    }
+    return -kEBUSY;
+  }
+  KCOV_BLOCK(k);
+  pipe.capacity = size;
+  return static_cast<int64_t>(size);
+}
+
+int64_t Splice(Kernel& k, const uint64_t a[6]) {
+  auto* in = k.GetFdAs<PipeEndObj>(AsFd(a[0]));
+  auto* out = k.GetFdAs<PipeEndObj>(AsFd(a[1]));
+  if (in == nullptr || out == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!in->read_end || out->read_end) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (in->pipe == out->pipe) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint64_t want = std::min<uint64_t>(a[2], in->pipe->buf.size());
+  const uint64_t room = out->pipe->capacity > out->pipe->buf.size()
+                            ? out->pipe->capacity - out->pipe->buf.size()
+                            : 0;
+  const uint64_t n = std::min(want, room);
+  KCOV_BLOCK(k);
+  out->pipe->buf.insert(out->pipe->buf.end(), in->pipe->buf.begin(),
+                        in->pipe->buf.begin() + static_cast<long>(n));
+  in->pipe->buf.erase(in->pipe->buf.begin(),
+                      in->pipe->buf.begin() + static_cast<long>(n));
+  return static_cast<int64_t>(n);
+}
+
+}  // namespace
+
+void RegisterPipeSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"pipe2", Pipe2, "pipe"},
+    {"write$pipe", WritePipe, "pipe"},
+    {"read$pipe", ReadPipe, "pipe"},
+    {"fcntl$SETPIPE_SZ", FcntlSetPipeSz, "pipe"},
+    {"splice", Splice, "pipe"},
+  });
+}
+
+}  // namespace healer

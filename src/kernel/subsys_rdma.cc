@@ -1,0 +1,141 @@
+// RDMA CM subsystem (ucma-style write commands on /dev/infiniband/rdma_cm).
+// Hosts the cma_cancel_operation and rdma_listen use-after-free bugs that
+// syzbot believed fixed until HEALER re-triggered them with deeper chains.
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+int64_t OpenatRdmaCm(Kernel& k, const uint64_t a[6]) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 64, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (path != "/dev/infiniband/rdma_cm") {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  obj->state = RdmaCmObj{};
+  return k.AllocFd(std::move(obj));
+}
+
+RdmaCmObj* GetCm(Kernel& k, const uint64_t a[6]) {
+  return k.GetFdAs<RdmaCmObj>(AsFd(a[0]));
+}
+
+int64_t RdmaCreateId(Kernel& k, const uint64_t a[6]) {
+  auto* cm = GetCm(k, a);
+  if (cm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (cm->id_created && cm->state != RdmaState::kDestroyed) {
+    KCOV_BLOCK(k);
+    return -kEEXIST;
+  }
+  KCOV_BLOCK(k);
+  cm->id_created = true;
+  cm->state = RdmaState::kIdle;
+  cm->events_pending = 0;
+  return 0;
+}
+
+int64_t RdmaBindAddr(Kernel& k, const uint64_t a[6]) {
+  auto* cm = GetCm(k, a);
+  if (cm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!cm->id_created || cm->state == RdmaState::kDestroyed) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  cm->state = RdmaState::kBound;
+  return 0;
+}
+
+int64_t RdmaResolveAddr(Kernel& k, const uint64_t a[6]) {
+  auto* cm = GetCm(k, a);
+  if (cm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!cm->id_created || cm->state == RdmaState::kDestroyed) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  cm->state = RdmaState::kResolving;
+  ++cm->events_pending;
+  return 0;
+}
+
+int64_t RdmaListen(Kernel& k, const uint64_t a[6]) {
+  auto* cm = GetCm(k, a);
+  if (cm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_STATE(k, static_cast<int>(cm->state) | (cm->id_created ? 0x08 : 0) |
+                    ((cm->events_pending & 3) << 4));
+  if (cm->state == RdmaState::kDestroyed) {
+    KCOV_BLOCK(k);
+    // Listening on an id whose context was already destroyed.
+    if (k.TriggerBug(BugId::kRdmaListenUaf)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  if (cm->state != RdmaState::kBound) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  cm->state = RdmaState::kListening;
+  return 0;
+}
+
+int64_t RdmaDestroyId(Kernel& k, const uint64_t a[6]) {
+  auto* cm = GetCm(k, a);
+  if (cm == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!cm->id_created) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (cm->state == RdmaState::kResolving && cm->events_pending > 0) {
+    KCOV_BLOCK(k);
+    // Destroy during address resolution cancels work that already freed
+    // its context.
+    if (k.TriggerBug(BugId::kCmaCancelOperationUaf)) {
+      return -kEIO;
+    }
+  }
+  KCOV_BLOCK(k);
+  cm->state = RdmaState::kDestroyed;
+  return 0;
+}
+
+}  // namespace
+
+void RegisterRdmaSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"openat$rdma_cm", OpenatRdmaCm, "rdma"},
+    {"write$rdma_create_id", RdmaCreateId, "rdma"},
+    {"write$rdma_bind_addr", RdmaBindAddr, "rdma"},
+    {"write$rdma_resolve_addr", RdmaResolveAddr, "rdma"},
+    {"write$rdma_listen", RdmaListen, "rdma"},
+    {"write$rdma_destroy_id", RdmaDestroyId, "rdma"},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,564 @@
+// Socket subsystem: TCP/UDP with a loopback connection model, plus the
+// protocol families hosting the paper's network bugs (rxrpc, rds, l2cap,
+// llcp, ieee802154) and a macvlan-style virtual device lifecycle.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kMsgMore = 0x8000;
+constexpr uint32_t kMsgConfirm = 0x800;
+
+constexpr uint32_t kSoReuseaddr = 2;
+constexpr uint32_t kSoSndbuf = 7;
+constexpr uint32_t kSoRcvbuf = 8;
+constexpr uint32_t kSoStab = 70;         // Qdisc size-table attach (model).
+constexpr uint32_t kSoBindToDevice = 25;
+
+int64_t MakeSocket(Kernel& k, SockProto proto) {
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  SockObj sock;
+  sock.proto = proto;
+  obj->state = std::move(sock);
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t SocketTcp(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kTcp);
+}
+int64_t SocketUdp(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kUdp);
+}
+int64_t SocketUnix(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kUnix);
+}
+int64_t SocketRxrpc(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kRxrpc);
+}
+int64_t SocketRds(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kRds);
+}
+int64_t SocketL2cap(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kL2cap);
+}
+int64_t SocketLlcp(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kLlcp);
+}
+int64_t SocketIeee802154(Kernel& k, const uint64_t a[6]) {
+  return MakeSocket(k, SockProto::kIeee802154);
+}
+
+// Reads struct sockaddr_in { u16 family; u16 port; u32 addr; } (model).
+bool ReadSockaddr(Kernel& k, uint64_t addr, uint16_t* port) {
+  uint8_t raw[8];
+  if (!k.mem().Read(addr, raw, sizeof(raw))) {
+    return false;
+  }
+  *port = static_cast<uint16_t>(raw[2] | (raw[3] << 8));
+  return true;
+}
+
+int64_t Bind(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  auto* sock = obj == nullptr ? nullptr : obj->As<SockObj>();
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (sock->state != SockState::kNew) {
+    KCOV_BLOCK(k);
+    // Re-binding an rxrpc local endpoint leaks the first one.
+    if (sock->proto == SockProto::kRxrpc &&
+        sock->state == SockState::kBound) {
+      KCOV_BLOCK(k);
+      ++k.net.rxrpc_local_endpoints;
+      if (k.net.rxrpc_local_endpoints >= 2 &&
+          k.TriggerBug(BugId::kRxrpcLookupLocalLeak)) {
+        return -kENOMEM;
+      }
+    }
+    return -kEINVAL;
+  }
+  uint16_t port = 0;
+  if (!ReadSockaddr(k, a[1], &port)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (port == 0) {
+    KCOV_BLOCK(k);
+    port = static_cast<uint16_t>(1024 + (k.tick() % 1000));  // Ephemeral.
+  }
+  auto existing = k.net.listeners.find(port);
+  if (existing != k.net.listeners.end() && !existing->second.expired() &&
+      sock->opts.count(kSoReuseaddr) == 0) {
+    KCOV_BLOCK(k);
+    return -kEADDRINUSE;
+  }
+  KCOV_BLOCK(k);
+  sock->bound_port = port;
+  sock->state = SockState::kBound;
+  if (sock->proto == SockProto::kRxrpc) {
+    KCOV_BLOCK(k);
+    ++k.net.rxrpc_local_endpoints;
+  }
+  return 0;
+}
+
+int64_t Listen(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  auto* sock = obj == nullptr ? nullptr : obj->As<SockObj>();
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (sock->proto == SockProto::kUdp) {
+    KCOV_BLOCK(k);
+    return -kEOPNOTSUPP;
+  }
+  if (sock->state == SockState::kNew) {
+    KCOV_BLOCK(k);
+    // The paper's introduction example: listen before bind returns early.
+    return -kEDESTADDRREQ;
+  }
+  if (sock->state != SockState::kBound) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  sock->state = SockState::kListening;
+  sock->backlog = static_cast<int>(AsU32(a[1]) & 0x7f);
+  k.net.listeners[sock->bound_port] = obj;
+  return 0;
+}
+
+int64_t Connect(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  auto* sock = obj == nullptr ? nullptr : obj->As<SockObj>();
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint16_t port = 0;
+  if (!ReadSockaddr(k, a[1], &port)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_STATE(k, static_cast<int>(sock->state) |
+                    (static_cast<int>(sock->proto) << 3));
+  switch (sock->proto) {
+    case SockProto::kRds:
+      KCOV_BLOCK(k);
+      if (sock->state == SockState::kNew) {
+        KCOV_BLOCK(k);
+        // rds_ib_add_conn dereferences the unbound local device.
+        if (k.TriggerBug(BugId::kRdsIbAddConnNullDeref)) {
+          return -kEFAULT;
+        }
+        return -kEADDRNOTAVAIL;
+      }
+      sock->state = SockState::kConnected;
+      return 0;
+    case SockProto::kL2cap:
+      KCOV_BLOCK(k);
+      if (sock->state == SockState::kShutdown) {
+        KCOV_BLOCK(k);
+        // Re-connecting a shut-down channel double-drops its refcount.
+        if (k.TriggerBug(BugId::kL2capChanPutRefcount)) {
+          return -kEIO;
+        }
+        return -kEINVAL;
+      }
+      sock->state = SockState::kConnected;
+      sock->peer_port = port;
+      return 0;
+    case SockProto::kLlcp:
+    case SockProto::kIeee802154:
+    case SockProto::kRxrpc:
+    case SockProto::kUnix:
+    case SockProto::kNetlink:
+      KCOV_BLOCK(k);
+      sock->state = SockState::kConnected;
+      sock->peer_port = port;
+      return 0;
+    case SockProto::kUdp:
+      KCOV_BLOCK(k);
+      sock->state = SockState::kConnected;
+      sock->peer_port = port;
+      return 0;
+    case SockProto::kTcp:
+      break;
+  }
+  if (sock->state == SockState::kConnected) {
+    KCOV_BLOCK(k);
+    return -kEISCONN;
+  }
+  auto it = k.net.listeners.find(port);
+  auto listener_obj = it == k.net.listeners.end() ? nullptr : it->second.lock();
+  auto* listener =
+      listener_obj == nullptr ? nullptr : listener_obj->As<SockObj>();
+  if (listener == nullptr || listener->state != SockState::kListening) {
+    KCOV_BLOCK(k);
+    return -kECONNREFUSED;
+  }
+  if (listener->pending_connections >= listener->backlog + 1) {
+    KCOV_BLOCK(k);
+    return -kETIMEDOUT;
+  }
+  KCOV_BLOCK(k);
+  ++listener->pending_connections;
+  sock->state = SockState::kConnected;
+  sock->peer_port = port;
+  sock->peer = listener_obj;
+  return 0;
+}
+
+int64_t Accept4(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  auto* sock = obj == nullptr ? nullptr : obj->As<SockObj>();
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (sock->state != SockState::kListening) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (sock->pending_connections == 0) {
+    KCOV_BLOCK(k);
+    return -kEAGAIN;
+  }
+  KCOV_BLOCK(k);
+  KCOV_STATE(k, (sock->pending_connections & 7) | ((sock->backlog & 7) << 3));
+  --sock->pending_connections;
+  auto conn = std::make_shared<KObject>();
+  SockObj accepted;
+  accepted.proto = sock->proto;
+  accepted.state = SockState::kConnected;
+  accepted.bound_port = sock->bound_port;
+  accepted.peer = obj;
+  conn->state = std::move(accepted);
+  return k.AllocFd(std::move(conn));
+}
+
+int64_t Sendto(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  auto* sock = obj == nullptr ? nullptr : obj->As<SockObj>();
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t len = a[2];
+  const uint32_t flags = AsU32(a[3]);
+  KCOV_STATE(k, static_cast<int>(sock->state) |
+                    (static_cast<int>(sock->proto) << 3) |
+                    (sock->qdisc_stab_set ? 0x40 : 0) |
+                    (sock->bound_device.empty() ? 0 : 0x80));
+  if (len > (64 << 10)) {
+    KCOV_BLOCK(k);
+    return -kEMFILE;
+  }
+  // Device-bound sends walk the virtual device's broadcast list.
+  if (!sock->bound_device.empty() && k.net.macvlan_removed) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kMacvlanBroadcastUaf)) {
+      return -kEIO;
+    }
+    return -kENETDOWN;
+  }
+  // 802.15.4 frames consult llsec keys at transmit time.
+  if (sock->proto == SockProto::kIeee802154) {
+    KCOV_BLOCK(k);
+    if (sock->state != SockState::kConnected) {
+      KCOV_BLOCK(k);
+      return -kENOTCONN;
+    }
+    if (k.net.wpan_key_deleted) {
+      KCOV_BLOCK(k);
+      // Key deleted while a frame referencing it was queued.
+      if (k.TriggerBug(BugId::kIeee802154TxUaf)) {
+        return -kEIO;
+      }
+    }
+    return static_cast<int64_t>(len);
+  }
+  // Qdisc size tables index per-packet overhead by length bucket.
+  if (sock->qdisc_stab_set && len > 512) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kQdiscCalculatePktLenOob)) {
+      return -kEIO;
+    }
+  }
+  if (sock->proto == SockProto::kUdp) {
+    KCOV_BLOCK(k);
+    if (sock->state != SockState::kConnected && a[4] == 0) {
+      KCOV_BLOCK(k);
+      if ((flags & kMsgConfirm) != 0 &&
+          k.TriggerBug(BugId::kSendtoNoDestBug)) {
+        return -kEIO;
+      }
+      return -kEDESTADDRREQ;
+    }
+    if ((flags & kMsgMore) != 0 && len > 8192) {
+      KCOV_BLOCK(k);
+      // Oversized pending-corked frame overruns the skb head.
+      if (k.TriggerBug(BugId::kBuildSkbPagingFault)) {
+        return -kEIO;
+      }
+      return -kEMFILE;
+    }
+    return static_cast<int64_t>(len);
+  }
+  // TCP path.
+  if (sock->state != SockState::kConnected) {
+    KCOV_BLOCK(k);
+    return -kEPIPE;
+  }
+  if (k.net.e1000_tx_pending && len > 1024) {
+    KCOV_BLOCK(k);
+    // TX clean racing a new transmit on the same queue.
+    if (k.TriggerBug(BugId::kE1000CleanXmitRace)) {
+      return -kEIO;
+    }
+  }
+  k.net.e1000_tx_pending = len > 256;
+  auto peer = sock->peer.lock();
+  if (peer != nullptr) {
+    if (auto* peer_sock = peer->As<SockObj>()) {
+      KCOV_BLOCK(k);
+      std::vector<uint8_t> tmp(std::min<uint64_t>(len, 4096));
+      if (!tmp.empty() && !k.mem().Read(a[1], tmp.data(), tmp.size())) {
+        return -kEFAULT;
+      }
+      peer_sock->rxbuf.insert(peer_sock->rxbuf.end(), tmp.begin(), tmp.end());
+    }
+  }
+  KCOV_BLOCK(k);
+  return static_cast<int64_t>(len);
+}
+
+int64_t Recvfrom(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  k.net.e1000_tx_pending = false;  // RX path cleans the TX ring.
+  KCOV_STATE(k, static_cast<int>(sock->state) |
+                    (static_cast<int>(sock->proto) << 3) |
+                    (sock->rxbuf.empty() ? 0 : 0x40));
+  const uint64_t want = std::min<uint64_t>(a[2], 4096);
+  const uint64_t n = std::min<uint64_t>(want, sock->rxbuf.size());
+  if (n == 0) {
+    KCOV_BLOCK(k);
+    if (sock->state == SockState::kShutdown) {
+      KCOV_BLOCK(k);
+      return 0;
+    }
+    return -kEAGAIN;
+  }
+  if (!k.mem().Write(a[1], sock->rxbuf.data(), n)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  sock->rxbuf.erase(sock->rxbuf.begin(),
+                    sock->rxbuf.begin() + static_cast<long>(n));
+  return static_cast<int64_t>(n);
+}
+
+int64_t Shutdown(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (sock->state == SockState::kNew) {
+    KCOV_BLOCK(k);
+    return -kENOTCONN;
+  }
+  KCOV_BLOCK(k);
+  sock->state = SockState::kShutdown;
+  return 0;
+}
+
+int64_t Getsockname(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (sock->proto == SockProto::kLlcp &&
+      sock->state == SockState::kShutdown && sock->bound_port == 0) {
+    KCOV_BLOCK(k);
+    // llcp_sock_getname touches the local device of a never-bound,
+    // already-torn-down socket.
+    if (k.TriggerBug(BugId::kLlcpSockGetname)) {
+      return -kEFAULT;
+    }
+    return -kEINVAL;
+  }
+  uint8_t raw[8] = {0};
+  raw[0] = 2;
+  raw[2] = static_cast<uint8_t>(sock->bound_port & 0xff);
+  raw[3] = static_cast<uint8_t>(sock->bound_port >> 8);
+  if (!k.mem().Write(a[1], raw, sizeof(raw))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t SetsockoptCommon(Kernel& k, const uint64_t a[6], uint32_t opt) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t optlen = a[3];
+  if (optlen > 64) {
+    KCOV_BLOCK(k);
+    // Oversized optval is copied into a fixed on-stack buffer.
+    if (k.TriggerBug(BugId::kSockoptHugeOptlenOob)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  uint32_t value = 0;
+  if (optlen >= 4 && !k.mem().Read32(a[2], &value)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  switch (opt) {
+    case kSoStab:
+      KCOV_BLOCK(k);
+      sock->qdisc_stab_set = true;
+      sock->qdisc_overhead = value;
+      return 0;
+    case kSoBindToDevice: {
+      std::string dev;
+      if (!k.mem().ReadString(a[2], 32, &dev)) {
+        KCOV_BLOCK(k);
+        return -kEFAULT;
+      }
+      if (dev.rfind("macvlan", 0) == 0) {
+        KCOV_BLOCK(k);
+        if (!k.net.macvlan_created) {
+          KCOV_BLOCK(k);
+          return -kENODEV;
+        }
+      }
+      sock->bound_device = dev;
+      KCOV_BLOCK(k);
+      return 0;
+    }
+    default:
+      KCOV_BLOCK(k);
+      sock->opts[opt] = value;
+      return 0;
+  }
+}
+
+int64_t SetsockoptReuseaddr(Kernel& k, const uint64_t a[6]) {
+  return SetsockoptCommon(k, a, kSoReuseaddr);
+}
+int64_t SetsockoptSndbuf(Kernel& k, const uint64_t a[6]) {
+  return SetsockoptCommon(k, a, kSoSndbuf);
+}
+int64_t SetsockoptRcvbuf(Kernel& k, const uint64_t a[6]) {
+  return SetsockoptCommon(k, a, kSoRcvbuf);
+}
+int64_t SetsockoptStab(Kernel& k, const uint64_t a[6]) {
+  return SetsockoptCommon(k, a, kSoStab);
+}
+int64_t SetsockoptBindToDevice(Kernel& k, const uint64_t a[6]) {
+  return SetsockoptCommon(k, a, kSoBindToDevice);
+}
+
+int64_t Getsockopt(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint32_t opt = AsU32(a[1]);
+  auto it = sock->opts.find(opt);
+  const uint32_t value = it == sock->opts.end() ? 0 : AsU32(it->second);
+  if (!k.mem().Write32(a[2], value)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+// Virtual-device lifecycle (macvlan model).
+int64_t IoctlAddMacvlan(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (k.net.macvlan_created && !k.net.macvlan_removed) {
+    KCOV_BLOCK(k);
+    return -kEEXIST;
+  }
+  KCOV_BLOCK(k);
+  k.net.macvlan_created = true;
+  k.net.macvlan_removed = false;
+  return 0;
+}
+
+int64_t IoctlDelMacvlan(Kernel& k, const uint64_t a[6]) {
+  auto* sock = k.GetFdAs<SockObj>(AsFd(a[0]));
+  if (sock == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (!k.net.macvlan_created || k.net.macvlan_removed) {
+    KCOV_BLOCK(k);
+    return -kENODEV;
+  }
+  KCOV_BLOCK(k);
+  k.net.macvlan_removed = true;
+  return 0;
+}
+
+}  // namespace
+
+void RegisterSocketSyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"socket$tcp", SocketTcp, "socket"},
+    {"socket$udp", SocketUdp, "socket"},
+    {"socket$unix", SocketUnix, "socket"},
+    {"socket$rxrpc", SocketRxrpc, "socket"},
+    {"socket$rds", SocketRds, "socket"},
+    {"socket$l2cap", SocketL2cap, "socket"},
+    {"socket$llcp", SocketLlcp, "socket"},
+    {"socket$ieee802154", SocketIeee802154, "socket"},
+    {"bind", Bind, "socket"},
+    {"listen", Listen, "socket"},
+    {"connect", Connect, "socket"},
+    {"accept4", Accept4, "socket"},
+    {"sendto", Sendto, "socket"},
+    {"recvfrom", Recvfrom, "socket"},
+    {"shutdown", Shutdown, "socket"},
+    {"getsockname", Getsockname, "socket"},
+    {"setsockopt$REUSEADDR", SetsockoptReuseaddr, "socket"},
+    {"setsockopt$SNDBUF", SetsockoptSndbuf, "socket"},
+    {"setsockopt$RCVBUF", SetsockoptRcvbuf, "socket"},
+    {"setsockopt$STAB", SetsockoptStab, "socket"},
+    {"setsockopt$BINDTODEVICE", SetsockoptBindToDevice, "socket"},
+    {"getsockopt", Getsockopt, "socket"},
+    {"ioctl$SIOCADDMACVLAN", IoctlAddMacvlan, "socket"},
+    {"ioctl$SIOCDELMACVLAN", IoctlDelMacvlan, "socket"},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,586 @@
+// TTY / console / framebuffer / video-capture subsystem. Line-discipline
+// switching, VT geometry, and framebuffer mode state interact to form the
+// deepest injected bugs (console_unlock needs a long cross-device chain,
+// matching its reproducer length of 18 in Table 4).
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+int64_t OpenTty(Kernel& k, const uint64_t a[6], const char* want_path,
+                TtyKind kind) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 64, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (path != want_path) {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  TtyObj tty;
+  tty.kind = kind;
+  obj->state = std::move(tty);
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t OpenatPtmx(Kernel& k, const uint64_t a[6]) {
+  return OpenTty(k, a, "/dev/ptmx", TtyKind::kPtmx);
+}
+int64_t OpenatVcs(Kernel& k, const uint64_t a[6]) {
+  return OpenTty(k, a, "/dev/vcs", TtyKind::kVcs);
+}
+int64_t OpenatFb(Kernel& k, const uint64_t a[6]) {
+  return OpenTty(k, a, "/dev/fb0", TtyKind::kFb);
+}
+int64_t OpenatTtyprintk(Kernel& k, const uint64_t a[6]) {
+  return OpenTty(k, a, "/dev/ttyprintk", TtyKind::kTtyprintk);
+}
+int64_t OpenatVideo(Kernel& k, const uint64_t a[6]) {
+  return OpenTty(k, a, "/dev/video0", TtyKind::kVideo);
+}
+
+int64_t TiocSetd(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kPtmx) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  const int ldisc = static_cast<int>(AsU32(a[2]));
+  if (ldisc < 0 || ldisc > 30) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (ldisc == tty->ldisc) {
+    KCOV_BLOCK(k);
+    return 0;
+  }
+  // Tearing down N_GSM without flushing its dlci queues leaves the new
+  // n_tty instance reading freed state.
+  if (tty->ldisc == kLdiscGsm && ldisc == kLdiscNTty && tty->rx_pending) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kNttyOpenPagingFault)) {
+      return -kEFAULT;
+    }
+  }
+  KCOV_BLOCK(k);
+  tty->prev_ldisc = tty->ldisc;
+  tty->ldisc = ldisc;
+  ++tty->ldisc_switches;
+  if (ldisc == kLdiscGsm) {
+    KCOV_BLOCK(k);
+    tty->gsm_configured = false;  // Fresh attach needs configuration.
+  }
+  return 0;
+}
+
+int64_t TiocGetd(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  if (!k.mem().Write32(a[2], static_cast<uint32_t>(tty->ldisc))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+// struct gsm_config { u32 adaption; u32 encapsulation; u32 mru; u32 mtu; }
+int64_t GsmiocConfig(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kPtmx) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  if (tty->ldisc != kLdiscGsm) {
+    KCOV_BLOCK(k);
+    // Configuring the mux before gsmld_attach_gsm ran.
+    if (k.TriggerBug(BugId::kGsmldAttachNullDeref)) {
+      return -kEFAULT;
+    }
+    return -kENOTTY;
+  }
+  uint32_t conf[4];
+  if (!k.mem().Read(a[2], conf, sizeof(conf))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (conf[2] < 8 || conf[2] > 1500) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->gsm_configured = true;
+  return 0;
+}
+
+int64_t TcSets(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kPtmx) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  uint8_t termios[16];
+  if (!k.mem().Read(a[2], termios, sizeof(termios))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  tty->termios_set = true;
+  return 0;
+}
+
+int64_t TiocPkt(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kPtmx) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  KCOV_BLOCK(k);
+  tty->pkt_mode = AsU32(a[2]) != 0;
+  return 0;
+}
+
+int64_t TiocSti(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kPtmx) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  uint8_t c;
+  if (!k.mem().Read(a[2], &c, 1)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  tty->inbuf.push_back(c);
+  tty->rx_pending = true;
+  ++k.console.printk_pressure;
+  return 0;
+}
+
+int64_t WritePtmx(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kPtmx) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = std::min<uint64_t>(a[2], 4096);
+  std::vector<uint8_t> tmp(count);
+  if (count > 0 && !k.mem().Read(a[1], tmp.data(), count)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_STATE(k, (tty->ldisc & 0x1f) | (tty->pkt_mode ? 0x20 : 0) |
+                    (tty->termios_set ? 0x40 : 0) |
+                    (tty->gsm_configured ? 0x80 : 0));
+  if (tty->ldisc == kLdiscGsm && !tty->gsm_configured) {
+    KCOV_BLOCK(k);
+    return -kEAGAIN;  // Mux not up yet.
+  }
+  KCOV_BLOCK(k);
+  tty->inbuf.insert(tty->inbuf.end(), tmp.begin(), tmp.end());
+  tty->rx_pending = true;
+  ++tty->writes;
+  if (tty->ldisc == kLdiscGsm && tty->gsm_configured) {
+    KCOV_BLOCK(k);
+    ++k.console.printk_pressure;  // Mux frames echo to the console.
+  }
+  return static_cast<int64_t>(count);
+}
+
+int64_t ReadPtmx(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kPtmx) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_STATE(k, (tty->ldisc & 0x1f) | (tty->rx_pending ? 0x20 : 0) |
+                    ((tty->ldisc_switches & 3) << 6));
+  // Data buffered under the previous line discipline is handed to the new
+  // one's receive_buf, which references the old ldisc's freed state.
+  if (tty->rx_pending && tty->ldisc_switches > 0 &&
+      tty->prev_ldisc != tty->ldisc && tty->ldisc == kLdiscNTty) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kNttyReceiveBufUaf)) {
+      return -kEIO;
+    }
+  }
+  const uint64_t n = std::min<uint64_t>(a[2], tty->inbuf.size());
+  if (n == 0) {
+    KCOV_BLOCK(k);
+    return -kEAGAIN;
+  }
+  if (!k.mem().Write(a[1], tty->inbuf.data(), n)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  tty->inbuf.erase(tty->inbuf.begin(), tty->inbuf.begin() + static_cast<long>(n));
+  tty->rx_pending = !tty->inbuf.empty();
+  return static_cast<int64_t>(n);
+}
+
+// struct vt_sizes { u16 rows; u16 cols; }
+int64_t VtResize(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kVcs) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  uint16_t sizes[2];
+  if (!k.mem().Read(a[2], sizes, sizeof(sizes))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (sizes[0] == 0 || sizes[1] == 0 || sizes[0] > 512 || sizes[1] > 512) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->rows = sizes[0];
+  tty->cols = sizes[1];
+  ++k.console.vt_resizes;
+  ++k.console.printk_pressure;
+  return 0;
+}
+
+int64_t ReadVcs(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kVcs) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = a[2];
+  const uint64_t screen_bytes = 2ull * tty->cols * tty->rows;
+  if (count > screen_bytes) {
+    KCOV_BLOCK(k);
+    // After a shrinking VT_RESIZE the read clamp still uses the old size.
+    if (k.console.vt_resizes > 0 &&
+        k.TriggerBug(BugId::kVcsScrReadwOob)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  std::vector<uint8_t> zeros(std::min<uint64_t>(count, 4096), ' ');
+  if (!zeros.empty() && !k.mem().Write(a[1], zeros.data(), zeros.size())) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return static_cast<int64_t>(zeros.size());
+}
+
+int64_t WriteVcs(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kVcs) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = a[2];
+  const uint64_t screen_bytes = 2ull * tty->cols * tty->rows;
+  KCOV_STATE(k, (k.console.printk_pressure & 0xf) |
+                    ((k.console.vt_resizes & 3) << 4) |
+                    (tty->font_set ? 0x40 : 0) |
+                    ((tty->cols != 80 || tty->rows != 25) ? 0x80 : 0));
+  ++k.console.printk_pressure;
+  // Heavy console traffic with repeated VT resizes re-enters console_unlock
+  // from the printk path and self-deadlocks. Reaching this guard requires a
+  // long chain of console-pressure operations (repro length ~18).
+  if (k.console.printk_pressure >= 8 && k.console.vt_resizes >= 2) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kConsoleUnlockDeadlock)) {
+      return -kEIO;
+    }
+  }
+  if (count > screen_bytes) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kVcsWriteOob)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  ++tty->writes;
+  return static_cast<int64_t>(count);
+}
+
+// struct console_font_op-ish: { u32 height; u32 count; data... }
+int64_t PioFont(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr ||
+      (tty->kind != TtyKind::kVcs && tty->kind != TtyKind::kFb)) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  uint32_t hdr[2];
+  if (!k.mem().Read(a[2], hdr, sizeof(hdr))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  const uint32_t height = hdr[0];
+  if (height == 0 || height > 128) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (height > 32 && tty->font_set) {
+    KCOV_BLOCK(k);
+    // Replacing an existing font with an oversized one copies past the
+    // per-console font buffer.
+    if (k.TriggerBug(BugId::kFbconGetFontOob)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->font_set = true;
+  tty->font_height = height;
+  return 0;
+}
+
+// struct fb_var_screeninfo (model): { u32 xres; u32 yres; u32 bpp; u32 pixclock; }
+int64_t FbioPutVscreeninfo(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kFb) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  uint32_t var[4];
+  if (!k.mem().Read(a[2], var, sizeof(var))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (var[3] == 0) {
+    KCOV_BLOCK(k);
+    // fb_var_to_videomode divides the refresh rate by pixclock.
+    if (k.TriggerBug(BugId::kFbVarToVideomodeDivide)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  if (var[0] == 0 || var[1] == 0 || var[0] > 8192 || var[1] > 8192) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->xres = var[0];
+  tty->yres = var[1];
+  tty->bpp = var[2];
+  tty->pixclock = var[3];
+  return 0;
+}
+
+int64_t FbioGetVscreeninfo(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kFb) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  const uint32_t var[4] = {tty->xres, tty->yres, tty->bpp, tty->pixclock};
+  if (!k.mem().Write(a[2], var, sizeof(var))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t FbioPanDisplay(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kFb) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  ++tty->pans;
+  if (tty->bpp % 8 != 0) {
+    KCOV_BLOCK(k);
+    if (tty->pans >= 2) {
+      KCOV_BLOCK(k);
+      // Panning a non-byte-aligned mode twice corrupts the fill offsets.
+      if (k.TriggerBug(BugId::kBitfillAlignedBug)) {
+        return -kEIO;
+      }
+    }
+    if (tty->cursor_soft) {
+      KCOV_BLOCK(k);
+      // Software cursor restore reads from the stale pan origin.
+      if (k.TriggerBug(BugId::kSoftCursorOob)) {
+        return -kEIO;
+      }
+    }
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->panned = true;
+  return 0;
+}
+
+int64_t KdSetMode(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr ||
+      (tty->kind != TtyKind::kVcs && tty->kind != TtyKind::kFb)) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  const uint32_t mode = AsU32(a[2]);
+  if (mode > 3) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->cursor_soft = mode == 2;
+  return 0;
+}
+
+int64_t WriteFb(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kFb) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = a[2];
+  if (count > 1ull * tty->xres * tty->yres * (tty->bpp / 8 + 1)) {
+    KCOV_BLOCK(k);
+    return -kEFBIG;
+  }
+  KCOV_STATE(k, ((tty->bpp / 8) & 7) | (tty->font_set ? 0x08 : 0) |
+                    (tty->cursor_soft ? 0x10 : 0) | (tty->panned ? 0x20 : 0) |
+                    ((tty->font_height > 16) ? 0x40 : 0));
+  if (tty->bpp == 24 && tty->font_set && tty->font_height > 16 &&
+      tty->cursor_soft) {
+    KCOV_BLOCK(k);
+    // Glyph blit in a packed-24bpp mode with a tall font reads past the
+    // source bitmap (bit_putcs).
+    if (k.TriggerBug(BugId::kBitPutcsOob)) {
+      return -kEIO;
+    }
+  }
+  KCOV_BLOCK(k);
+  ++tty->writes;
+  return static_cast<int64_t>(count);
+}
+
+int64_t WriteTtyprintk(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kTtyprintk) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = a[2];
+  ++tty->writes;
+  ++k.console.printk_pressure;
+  if (count > 255 && tty->writes >= 3) {
+    KCOV_BLOCK(k);
+    // tpk_printk's temporary buffer is 512 bytes; repeated long writes
+    // leave an unterminated tail that trips the BUG_ON.
+    if (k.TriggerBug(BugId::kTpkWriteBug)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  return static_cast<int64_t>(count);
+}
+
+// Video capture (vivid model).
+int64_t VidiocReqbufs(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kVideo) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  const uint32_t count = AsU32(a[2]);
+  if (count > 32) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->bufs_requested = static_cast<int>(count);
+  return 0;
+}
+
+int64_t VidiocStreamon(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kVideo) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  if (tty->bufs_requested == 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (tty->streaming) {
+    KCOV_BLOCK(k);
+    return -kEBUSY;
+  }
+  KCOV_BLOCK(k);
+  tty->streaming = true;
+  return 0;
+}
+
+int64_t VidiocStreamoff(Kernel& k, const uint64_t a[6]) {
+  auto* tty = k.GetFdAs<TtyObj>(AsFd(a[0]));
+  if (tty == nullptr || tty->kind != TtyKind::kVideo) {
+    KCOV_BLOCK(k);
+    return -kENOTTY;
+  }
+  ++tty->stream_stops;
+  if (!tty->streaming) {
+    KCOV_BLOCK(k);
+    // Stopping an already-stopped generator after a full start/stop cycle
+    // walks the torn-down buffer queue.
+    if (tty->stream_stops >= 2 && tty->bufs_requested > 0 &&
+        k.TriggerBug(BugId::kVividStopGenerating)) {
+      return -kEFAULT;
+    }
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  tty->streaming = false;
+  return 0;
+}
+
+}  // namespace
+
+void RegisterTtySyscalls(std::vector<SyscallDef>& defs) {
+  defs.insert(defs.end(), {
+    {"openat$ptmx", OpenatPtmx, "tty"},
+    {"openat$vcs", OpenatVcs, "tty"},
+    {"openat$fb0", OpenatFb, "tty"},
+    {"openat$ttyprintk", OpenatTtyprintk, "tty"},
+    {"openat$video0", OpenatVideo, "tty"},
+    {"ioctl$TIOCSETD", TiocSetd, "tty"},
+    {"ioctl$TIOCGETD", TiocGetd, "tty"},
+    {"ioctl$GSMIOC_CONFIG", GsmiocConfig, "tty"},
+    {"ioctl$TCSETS", TcSets, "tty"},
+    {"ioctl$TIOCPKT", TiocPkt, "tty"},
+    {"ioctl$TIOCSTI", TiocSti, "tty"},
+    {"write$ptmx", WritePtmx, "tty"},
+    {"read$ptmx", ReadPtmx, "tty"},
+    {"ioctl$VT_RESIZE", VtResize, "tty"},
+    {"read$vcs", ReadVcs, "tty"},
+    {"write$vcs", WriteVcs, "tty"},
+    {"ioctl$PIO_FONT", PioFont, "tty"},
+    {"ioctl$FBIOPUT_VSCREENINFO", FbioPutVscreeninfo, "tty"},
+    {"ioctl$FBIOGET_VSCREENINFO", FbioGetVscreeninfo, "tty"},
+    {"ioctl$FBIOPAN_DISPLAY", FbioPanDisplay, "tty"},
+    {"ioctl$KDSETMODE", KdSetMode, "tty"},
+    {"write$fb", WriteFb, "tty"},
+    {"write$ttyprintk", WriteTtyprintk, "tty"},
+    {"ioctl$VIDIOC_REQBUFS", VidiocReqbufs, "tty"},
+    {"ioctl$VIDIOC_STREAMON", VidiocStreamon, "tty"},
+    {"ioctl$VIDIOC_STREAMOFF", VidiocStreamoff, "tty"},
+  });
+}
+
+}  // namespace healer

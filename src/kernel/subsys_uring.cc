@@ -1,0 +1,165 @@
+// io_uring subsystem (v5.6+). Registered-file teardown interacts with close,
+// the state behind io_uring_cancel_task_requests' null dereference.
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kEnterGetevents = 1;
+constexpr uint32_t kEnterSqWakeup = 2;
+constexpr uint32_t kEnterCancel = 0x10;  // Model flag.
+
+// io_uring_setup(entries, params ptr[inout]).
+int64_t IoUringSetup(Kernel& k, const uint64_t a[6]) {
+  const uint32_t entries = AsU32(a[0]);
+  if (entries == 0 || entries > 4096) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  uint32_t rounded = 1;
+  while (rounded < entries) {
+    rounded <<= 1;
+  }
+  if (a[1] != 0 && !k.mem().Write32(a[1], rounded)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  auto obj = std::make_shared<KObject>();
+  UringObj ring;
+  ring.entries = rounded;
+  obj->state = std::move(ring);
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t IoUringRegisterFiles(Kernel& k, const uint64_t a[6]) {
+  auto* ring = k.GetFdAs<UringObj>(AsFd(a[0]));
+  if (ring == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (ring->files_registered) {
+    KCOV_BLOCK(k);
+    return -kEBUSY;
+  }
+  const uint64_t nr = std::min<uint64_t>(a[3], 16);
+  if (nr == 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  for (uint64_t i = 0; i < nr; ++i) {
+    uint64_t fd_val;
+    if (!k.mem().Read64(a[2] + 8 * i, &fd_val)) {
+      KCOV_BLOCK(k);
+      return -kEFAULT;
+    }
+    auto obj = k.GetFd(static_cast<int>(static_cast<int64_t>(fd_val)));
+    if (obj == nullptr) {
+      KCOV_BLOCK(k);
+      return -kEBADF;
+    }
+    // Weak reference: the ring does not pin registered files in the model.
+    ring->reg_files.push_back(obj);
+  }
+  KCOV_BLOCK(k);
+  ring->files_registered = true;
+  return 0;
+}
+
+int64_t IoUringRegisterBuffers(Kernel& k, const uint64_t a[6]) {
+  auto* ring = k.GetFdAs<UringObj>(AsFd(a[0]));
+  if (ring == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (ring->buffers_registered) {
+    KCOV_BLOCK(k);
+    return -kEBUSY;
+  }
+  const uint64_t nr = a[3];
+  if (nr == 0 || nr > 64) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  // Each iovec is { u64 base; u64 len }.
+  for (uint64_t i = 0; i < std::min<uint64_t>(nr, 8); ++i) {
+    uint64_t iov[2];
+    if (!k.mem().Read(a[2] + 16 * i, iov, sizeof(iov))) {
+      KCOV_BLOCK(k);
+      return -kEFAULT;
+    }
+    if (iov[1] > (1 << 20)) {
+      KCOV_BLOCK(k);
+      return -kEINVAL;
+    }
+  }
+  KCOV_BLOCK(k);
+  ring->buffers_registered = true;
+  return 0;
+}
+
+int64_t IoUringEnter(Kernel& k, const uint64_t a[6]) {
+  auto* ring = k.GetFdAs<UringObj>(AsFd(a[0]));
+  if (ring == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint32_t to_submit = AsU32(a[1]);
+  const uint32_t flags = AsU32(a[3]);
+  KCOV_STATE(k, (ring->buffers_registered ? 1 : 0) |
+                    (ring->files_registered ? 2 : 0) |
+                    ((ring->submitted & 7) << 2) | ((flags & 7) << 5));
+  if (to_submit > ring->entries) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if ((flags & kEnterCancel) != 0) {
+    KCOV_BLOCK(k);
+    // Cancellation walks the registered-file table; an entry whose file was
+    // closed underneath leaves a null node.
+    for (const auto& weak_file : ring->reg_files) {
+      auto obj = weak_file.lock();
+      if (obj == nullptr || obj->freed) {
+        KCOV_BLOCK(k);
+        if (k.TriggerBug(BugId::kIoUringCancelNullDeref)) {
+          return -kEFAULT;
+        }
+      }
+    }
+    return 0;
+  }
+  if ((flags & kEnterSqWakeup) != 0 && ring->submitted == 0) {
+    KCOV_BLOCK(k);
+    return -kEOPNOTSUPP;
+  }
+  KCOV_BLOCK(k);
+  ring->submitted += to_submit;
+  if ((flags & kEnterGetevents) != 0) {
+    KCOV_BLOCK(k);
+    const uint32_t done = std::min(ring->submitted, AsU32(a[2]));
+    ring->completed += done;
+    ring->submitted -= done;
+    return done;
+  }
+  return to_submit;
+}
+
+}  // namespace
+
+void RegisterUringSyscalls(std::vector<SyscallDef>& defs) {
+  using V = KernelVersion;
+  defs.insert(defs.end(), {
+    {"io_uring_setup", IoUringSetup, "io_uring", V::kV5_6},
+    {"io_uring_register$FILES", IoUringRegisterFiles, "io_uring", V::kV5_6},
+    {"io_uring_register$BUFFERS", IoUringRegisterBuffers, "io_uring",
+     V::kV5_6},
+    {"io_uring_enter", IoUringEnter, "io_uring", V::kV5_6},
+  });
+}
+
+}  // namespace healer

@@ -1,0 +1,750 @@
+// VFS subsystem: an in-memory filesystem with an ext4/jbd2-style journal
+// model. The journal "commit window" opened by fsync lasts exactly one
+// subsequent syscall, which is how the deterministic simulator exposes the
+// ext4 data-race guards (Table 5).
+
+#include <algorithm>
+
+#include "src/kernel/coverage.h"
+#include "src/kernel/subsys_common.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kORdonly = 0;
+constexpr uint32_t kOWronly = 1;
+constexpr uint32_t kORdwr = 2;
+constexpr uint32_t kOCreat = 0x40;
+constexpr uint32_t kOTrunc = 0x200;
+constexpr uint32_t kOAppend = 0x400;
+
+constexpr uint64_t kMaxFileSize = 1 << 20;
+
+int LookupOrCreate(Kernel& k, const std::string& path, uint32_t flags,
+                   uint32_t mode, bool* created) {
+  *created = false;
+  auto it = k.vfs.path_to_inode.find(path);
+  if (it != k.vfs.path_to_inode.end()) {
+    KCOV_BLOCK(k);
+    return it->second;
+  }
+  if ((flags & kOCreat) == 0) {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  KCOV_BLOCK(k);
+  Inode inode;
+  inode.path = path;
+  inode.mode = mode & 0777;
+  inode.is_dir = false;
+  const int idx = static_cast<int>(k.vfs.inodes.size());
+  k.vfs.inodes.push_back(std::move(inode));
+  k.vfs.path_to_inode[path] = idx;
+  *created = true;
+  return idx;
+}
+
+int64_t OpenatFile(Kernel& k, const uint64_t a[6]) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 256, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  const uint32_t flags = AsU32(a[1]);
+  const uint32_t mode = AsU32(a[2]);
+  KCOV_BLOCK(k);
+  const bool is_device = path.rfind("/dev/", 0) == 0;
+  if (is_device) {
+    KCOV_BLOCK(k);
+    // Re-opening a character device whose path was unlinked while an earlier
+    // fd was still open under-counts the cdev refcount.
+    auto it = k.vfs.path_to_inode.find(path);
+    if (it != k.vfs.path_to_inode.end() &&
+        k.vfs.inodes[it->second].unlinked_while_open) {
+      KCOV_BLOCK(k);
+      if (k.TriggerBug(BugId::kCdevDelRefcount)) {
+        return -kEFAULT;
+      }
+    }
+  }
+  bool created = false;
+  const int inode = LookupOrCreate(k, path, flags | (is_device ? kOCreat : 0),
+                                   mode, &created);
+  if (inode < 0) {
+    return inode;
+  }
+  if (k.vfs.inodes[inode].is_dir && (flags & 3) != kORdonly) {
+    KCOV_BLOCK(k);
+    return -kEISDIR;
+  }
+  if ((flags & kOTrunc) != 0 && !k.vfs.inodes[inode].is_dir) {
+    KCOV_BLOCK(k);
+    k.vfs.inodes[inode].data.clear();
+  }
+  auto obj = std::make_shared<KObject>();
+  FileObj file;
+  file.inode = inode;
+  file.open_flags = flags;
+  file.is_device = is_device;
+  if (is_device) {
+    file.devname = path.substr(5);
+  }
+  obj->state = file;
+  KCOV_BLOCK(k);
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t Close(Kernel& k, const uint64_t a[6]) {
+  const int fd = AsFd(a[0]);
+  auto obj = k.GetFd(fd);
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_BLOCK(k);
+  return k.CloseFd(fd);
+}
+
+int64_t Read(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint64_t count = a[2];
+  if (count > kMaxFileSize) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  // Generic read dispatches on object kind like vfs_read does.
+  if (auto* file = obj->As<FileObj>()) {
+    KCOV_BLOCK(k);
+    if ((file->open_flags & 3) == kOWronly) {
+      KCOV_BLOCK(k);
+      return -kEBADF;
+    }
+    Inode& inode = k.vfs.inodes[file->inode];
+    if (inode.is_dir) {
+      KCOV_BLOCK(k);
+      return -kEISDIR;
+    }
+    KCOV_STATE(k, std::min<uint64_t>(inode.data.size() >> 8, 7) |
+                      ((file->pos != 0 ? 1 : 0) << 3) |
+                      (file->is_device ? 0x10 : 0));
+    const uint64_t avail =
+        file->pos >= inode.data.size() ? 0 : inode.data.size() - file->pos;
+    const uint64_t n = std::min(count, avail);
+    if (n > 0) {
+      KCOV_BLOCK(k);
+      if (!k.mem().Write(a[1], inode.data.data() + file->pos, n)) {
+        return -kEFAULT;
+      }
+      file->pos += n;
+    }
+    KCOV_BLOCK(k);
+    return static_cast<int64_t>(n);
+  }
+  if (auto* memfd = obj->As<MemfdObj>()) {
+    KCOV_BLOCK(k);
+    const uint64_t n = std::min<uint64_t>(count, memfd->data.size());
+    if (n > 0 && !k.mem().Write(a[1], memfd->data.data(), n)) {
+      return -kEFAULT;
+    }
+    return static_cast<int64_t>(n);
+  }
+  KCOV_BLOCK(k);
+  return -kEINVAL;
+}
+
+int64_t Write(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint64_t count = a[2];
+  if (count > kMaxFileSize) {
+    KCOV_BLOCK(k);
+    return -kEFBIG;
+  }
+  if (auto* file = obj->As<FileObj>()) {
+    KCOV_BLOCK(k);
+    if ((file->open_flags & 3) == kORdonly) {
+      KCOV_BLOCK(k);
+      return -kEBADF;
+    }
+    Inode& inode = k.vfs.inodes[file->inode];
+    if (inode.is_dir) {
+      KCOV_BLOCK(k);
+      return -kEISDIR;
+    }
+    KCOV_STATE(k, (std::min<uint64_t>(inode.data.size() >> 8, 7)) |
+                      ((k.vfs.journal_dirty & 3) << 3) |
+                      (k.vfs.journal_committing ? 0x20 : 0) |
+                      ((file->open_flags & kOAppend) != 0 ? 0x40 : 0) |
+                      (inode.unlinked_while_open ? 0x80 : 0));
+    // Dirtying inode metadata while a journal commit is in flight races
+    // with jbd2 (ext4_mark_iloc_dirty vs jbd2_journal_commit_transaction).
+    if (k.vfs.journal_committing && !file->is_device) {
+      KCOV_BLOCK(k);
+      if (k.TriggerBug(BugId::kExt4MarkIlocDirtyRace)) {
+        return -kEIO;
+      }
+    }
+    uint64_t pos = (file->open_flags & kOAppend) != 0 ? inode.data.size()
+                                                      : file->pos;
+    if (pos + count > inode.data.size()) {
+      KCOV_BLOCK(k);
+      if (pos + count > kMaxFileSize) {
+        KCOV_BLOCK(k);
+        return -kEFBIG;
+      }
+      inode.data.resize(pos + count);
+    }
+    std::vector<uint8_t> tmp(count);
+    if (count > 0 && !k.mem().Read(a[1], tmp.data(), count)) {
+      KCOV_BLOCK(k);
+      return -kEFAULT;
+    }
+    std::copy(tmp.begin(), tmp.end(), inode.data.begin() + pos);
+    file->pos = pos + count;
+    ++k.vfs.journal_dirty;
+    KCOV_BLOCK(k);
+    return static_cast<int64_t>(count);
+  }
+  KCOV_BLOCK(k);
+  return -kEINVAL;
+}
+
+int64_t Pread(Kernel& k, const uint64_t a[6]) {
+  auto* file = k.GetFdAs<FileObj>(AsFd(a[0]));
+  if (file == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = a[2];
+  const uint64_t off = a[3];
+  Inode& inode = k.vfs.inodes[file->inode];
+  if (inode.is_dir) {
+    KCOV_BLOCK(k);
+    return -kEISDIR;
+  }
+  if (off > kMaxFileSize || count > kMaxFileSize) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  const uint64_t avail = off >= inode.data.size() ? 0 : inode.data.size() - off;
+  const uint64_t n = std::min(count, avail);
+  if (n > 0 && !k.mem().Write(a[1], inode.data.data() + off, n)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return static_cast<int64_t>(n);
+}
+
+int64_t Pwrite(Kernel& k, const uint64_t a[6]) {
+  auto* file = k.GetFdAs<FileObj>(AsFd(a[0]));
+  if (file == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t count = a[2];
+  const uint64_t off = a[3];
+  if (off > kMaxFileSize || count > kMaxFileSize ||
+      off + count > kMaxFileSize) {
+    KCOV_BLOCK(k);
+    return -kEFBIG;
+  }
+  Inode& inode = k.vfs.inodes[file->inode];
+  if (inode.is_dir) {
+    KCOV_BLOCK(k);
+    return -kEISDIR;
+  }
+  if (off + count > inode.data.size()) {
+    KCOV_BLOCK(k);
+    inode.data.resize(off + count);
+  }
+  std::vector<uint8_t> tmp(count);
+  if (count > 0 && !k.mem().Read(a[1], tmp.data(), count)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  std::copy(tmp.begin(), tmp.end(), inode.data.begin() + off);
+  ++k.vfs.journal_dirty;
+  KCOV_BLOCK(k);
+  return static_cast<int64_t>(count);
+}
+
+int64_t Lseek(Kernel& k, const uint64_t a[6]) {
+  auto* file = k.GetFdAs<FileObj>(AsFd(a[0]));
+  if (file == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const int64_t off = AsI64(a[1]);
+  const uint32_t whence = AsU32(a[2]);
+  if (off > (1ll << 40) || off < -(1ll << 40)) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  Inode& inode = k.vfs.inodes[file->inode];
+  int64_t base;
+  switch (whence) {
+    case 0:  // SEEK_SET
+      KCOV_BLOCK(k);
+      base = 0;
+      break;
+    case 1:  // SEEK_CUR
+      KCOV_BLOCK(k);
+      base = static_cast<int64_t>(file->pos);
+      break;
+    case 2:  // SEEK_END
+      KCOV_BLOCK(k);
+      base = static_cast<int64_t>(inode.data.size());
+      break;
+    case 3:  // SEEK_DATA: unusual path with a shallow logic bug.
+      KCOV_BLOCK(k);
+      if (inode.data.empty() && off == 0) {
+        KCOV_BLOCK(k);
+        if (k.TriggerBug(BugId::kSeekNegativeBug)) {
+          return -kEIO;
+        }
+        return -kENXIO;
+      }
+      base = 0;
+      break;
+    default:
+      KCOV_BLOCK(k);
+      return -kEINVAL;
+  }
+  const int64_t target = base + off;
+  if (target < 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  file->pos = static_cast<uint64_t>(target);
+  KCOV_BLOCK(k);
+  return target;
+}
+
+int64_t Dup(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_BLOCK(k);
+  if (k.NumOpenFds() > 16) {
+    KCOV_BLOCK(k);
+    // dup_fd leaks a table entry under fd-table pressure.
+    if (k.TriggerBug(BugId::kDupLimitLeak)) {
+      return -kENOMEM;
+    }
+  }
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t Ftruncate(Kernel& k, const uint64_t a[6]) {
+  auto* file = k.GetFdAs<FileObj>(AsFd(a[0]));
+  if (file == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint64_t len = a[1];
+  if (len > kMaxFileSize) {
+    KCOV_BLOCK(k);
+    return -kEFBIG;
+  }
+  Inode& inode = k.vfs.inodes[file->inode];
+  if (inode.is_dir) {
+    KCOV_BLOCK(k);
+    return -kEISDIR;
+  }
+  KCOV_BLOCK(k);
+  inode.data.resize(len);
+  ++k.vfs.journal_dirty;
+  return 0;
+}
+
+int64_t Fsync(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (k.vfs.journal_dirty > 0) {
+    KCOV_BLOCK(k);
+    // Starts a jbd2 commit; the race window spans the following syscall.
+    k.vfs.journal_committing = true;
+    k.vfs.journal_dirty = 0;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t Fdatasync(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (k.vfs.fc_commit_inflight) {
+    KCOV_BLOCK(k);
+    // Two overlapping fast-commits race with each other.
+    if (k.TriggerBug(BugId::kExt4FcCommitRace)) {
+      return -kEIO;
+    }
+  }
+  if (k.vfs.journal_dirty > 0) {
+    KCOV_BLOCK(k);
+    k.vfs.fc_commit_inflight = true;
+  } else {
+    KCOV_BLOCK(k);
+    k.vfs.fc_commit_inflight = false;
+  }
+  return 0;
+}
+
+int64_t Fstat(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  uint64_t size = 0;
+  uint32_t mode = 0;
+  uint32_t nlink = 1;
+  if (auto* file = obj->As<FileObj>()) {
+    KCOV_BLOCK(k);
+    Inode& inode = k.vfs.inodes[file->inode];
+    if (inode.unlinked_while_open) {
+      KCOV_BLOCK(k);
+      // generic_fillattr reads i_nlink while drop_nlink is decrementing it.
+      if (k.TriggerBug(BugId::kDropNlinkFillattrRace)) {
+        return -kEIO;
+      }
+    }
+    size = inode.data.size();
+    mode = inode.mode;
+    nlink = static_cast<uint32_t>(inode.nlink);
+  } else {
+    KCOV_BLOCK(k);
+    mode = 0600;
+  }
+  uint8_t stat_buf[32] = {0};
+  std::memcpy(stat_buf, &size, 8);
+  std::memcpy(stat_buf + 8, &mode, 4);
+  std::memcpy(stat_buf + 12, &nlink, 4);
+  if (!k.mem().Write(a[1], stat_buf, sizeof(stat_buf))) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t Fchmod(Kernel& k, const uint64_t a[6]) {
+  auto* file = k.GetFdAs<FileObj>(AsFd(a[0]));
+  if (file == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (k.vfs.journal_committing) {
+    KCOV_BLOCK(k);
+    // Metadata update racing the committing transaction.
+    if (k.TriggerBug(BugId::kExt4DirtyMetadataRace)) {
+      return -kEIO;
+    }
+  }
+  KCOV_BLOCK(k);
+  k.vfs.inodes[file->inode].mode = AsU32(a[1]) & 0777;
+  ++k.vfs.journal_dirty;
+  return 0;
+}
+
+int64_t Mkdir(Kernel& k, const uint64_t a[6]) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 256, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  if (k.vfs.path_to_inode.count(path) != 0) {
+    KCOV_BLOCK(k);
+    return -kEEXIST;
+  }
+  KCOV_BLOCK(k);
+  Inode inode;
+  inode.path = path;
+  inode.is_dir = true;
+  inode.mode = AsU32(a[1]) & 0777;
+  const int idx = static_cast<int>(k.vfs.inodes.size());
+  k.vfs.inodes.push_back(std::move(inode));
+  k.vfs.path_to_inode[path] = idx;
+  return 0;
+}
+
+int64_t Unlink(Kernel& k, const uint64_t a[6]) {
+  std::string path;
+  if (!k.mem().ReadString(a[0], 256, &path)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  auto it = k.vfs.path_to_inode.find(path);
+  if (it == k.vfs.path_to_inode.end()) {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  Inode& inode = k.vfs.inodes[it->second];
+  if (inode.is_dir) {
+    KCOV_BLOCK(k);
+    return -kEISDIR;
+  }
+  KCOV_BLOCK(k);
+  inode.nlink = 0;
+  inode.unlinked_while_open = true;
+  k.vfs.path_to_inode.erase(it);
+  ++k.vfs.journal_dirty;
+  return 0;
+}
+
+int64_t Rename(Kernel& k, const uint64_t a[6]) {
+  std::string from, to;
+  if (!k.mem().ReadString(a[0], 256, &from) ||
+      !k.mem().ReadString(a[1], 256, &to)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  auto it = k.vfs.path_to_inode.find(from);
+  if (it == k.vfs.path_to_inode.end()) {
+    KCOV_BLOCK(k);
+    return -kENOENT;
+  }
+  if (k.vfs.journal_committing) {
+    KCOV_BLOCK(k);
+    // Directory-entry journaling racing the commit.
+    if (k.TriggerBug(BugId::kJbd2FileBufferRace)) {
+      return -kEIO;
+    }
+  }
+  KCOV_BLOCK(k);
+  const int inode = it->second;
+  k.vfs.path_to_inode.erase(it);
+  k.vfs.inodes[inode].path = to;
+  k.vfs.path_to_inode[to] = inode;
+  ++k.vfs.journal_dirty;
+  return 0;
+}
+
+int64_t Fallocate(Kernel& k, const uint64_t a[6]) {
+  auto* file = k.GetFdAs<FileObj>(AsFd(a[0]));
+  if (file == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint32_t mode = AsU32(a[1]);
+  const uint64_t off = a[2];
+  const uint64_t len = a[3];
+  if (len == 0) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  if (k.vfs.journal_committing) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kJbd2FileBufferRace)) {
+      return -kEIO;
+    }
+  }
+  if (off + len > (8 << 20)) {
+    KCOV_BLOCK(k);
+    // Huge preallocation trips an ext4 extent-tree assertion.
+    if (k.TriggerBug(BugId::kFallocateHugeBug)) {
+      return -kEIO;
+    }
+    return -kEFBIG;
+  }
+  if (off + len > (1 << 20)) {
+    KCOV_BLOCK(k);
+    // Large allocation under memory pressure enters fs reclaim with the
+    // journal handle held (4.19 lockdep report on sync).
+    k.vfs.mounts |= 0x100;  // Marks reclaim-pressure latch.
+    return 0;
+  }
+  KCOV_BLOCK(k);
+  Inode& inode = k.vfs.inodes[file->inode];
+  if ((mode & 1) == 0 && off + len > inode.data.size()) {
+    inode.data.resize(off + len);
+  }
+  ++k.vfs.journal_dirty;
+  return 0;
+}
+
+int64_t Sync(Kernel& k, const uint64_t a[6]) {
+  if ((k.vfs.mounts & 0x100) != 0) {
+    KCOV_BLOCK(k);
+    // Reclaim entered from the sync path with inconsistent lock state.
+    if (k.TriggerBug(BugId::kFsReclaimLockState)) {
+      return -kEIO;
+    }
+  }
+  KCOV_BLOCK(k);
+  k.vfs.journal_committing = k.vfs.journal_dirty > 0;
+  k.vfs.journal_dirty = 0;
+  return 0;
+}
+
+int64_t FcntlDupfd(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  KCOV_BLOCK(k);
+  return k.AllocFd(std::move(obj));
+}
+
+int64_t FcntlSetfl(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint32_t flags = AsU32(a[2]);
+  if (auto* file = obj->As<FileObj>()) {
+    KCOV_BLOCK(k);
+    if ((flags & 0x4000) != 0 && file->is_device) {
+      KCOV_BLOCK(k);
+      // O_DIRECT on a character device takes an unchecked branch.
+      if (k.TriggerBug(BugId::kFcntlBadCmdBug)) {
+        return -kEIO;
+      }
+      return -kEINVAL;
+    }
+    file->open_flags = (file->open_flags & 3) | (flags & ~3u);
+    return 0;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t FcntlGetfl(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  if (auto* file = obj->As<FileObj>()) {
+    KCOV_BLOCK(k);
+    return file->open_flags;
+  }
+  KCOV_BLOCK(k);
+  return 0;
+}
+
+int64_t Flock(Kernel& k, const uint64_t a[6]) {
+  auto obj = k.GetFd(AsFd(a[0]));
+  if (obj == nullptr) {
+    KCOV_BLOCK(k);
+    return -kEBADF;
+  }
+  const uint32_t op = AsU32(a[1]);
+  switch (op & 0xf) {
+    case 1:  // LOCK_SH
+    case 2:  // LOCK_EX
+      KCOV_BLOCK(k);
+      return 0;
+    case 8:  // LOCK_UN
+      KCOV_BLOCK(k);
+      return 0;
+    default:
+      KCOV_BLOCK(k);
+      return -kEINVAL;
+  }
+}
+
+// mount$nfs(src filename, data ptr[in, buffer], len) — parses the
+// monolithic mount-data blob; missing terminator leaks the parse context.
+int64_t MountNfs(Kernel& k, const uint64_t a[6]) {
+  std::string src;
+  if (!k.mem().ReadString(a[0], 256, &src)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  const uint64_t len = std::min<uint64_t>(a[2], 256);
+  std::vector<uint8_t> data(len);
+  if (len > 0 && !k.mem().Read(a[1], data.data(), len)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  KCOV_BLOCK(k);
+  // "Monolithic" v2/v3 data must end with a NUL-terminated host name.
+  if (!data.empty() && data.back() != 0) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kNfsParseMonolithicLeak)) {
+      return -kENOMEM;
+    }
+    return -kEINVAL;
+  }
+  if (data.size() < 8) {
+    KCOV_BLOCK(k);
+    return -kEINVAL;
+  }
+  KCOV_BLOCK(k);
+  ++k.vfs.mounts;
+  return 0;
+}
+
+// mount$reiserfs — 4.19 only; short superblock data hits a BUG().
+int64_t MountReiserfs(Kernel& k, const uint64_t a[6]) {
+  std::string src;
+  if (!k.mem().ReadString(a[0], 256, &src)) {
+    KCOV_BLOCK(k);
+    return -kEFAULT;
+  }
+  const uint64_t len = a[2];
+  KCOV_BLOCK(k);
+  if (len > 0 && len < 16) {
+    KCOV_BLOCK(k);
+    if (k.TriggerBug(BugId::kReiserfsFillSuperBug)) {
+      return -kEIO;
+    }
+    return -kEINVAL;
+  }
+  ++k.vfs.mounts;
+  return 0;
+}
+
+}  // namespace
+
+void RegisterVfsSyscalls(std::vector<SyscallDef>& defs) {
+  using V = KernelVersion;
+  defs.insert(defs.end(), {
+    {"openat$file", OpenatFile, "vfs"},
+    {"close", Close, "vfs"},
+    {"read", Read, "vfs"},
+    {"write", Write, "vfs"},
+    {"pread64", Pread, "vfs"},
+    {"pwrite64", Pwrite, "vfs"},
+    {"lseek", Lseek, "vfs"},
+    {"dup", Dup, "vfs"},
+    {"ftruncate", Ftruncate, "vfs"},
+    {"fsync", Fsync, "vfs"},
+    {"fdatasync", Fdatasync, "vfs"},
+    {"fstat", Fstat, "vfs"},
+    {"fchmod", Fchmod, "vfs"},
+    {"mkdir", Mkdir, "vfs"},
+    {"unlink", Unlink, "vfs"},
+    {"rename", Rename, "vfs"},
+    {"fallocate", Fallocate, "vfs"},
+    {"sync", Sync, "vfs"},
+    {"fcntl$DUPFD", FcntlDupfd, "vfs"},
+    {"fcntl$SETFL", FcntlSetfl, "vfs"},
+    {"fcntl$GETFL", FcntlGetfl, "vfs"},
+    {"flock", Flock, "vfs"},
+    {"mount$nfs", MountNfs, "vfs"},
+    {"mount$reiserfs", MountReiserfs, "reiserfs", V::kV4_19, V::kV4_19},
+  });
+}
+
+}  // namespace healer

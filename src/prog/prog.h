@@ -1,0 +1,133 @@
+// Test-case representation: a Prog is a sequence of Calls whose arguments
+// form typed trees. Resource arguments refer to earlier calls by index and
+// result slot, so removing a call rewrites later references — the operation
+// at the heart of HEALER's minimization (Algorithm 1) and dynamic relation
+// learning (Algorithm 2).
+
+#ifndef SRC_PROG_PROG_H_
+#define SRC_PROG_PROG_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/syzlang/target.h"
+#include "src/syzlang/types.h"
+
+namespace healer {
+
+enum class ArgKind {
+  kConstant,  // Scalar value (int/const/flags/len).
+  kData,      // Raw bytes (buffer/string/filename).
+  kPointer,   // Guest pointer to a pointee arg; null when pointee absent.
+  kGroup,     // Struct or array: ordered children.
+  kUnion,     // One active child.
+  kResource,  // Value produced by an earlier call, or a special value.
+  kVma,       // Page-aligned address + page count in the VMA window.
+};
+
+struct Arg;
+using ArgPtr = std::unique_ptr<Arg>;
+
+struct Arg {
+  const Type* type = nullptr;
+  ArgKind kind = ArgKind::kConstant;
+
+  // kConstant: the value. kVma: the address.
+  uint64_t val = 0;
+  // kVma: mapping length in pages.
+  uint64_t vma_pages = 1;
+  // kData.
+  std::vector<uint8_t> data;
+  // kPointer: pointee (nullptr encodes a null pointer).
+  ArgPtr pointee;
+  // kGroup / kUnion children.
+  std::vector<ArgPtr> inner;
+  // kUnion: index of the active field within type->fields.
+  int union_index = 0;
+  // kResource: index of the producing call within the Prog, or -1 when the
+  // value is a resource special (held in val). `res_slot` selects which of
+  // the producer's result slots is consumed (0 = return value, 1+ = out
+  // parameters in discovery order).
+  int res_ref = -1;
+  int res_slot = 0;
+
+  ArgPtr Clone() const;
+
+  // Byte size this arg occupies when serialized into guest memory.
+  uint64_t Size() const;
+};
+
+ArgPtr MakeConstant(const Type* type, uint64_t val);
+ArgPtr MakeData(const Type* type, std::vector<uint8_t> data);
+ArgPtr MakePointer(const Type* type, ArgPtr pointee);
+ArgPtr MakeNullPointer(const Type* type);
+ArgPtr MakeGroup(const Type* type, std::vector<ArgPtr> inner);
+ArgPtr MakeUnion(const Type* type, int index, ArgPtr inner);
+ArgPtr MakeResourceRef(const Type* type, int call_index, int slot);
+ArgPtr MakeResourceSpecial(const Type* type, uint64_t val);
+ArgPtr MakeVma(const Type* type, uint64_t addr, uint64_t pages);
+
+struct Call {
+  const Syscall* meta = nullptr;
+  std::vector<ArgPtr> args;
+
+  Call() = default;
+  Call(Call&&) = default;
+  Call& operator=(Call&&) = default;
+  Call Clone() const;
+};
+
+class Prog {
+ public:
+  Prog() = default;
+  explicit Prog(const Target* target) : target_(target) {}
+  Prog(Prog&&) = default;
+  Prog& operator=(Prog&&) = default;
+
+  const Target* target() const { return target_; }
+  std::vector<Call>& calls() { return calls_; }
+  const std::vector<Call>& calls() const { return calls_; }
+  size_t size() const { return calls_.size(); }
+  bool empty() const { return calls_.empty(); }
+
+  Prog Clone() const;
+
+  // Removes call `index`. Resource args referring to it degrade to their
+  // kind's special value; references to later calls shift down by one.
+  void RemoveCall(size_t index);
+
+  // Keeps only calls [0, count).
+  void Truncate(size_t count);
+
+  // Recomputes every len-typed argument from its sibling (after buffer
+  // mutations change sizes). Array-typed len targets count elements;
+  // buffers/strings count bytes; vma targets count mapped bytes.
+  void FixupLens();
+
+  // Validates internal consistency (resource refs in range and pointing at
+  // producers of a compatible kind, len targets resolvable). Returns a
+  // descriptive error for corrupted programs.
+  Status Validate() const;
+
+  // Human-readable single-line-per-call form, e.g.
+  //   r0 = memfd_create(&"mfd0", 0x2)
+  std::string ToString() const;
+
+ private:
+  const Target* target_ = nullptr;
+  std::vector<Call> calls_;
+};
+
+// Computes the value a len-typed field should take for sibling `target`.
+uint64_t LenValueFor(const Arg& target);
+
+// Invokes `fn` on every arg in the call's tree (pre-order).
+void ForEachArg(Call& call, const std::function<void(Arg&)>& fn);
+void ForEachArg(const Call& call, const std::function<void(const Arg&)>& fn);
+
+}  // namespace healer
+
+#endif  // SRC_PROG_PROG_H_

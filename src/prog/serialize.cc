@@ -1,0 +1,302 @@
+#include "src/prog/serialize.h"
+
+#include <cstring>
+
+#include "src/base/string_util.h"
+
+namespace healer {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x48454131;  // "HEA1"
+
+enum class Tag : uint8_t {
+  kConstant = 0,
+  kData = 1,
+  kPointer = 2,
+  kNullPointer = 3,
+  kGroup = 4,
+  kUnion = 5,
+  kResourceRef = 6,
+  kResourceSpecial = 7,
+  kVma = 8,
+};
+
+class Writer {
+ public:
+  void U8(uint8_t v) { buf_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+  }
+  void Bytes(const std::vector<uint8_t>& data) {
+    U32(static_cast<uint32_t>(data.size()));
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  Reader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  bool U8(uint8_t* v) {
+    if (pos_ + 1 > size_) {
+      return false;
+    }
+    *v = data_[pos_++];
+    return true;
+  }
+  bool U32(uint32_t* v) {
+    if (pos_ + 4 > size_) {
+      return false;
+    }
+    uint32_t out = 0;
+    for (int i = 0; i < 4; ++i) {
+      out |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    *v = out;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (pos_ + 8 > size_) {
+      return false;
+    }
+    uint64_t out = 0;
+    for (int i = 0; i < 8; ++i) {
+      out |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    *v = out;
+    return true;
+  }
+  bool Bytes(std::vector<uint8_t>* out) {
+    uint32_t len;
+    if (!U32(&len) || pos_ + len > size_ || len > (1 << 20)) {
+      return false;
+    }
+    out->assign(data_ + pos_, data_ + pos_ + len);
+    pos_ += len;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+void EncodeArg(const Arg& arg, Writer& w) {
+  switch (arg.kind) {
+    case ArgKind::kConstant:
+      w.U8(static_cast<uint8_t>(Tag::kConstant));
+      w.U64(arg.val);
+      break;
+    case ArgKind::kData:
+      w.U8(static_cast<uint8_t>(Tag::kData));
+      w.Bytes(arg.data);
+      break;
+    case ArgKind::kPointer:
+      if (arg.pointee == nullptr) {
+        w.U8(static_cast<uint8_t>(Tag::kNullPointer));
+      } else {
+        w.U8(static_cast<uint8_t>(Tag::kPointer));
+        EncodeArg(*arg.pointee, w);
+      }
+      break;
+    case ArgKind::kGroup:
+      w.U8(static_cast<uint8_t>(Tag::kGroup));
+      w.U32(static_cast<uint32_t>(arg.inner.size()));
+      for (const auto& child : arg.inner) {
+        EncodeArg(*child, w);
+      }
+      break;
+    case ArgKind::kUnion:
+      w.U8(static_cast<uint8_t>(Tag::kUnion));
+      w.U32(static_cast<uint32_t>(arg.union_index));
+      EncodeArg(*arg.inner[0], w);
+      break;
+    case ArgKind::kResource:
+      if (arg.res_ref >= 0) {
+        w.U8(static_cast<uint8_t>(Tag::kResourceRef));
+        w.U32(static_cast<uint32_t>(arg.res_ref));
+        w.U32(static_cast<uint32_t>(arg.res_slot));
+      } else {
+        w.U8(static_cast<uint8_t>(Tag::kResourceSpecial));
+        w.U64(arg.val);
+      }
+      break;
+    case ArgKind::kVma:
+      w.U8(static_cast<uint8_t>(Tag::kVma));
+      w.U64(arg.val);
+      w.U64(arg.vma_pages);
+      break;
+  }
+}
+
+// Decodes one arg of type `type`, validating tags against the type kind.
+Result<ArgPtr> DecodeArg(const Type* type, Reader& r) {
+  uint8_t tag_byte;
+  if (!r.U8(&tag_byte)) {
+    return ParseError("truncated arg tag");
+  }
+  const Tag tag = static_cast<Tag>(tag_byte);
+  switch (tag) {
+    case Tag::kConstant: {
+      uint64_t val;
+      if (!r.U64(&val)) {
+        return ParseError("truncated constant");
+      }
+      return MakeConstant(type, val);
+    }
+    case Tag::kData: {
+      std::vector<uint8_t> data;
+      if (!r.Bytes(&data)) {
+        return ParseError("truncated data arg");
+      }
+      return MakeData(type, std::move(data));
+    }
+    case Tag::kNullPointer:
+      return MakeNullPointer(type);
+    case Tag::kPointer: {
+      if (type == nullptr || type->kind != TypeKind::kPtr) {
+        return ParseError("pointer tag for non-pointer type");
+      }
+      HEALER_ASSIGN_OR_RETURN(ArgPtr pointee, DecodeArg(type->elem, r));
+      return MakePointer(type, std::move(pointee));
+    }
+    case Tag::kGroup: {
+      uint32_t count;
+      if (!r.U32(&count) || count > 4096) {
+        return ParseError("bad group count");
+      }
+      std::vector<ArgPtr> inner;
+      inner.reserve(count);
+      if (type != nullptr && type->kind == TypeKind::kStruct) {
+        if (count != type->fields.size()) {
+          return ParseError("struct field count mismatch");
+        }
+        for (uint32_t i = 0; i < count; ++i) {
+          HEALER_ASSIGN_OR_RETURN(ArgPtr child,
+                                  DecodeArg(type->fields[i].type, r));
+          inner.push_back(std::move(child));
+        }
+      } else if (type != nullptr && type->kind == TypeKind::kArray) {
+        for (uint32_t i = 0; i < count; ++i) {
+          HEALER_ASSIGN_OR_RETURN(ArgPtr child,
+                                  DecodeArg(type->array_elem, r));
+          inner.push_back(std::move(child));
+        }
+      } else {
+        return ParseError("group tag for non-aggregate type");
+      }
+      return MakeGroup(type, std::move(inner));
+    }
+    case Tag::kUnion: {
+      if (type == nullptr || type->kind != TypeKind::kUnion) {
+        return ParseError("union tag for non-union type");
+      }
+      uint32_t index;
+      if (!r.U32(&index) || index >= type->fields.size()) {
+        return ParseError("bad union index");
+      }
+      HEALER_ASSIGN_OR_RETURN(ArgPtr child,
+                              DecodeArg(type->fields[index].type, r));
+      return MakeUnion(type, static_cast<int>(index), std::move(child));
+    }
+    case Tag::kResourceRef: {
+      uint32_t ref;
+      uint32_t slot;
+      if (!r.U32(&ref) || !r.U32(&slot)) {
+        return ParseError("truncated resource ref");
+      }
+      return MakeResourceRef(type, static_cast<int>(ref),
+                             static_cast<int>(slot));
+    }
+    case Tag::kResourceSpecial: {
+      uint64_t val;
+      if (!r.U64(&val)) {
+        return ParseError("truncated resource special");
+      }
+      return MakeResourceSpecial(type, val);
+    }
+    case Tag::kVma: {
+      uint64_t addr;
+      uint64_t pages;
+      if (!r.U64(&addr) || !r.U64(&pages)) {
+        return ParseError("truncated vma arg");
+      }
+      return MakeVma(type, addr, pages);
+    }
+  }
+  return ParseError(StrFormat("unknown arg tag %u", tag_byte));
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeProg(const Prog& prog) {
+  Writer w;
+  w.U32(kMagic);
+  w.U32(static_cast<uint32_t>(prog.size()));
+  for (const Call& call : prog.calls()) {
+    w.U32(static_cast<uint32_t>(call.meta->id));
+    w.U32(static_cast<uint32_t>(call.args.size()));
+    for (const auto& arg : call.args) {
+      EncodeArg(*arg, w);
+    }
+  }
+  return w.Take();
+}
+
+Result<Prog> DeserializeProg(const Target& target, const uint8_t* data,
+                             size_t size) {
+  Reader r(data, size);
+  uint32_t magic;
+  uint32_t ncalls;
+  if (!r.U32(&magic) || magic != kMagic) {
+    return ParseError("bad magic");
+  }
+  if (!r.U32(&ncalls) || ncalls > 1024) {
+    return ParseError("bad call count");
+  }
+  Prog prog(&target);
+  for (uint32_t i = 0; i < ncalls; ++i) {
+    uint32_t id;
+    uint32_t nargs;
+    if (!r.U32(&id) || !r.U32(&nargs)) {
+      return ParseError("truncated call header");
+    }
+    if (id >= target.NumSyscalls()) {
+      return ParseError(StrFormat("unknown syscall id %u", id));
+    }
+    const Syscall& meta = target.syscall(static_cast<int>(id));
+    if (nargs != meta.args.size()) {
+      return ParseError(StrFormat("call %s: arg count mismatch",
+                                  meta.name.c_str()));
+    }
+    Call call;
+    call.meta = &meta;
+    for (uint32_t ai = 0; ai < nargs; ++ai) {
+      HEALER_ASSIGN_OR_RETURN(ArgPtr arg, DecodeArg(meta.args[ai].type, r));
+      call.args.push_back(std::move(arg));
+    }
+    prog.calls().push_back(std::move(call));
+  }
+  if (!r.AtEnd()) {
+    return ParseError("trailing bytes after program");
+  }
+  return prog;
+}
+
+}  // namespace healer

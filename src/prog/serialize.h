@@ -1,0 +1,30 @@
+// Compact wire serialization for programs.
+//
+// Mirrors the paper's executor transport: test cases are "serialized into a
+// compact internal representation" and carried to the executor over the
+// shared-memory channel. Decoding re-derives types by walking the syscall
+// metadata in lockstep with the byte stream, so the format carries only the
+// dynamic choices (values, sizes, union picks, resource refs).
+
+#ifndef SRC_PROG_SERIALIZE_H_
+#define SRC_PROG_SERIALIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/prog/prog.h"
+
+namespace healer {
+
+// Encodes `prog` into a self-contained byte buffer.
+std::vector<uint8_t> SerializeProg(const Prog& prog);
+
+// Decodes a buffer produced by SerializeProg against `target`. Fails on
+// truncated input, unknown syscall ids, or structure mismatches.
+Result<Prog> DeserializeProg(const Target& target, const uint8_t* data,
+                             size_t size);
+
+}  // namespace healer
+
+#endif  // SRC_PROG_SERIALIZE_H_

@@ -1,0 +1,45 @@
+#include "src/prog/slots.h"
+
+#include <functional>
+
+namespace healer {
+
+std::vector<ResultSlot> ResultSlotsOf(const Syscall& call) {
+  std::vector<ResultSlot> slots;
+  if (call.ret != nullptr) {
+    slots.push_back(ResultSlot{0, call.ret});
+  }
+  int next = 1;
+  // Walk pointee trees under out-direction pointers, numbering resource
+  // scalars in encounter order. Must match the executor's extraction walk.
+  std::function<void(const Type*, bool)> walk = [&](const Type* type,
+                                                    bool out_ctx) {
+    switch (type->kind) {
+      case TypeKind::kResource:
+        if (out_ctx) {
+          slots.push_back(ResultSlot{next++, type->resource});
+        }
+        break;
+      case TypeKind::kPtr:
+        walk(type->elem, type->dir == Dir::kOut || type->dir == Dir::kInOut);
+        break;
+      case TypeKind::kArray:
+        walk(type->array_elem, out_ctx);
+        break;
+      case TypeKind::kStruct:
+      case TypeKind::kUnion:
+        for (const auto& field : type->fields) {
+          walk(field.type, out_ctx);
+        }
+        break;
+      default:
+        break;
+    }
+  };
+  for (const auto& arg : call.args) {
+    walk(arg.type, false);
+  }
+  return slots;
+}
+
+}  // namespace healer

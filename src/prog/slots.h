@@ -1,0 +1,28 @@
+// Result-slot enumeration: which resources a syscall yields and where.
+//
+// Slot 0 is the return value. Out-direction resource pointees (walked in
+// declaration order) occupy slots 1..N; the executor reads their values back
+// from guest memory after the call, and generators reference them via
+// (call index, slot).
+
+#ifndef SRC_PROG_SLOTS_H_
+#define SRC_PROG_SLOTS_H_
+
+#include <vector>
+
+#include "src/syzlang/types.h"
+
+namespace healer {
+
+struct ResultSlot {
+  int slot = 0;
+  const ResourceDesc* resource = nullptr;
+};
+
+// All result slots of `call` (empty when it produces nothing). Slot 0 is
+// present iff the call has a return resource.
+std::vector<ResultSlot> ResultSlotsOf(const Syscall& call);
+
+}  // namespace healer
+
+#endif  // SRC_PROG_SLOTS_H_

@@ -1,0 +1,89 @@
+// Untyped parse tree for HealLang declarations.
+//
+// The parser produces these; Target::Compile resolves names and builds the
+// compiled Type/Syscall graph. Keeping the two phases separate lets tests
+// exercise parsing and semantic checking independently (and mirrors how the
+// original implementation analyzes "the compiler-provided AST of the system
+// call description" for static learning).
+
+#ifndef SRC_SYZLANG_AST_H_
+#define SRC_SYZLANG_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace healer {
+
+// A type expression argument: either a nested type expression, a number, a
+// string literal, or a numeric range lo:hi.
+struct TypeExpr;
+
+struct TypeExprArg {
+  enum class Kind { kType, kNumber, kString, kRange, kIdent };
+  Kind kind = Kind::kType;
+  std::unique_ptr<TypeExpr> type;  // kType
+  uint64_t number = 0;             // kNumber / kRange lo
+  uint64_t range_hi = 0;           // kRange hi
+  std::string str;                 // kString / kIdent spelling
+};
+
+// ident or ident[arg, arg, ...]
+struct TypeExpr {
+  std::string name;
+  std::vector<TypeExprArg> args;
+  int line = 0;
+};
+
+struct AstField {
+  std::string name;
+  TypeExpr type;
+};
+
+struct ConstDecl {
+  std::string name;
+  uint64_t value = 0;
+  int line = 0;
+};
+
+struct FlagsDecl {
+  std::string name;
+  // Each value is either a literal number or the name of a const.
+  std::vector<TypeExprArg> values;
+  int line = 0;
+};
+
+struct ResourceDecl {
+  std::string name;
+  std::string base;  // Parent resource name or a scalar carrier (intN).
+  std::vector<uint64_t> special_values;
+  int line = 0;
+};
+
+struct StructDecl {
+  std::string name;
+  bool is_union = false;
+  std::vector<AstField> fields;
+  int line = 0;
+};
+
+struct SyscallDecl {
+  std::string name;       // Full name including $variant.
+  std::string base_name;  // Portion before '$'.
+  std::vector<AstField> args;
+  std::string ret;  // Resource name, or empty.
+  int line = 0;
+};
+
+struct DescriptionFile {
+  std::vector<ConstDecl> consts;
+  std::vector<FlagsDecl> flags;
+  std::vector<ResourceDecl> resources;
+  std::vector<StructDecl> structs;
+  std::vector<SyscallDecl> syscalls;
+};
+
+}  // namespace healer
+
+#endif  // SRC_SYZLANG_AST_H_

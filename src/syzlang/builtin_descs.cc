@@ -1,0 +1,382 @@
+#include "src/syzlang/builtin_descs.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace healer {
+
+namespace {
+
+const char kDescs[] = R"(
+# ---- resources ----
+resource fd[int32]: -1
+resource file_fd[fd]
+resource memfd[fd]
+resource pipe_r_fd[fd]
+resource pipe_w_fd[fd]
+resource epoll_fd[fd]
+resource event_fd[fd]
+resource timer_fd[fd]
+resource sock_fd[fd]
+resource tcp_sock[sock_fd]
+resource udp_sock[sock_fd]
+resource unix_sock[sock_fd]
+resource rxrpc_sock[sock_fd]
+resource rds_sock[sock_fd]
+resource l2cap_sock[sock_fd]
+resource llcp_sock[sock_fd]
+resource wpan_sock[sock_fd]
+resource nl_sock[sock_fd]
+resource kvm_fd[fd]
+resource kvm_vm_fd[fd]
+resource kvm_vcpu_fd[fd]
+resource ptmx_fd[fd]
+resource vcs_fd[fd]
+resource fb_fd[fd]
+resource tpk_fd[fd]
+resource video_fd[fd]
+resource uring_fd[fd]
+resource nbd_fd[fd]
+resource loop_fd[fd]
+resource rdma_fd[fd]
+resource aio_ctx[int64]: 0
+
+# ---- constants ----
+const O_RDONLY = 0
+const O_WRONLY = 1
+const O_RDWR = 2
+const O_CREAT = 0x40
+const O_TRUNC = 0x200
+const O_APPEND = 0x400
+const O_NONBLOCK = 0x800
+const O_DIRECT = 0x4000
+const MFD_CLOEXEC = 1
+const MFD_ALLOW_SEALING = 2
+const F_SEAL_SEAL = 1
+const F_SEAL_SHRINK = 2
+const F_SEAL_GROW = 4
+const F_SEAL_WRITE = 8
+const PROT_READ = 1
+const PROT_WRITE = 2
+const PROT_EXEC = 4
+const MAP_SHARED = 1
+const MAP_PRIVATE = 2
+const MAP_FIXED = 0x10
+const MAP_ANON = 0x20
+const MSG_CONFIRM = 0x800
+const MSG_MORE = 0x8000
+const MSG_DONTWAIT = 0x40
+
+# ---- flag sets ----
+flags open_flags = O_RDONLY, O_WRONLY, O_RDWR, O_CREAT, O_TRUNC, O_APPEND, O_NONBLOCK
+flags open_mode = 0, 0x1ff, 0x180, 0x124
+flags seek_whence = 0, 1, 2, 3, 4
+flags falloc_mode = 0, 1, 2, 3
+flags flock_op = 1, 2, 8, 5
+flags memfd_flags = MFD_CLOEXEC, MFD_ALLOW_SEALING
+flags seal_flags = F_SEAL_SEAL, F_SEAL_SHRINK, F_SEAL_GROW, F_SEAL_WRITE
+flags mmap_prot = PROT_READ, PROT_WRITE, PROT_EXEC
+flags mmap_flags = MAP_SHARED, MAP_PRIVATE, MAP_FIXED, MAP_ANON
+flags msync_flags = 1, 2, 4
+flags madvise_flags = 4, 8, 9, 14, 22
+flags pipe_flags = 0, O_NONBLOCK, 0x4000
+flags epoll_events = 1, 2, 4, 8, 0x10, 0x2000
+flags sock_flags = 0, O_NONBLOCK
+flags send_flags = 0, MSG_CONFIRM, MSG_MORE, MSG_DONTWAIT
+flags ldisc_vals = 0, 1, 3, 21, 28
+flags clock_ids = 0, 1, 4, 7, 12
+flags uring_enter_flags = 1, 2, 0x10
+flags kvm_caps = 7, 123, 200
+flags kvm_gpas = 0, 0x1000, 0x100000, 0x200000, 0x400000
+flags kvm_sizes = 0, 0x1000, 0x10000, 0x100000
+flags tty_ioctl_onoff = 0, 1
+flags fb_bpp = 8, 16, 24, 32, 15
+flags aio_ops = 0, 1, 5, 7, 8, 9
+
+# ---- structs ----
+struct sockaddr_in {
+  family const[2, int16]
+  port int16
+  addr int32
+}
+struct epoll_event {
+  events flags[epoll_events, int32]
+}
+struct pipe_fds {
+  rfd pipe_r_fd
+  wfd pipe_w_fd
+}
+struct kvm_userspace_memory_region {
+  slot int32[0:40]
+  flags const[0, int32]
+  guest_phys_addr flags[kvm_gpas, int64]
+  memory_size flags[kvm_sizes, int64]
+  userspace_addr int64
+}
+struct kvm_irq_level {
+  irq int32[0:32]
+  level int32[0:1]
+}
+struct kvm_enable_cap {
+  cap flags[kvm_caps, int32]
+  flags const[0, int32]
+  arg0 int64
+  arg1 int64
+}
+struct kvm_guest_debug {
+  control int32[0:3]
+  pad const[0, int32]
+}
+struct kvm_coalesced_mmio_zone {
+  addr flags[kvm_gpas, int64]
+  size flags[kvm_sizes, int64]
+}
+struct kvm_ioeventfd {
+  addr flags[kvm_gpas, int64]
+  len int64[0:8]
+  fd event_fd
+}
+struct itimerspec {
+  interval_sec int64[0:4]
+  interval_nsec int64[0:2000000000]
+  value_sec int64[0:4]
+  value_nsec int64[0:2000000000]
+}
+struct timespec {
+  sec int64[0:2000000000]
+  nsec int64[0:2000000000]
+}
+struct gsm_config {
+  adaption int32[0:4]
+  encapsulation int32[0:1]
+  mru int32[0:2048]
+  mtu int32[0:2048]
+}
+struct vt_sizes {
+  rows int16[0:600]
+  cols int16[0:600]
+}
+struct console_font {
+  height int32[0:130]
+  count int32[0:512]
+}
+struct fb_var_screeninfo {
+  xres int32[0:9000]
+  yres int32[0:9000]
+  bpp flags[fb_bpp, int32]
+  pixclock int32[0:50000]
+}
+struct iovec {
+  base intptr
+  len int64[0:2097152]
+}
+struct iocb {
+  fd fd
+  op flags[aio_ops, int64]
+  buf intptr
+  len int64[0:4096]
+}
+
+# ---- vfs ----
+openat$file(path ptr[in, filename], flags flags[open_flags], mode flags[open_mode]) file_fd
+close(fd fd)
+read(fd fd, buf ptr[out, buffer[out, 0:128]], count len[buf])
+write(fd fd, buf ptr[in, buffer[in, 0:128]], count len[buf])
+pread64(fd file_fd, buf ptr[out, buffer[out, 0:128]], count len[buf], off intptr[0:2097152])
+pwrite64(fd file_fd, buf ptr[in, buffer[in, 0:128]], count len[buf], off intptr[0:2097152])
+lseek(fd file_fd, off intptr[0:1048576], whence flags[seek_whence])
+dup(fd fd) fd
+ftruncate(fd file_fd, len intptr[0:2097152])
+fsync(fd fd)
+fdatasync(fd fd)
+fstat(fd fd, statbuf ptr[out, array[int8, 32]])
+fchmod(fd file_fd, mode flags[open_mode])
+mkdir(path ptr[in, filename], mode flags[open_mode])
+unlink(path ptr[in, filename])
+rename(old ptr[in, filename], new ptr[in, filename])
+fallocate(fd file_fd, mode flags[falloc_mode], off intptr[0:9437184], len intptr[0:9437184])
+sync()
+fcntl$DUPFD(fd fd, cmd const[0], arg intptr[0:64]) fd
+fcntl$SETFL(fd fd, cmd const[4], flags flags[open_flags])
+fcntl$GETFL(fd fd, cmd const[3])
+flock(fd fd, op flags[flock_op])
+mount$nfs(src ptr[in, filename], data ptr[in, buffer[in, 0:64]], datalen len[data])
+mount$reiserfs(src ptr[in, filename], data ptr[in, buffer[in, 0:64]], datalen len[data])
+
+# ---- memfd ----
+memfd_create(name ptr[in, string["mfd0", "mfd1", "sealme"]], flags flags[memfd_flags]) memfd
+fcntl$ADD_SEALS(fd memfd, cmd const[1033], seals flags[seal_flags])
+fcntl$GET_SEALS(fd memfd, cmd const[1034])
+write$memfd(fd memfd, buf ptr[in, buffer[in, 0:256]], count len[buf])
+ftruncate$memfd(fd memfd, len intptr[0:1048576])
+
+# ---- mm ----
+mmap(addr vma, len len[addr], prot flags[mmap_prot], flags flags[mmap_flags], fd fd, offset const[0])
+munmap(addr vma, len len[addr])
+mprotect(addr vma, len len[addr], prot flags[mmap_prot])
+msync(addr vma, len len[addr], flags flags[msync_flags])
+madvise(addr vma, len len[addr], advice flags[madvise_flags])
+
+# ---- pipe ----
+pipe2(fds ptr[out, pipe_fds], flags flags[pipe_flags])
+write$pipe(fd pipe_w_fd, buf ptr[in, buffer[in, 0:8192]], count len[buf])
+read$pipe(fd pipe_r_fd, buf ptr[out, buffer[out, 0:4096]], count len[buf])
+fcntl$SETPIPE_SZ(fd pipe_w_fd, cmd const[1031], size intptr[0:2097152])
+splice(fd_in pipe_r_fd, fd_out pipe_w_fd, len int32[0:9000], flags const[0])
+
+# ---- epoll / eventfd ----
+epoll_create1(flags flags[tty_ioctl_onoff]) epoll_fd
+epoll_ctl$ADD(epfd epoll_fd, op const[1], fd fd, ev ptr[in, epoll_event])
+epoll_ctl$MOD(epfd epoll_fd, op const[3], fd fd, ev ptr[in, epoll_event])
+epoll_ctl$DEL(epfd epoll_fd, op const[2], fd fd, ev ptr[in, epoll_event])
+epoll_wait(epfd epoll_fd, events ptr[out, array[int64, 64]], maxevents int32[0:70], timeout int32[0:100])
+eventfd2(initval int32[0:1000], flags flags[tty_ioctl_onoff]) event_fd
+write$eventfd(fd event_fd, val ptr[in, int64], count const[8])
+read$eventfd(fd event_fd, val ptr[out, int64], count const[8])
+
+# ---- sockets ----
+socket$tcp(domain const[2], type const[1], proto const[0]) tcp_sock
+socket$udp(domain const[2], type const[2], proto const[0]) udp_sock
+socket$unix(domain const[1], type const[1], proto const[0]) unix_sock
+socket$rxrpc(domain const[33], type const[5], proto const[0]) rxrpc_sock
+socket$rds(domain const[21], type const[5], proto const[0]) rds_sock
+socket$l2cap(domain const[31], type const[5], proto const[0]) l2cap_sock
+socket$llcp(domain const[39], type const[2], proto const[1]) llcp_sock
+socket$ieee802154(domain const[36], type const[2], proto const[0]) wpan_sock
+bind(fd sock_fd, addr ptr[in, sockaddr_in], alen len[addr])
+listen(fd tcp_sock, backlog int32[0:128])
+connect(fd sock_fd, addr ptr[in, sockaddr_in], alen len[addr])
+accept4(fd tcp_sock, flags flags[sock_flags]) tcp_sock
+sendto(fd sock_fd, buf ptr[in, buffer[in, 0:16000]], blen len[buf], flags flags[send_flags], addr ptr[in, sockaddr_in], alen len[addr])
+recvfrom(fd sock_fd, buf ptr[out, buffer[out, 0:4096]], blen len[buf], flags flags[send_flags])
+shutdown(fd sock_fd, how int32[0:2])
+getsockname(fd sock_fd, addr ptr[out, array[int8, 8]])
+setsockopt$REUSEADDR(fd sock_fd, level const[1], val ptr[in, int32], optlen len[val])
+setsockopt$SNDBUF(fd sock_fd, level const[1], val ptr[in, buffer[in, 0:128]], optlen len[val])
+setsockopt$RCVBUF(fd sock_fd, level const[1], val ptr[in, buffer[in, 0:128]], optlen len[val])
+setsockopt$STAB(fd sock_fd, level const[1], val ptr[in, int32], optlen len[val])
+setsockopt$BINDTODEVICE(fd sock_fd, level const[1], dev ptr[in, string["eth0", "lo", "macvlan0"]], optlen len[dev])
+getsockopt(fd sock_fd, opt int32[0:80], val ptr[out, int32])
+ioctl$SIOCADDMACVLAN(fd sock_fd, cmd const[0x8938], arg const[0])
+ioctl$SIOCDELMACVLAN(fd sock_fd, cmd const[0x8939], arg const[0])
+
+# ---- netlink (802.15.4) ----
+socket$nl802154(domain const[16], type const[3], proto const[20]) nl_sock
+bind$netlink(fd nl_sock, addr ptr[in, array[int8, 8]], alen len[addr])
+sendmsg$nl802154_add_key(fd nl_sock, msg ptr[in, buffer[in, 0:64]], mlen len[msg])
+sendmsg$nl802154_del_key(fd nl_sock, msg ptr[in, buffer[in, 0:64]], mlen len[msg])
+sendmsg$nl802154_set_params(fd nl_sock, msg ptr[in, buffer[in, 0:64]], mlen len[msg])
+
+# ---- kvm ----
+openat$kvm(path ptr[in, string["/dev/kvm"]], flags const[2]) kvm_fd
+ioctl$KVM_CREATE_VM(fd kvm_fd, cmd const[0xae01], type const[0]) kvm_vm_fd
+ioctl$KVM_CREATE_VCPU(fd kvm_vm_fd, cmd const[0xae41], id int32[0:9]) kvm_vcpu_fd
+ioctl$KVM_SET_USER_MEMORY_REGION(fd kvm_vm_fd, cmd const[0x4020ae46], region ptr[in, kvm_userspace_memory_region])
+ioctl$KVM_RUN(fd kvm_vcpu_fd, cmd const[0xae80], arg const[0])
+ioctl$KVM_CREATE_IRQCHIP(fd kvm_vm_fd, cmd const[0xae60], arg const[0])
+ioctl$KVM_IRQ_LINE(fd kvm_vm_fd, cmd const[0xc008ae67], line ptr[in, kvm_irq_level])
+ioctl$KVM_ENABLE_CAP_CPU(fd kvm_vcpu_fd, cmd const[0x4068aea3], cap ptr[in, kvm_enable_cap])
+ioctl$KVM_SET_LAPIC(fd kvm_vcpu_fd, cmd const[0x4400ae8f], lapic ptr[in, array[int8, 64]])
+ioctl$KVM_SMI(fd kvm_vcpu_fd, cmd const[0xaeb7])
+ioctl$KVM_SET_GUEST_DEBUG(fd kvm_vcpu_fd, cmd const[0x4048ae9b], dbg ptr[in, kvm_guest_debug])
+ioctl$KVM_GET_REGS(fd kvm_vcpu_fd, cmd const[0x8090ae81], regs ptr[out, array[int64, 4]])
+ioctl$KVM_SET_REGS(fd kvm_vcpu_fd, cmd const[0x4090ae82], regs ptr[in, array[int64, 4]])
+ioctl$KVM_REGISTER_COALESCED_MMIO(fd kvm_vm_fd, cmd const[0x4010ae67], zone ptr[in, kvm_coalesced_mmio_zone])
+ioctl$KVM_UNREGISTER_COALESCED_MMIO(fd kvm_vm_fd, cmd const[0x4010ae68], zone ptr[in, kvm_coalesced_mmio_zone])
+ioctl$KVM_IOEVENTFD(fd kvm_vm_fd, cmd const[0x4040ae79], arg ptr[in, kvm_ioeventfd])
+ioctl$KVM_CHECK_EXTENSION(fd kvm_fd, cmd const[0xae03], ext int32[0:255])
+ioctl$KVM_GET_VCPU_MMAP_SIZE(fd kvm_fd, cmd const[0xae04])
+
+# ---- tty / console / video ----
+openat$ptmx(path ptr[in, string["/dev/ptmx"]], flags flags[open_flags]) ptmx_fd
+openat$vcs(path ptr[in, string["/dev/vcs"]], flags flags[open_flags]) vcs_fd
+openat$fb0(path ptr[in, string["/dev/fb0"]], flags flags[open_flags]) fb_fd
+openat$ttyprintk(path ptr[in, string["/dev/ttyprintk"]], flags flags[open_flags]) tpk_fd
+openat$video0(path ptr[in, string["/dev/video0"]], flags flags[open_flags]) video_fd
+ioctl$TIOCSETD(fd ptmx_fd, cmd const[0x5423], ldisc flags[ldisc_vals])
+ioctl$TIOCGETD(fd ptmx_fd, cmd const[0x5424], out ptr[out, int32])
+ioctl$GSMIOC_CONFIG(fd ptmx_fd, cmd const[0x40104701], conf ptr[in, gsm_config])
+ioctl$TCSETS(fd ptmx_fd, cmd const[0x5402], termios ptr[in, array[int8, 16]])
+ioctl$TIOCPKT(fd ptmx_fd, cmd const[0x5420], on flags[tty_ioctl_onoff])
+ioctl$TIOCSTI(fd ptmx_fd, cmd const[0x5412], c ptr[in, string["x", "q"]])
+write$ptmx(fd ptmx_fd, buf ptr[in, buffer[in, 0:64]], count len[buf])
+read$ptmx(fd ptmx_fd, buf ptr[out, buffer[out, 0:64]], count len[buf])
+ioctl$VT_RESIZE(fd vcs_fd, cmd const[0x5609], sizes ptr[in, vt_sizes])
+read$vcs(fd vcs_fd, buf ptr[out, buffer[out, 0:8192]], count len[buf])
+write$vcs(fd vcs_fd, buf ptr[in, buffer[in, 0:8192]], count len[buf])
+ioctl$PIO_FONT(fd vcs_fd, cmd const[0x4b61], font ptr[in, console_font])
+ioctl$FBIOPUT_VSCREENINFO(fd fb_fd, cmd const[0x4601], var ptr[in, fb_var_screeninfo])
+ioctl$FBIOGET_VSCREENINFO(fd fb_fd, cmd const[0x4600], var ptr[out, fb_var_screeninfo])
+ioctl$FBIOPAN_DISPLAY(fd fb_fd, cmd const[0x4606], var ptr[in, fb_var_screeninfo])
+ioctl$KDSETMODE(fd vcs_fd, cmd const[0x4b3a], mode int32[0:4])
+write$fb(fd fb_fd, buf ptr[in, buffer[in, 0:4096]], count len[buf])
+write$ttyprintk(fd tpk_fd, buf ptr[in, buffer[in, 0:512]], count len[buf])
+ioctl$VIDIOC_REQBUFS(fd video_fd, cmd const[0xc0145608], count int32[0:64])
+ioctl$VIDIOC_STREAMON(fd video_fd, cmd const[0x40045612], type const[1])
+ioctl$VIDIOC_STREAMOFF(fd video_fd, cmd const[0x40045613], type const[1])
+
+# ---- timers ----
+timerfd_create(clockid flags[clock_ids], flags const[0]) timer_fd
+timerfd_settime(fd timer_fd, flags flags[tty_ioctl_onoff], new ptr[in, itimerspec], old ptr[out, itimerspec])
+timerfd_gettime(fd timer_fd, cur ptr[out, itimerspec])
+read$timerfd(fd timer_fd, buf ptr[out, int64], count const[8])
+nanosleep(ts ptr[in, timespec])
+clock_gettime(clockid flags[clock_ids], ts ptr[out, timespec])
+
+# ---- io_uring ----
+io_uring_setup(entries int32[0:8192], params ptr[out, int32]) uring_fd
+io_uring_register$FILES(fd uring_fd, opcode const[2], fds ptr[in, array[fd, 1:8]], nr len[fds])
+io_uring_register$BUFFERS(fd uring_fd, opcode const[0], iovs ptr[in, array[iovec, 1:8]], nr len[iovs])
+io_uring_enter(fd uring_fd, to_submit int32[0:64], min_complete int32[0:64], flags flags[uring_enter_flags])
+
+# ---- block ----
+openat$nbd(path ptr[in, string["/dev/nbd0"]], flags flags[open_flags]) nbd_fd
+openat$loop(path ptr[in, string["/dev/loop0"]], flags flags[open_flags]) loop_fd
+ioctl$NBD_SET_SOCK(fd nbd_fd, cmd const[0xab00], sock sock_fd)
+ioctl$NBD_DO_IT(fd nbd_fd, cmd const[0xab03])
+ioctl$NBD_CLEAR_SOCK(fd nbd_fd, cmd const[0xab04])
+ioctl$NBD_DISCONNECT(fd nbd_fd, cmd const[0xab08])
+ioctl$BLKRRPART(fd fd, cmd const[0x125f])
+ioctl$LOOP_SET_FD(fd loop_fd, cmd const[0x4c00], backing file_fd)
+ioctl$LOOP_CLR_FD(fd loop_fd, cmd const[0x4c01])
+
+# ---- rdma ----
+openat$rdma_cm(path ptr[in, string["/dev/infiniband/rdma_cm"]], flags const[2]) rdma_fd
+write$rdma_create_id(fd rdma_fd, cmd ptr[in, buffer[in, 0:32]], clen len[cmd])
+write$rdma_bind_addr(fd rdma_fd, cmd ptr[in, buffer[in, 0:32]], clen len[cmd])
+write$rdma_resolve_addr(fd rdma_fd, cmd ptr[in, buffer[in, 0:32]], clen len[cmd])
+write$rdma_listen(fd rdma_fd, cmd ptr[in, buffer[in, 0:32]], clen len[cmd])
+write$rdma_destroy_id(fd rdma_fd, cmd ptr[in, buffer[in, 0:32]], clen len[cmd])
+
+# ---- aio ----
+io_setup(nr int32[0:1030], ctx ptr[out, aio_ctx])
+io_submit(ctx aio_ctx, nr len[iocbs], iocbs ptr[in, array[iocb, 1:4]])
+io_getevents(ctx aio_ctx, min int32[0:8], nr int32[0:64], events ptr[out, array[int64, 8]])
+io_destroy(ctx aio_ctx)
+
+# ---- coredump ----
+prctl$PR_SET_DUMPABLE(option const[4], val int32[0:2])
+ptrace$SETREGSET(type int32[0:3], data ptr[in, buffer[in, 1:64]], size len[data])
+ptrace$GETREGSET(type int32[0:3], data ptr[out, buffer[out, 16:64]], size len[data])
+tgkill$self(sig int32[1:31])
+)";
+
+}  // namespace
+
+std::string_view BuiltinDescriptions() { return kDescs; }
+
+const Target& BuiltinTarget() {
+  static const Target* target = [] {
+    Result<Target> compiled =
+        Target::CompileSource(kDescs, "sim-linux-builtin");
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "builtin descriptions failed to compile: %s\n",
+                   compiled.status().ToString().c_str());
+      std::abort();
+    }
+    return new Target(std::move(compiled).value());
+  }();
+  return *target;
+}
+
+}  // namespace healer

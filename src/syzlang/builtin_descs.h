@@ -1,0 +1,25 @@
+// Built-in HealLang descriptions covering every SimKernel syscall.
+//
+// This is the reproduction's stand-in for syzkaller's sys/linux descriptions
+// (revision 0085e0 in the paper): ~150 calls across 15 subsystems, with
+// resources, inheritance, specializations and struct layouts matching what
+// the kernel handlers read from guest memory.
+
+#ifndef SRC_SYZLANG_BUILTIN_DESCS_H_
+#define SRC_SYZLANG_BUILTIN_DESCS_H_
+
+#include <string_view>
+
+#include "src/syzlang/target.h"
+
+namespace healer {
+
+// The description source text.
+std::string_view BuiltinDescriptions();
+
+// The compiled target (built once; aborts on an internal description error).
+const Target& BuiltinTarget();
+
+}  // namespace healer
+
+#endif  // SRC_SYZLANG_BUILTIN_DESCS_H_

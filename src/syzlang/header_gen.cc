@@ -1,0 +1,324 @@
+#include "src/syzlang/header_gen.h"
+
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "src/base/string_util.h"
+
+namespace healer {
+
+namespace {
+
+// A parsed C parameter or struct field.
+struct CParam {
+  std::string type_text;  // Normalized type tokens, e.g. "const char *".
+  std::string name;
+};
+
+std::string_view SkipSpace(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text[0]))) {
+    text.remove_prefix(1);
+  }
+  return text;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits "const char *path" into type tokens and the trailing identifier.
+Result<CParam> ParseParam(std::string_view text, int line) {
+  text = StrStrip(text);
+  if (text.empty() || text == "void") {
+    return ParseError(StrFormat("line %d: empty parameter", line));
+  }
+  // The identifier is the last identifier run; '*' may separate it.
+  size_t end = text.size();
+  while (end > 0 && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  size_t start = end;
+  while (start > 0 && IsIdentChar(text[start - 1])) {
+    --start;
+  }
+  if (start == end) {
+    return ParseError(
+        StrFormat("line %d: parameter missing a name", line));
+  }
+  CParam param;
+  param.name = std::string(text.substr(start, end - start));
+  std::string type;
+  for (char c : text.substr(0, start)) {
+    if (c == '*') {
+      type += " * ";
+    } else {
+      type += c;
+    }
+  }
+  // Normalize whitespace runs.
+  std::string normalized;
+  bool last_space = true;
+  for (char c : type) {
+    const bool is_space = std::isspace(static_cast<unsigned char>(c)) != 0;
+    if (is_space) {
+      if (!last_space) {
+        normalized += ' ';
+      }
+    } else {
+      normalized += c;
+    }
+    last_space = is_space;
+  }
+  while (!normalized.empty() && normalized.back() == ' ') {
+    normalized.pop_back();
+  }
+  param.type_text = normalized;
+  if (param.type_text.empty()) {
+    return ParseError(StrFormat("line %d: parameter '%s' has no type", line,
+                                param.name.c_str()));
+  }
+  return param;
+}
+
+bool EndsWithStar(const std::string& type) {
+  return !type.empty() && type.back() == '*';
+}
+
+std::string StripPointer(std::string type) {
+  while (!type.empty() && (type.back() == '*' || type.back() == ' ')) {
+    type.pop_back();
+  }
+  return type;
+}
+
+bool HasWord(const std::string& text, std::string_view word) {
+  size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos = end;
+  }
+  return false;
+}
+
+// Maps a scalar C type to a HealLang scalar; empty when unknown.
+std::string MapScalar(const std::string& type) {
+  if (HasWord(type, "char") || HasWord(type, "int8_t") ||
+      HasWord(type, "uint8_t") || HasWord(type, "u8") || HasWord(type, "s8")) {
+    return "int8";
+  }
+  if (HasWord(type, "short") || HasWord(type, "int16_t") ||
+      HasWord(type, "uint16_t") || HasWord(type, "u16") ||
+      HasWord(type, "s16")) {
+    return "int16";
+  }
+  if (HasWord(type, "size_t") || HasWord(type, "ssize_t") ||
+      HasWord(type, "uintptr_t") || HasWord(type, "intptr_t")) {
+    return "intptr";
+  }
+  if (HasWord(type, "long") || HasWord(type, "int64_t") ||
+      HasWord(type, "uint64_t") || HasWord(type, "u64") ||
+      HasWord(type, "s64") || HasWord(type, "loff_t")) {
+    return "int64";
+  }
+  if (HasWord(type, "int") || HasWord(type, "unsigned") ||
+      HasWord(type, "int32_t") || HasWord(type, "uint32_t") ||
+      HasWord(type, "u32") || HasWord(type, "s32")) {
+    return "int32";
+  }
+  return "";
+}
+
+bool LooksLikeFd(const std::string& name) {
+  return name == "fd" || name == "fildes" || EndsWith(name, "_fd") ||
+         EndsWith(name, "fd");
+}
+
+// Maps one C parameter to a HealLang field text.
+Result<std::string> MapParam(const CParam& param,
+                             const std::map<std::string, bool>& structs,
+                             int line) {
+  const std::string& type = param.type_text;
+  const bool is_ptr = EndsWithStar(type);
+  const bool is_const = HasWord(type, "const");
+  if (is_ptr) {
+    const std::string base = StripPointer(type);
+    if (HasWord(base, "char") && is_const) {
+      return StrFormat("%s ptr[in, string]", param.name.c_str());
+    }
+    if (HasWord(base, "char") || HasWord(base, "void")) {
+      // Mutable byte buffer: direction unknowable structurally; the paper
+      // says semantic refinement is manual — default to out.
+      return StrFormat("%s ptr[out, buffer[out, 0:64]]", param.name.c_str());
+    }
+    if (HasWord(base, "struct")) {
+      // struct foo * -> ptr[in, foo] when foo was declared in this header.
+      std::string tag;
+      const size_t pos = base.find("struct");
+      std::string_view rest = std::string_view(base).substr(pos + 6);
+      rest = SkipSpace(rest);
+      while (!rest.empty() && IsIdentChar(rest[0])) {
+        tag += rest[0];
+        rest.remove_prefix(1);
+      }
+      if (structs.count(tag) == 0) {
+        return ParseError(StrFormat("line %d: unknown struct '%s'", line,
+                                    tag.c_str()));
+      }
+      return StrFormat("%s ptr[%s, %s]", param.name.c_str(),
+                       is_const ? "in" : "inout", tag.c_str());
+    }
+    const std::string scalar = MapScalar(base);
+    if (!scalar.empty()) {
+      return StrFormat("%s ptr[%s, %s]", param.name.c_str(),
+                       is_const ? "in" : "out", scalar.c_str());
+    }
+    return ParseError(
+        StrFormat("line %d: unmappable pointer type '%s'", line,
+                  type.c_str()));
+  }
+  if (LooksLikeFd(param.name) && !MapScalar(type).empty()) {
+    return StrFormat("%s fd", param.name.c_str());
+  }
+  const std::string scalar = MapScalar(type);
+  if (scalar.empty()) {
+    return ParseError(
+        StrFormat("line %d: unmappable type '%s'", line, type.c_str()));
+  }
+  return StrFormat("%s %s", param.name.c_str(), scalar.c_str());
+}
+
+// Splits a comma-separated parameter list, respecting no nesting (C
+// prototypes in our simplified subset have none).
+std::vector<std::string> SplitParams(std::string_view text) {
+  std::vector<std::string> out;
+  if (StrStrip(text).empty()) {
+    return out;
+  }
+  for (auto& piece : StrSplit(text, ',')) {
+    out.push_back(piece);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> ConvertHeaderToDescriptions(
+    std::string_view header, const HeaderGenOptions& options) {
+  std::string out = "# generated by header_gen; refine semantics by hand\n";
+  if (options.emit_fd_resource) {
+    out += "resource fd[int32]: -1\n";
+  }
+  std::map<std::string, bool> structs;
+
+  const auto lines = StrSplit(header, '\n');
+  size_t i = 0;
+  int line_no = 0;
+  while (i < lines.size()) {
+    std::string_view line = StrStrip(lines[i]);
+    line_no = static_cast<int>(i) + 1;
+    ++i;
+    if (line.empty() || StartsWith(line, "//") || StartsWith(line, "/*")) {
+      continue;
+    }
+    // #define NAME value
+    if (StartsWith(line, "#define")) {
+      auto rest = StrStrip(line.substr(7));
+      const size_t space = rest.find(' ');
+      if (space == std::string_view::npos) {
+        continue;  // Bare define; nothing to emit.
+      }
+      out += StrFormat("const %s = %s\n",
+                       std::string(rest.substr(0, space)).c_str(),
+                       std::string(StrStrip(rest.substr(space))).c_str());
+      continue;
+    }
+    if (StartsWith(line, "#")) {
+      continue;  // Other preprocessor lines.
+    }
+    // struct name { fields };
+    if (StartsWith(line, "struct") && line.find('{') != std::string_view::npos) {
+      const std::string decl(line);
+      std::string name;
+      std::string_view rest = StrStrip(std::string_view(decl).substr(6));
+      while (!rest.empty() && IsIdentChar(rest[0])) {
+        name += rest[0];
+        rest.remove_prefix(1);
+      }
+      if (name.empty()) {
+        return ParseError(StrFormat("line %d: anonymous struct", line_no));
+      }
+      structs[name] = true;
+      out += StrFormat("struct %s {\n", name.c_str());
+      // Fields until the closing brace.
+      while (i < lines.size()) {
+        std::string_view field_line = StrStrip(lines[i]);
+        line_no = static_cast<int>(i) + 1;
+        ++i;
+        if (StartsWith(field_line, "}")) {
+          break;
+        }
+        if (field_line.empty()) {
+          continue;
+        }
+        std::string field_text(field_line);
+        if (!field_text.empty() && field_text.back() == ';') {
+          field_text.pop_back();
+        }
+        HEALER_ASSIGN_OR_RETURN(CParam field,
+                                ParseParam(field_text, line_no));
+        HEALER_ASSIGN_OR_RETURN(std::string mapped,
+                                MapParam(field, structs, line_no));
+        out += "  " + mapped + "\n";
+      }
+      out += "}\n";
+      continue;
+    }
+    // Prototype: ret name(params);
+    const size_t lparen = line.find('(');
+    const size_t rparen = line.rfind(')');
+    if (lparen == std::string_view::npos || rparen == std::string_view::npos ||
+        rparen < lparen) {
+      return ParseError(
+          StrFormat("line %d: unrecognized declaration", line_no));
+    }
+    // The function name is the identifier before '('.
+    size_t name_end = lparen;
+    while (name_end > 0 &&
+           std::isspace(static_cast<unsigned char>(line[name_end - 1]))) {
+      --name_end;
+    }
+    size_t name_start = name_end;
+    while (name_start > 0 && IsIdentChar(line[name_start - 1])) {
+      --name_start;
+    }
+    if (name_start == name_end) {
+      return ParseError(StrFormat("line %d: prototype missing a name",
+                                  line_no));
+    }
+    const std::string func(line.substr(name_start, name_end - name_start));
+    std::vector<std::string> fields;
+    for (const std::string& piece :
+         SplitParams(line.substr(lparen + 1, rparen - lparen - 1))) {
+      HEALER_ASSIGN_OR_RETURN(CParam param, ParseParam(piece, line_no));
+      HEALER_ASSIGN_OR_RETURN(std::string mapped,
+                              MapParam(param, structs, line_no));
+      fields.push_back(std::move(mapped));
+    }
+    out += func + "(" + StrJoin(fields, ", ") + ")";
+    // Heuristic: functions whose name suggests creation return an fd.
+    if (func.find("open") != std::string::npos ||
+        func.find("create") != std::string::npos) {
+      out += " fd";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace healer

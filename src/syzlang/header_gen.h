@@ -1,0 +1,47 @@
+// Header-to-description conversion — the paper's Section 8 proposal:
+// "automatically convert the definitions in the C header files into Syzlang
+// descriptions ... the primary goal of the converter is to preserve the
+// original structural definition. To add more semantic information,
+// manually modifying the translated description is necessary."
+//
+// The converter consumes a simplified C header (function prototypes,
+// #define constants, struct definitions) and emits HealLang text. Types map
+// structurally: sized ints to intN, char* to strings, T* to ptr[in, T],
+// int-named-fd heuristics to the fd resource. The output compiles against
+// Target::CompileSource and is meant as a starting point for human
+// refinement, exactly as the paper prescribes.
+
+#ifndef SRC_SYZLANG_HEADER_GEN_H_
+#define SRC_SYZLANG_HEADER_GEN_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/base/status.h"
+
+namespace healer {
+
+struct HeaderGenOptions {
+  // Declares the fd resource in the output (with -1 special) so fd-typed
+  // parameters resolve; disable when merging into an existing description.
+  bool emit_fd_resource = true;
+};
+
+// Converts a simplified C header into HealLang description text.
+//
+// Supported input constructs (one per line / block):
+//   #define NAME 0x123
+//   struct name { <sized fields>; };
+//   long syscall_name(type arg, ...);
+//
+// Type mapping:
+//   char/int8_t->int8, short->int16, int/unsigned->int32,
+//   long/size_t/uint64_t->int64/intptr, const char*->ptr[in, string],
+//   void*/char* (non-const)->ptr[out, buffer], struct T*->ptr[in, T],
+//   int parameters named fd/*_fd->fd resource.
+Result<std::string> ConvertHeaderToDescriptions(
+    std::string_view header, const HeaderGenOptions& options = {});
+
+}  // namespace healer
+
+#endif  // SRC_SYZLANG_HEADER_GEN_H_

@@ -1,0 +1,197 @@
+#include "src/syzlang/lexer.h"
+
+#include <cctype>
+
+#include "src/base/string_util.h"
+
+namespace healer {
+
+const char* TokKindName(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kNumber:
+      return "number";
+    case TokKind::kString:
+      return "string";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kLBrace:
+      return "'{'";
+    case TokKind::kRBrace:
+      return "'}'";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kColon:
+      return "':'";
+    case TokKind::kEquals:
+      return "'='";
+    case TokKind::kDollar:
+      return "'$'";
+    case TokKind::kNewline:
+      return "newline";
+    case TokKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  size_t i = 0;
+  auto push = [&](TokKind kind, std::string text = "", uint64_t num = 0) {
+    out.push_back(Token{kind, std::move(text), num, line});
+  };
+  auto push_newline = [&] {
+    if (!out.empty() && out.back().kind != TokKind::kNewline) {
+      push(TokKind::kNewline);
+    }
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      push_newline();
+      ++line;
+      ++i;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') {
+        ++i;
+      }
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      while (i < src.size() && src[i] != '"') {
+        if (src[i] == '\n') {
+          return ParseError(
+              StrFormat("line %d: unterminated string literal", line));
+        }
+        text += src[i];
+        ++i;
+      }
+      if (i >= src.size()) {
+        return ParseError(
+            StrFormat("line %d: unterminated string literal", line));
+      }
+      ++i;  // Closing quote.
+      push(TokKind::kString, std::move(text));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      const bool neg = c == '-';
+      size_t start = i + (neg ? 1 : 0);
+      size_t j = start;
+      int base = 10;
+      if (j + 1 < src.size() && src[j] == '0' &&
+          (src[j + 1] == 'x' || src[j + 1] == 'X')) {
+        base = 16;
+        j += 2;
+        start = j;
+      }
+      uint64_t value = 0;
+      while (j < src.size()) {
+        const char d = src[j];
+        int digit;
+        if (d >= '0' && d <= '9') {
+          digit = d - '0';
+        } else if (base == 16 && d >= 'a' && d <= 'f') {
+          digit = d - 'a' + 10;
+        } else if (base == 16 && d >= 'A' && d <= 'F') {
+          digit = d - 'A' + 10;
+        } else {
+          break;
+        }
+        value = value * base + static_cast<uint64_t>(digit);
+        ++j;
+      }
+      if (j == start) {
+        return ParseError(StrFormat("line %d: malformed number", line));
+      }
+      if (neg) {
+        value = static_cast<uint64_t>(-static_cast<int64_t>(value));
+      }
+      push(TokKind::kNumber, std::string(src.substr(i, j - i)), value);
+      i = j;
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i;
+      while (j < src.size() && IsIdentChar(src[j])) {
+        ++j;
+      }
+      push(TokKind::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    switch (c) {
+      case '[':
+        push(TokKind::kLBracket);
+        break;
+      case ']':
+        push(TokKind::kRBracket);
+        break;
+      case '(':
+        push(TokKind::kLParen);
+        break;
+      case ')':
+        push(TokKind::kRParen);
+        break;
+      case '{':
+        push(TokKind::kLBrace);
+        break;
+      case '}':
+        push(TokKind::kRBrace);
+        break;
+      case ',':
+        push(TokKind::kComma);
+        break;
+      case ':':
+        push(TokKind::kColon);
+        break;
+      case '=':
+        push(TokKind::kEquals);
+        break;
+      case '$':
+        push(TokKind::kDollar);
+        break;
+      default:
+        return ParseError(
+            StrFormat("line %d: unexpected character '%c'", line, c));
+    }
+    ++i;
+  }
+  push_newline();
+  push(TokKind::kEof);
+  return out;
+}
+
+}  // namespace healer

@@ -1,0 +1,53 @@
+// Tokenizer for HealLang description sources.
+//
+// The language is line-oriented (one declaration per line, except brace
+// blocks for struct/union), with '#' comments. The lexer flattens a source
+// text into a token stream; newlines are significant and surface as
+// kNewline tokens so the parser can detect declaration boundaries.
+
+#ifndef SRC_SYZLANG_LEXER_H_
+#define SRC_SYZLANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+
+namespace healer {
+
+enum class TokKind {
+  kIdent,     // foo, ioctl, KVM_RUN
+  kNumber,    // 42, 0xae01, -1
+  kString,    // "/dev/kvm"
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kLBrace,    // {
+  kRBrace,    // }
+  kComma,     // ,
+  kColon,     // :
+  kEquals,    // =
+  kDollar,    // $
+  kNewline,
+  kEof,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;   // Identifier spelling or string contents.
+  uint64_t number = 0;
+  int line = 0;
+};
+
+const char* TokKindName(TokKind kind);
+
+// Tokenizes `src`. On success the stream always ends with kEof. Adjacent
+// newlines are collapsed into one kNewline token.
+Result<std::vector<Token>> Tokenize(std::string_view src);
+
+}  // namespace healer
+
+#endif  // SRC_SYZLANG_LEXER_H_

@@ -1,0 +1,274 @@
+#include "src/syzlang/parser.h"
+
+#include <utility>
+
+#include "src/base/string_util.h"
+#include "src/syzlang/lexer.h"
+
+namespace healer {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<DescriptionFile> Parse() {
+    DescriptionFile file;
+    SkipNewlines();
+    while (!At(TokKind::kEof)) {
+      HEALER_RETURN_IF_ERROR(ParseDecl(file));
+      SkipNewlines();
+    }
+    return file;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  bool At(TokKind kind) const { return Cur().kind == kind; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  void SkipNewlines() {
+    while (At(TokKind::kNewline)) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(TokKind kind) {
+    if (!At(kind)) {
+      return ParseError(StrFormat("line %d: expected %s, got %s", Cur().line,
+                                  TokKindName(kind), TokKindName(Cur().kind)));
+    }
+    ++pos_;
+    return OkStatus();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (!At(TokKind::kIdent)) {
+      return ParseError(StrFormat("line %d: expected identifier, got %s",
+                                  Cur().line, TokKindName(Cur().kind)));
+    }
+    return Advance().text;
+  }
+
+  Result<uint64_t> ExpectNumber() {
+    if (!At(TokKind::kNumber)) {
+      return ParseError(StrFormat("line %d: expected number, got %s",
+                                  Cur().line, TokKindName(Cur().kind)));
+    }
+    return Advance().number;
+  }
+
+  Status ParseDecl(DescriptionFile& file) {
+    if (!At(TokKind::kIdent)) {
+      return ParseError(StrFormat("line %d: expected declaration, got %s",
+                                  Cur().line, TokKindName(Cur().kind)));
+    }
+    const std::string& kw = Cur().text;
+    if (kw == "const") {
+      return ParseConst(file);
+    }
+    if (kw == "flags") {
+      return ParseFlags(file);
+    }
+    if (kw == "resource") {
+      return ParseResource(file);
+    }
+    if (kw == "struct" || kw == "union") {
+      return ParseStruct(file, /*is_union=*/kw == "union");
+    }
+    return ParseSyscall(file);
+  }
+
+  Status ParseConst(DescriptionFile& file) {
+    ConstDecl decl;
+    decl.line = Cur().line;
+    Advance();  // 'const'
+    HEALER_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    HEALER_RETURN_IF_ERROR(Expect(TokKind::kEquals));
+    HEALER_ASSIGN_OR_RETURN(decl.value, ExpectNumber());
+    file.consts.push_back(std::move(decl));
+    return EndOfDecl();
+  }
+
+  Status ParseFlags(DescriptionFile& file) {
+    FlagsDecl decl;
+    decl.line = Cur().line;
+    Advance();  // 'flags'
+    HEALER_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    HEALER_RETURN_IF_ERROR(Expect(TokKind::kEquals));
+    while (true) {
+      TypeExprArg value;
+      if (At(TokKind::kNumber)) {
+        value.kind = TypeExprArg::Kind::kNumber;
+        value.number = Advance().number;
+      } else if (At(TokKind::kIdent)) {
+        value.kind = TypeExprArg::Kind::kIdent;
+        value.str = Advance().text;
+      } else {
+        return ParseError(StrFormat("line %d: flags value must be a number or "
+                                    "const name",
+                                    Cur().line));
+      }
+      decl.values.push_back(std::move(value));
+      if (!At(TokKind::kComma)) {
+        break;
+      }
+      Advance();
+    }
+    file.flags.push_back(std::move(decl));
+    return EndOfDecl();
+  }
+
+  Status ParseResource(DescriptionFile& file) {
+    ResourceDecl decl;
+    decl.line = Cur().line;
+    Advance();  // 'resource'
+    HEALER_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    HEALER_RETURN_IF_ERROR(Expect(TokKind::kLBracket));
+    HEALER_ASSIGN_OR_RETURN(decl.base, ExpectIdent());
+    HEALER_RETURN_IF_ERROR(Expect(TokKind::kRBracket));
+    if (At(TokKind::kColon)) {
+      Advance();
+      while (true) {
+        HEALER_ASSIGN_OR_RETURN(uint64_t value, ExpectNumber());
+        decl.special_values.push_back(value);
+        if (!At(TokKind::kComma)) {
+          break;
+        }
+        Advance();
+      }
+    }
+    file.resources.push_back(std::move(decl));
+    return EndOfDecl();
+  }
+
+  Status ParseStruct(DescriptionFile& file, bool is_union) {
+    StructDecl decl;
+    decl.is_union = is_union;
+    decl.line = Cur().line;
+    Advance();  // 'struct' / 'union'
+    HEALER_ASSIGN_OR_RETURN(decl.name, ExpectIdent());
+    HEALER_RETURN_IF_ERROR(Expect(TokKind::kLBrace));
+    SkipNewlines();
+    while (!At(TokKind::kRBrace)) {
+      AstField field;
+      HEALER_ASSIGN_OR_RETURN(field.name, ExpectIdent());
+      HEALER_ASSIGN_OR_RETURN(field.type, ParseTypeExpr());
+      decl.fields.push_back(std::move(field));
+      SkipNewlines();
+    }
+    Advance();  // '}'
+    if (decl.fields.empty()) {
+      return ParseError(
+          StrFormat("line %d: %s '%s' has no fields", decl.line,
+                    is_union ? "union" : "struct", decl.name.c_str()));
+    }
+    file.structs.push_back(std::move(decl));
+    return EndOfDecl();
+  }
+
+  Status ParseSyscall(DescriptionFile& file) {
+    SyscallDecl decl;
+    decl.line = Cur().line;
+    HEALER_ASSIGN_OR_RETURN(decl.base_name, ExpectIdent());
+    decl.name = decl.base_name;
+    if (At(TokKind::kDollar)) {
+      Advance();
+      HEALER_ASSIGN_OR_RETURN(std::string variant, ExpectIdent());
+      decl.name += "$" + variant;
+    }
+    HEALER_RETURN_IF_ERROR(Expect(TokKind::kLParen));
+    if (!At(TokKind::kRParen)) {
+      while (true) {
+        AstField field;
+        HEALER_ASSIGN_OR_RETURN(field.name, ExpectIdent());
+        HEALER_ASSIGN_OR_RETURN(field.type, ParseTypeExpr());
+        decl.args.push_back(std::move(field));
+        if (!At(TokKind::kComma)) {
+          break;
+        }
+        Advance();
+      }
+    }
+    HEALER_RETURN_IF_ERROR(Expect(TokKind::kRParen));
+    if (At(TokKind::kIdent)) {
+      decl.ret = Advance().text;
+    }
+    file.syscalls.push_back(std::move(decl));
+    return EndOfDecl();
+  }
+
+  Result<TypeExpr> ParseTypeExpr() {
+    TypeExpr expr;
+    expr.line = Cur().line;
+    HEALER_ASSIGN_OR_RETURN(expr.name, ExpectIdent());
+    if (At(TokKind::kLBracket)) {
+      Advance();
+      while (true) {
+        HEALER_ASSIGN_OR_RETURN(TypeExprArg arg, ParseTypeArg());
+        expr.args.push_back(std::move(arg));
+        if (!At(TokKind::kComma)) {
+          break;
+        }
+        Advance();
+      }
+      HEALER_RETURN_IF_ERROR(Expect(TokKind::kRBracket));
+    }
+    return expr;
+  }
+
+  Result<TypeExprArg> ParseTypeArg() {
+    TypeExprArg arg;
+    if (At(TokKind::kNumber)) {
+      const uint64_t lo = Advance().number;
+      if (At(TokKind::kColon)) {
+        Advance();
+        HEALER_ASSIGN_OR_RETURN(uint64_t hi, ExpectNumber());
+        arg.kind = TypeExprArg::Kind::kRange;
+        arg.number = lo;
+        arg.range_hi = hi;
+      } else {
+        arg.kind = TypeExprArg::Kind::kNumber;
+        arg.number = lo;
+      }
+      return arg;
+    }
+    if (At(TokKind::kString)) {
+      arg.kind = TypeExprArg::Kind::kString;
+      arg.str = Advance().text;
+      return arg;
+    }
+    if (At(TokKind::kIdent)) {
+      arg.kind = TypeExprArg::Kind::kType;
+      arg.type = std::make_unique<TypeExpr>();
+      HEALER_ASSIGN_OR_RETURN(*arg.type, ParseTypeExpr());
+      return arg;
+    }
+    return ParseError(StrFormat("line %d: expected type argument, got %s",
+                                Cur().line, TokKindName(Cur().kind)));
+  }
+
+  Status EndOfDecl() {
+    if (At(TokKind::kEof)) {
+      return OkStatus();
+    }
+    if (!At(TokKind::kNewline)) {
+      return ParseError(StrFormat("line %d: unexpected %s after declaration",
+                                  Cur().line, TokKindName(Cur().kind)));
+    }
+    return OkStatus();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<DescriptionFile> ParseDescriptions(std::string_view src) {
+  HEALER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(src));
+  return Parser(std::move(tokens)).Parse();
+}
+
+}  // namespace healer

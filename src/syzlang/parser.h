@@ -1,0 +1,31 @@
+// Recursive-descent parser for HealLang.
+//
+// Grammar (line-oriented; '#' starts a comment):
+//
+//   const NAME = NUMBER
+//   flags NAME = value (, value)*            value := NUMBER | const-name
+//   resource NAME [ BASE ] (: special (, special)*)?
+//   struct NAME { field... }                 one field per line
+//   union NAME { field... }
+//   name($variant)? ( field (, field)* ) ret?
+//
+//   field    := ident type-expr
+//   type-expr := ident ('[' type-arg (',' type-arg)* ']')?
+//   type-arg := type-expr | NUMBER | NUMBER ':' NUMBER | STRING
+
+#ifndef SRC_SYZLANG_PARSER_H_
+#define SRC_SYZLANG_PARSER_H_
+
+#include <string_view>
+
+#include "src/base/status.h"
+#include "src/syzlang/ast.h"
+
+namespace healer {
+
+// Parses a description source into its declaration lists.
+Result<DescriptionFile> ParseDescriptions(std::string_view src);
+
+}  // namespace healer
+
+#endif  // SRC_SYZLANG_PARSER_H_

@@ -1,0 +1,552 @@
+#include "src/syzlang/target.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "src/base/string_util.h"
+#include "src/syzlang/parser.h"
+
+namespace healer {
+
+namespace {
+
+// Builtin scalar carriers: name -> byte size.
+const std::map<std::string, uint32_t, std::less<>>& ScalarSizes() {
+  static const auto* sizes = new std::map<std::string, uint32_t, std::less<>>{
+      {"int8", 1}, {"int16", 2}, {"int32", 4}, {"int64", 8}, {"intptr", 8},
+  };
+  return *sizes;
+}
+
+}  // namespace
+
+// Performs the two-phase resolution from DescriptionFile to Target.
+class TargetCompiler {
+ public:
+  explicit TargetCompiler(const DescriptionFile& file, Target& target)
+      : file_(file), t_(target) {}
+
+  Status Run() {
+    HEALER_RETURN_IF_ERROR(CollectConsts());
+    HEALER_RETURN_IF_ERROR(CollectResources());
+    HEALER_RETURN_IF_ERROR(CollectFlagSets());
+    HEALER_RETURN_IF_ERROR(CollectStructShells());
+    HEALER_RETURN_IF_ERROR(ResolveStructFields());
+    HEALER_RETURN_IF_ERROR(CompileSyscalls());
+    BuildProducerIndex();
+    return OkStatus();
+  }
+
+ private:
+  Type* NewType() {
+    t_.type_arena_.emplace_back();
+    return &t_.type_arena_.back();
+  }
+
+  Status CollectConsts() {
+    for (const auto& decl : file_.consts) {
+      if (!t_.consts_.emplace(decl.name, decl.value).second) {
+        return ParseError(StrFormat("line %d: duplicate const '%s'", decl.line,
+                                    decl.name.c_str()));
+      }
+    }
+    return OkStatus();
+  }
+
+  Status CollectResources() {
+    for (const auto& decl : file_.resources) {
+      if (t_.resource_by_name_.count(decl.name) != 0) {
+        return ParseError(StrFormat("line %d: duplicate resource '%s'",
+                                    decl.line, decl.name.c_str()));
+      }
+      auto res = std::make_unique<ResourceDesc>();
+      res->name = decl.name;
+      res->special_values = decl.special_values;
+      t_.resource_by_name_.emplace(decl.name, res.get());
+      t_.resources_.push_back(std::move(res));
+    }
+    // Link parents; a base that is not a scalar carrier must be a resource.
+    for (const auto& decl : file_.resources) {
+      auto* res = const_cast<ResourceDesc*>(t_.resource_by_name_[decl.name]);
+      if (ScalarSizes().count(decl.base) != 0) {
+        continue;  // Root resource carried by a scalar.
+      }
+      auto it = t_.resource_by_name_.find(decl.base);
+      if (it == t_.resource_by_name_.end()) {
+        return ParseError(StrFormat("line %d: resource '%s' has unknown base "
+                                    "'%s'",
+                                    decl.line, decl.name.c_str(),
+                                    decl.base.c_str()));
+      }
+      res->parent = it->second;
+      if (res->IsCompatibleWith(res) && res->parent->IsCompatibleWith(res)) {
+        return ParseError(StrFormat("line %d: resource inheritance cycle at "
+                                    "'%s'",
+                                    decl.line, decl.name.c_str()));
+      }
+      // Subtypes default to their parent's special values.
+      if (res->special_values.empty()) {
+        res->special_values = res->parent->special_values;
+      }
+    }
+    return OkStatus();
+  }
+
+  Status CollectFlagSets() {
+    for (const auto& decl : file_.flags) {
+      std::vector<uint64_t> values;
+      for (const auto& v : decl.values) {
+        if (v.kind == TypeExprArg::Kind::kNumber) {
+          values.push_back(v.number);
+        } else if (v.kind == TypeExprArg::Kind::kIdent ||
+                   (v.kind == TypeExprArg::Kind::kType && v.type != nullptr &&
+                    v.type->args.empty())) {
+          const std::string& name =
+              v.kind == TypeExprArg::Kind::kIdent ? v.str : v.type->name;
+          auto it = t_.consts_.find(name);
+          if (it == t_.consts_.end()) {
+            return ParseError(StrFormat("line %d: flags '%s' references "
+                                        "unknown const '%s'",
+                                        decl.line, decl.name.c_str(),
+                                        name.c_str()));
+          }
+          values.push_back(it->second);
+        } else {
+          return ParseError(StrFormat("line %d: bad value in flags '%s'",
+                                      decl.line, decl.name.c_str()));
+        }
+      }
+      if (values.empty()) {
+        return ParseError(StrFormat("line %d: flags '%s' is empty", decl.line,
+                                    decl.name.c_str()));
+      }
+      if (!t_.flag_sets_.emplace(decl.name, std::move(values)).second) {
+        return ParseError(StrFormat("line %d: duplicate flags '%s'", decl.line,
+                                    decl.name.c_str()));
+      }
+    }
+    return OkStatus();
+  }
+
+  Status CollectStructShells() {
+    for (const auto& decl : file_.structs) {
+      if (t_.named_types_.count(decl.name) != 0) {
+        return ParseError(StrFormat("line %d: duplicate type '%s'", decl.line,
+                                    decl.name.c_str()));
+      }
+      Type* type = NewType();
+      type->kind = decl.is_union ? TypeKind::kUnion : TypeKind::kStruct;
+      type->name = decl.name;
+      t_.named_types_.emplace(decl.name, type);
+    }
+    return OkStatus();
+  }
+
+  Status ResolveStructFields() {
+    for (const auto& decl : file_.structs) {
+      Type* type = t_.named_types_[decl.name];
+      for (const auto& field : decl.fields) {
+        HEALER_ASSIGN_OR_RETURN(const Type* ft, ResolveTypeExpr(field.type));
+        type->fields.push_back(Field{field.name, ft});
+      }
+      // Validate len targets against sibling field names.
+      HEALER_RETURN_IF_ERROR(CheckLenTargets(type->fields, decl.line));
+    }
+    return OkStatus();
+  }
+
+  Status CheckLenTargets(const std::vector<Field>& fields, int line) {
+    for (const auto& f : fields) {
+      const Type* ty = f.type;
+      if (ty->kind == TypeKind::kLen) {
+        const bool found =
+            std::any_of(fields.begin(), fields.end(), [&](const Field& s) {
+              return s.name == ty->len_target;
+            });
+        if (!found) {
+          return ParseError(StrFormat("line %d: len target '%s' is not a "
+                                      "sibling field",
+                                      line, ty->len_target.c_str()));
+        }
+      }
+    }
+    return OkStatus();
+  }
+
+  Status CompileSyscalls() {
+    for (const auto& decl : file_.syscalls) {
+      if (t_.syscall_by_name_.count(decl.name) != 0) {
+        return ParseError(StrFormat("line %d: duplicate syscall '%s'",
+                                    decl.line, decl.name.c_str()));
+      }
+      auto call = std::make_unique<Syscall>();
+      call->id = static_cast<int>(t_.syscalls_.size());
+      call->name = decl.name;
+      call->base_name = decl.base_name;
+      for (const auto& arg : decl.args) {
+        HEALER_ASSIGN_OR_RETURN(const Type* at, ResolveTypeExpr(arg.type));
+        call->args.push_back(Field{arg.name, at});
+      }
+      HEALER_RETURN_IF_ERROR(CheckLenTargets(call->args, decl.line));
+      if (!decl.ret.empty()) {
+        auto it = t_.resource_by_name_.find(decl.ret);
+        if (it == t_.resource_by_name_.end()) {
+          return ParseError(StrFormat("line %d: syscall '%s' returns unknown "
+                                      "resource '%s'",
+                                      decl.line, decl.name.c_str(),
+                                      decl.ret.c_str()));
+        }
+        call->ret = it->second;
+      }
+      DeriveResourceFlow(*call);
+      t_.syscall_by_name_.emplace(decl.name, call.get());
+      t_.syscalls_.push_back(std::move(call));
+    }
+    return OkStatus();
+  }
+
+  // Walks the argument tree collecting consumed/produced resource kinds.
+  void DeriveResourceFlow(Syscall& call) {
+    std::function<void(const Type*, Dir)> walk = [&](const Type* ty, Dir dir) {
+      switch (ty->kind) {
+        case TypeKind::kResource:
+          if (dir == Dir::kIn || dir == Dir::kInOut) {
+            call.consumed_resources.push_back(ty->resource);
+          }
+          if (dir == Dir::kOut || dir == Dir::kInOut) {
+            call.produced_resources.push_back(ty->resource);
+          }
+          break;
+        case TypeKind::kPtr:
+          walk(ty->elem, ty->dir);
+          break;
+        case TypeKind::kArray:
+          walk(ty->array_elem, dir);
+          break;
+        case TypeKind::kStruct:
+        case TypeKind::kUnion:
+          for (const auto& f : ty->fields) {
+            walk(f.type, dir);
+          }
+          break;
+        default:
+          break;
+      }
+    };
+    for (const auto& arg : call.args) {
+      walk(arg.type, Dir::kIn);
+    }
+    if (call.ret != nullptr) {
+      call.produced_resources.push_back(call.ret);
+    }
+    auto dedupe = [](std::vector<const ResourceDesc*>& v) {
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+    };
+    dedupe(call.consumed_resources);
+    dedupe(call.produced_resources);
+  }
+
+  Result<const Type*> ResolveTypeExpr(const TypeExpr& expr) {
+    const std::string& name = expr.name;
+    // Scalar ints.
+    if (auto it = ScalarSizes().find(name); it != ScalarSizes().end()) {
+      Type* ty = NewType();
+      ty->kind = TypeKind::kInt;
+      ty->size = it->second;
+      if (!expr.args.empty()) {
+        if (expr.args.size() != 1 ||
+            expr.args[0].kind != TypeExprArg::Kind::kRange) {
+          return ParseError(StrFormat("line %d: %s takes an optional lo:hi "
+                                      "range",
+                                      expr.line, name.c_str()));
+        }
+        ty->range_min = expr.args[0].number;
+        ty->range_max = expr.args[0].range_hi;
+        if (ty->range_min > ty->range_max) {
+          return ParseError(
+              StrFormat("line %d: empty range on %s", expr.line, name.c_str()));
+        }
+      }
+      return static_cast<const Type*>(ty);
+    }
+    if (name == "const") {
+      return ResolveConstExpr(expr);
+    }
+    if (name == "flags") {
+      return ResolveFlagsExpr(expr);
+    }
+    if (name == "len") {
+      if (expr.args.size() != 1 ||
+          expr.args[0].kind != TypeExprArg::Kind::kType ||
+          !expr.args[0].type->args.empty()) {
+        return ParseError(
+            StrFormat("line %d: len takes a sibling field name", expr.line));
+      }
+      Type* ty = NewType();
+      ty->kind = TypeKind::kLen;
+      ty->size = 8;
+      ty->len_target = expr.args[0].type->name;
+      return static_cast<const Type*>(ty);
+    }
+    if (name == "ptr") {
+      if (expr.args.size() != 2 ||
+          expr.args[0].kind != TypeExprArg::Kind::kType) {
+        return ParseError(
+            StrFormat("line %d: ptr takes [dir, type]", expr.line));
+      }
+      HEALER_ASSIGN_OR_RETURN(Dir dir,
+                              ParseDir(expr.args[0].type->name, expr.line));
+      Type* ty = NewType();
+      ty->kind = TypeKind::kPtr;
+      ty->dir = dir;
+      if (expr.args[1].kind != TypeExprArg::Kind::kType) {
+        // ptr[in, "literal"] sugar for a fixed string.
+        if (expr.args[1].kind == TypeExprArg::Kind::kString) {
+          Type* s = NewType();
+          s->kind = TypeKind::kString;
+          s->str_values.push_back(expr.args[1].str);
+          ty->elem = s;
+          return static_cast<const Type*>(ty);
+        }
+        return ParseError(
+            StrFormat("line %d: ptr pointee must be a type", expr.line));
+      }
+      HEALER_ASSIGN_OR_RETURN(ty->elem, ResolveTypeExpr(*expr.args[1].type));
+      return static_cast<const Type*>(ty);
+    }
+    if (name == "buffer") {
+      Type* ty = NewType();
+      ty->kind = TypeKind::kBuffer;
+      if (!expr.args.empty()) {
+        size_t idx = 0;
+        if (expr.args[0].kind == TypeExprArg::Kind::kType) {
+          HEALER_ASSIGN_OR_RETURN(ty->dir,
+                                  ParseDir(expr.args[0].type->name, expr.line));
+          idx = 1;
+        }
+        if (idx < expr.args.size()) {
+          if (expr.args[idx].kind != TypeExprArg::Kind::kRange) {
+            return ParseError(StrFormat("line %d: buffer size must be lo:hi",
+                                        expr.line));
+          }
+          ty->buf_min = expr.args[idx].number;
+          ty->buf_max = expr.args[idx].range_hi;
+        }
+      }
+      return static_cast<const Type*>(ty);
+    }
+    if (name == "string" || name == "filename") {
+      Type* ty = NewType();
+      ty->kind = name == "string" ? TypeKind::kString : TypeKind::kFilename;
+      for (const auto& arg : expr.args) {
+        if (arg.kind != TypeExprArg::Kind::kString) {
+          return ParseError(StrFormat("line %d: %s candidates must be string "
+                                      "literals",
+                                      expr.line, name.c_str()));
+        }
+        ty->str_values.push_back(arg.str);
+      }
+      return static_cast<const Type*>(ty);
+    }
+    if (name == "vma") {
+      Type* ty = NewType();
+      ty->kind = TypeKind::kVma;
+      return static_cast<const Type*>(ty);
+    }
+    if (name == "array") {
+      if (expr.args.empty() || expr.args[0].kind != TypeExprArg::Kind::kType) {
+        return ParseError(
+            StrFormat("line %d: array takes [elem (, bound)]", expr.line));
+      }
+      Type* ty = NewType();
+      ty->kind = TypeKind::kArray;
+      HEALER_ASSIGN_OR_RETURN(ty->array_elem,
+                              ResolveTypeExpr(*expr.args[0].type));
+      if (expr.args.size() == 2) {
+        if (expr.args[1].kind == TypeExprArg::Kind::kNumber) {
+          ty->array_min = ty->array_max = expr.args[1].number;
+        } else if (expr.args[1].kind == TypeExprArg::Kind::kRange) {
+          ty->array_min = expr.args[1].number;
+          ty->array_max = expr.args[1].range_hi;
+        } else {
+          return ParseError(
+              StrFormat("line %d: bad array bound", expr.line));
+        }
+      } else if (expr.args.size() > 2) {
+        return ParseError(StrFormat("line %d: array takes at most 2 args",
+                                    expr.line));
+      }
+      return static_cast<const Type*>(ty);
+    }
+    // Resource reference.
+    if (auto it = t_.resource_by_name_.find(name);
+        it != t_.resource_by_name_.end()) {
+      if (!expr.args.empty()) {
+        return ParseError(StrFormat("line %d: resource '%s' takes no args",
+                                    expr.line, name.c_str()));
+      }
+      Type* ty = NewType();
+      ty->kind = TypeKind::kResource;
+      ty->name = name;
+      ty->size = 8;
+      ty->resource = it->second;
+      return static_cast<const Type*>(ty);
+    }
+    // Named struct/union.
+    if (auto it = t_.named_types_.find(name); it != t_.named_types_.end()) {
+      if (!expr.args.empty()) {
+        return ParseError(StrFormat("line %d: type '%s' takes no args",
+                                    expr.line, name.c_str()));
+      }
+      return static_cast<const Type*>(it->second);
+    }
+    return ParseError(
+        StrFormat("line %d: unknown type '%s'", expr.line, name.c_str()));
+  }
+
+  Result<const Type*> ResolveConstExpr(const TypeExpr& expr) {
+    if (expr.args.empty() || expr.args.size() > 2) {
+      return ParseError(
+          StrFormat("line %d: const takes [value (, intN)]", expr.line));
+    }
+    Type* ty = NewType();
+    ty->kind = TypeKind::kConst;
+    const TypeExprArg& v = expr.args[0];
+    if (v.kind == TypeExprArg::Kind::kNumber) {
+      ty->const_val = v.number;
+    } else if (v.kind == TypeExprArg::Kind::kType && v.type->args.empty()) {
+      auto it = t_.consts_.find(v.type->name);
+      if (it == t_.consts_.end()) {
+        return ParseError(StrFormat("line %d: unknown const '%s'", expr.line,
+                                    v.type->name.c_str()));
+      }
+      ty->const_val = it->second;
+    } else {
+      return ParseError(StrFormat("line %d: bad const value", expr.line));
+    }
+    if (expr.args.size() == 2) {
+      if (expr.args[1].kind != TypeExprArg::Kind::kType) {
+        return ParseError(StrFormat("line %d: bad const width", expr.line));
+      }
+      auto it = ScalarSizes().find(expr.args[1].type->name);
+      if (it == ScalarSizes().end()) {
+        return ParseError(StrFormat("line %d: bad const width '%s'", expr.line,
+                                    expr.args[1].type->name.c_str()));
+      }
+      ty->size = it->second;
+    }
+    return static_cast<const Type*>(ty);
+  }
+
+  Result<const Type*> ResolveFlagsExpr(const TypeExpr& expr) {
+    if (expr.args.empty() || expr.args[0].kind != TypeExprArg::Kind::kType) {
+      return ParseError(
+          StrFormat("line %d: flags takes [set-name (, intN)]", expr.line));
+    }
+    const std::string& set = expr.args[0].type->name;
+    auto it = t_.flag_sets_.find(set);
+    if (it == t_.flag_sets_.end()) {
+      return ParseError(StrFormat("line %d: unknown flags set '%s'", expr.line,
+                                  set.c_str()));
+    }
+    Type* ty = NewType();
+    ty->kind = TypeKind::kFlags;
+    ty->name = set;
+    ty->flag_values = it->second;
+    if (expr.args.size() == 2 &&
+        expr.args[1].kind == TypeExprArg::Kind::kType) {
+      auto sz = ScalarSizes().find(expr.args[1].type->name);
+      if (sz == ScalarSizes().end()) {
+        return ParseError(StrFormat("line %d: bad flags width", expr.line));
+      }
+      ty->size = sz->second;
+    }
+    return static_cast<const Type*>(ty);
+  }
+
+  Result<Dir> ParseDir(std::string_view name, int line) {
+    if (name == "in") {
+      return Dir::kIn;
+    }
+    if (name == "out") {
+      return Dir::kOut;
+    }
+    if (name == "inout") {
+      return Dir::kInOut;
+    }
+    return ParseError(StrFormat("line %d: bad direction '%s'", line,
+                                std::string(name).c_str()));
+  }
+
+  void BuildProducerIndex() {
+    for (const auto& res : t_.resources_) {
+      std::vector<int> producers;
+      for (const auto& call : t_.syscalls_) {
+        for (const ResourceDesc* produced : call->produced_resources) {
+          if (produced->IsCompatibleWith(res.get())) {
+            producers.push_back(call->id);
+            break;
+          }
+        }
+      }
+      t_.producers_.emplace(res.get(), std::move(producers));
+    }
+  }
+
+  const DescriptionFile& file_;
+  Target& t_;
+};
+
+Result<Target> Target::Compile(const DescriptionFile& file, std::string name) {
+  Target target;
+  target.name_ = std::move(name);
+  TargetCompiler compiler(file, target);
+  HEALER_RETURN_IF_ERROR(compiler.Run());
+  return target;
+}
+
+Result<Target> Target::CompileSource(std::string_view src, std::string name) {
+  HEALER_ASSIGN_OR_RETURN(DescriptionFile file, ParseDescriptions(src));
+  return Compile(file, std::move(name));
+}
+
+const Syscall* Target::FindSyscall(std::string_view name) const {
+  auto it = syscall_by_name_.find(name);
+  return it == syscall_by_name_.end() ? nullptr : it->second;
+}
+
+const ResourceDesc* Target::FindResource(std::string_view name) const {
+  auto it = resource_by_name_.find(name);
+  return it == resource_by_name_.end() ? nullptr : it->second;
+}
+
+const Type* Target::FindNamedType(std::string_view name) const {
+  auto it = named_types_.find(name);
+  return it == named_types_.end() ? nullptr : it->second;
+}
+
+Result<uint64_t> Target::FindConst(std::string_view name) const {
+  auto it = consts_.find(name);
+  if (it == consts_.end()) {
+    return NotFound(StrFormat("const '%s'", std::string(name).c_str()));
+  }
+  return it->second;
+}
+
+const std::vector<int>& Target::ProducersOf(const ResourceDesc* wanted) const {
+  auto it = producers_.find(wanted);
+  return it == producers_.end() ? no_producers_ : it->second;
+}
+
+bool Target::Consumes(const Syscall& call, const ResourceDesc* produced) {
+  for (const ResourceDesc* wanted : call.consumed_resources) {
+    if (produced->IsCompatibleWith(wanted)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace healer

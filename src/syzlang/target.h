@@ -1,0 +1,88 @@
+// Target: a compiled set of system-call descriptions.
+//
+// A Target owns every Type, ResourceDesc and Syscall compiled from a
+// DescriptionFile and exposes the lookups the fuzzer needs: syscalls by
+// dense id, producers of a resource kind (honoring inheritance), and the
+// static resource-flow facts that seed HEALER's relation table.
+
+#ifndef SRC_SYZLANG_TARGET_H_
+#define SRC_SYZLANG_TARGET_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/syzlang/ast.h"
+#include "src/syzlang/types.h"
+
+namespace healer {
+
+class Target {
+ public:
+  Target(const Target&) = delete;
+  Target& operator=(const Target&) = delete;
+  Target(Target&&) = default;
+  Target& operator=(Target&&) = default;
+
+  // Compiles parsed declarations. Fails on duplicate or unresolved names,
+  // malformed type expressions, or len[] targets that don't exist.
+  static Result<Target> Compile(const DescriptionFile& file,
+                                std::string name);
+
+  // Convenience: parse + compile.
+  static Result<Target> CompileSource(std::string_view src, std::string name);
+
+  const std::string& name() const { return name_; }
+
+  size_t NumSyscalls() const { return syscalls_.size(); }
+  const Syscall& syscall(int id) const { return *syscalls_[id]; }
+  const std::vector<std::unique_ptr<Syscall>>& syscalls() const {
+    return syscalls_;
+  }
+
+  // nullptr when absent.
+  const Syscall* FindSyscall(std::string_view name) const;
+  const ResourceDesc* FindResource(std::string_view name) const;
+  const Type* FindNamedType(std::string_view name) const;
+  // Value of a named constant; error if undeclared.
+  Result<uint64_t> FindConst(std::string_view name) const;
+
+  // Syscall ids whose produced resource is compatible with `wanted`
+  // (i.e. the produced kind is `wanted` or inherits from it).
+  const std::vector<int>& ProducersOf(const ResourceDesc* wanted) const;
+
+  // True iff `call` consumes, anywhere in its argument tree, a resource that
+  // a producer of `produced` can satisfy.
+  static bool Consumes(const Syscall& call, const ResourceDesc* produced);
+
+  size_t NumResources() const { return resources_.size(); }
+  const std::vector<std::unique_ptr<ResourceDesc>>& resources() const {
+    return resources_;
+  }
+
+ private:
+  Target() = default;
+
+  std::string name_;
+  std::deque<Type> type_arena_;
+  std::vector<std::unique_ptr<ResourceDesc>> resources_;
+  std::vector<std::unique_ptr<Syscall>> syscalls_;
+  std::map<std::string, const ResourceDesc*, std::less<>> resource_by_name_;
+  std::map<std::string, Type*, std::less<>> named_types_;
+  std::map<std::string, uint64_t, std::less<>> consts_;
+  std::map<std::string, std::vector<uint64_t>, std::less<>> flag_sets_;
+  std::map<std::string, Syscall*, std::less<>> syscall_by_name_;
+  // resource name -> producer syscall ids (inheritance-aware).
+  std::map<const ResourceDesc*, std::vector<int>> producers_;
+  std::vector<int> no_producers_;
+
+  friend class TargetCompiler;
+};
+
+}  // namespace healer
+
+#endif  // SRC_SYZLANG_TARGET_H_

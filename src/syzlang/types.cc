@@ -1,0 +1,90 @@
+#include "src/syzlang/types.h"
+
+namespace healer {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kInt:
+      return "int";
+    case TypeKind::kConst:
+      return "const";
+    case TypeKind::kFlags:
+      return "flags";
+    case TypeKind::kLen:
+      return "len";
+    case TypeKind::kResource:
+      return "resource";
+    case TypeKind::kPtr:
+      return "ptr";
+    case TypeKind::kBuffer:
+      return "buffer";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kFilename:
+      return "filename";
+    case TypeKind::kVma:
+      return "vma";
+    case TypeKind::kArray:
+      return "array";
+    case TypeKind::kStruct:
+      return "struct";
+    case TypeKind::kUnion:
+      return "union";
+  }
+  return "?";
+}
+
+const char* DirName(Dir dir) {
+  switch (dir) {
+    case Dir::kIn:
+      return "in";
+    case Dir::kOut:
+      return "out";
+    case Dir::kInOut:
+      return "inout";
+  }
+  return "?";
+}
+
+uint64_t Type::ByteSize() const {
+  switch (kind) {
+    case TypeKind::kInt:
+    case TypeKind::kConst:
+    case TypeKind::kFlags:
+    case TypeKind::kLen:
+    case TypeKind::kResource:
+      return size;
+    case TypeKind::kVma:
+    case TypeKind::kPtr:
+      return 8;
+    case TypeKind::kBuffer:
+      return buf_max;  // Upper bound; actual instances carry their own size.
+    case TypeKind::kString:
+    case TypeKind::kFilename: {
+      uint64_t max = 1;
+      for (const auto& s : str_values) {
+        max = std::max<uint64_t>(max, s.size() + 1);
+      }
+      return max;
+    }
+    case TypeKind::kArray:
+      return array_max * (array_elem != nullptr ? array_elem->ByteSize() : 1);
+    case TypeKind::kStruct: {
+      uint64_t total = 0;
+      for (const auto& f : fields) {
+        total += f.type->ByteSize();
+      }
+      return total;
+    }
+    case TypeKind::kUnion: {
+      uint64_t max = 0;
+      for (const auto& f : fields) {
+        max = std::max(max, f.type->ByteSize());
+      }
+      return max;
+    }
+  }
+  return 8;
+}
+
+}  // namespace healer

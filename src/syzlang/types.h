@@ -1,0 +1,162 @@
+// Compiled type system for the HealLang system-call description language.
+//
+// HealLang is a from-scratch rebuild of the subset of Syzlang that HEALER's
+// algorithms depend on: scalar ints with ranges, symbolic constants, flag
+// sets, length fields, typed pointers with data-flow direction, byte
+// buffers, candidate strings, filenames, vma addresses, arrays,
+// struct/union aggregates, and — most importantly — *resources* with
+// inheritance, which drive static relation learning.
+//
+// Types are owned by the Target that compiled them; all cross-references are
+// raw non-owning pointers valid for the Target's lifetime.
+
+#ifndef SRC_SYZLANG_TYPES_H_
+#define SRC_SYZLANG_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace healer {
+
+enum class TypeKind {
+  kInt,       // intN, optionally range-restricted
+  kConst,     // fixed value
+  kFlags,     // bitwise-OR subset or one-of a named value set
+  kLen,       // byte length of a sibling field/argument
+  kResource,  // kernel-object handle produced by another call
+  kPtr,       // typed pointer with direction
+  kBuffer,    // variable-length opaque bytes
+  kString,    // NUL-terminated string, optionally from a candidate set
+  kFilename,  // path-shaped string
+  kVma,       // guest virtual-memory area address
+  kArray,     // homogeneous sequence
+  kStruct,    // ordered fields
+  kUnion,     // one-of fields
+};
+
+// Data-flow direction, as written in ptr[dir, ...]. Direction is what static
+// relation learning inspects: an out-direction resource is *produced*, an
+// in-direction resource is *consumed*.
+enum class Dir {
+  kIn,
+  kOut,
+  kInOut,
+};
+
+const char* TypeKindName(TypeKind kind);
+const char* DirName(Dir dir);
+
+// A resource kind, e.g. "fd" or its subtype "kvm_vm_fd". Inheritance forms a
+// forest; compatibility is ancestor-or-self (a kvm_vm_fd may be passed where
+// an fd is expected).
+struct ResourceDesc {
+  std::string name;
+  const ResourceDesc* parent = nullptr;
+  // Values that are valid without any producer call (e.g. -1, AT_FDCWD).
+  std::vector<uint64_t> special_values;
+
+  // True iff `this` names `ancestor` or inherits from it (transitively).
+  bool IsCompatibleWith(const ResourceDesc* ancestor) const {
+    for (const ResourceDesc* r = this; r != nullptr; r = r->parent) {
+      if (r == ancestor) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+struct Type;
+
+// A named, typed slot: a syscall argument or a struct/union member.
+struct Field {
+  std::string name;
+  const Type* type = nullptr;
+};
+
+struct Type {
+  TypeKind kind = TypeKind::kInt;
+
+  // Set for named declarations (resource carrier, flags, struct, union).
+  std::string name;
+
+  // Byte width of scalar values (int/const/flags/len/resource); aggregate
+  // sizes are computed from members.
+  uint32_t size = 8;
+
+  // kInt: inclusive range; range_max == 0 && range_min == 0 means "any".
+  uint64_t range_min = 0;
+  uint64_t range_max = 0;
+
+  // kConst: the fixed value.
+  uint64_t const_val = 0;
+
+  // kFlags: permitted values.
+  std::vector<uint64_t> flag_values;
+  // kFlags: if true values OR-combine; if false exactly one is chosen.
+  bool flags_bitmask = true;
+
+  // kLen: name of the sibling field whose byte length this carries.
+  std::string len_target;
+
+  // kResource.
+  const ResourceDesc* resource = nullptr;
+
+  // kPtr: pointee and direction.
+  const Type* elem = nullptr;
+  Dir dir = Dir::kIn;
+
+  // kString: candidate literals; empty means "any string".
+  std::vector<std::string> str_values;
+
+  // kBuffer: size bounds for generated contents.
+  uint64_t buf_min = 0;
+  uint64_t buf_max = 64;
+
+  // kArray: element type and length bounds.
+  const Type* array_elem = nullptr;
+  uint64_t array_min = 0;
+  uint64_t array_max = 4;
+
+  // kStruct / kUnion.
+  std::vector<Field> fields;
+
+  bool IsScalar() const {
+    switch (kind) {
+      case TypeKind::kInt:
+      case TypeKind::kConst:
+      case TypeKind::kFlags:
+      case TypeKind::kLen:
+      case TypeKind::kResource:
+      case TypeKind::kVma:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Byte size this type occupies when embedded in guest memory.
+  uint64_t ByteSize() const;
+};
+
+// A system-call description, possibly a specialization ("ioctl$KVM_RUN").
+struct Syscall {
+  int id = -1;             // Dense index within the Target.
+  std::string name;        // Full name including $variant.
+  std::string base_name;   // Name before '$'.
+  std::vector<Field> args;
+  const ResourceDesc* ret = nullptr;  // Resource produced via return value.
+
+  // Derived facts used by static relation learning and generation.
+  // Resources consumed by in/inout-direction scalar args or pointees.
+  std::vector<const ResourceDesc*> consumed_resources;
+  // Resources produced: the return resource plus out-direction pointees.
+  std::vector<const ResourceDesc*> produced_resources;
+
+  bool IsVariant() const { return name != base_name; }
+};
+
+}  // namespace healer
+
+#endif  // SRC_SYZLANG_TYPES_H_

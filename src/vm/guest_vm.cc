@@ -1,0 +1,80 @@
+#include "src/vm/guest_vm.h"
+
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
+#include "src/prog/serialize.h"
+
+namespace healer {
+
+GuestVm::GuestVm(const Target& target, const KernelConfig& config,
+                 SimClock* clock, VmLatencyModel latency)
+    : executor_(target, config), clock_(clock), latency_(latency) {}
+
+void GuestVm::Boot() {
+  clock_->Advance(latency_.boot);
+  // Handshake over the control socket, as the in-guest agent does on start.
+  ctrl_.Send(CtrlFrame{CtrlKind::kHandshake, 0xcafe});
+  CtrlFrame frame;
+  if (ctrl_.Recv(&frame) && frame.kind == CtrlKind::kHandshake) {
+    ctrl_.Send(CtrlFrame{CtrlKind::kHandshakeAck, frame.payload});
+    ctrl_.Recv(&frame);  // Consume the ack.
+  }
+  booted_ = true;
+  down_ = false;
+  AppendLog(StrFormat("[    0.000000] sim-linux %s booted",
+                      KernelVersionName(executor_.config().version)));
+}
+
+ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
+  if (!booted_) {
+    Boot();
+  }
+  if (down_) {
+    clock_->Advance(latency_.reboot);
+    AppendLog("[ reboot ] restarting crashed guest");
+    down_ = false;
+  }
+  const std::vector<uint8_t> bytes = SerializeProg(prog);
+  if (!shm_.WriteProg(bytes)) {
+    LOG_WARNING << "program too large for shm region (" << bytes.size()
+                << " bytes)";
+    return ExecResult{};
+  }
+  ctrl_.Send(CtrlFrame{CtrlKind::kExecRequest, bytes.size()});
+  ExecResult result =
+      executor_.RunSerialized(shm_.prog_data(), shm_.prog_size(),
+                              global_coverage);
+  CtrlFrame frame;
+  ctrl_.Recv(&frame);  // The request we queued; the reply follows.
+  ctrl_.Send(CtrlFrame{CtrlKind::kExecReply, result.calls.size()});
+  ctrl_.Recv(&frame);
+
+  ++execs_;
+  clock_->Advance(latency_.exec_overhead +
+                  latency_.per_call * prog.size());
+  if (result.Crashed()) {
+    ++crashes_;
+    down_ = true;
+    ctrl_.Send(CtrlFrame{CtrlKind::kCrashNotice,
+                         static_cast<uint64_t>(result.crash->bug)});
+    ctrl_.Recv(&frame);
+    AppendLog(StrFormat("BUG: %s", result.crash->title.c_str()));
+  }
+  return result;
+}
+
+std::vector<std::string> GuestVm::DrainLog() {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  std::vector<std::string> out;
+  out.swap(log_);
+  return out;
+}
+
+void GuestVm::AppendLog(std::string line) {
+  std::lock_guard<std::mutex> lock(log_mu_);
+  if (log_.size() < 4096) {
+    log_.push_back(std::move(line));
+  }
+}
+
+}  // namespace healer

@@ -1,0 +1,72 @@
+// GuestVm: one QEMU-instance equivalent. Owns the executor (the in-guest
+// agent), the shared-memory channel and the control socket, performs the
+// boot handshake, and advances the campaign's simulated clock with modelled
+// latencies: booting, per-program round trips, and crash reboots.
+//
+// The latency model maps the paper's wall-clock axis onto the simulator:
+// one program round trip costs ~overhead + per-call time, so a 24-hour
+// campaign corresponds to a few hundred thousand executions.
+
+#ifndef SRC_VM_GUEST_VM_H_
+#define SRC_VM_GUEST_VM_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/base/sim_clock.h"
+#include "src/exec/executor.h"
+#include "src/exec/shm_channel.h"
+
+namespace healer {
+
+struct VmLatencyModel {
+  SimClock::Nanos boot = 10 * SimClock::kSecond;
+  SimClock::Nanos reboot = 20 * SimClock::kSecond;
+  SimClock::Nanos exec_overhead = 300 * SimClock::kMillisecond;
+  SimClock::Nanos per_call = 10 * SimClock::kMillisecond;
+};
+
+class GuestVm {
+ public:
+  // `clock` is shared with the campaign and must outlive the VM.
+  GuestVm(const Target& target, const KernelConfig& config, SimClock* clock,
+          VmLatencyModel latency = VmLatencyModel());
+
+  // Boots the guest and performs the executor handshake.
+  void Boot();
+  bool booted() const { return booted_; }
+
+  // Serializes `prog` into shared memory, round-trips through the executor,
+  // and advances the simulated clock. A crashing program marks the VM as
+  // down; the next Exec reboots it first (modelling crash-and-restart).
+  ExecResult Exec(const Prog& prog, Bitmap* global_coverage);
+
+  // Guest console log lines accumulated since the last Drain (consumed by
+  // the Monitor's background IO thread).
+  std::vector<std::string> DrainLog();
+
+  const Executor& executor() const { return executor_; }
+  uint64_t execs() const { return execs_; }
+  uint64_t crashes() const { return crashes_; }
+
+ private:
+  void AppendLog(std::string line);
+
+  Executor executor_;
+  ShmChannel shm_;
+  ControlSocket ctrl_;
+  SimClock* clock_;
+  VmLatencyModel latency_;
+  bool booted_ = false;
+  bool down_ = false;
+  uint64_t execs_ = 0;
+  uint64_t crashes_ = 0;
+  std::mutex log_mu_;  // The Monitor drains the log from its own thread.
+  std::vector<std::string> log_;
+};
+
+}  // namespace healer
+
+#endif  // SRC_VM_GUEST_VM_H_

@@ -1,0 +1,79 @@
+#include "src/vm/vm_pool.h"
+
+#include <chrono>
+
+namespace healer {
+
+VmPool::VmPool(const Target& target, const KernelConfig& config,
+               SimClock* clock, size_t count, VmLatencyModel latency) {
+  vms_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    vms_.push_back(std::make_unique<GuestVm>(target, config, clock, latency));
+  }
+}
+
+uint64_t VmPool::TotalExecs() const {
+  uint64_t total = 0;
+  for (const auto& vm : vms_) {
+    total += vm->execs();
+  }
+  return total;
+}
+
+uint64_t VmPool::TotalCrashes() const {
+  uint64_t total = 0;
+  for (const auto& vm : vms_) {
+    total += vm->crashes();
+  }
+  return total;
+}
+
+void Monitor::Start() {
+  if (running_.exchange(true)) {
+    return;
+  }
+  thread_ = std::thread([this] {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (running_.load()) {
+      lock.unlock();
+      Poll();
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(10),
+                   [this] { return !running_.load(); });
+    }
+  });
+}
+
+void Monitor::Stop() {
+  if (!running_.exchange(false)) {
+    return;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  Poll();  // Final drain.
+}
+
+void Monitor::Poll() {
+  for (size_t i = 0; i < pool_->size(); ++i) {
+    std::vector<std::string> lines = pool_->vm(i).DrainLog();
+    if (lines.empty()) {
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& line : lines) {
+      ++lines_collected_;
+      if (journal_.size() < 65536) {
+        journal_.push_back(std::move(line));
+      }
+    }
+  }
+}
+
+std::vector<std::string> Monitor::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return journal_;
+}
+
+}  // namespace healer

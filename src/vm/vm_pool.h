@@ -1,0 +1,72 @@
+// VmPool + Monitor: manage a fleet of guest VMs and collect their console
+// logs on a background IO thread, mirroring HEALER's "background
+// asynchronous IO" worker (Fig. 3).
+
+#ifndef SRC_VM_VM_POOL_H_
+#define SRC_VM_VM_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/vm/guest_vm.h"
+
+namespace healer {
+
+class VmPool {
+ public:
+  VmPool(const Target& target, const KernelConfig& config, SimClock* clock,
+         size_t count, VmLatencyModel latency = VmLatencyModel());
+
+  size_t size() const { return vms_.size(); }
+  GuestVm& vm(size_t index) { return *vms_[index]; }
+
+  // Round-robin pick for the next execution.
+  GuestVm& Next() {
+    GuestVm& vm = *vms_[next_];
+    next_ = (next_ + 1) % vms_.size();
+    return vm;
+  }
+
+  uint64_t TotalExecs() const;
+  uint64_t TotalCrashes() const;
+
+ private:
+  std::vector<std::unique_ptr<GuestVm>> vms_;
+  size_t next_ = 0;
+};
+
+// Background log collector. Call Start() with the pool; it periodically
+// drains every VM's console buffer into a bounded in-memory journal that
+// the caller can snapshot. Stop() joins the thread.
+class Monitor {
+ public:
+  explicit Monitor(VmPool* pool) : pool_(pool) {}
+  ~Monitor() { Stop(); }
+
+  void Start();
+  void Stop();
+
+  // Drains VM logs synchronously (also used internally by the thread).
+  void Poll();
+
+  std::vector<std::string> Snapshot() const;
+  size_t lines_collected() const { return lines_collected_; }
+
+ private:
+  VmPool* pool_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> journal_;
+  std::atomic<size_t> lines_collected_{0};
+};
+
+}  // namespace healer
+
+#endif  // SRC_VM_VM_POOL_H_

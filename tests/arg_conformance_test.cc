@@ -1,0 +1,260 @@
+// Property tests: argument trees produced by ArgGenerator (and preserved by
+// ArgMutator) must structurally conform to their types — the invariant the
+// executor, serializer and kernel handlers all rely on.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/fuzz/arg_gen.h"
+#include "src/fuzz/prog_builder.h"
+#include "src/fuzz/relation_table.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+namespace {
+
+// Checks one arg tree against its type; returns a failure description or
+// empty on success.
+std::string CheckConformance(const Arg& arg) {
+  if (arg.type == nullptr) {
+    return "arg without type";
+  }
+  switch (arg.type->kind) {
+    case TypeKind::kInt: {
+      if (arg.kind != ArgKind::kConstant) {
+        return "int arg not constant";
+      }
+      const bool has_range =
+          arg.type->range_min != 0 || arg.type->range_max != 0;
+      if (has_range &&
+          (arg.val < arg.type->range_min || arg.val > arg.type->range_max)) {
+        return "ranged int out of bounds";
+      }
+      return "";
+    }
+    case TypeKind::kConst:
+      if (arg.kind != ArgKind::kConstant || arg.val != arg.type->const_val) {
+        return "const arg does not carry the fixed value";
+      }
+      return "";
+    case TypeKind::kFlags:
+      return arg.kind == ArgKind::kConstant ? "" : "flags arg not constant";
+    case TypeKind::kLen:
+      return arg.kind == ArgKind::kConstant ? "" : "len arg not constant";
+    case TypeKind::kResource:
+      if (arg.kind != ArgKind::kResource) {
+        return "resource arg with wrong kind";
+      }
+      return "";
+    case TypeKind::kPtr: {
+      if (arg.kind != ArgKind::kPointer) {
+        return "ptr arg with wrong kind";
+      }
+      if (arg.pointee == nullptr) {
+        return "";  // Null pointer is legal.
+      }
+      if (arg.pointee->type != arg.type->elem) {
+        return "pointee type mismatch";
+      }
+      return CheckConformance(*arg.pointee);
+    }
+    case TypeKind::kBuffer:
+      if (arg.kind != ArgKind::kData) {
+        return "buffer arg not data";
+      }
+      if (arg.data.size() < arg.type->buf_min ||
+          arg.data.size() > arg.type->buf_max) {
+        return "buffer size out of bounds";
+      }
+      return "";
+    case TypeKind::kString:
+    case TypeKind::kFilename: {
+      if (arg.kind != ArgKind::kData) {
+        return "string arg not data";
+      }
+      if (arg.data.empty() || arg.data.back() != 0) {
+        return "string not NUL-terminated";
+      }
+      if (!arg.type->str_values.empty()) {
+        const std::string text(arg.data.begin(), arg.data.end() - 1);
+        bool found = false;
+        for (const auto& candidate : arg.type->str_values) {
+          found |= candidate == text;
+        }
+        if (!found) {
+          return "string not from the candidate set";
+        }
+      }
+      return "";
+    }
+    case TypeKind::kVma:
+      if (arg.kind != ArgKind::kVma || arg.vma_pages == 0) {
+        return "vma arg malformed";
+      }
+      if (arg.val % 4096 != 0) {
+        return "vma address not page aligned";
+      }
+      return "";
+    case TypeKind::kArray: {
+      if (arg.kind != ArgKind::kGroup) {
+        return "array arg not group";
+      }
+      if (arg.inner.size() < arg.type->array_min ||
+          arg.inner.size() > arg.type->array_max) {
+        return "array count out of bounds";
+      }
+      for (const auto& child : arg.inner) {
+        if (child->type != arg.type->array_elem) {
+          return "array element type mismatch";
+        }
+        const std::string err = CheckConformance(*child);
+        if (!err.empty()) {
+          return err;
+        }
+      }
+      return "";
+    }
+    case TypeKind::kStruct: {
+      if (arg.kind != ArgKind::kGroup ||
+          arg.inner.size() != arg.type->fields.size()) {
+        return "struct arity mismatch";
+      }
+      for (size_t i = 0; i < arg.inner.size(); ++i) {
+        if (arg.inner[i]->type != arg.type->fields[i].type) {
+          return "struct field type mismatch";
+        }
+        const std::string err = CheckConformance(*arg.inner[i]);
+        if (!err.empty()) {
+          return err;
+        }
+      }
+      return "";
+    }
+    case TypeKind::kUnion: {
+      if (arg.kind != ArgKind::kUnion || arg.inner.size() != 1) {
+        return "union arity mismatch";
+      }
+      if (arg.union_index < 0 ||
+          static_cast<size_t>(arg.union_index) >= arg.type->fields.size()) {
+        return "union index out of range";
+      }
+      return CheckConformance(*arg.inner[0]);
+    }
+  }
+  return "unknown kind";
+}
+
+std::vector<int> AllIds(const Target& target) {
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  return ids;
+}
+
+class GenConformanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GenConformanceTest, EverySyscallsArgsConform) {
+  const Target& target = BuiltinTarget();
+  Rng rng(GetParam());
+  ArgGenerator gen(&rng);
+  ResourcePool pool;
+  for (const auto& call : target.syscalls()) {
+    for (const Field& field : call->args) {
+      ArgPtr arg = gen.Gen(field.type, pool);
+      const std::string err = CheckConformance(*arg);
+      EXPECT_EQ(err, "") << call->name << " arg " << field.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GenConformanceTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+class MutateConformanceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MutateConformanceTest, MutationPreservesStructure) {
+  const Target& target = BuiltinTarget();
+  Rng rng(GetParam() + 777);
+  ProgBuilder builder(target, AllIds(target), &rng);
+  Prog prog = builder.Generate(
+      [&](const std::vector<int>&) {
+        return static_cast<int>(rng.Below(target.NumSyscalls()));
+      },
+      8);
+  for (int round = 0; round < 30; ++round) {
+    builder.MutateArgs(&prog);
+    for (const Call& call : prog.calls()) {
+      for (const auto& arg : call.args) {
+        // Mutation may move scalars outside generation ranges (that is the
+        // point of negative testing), so only check structural shape here:
+        // kinds, arities, type links.
+        std::function<std::string(const Arg&)> shape =
+            [&](const Arg& a) -> std::string {
+          if (a.type == nullptr) {
+            return "untyped";
+          }
+          if (a.pointee != nullptr && a.pointee->type != a.type->elem) {
+            return "pointee mismatch";
+          }
+          if (a.type->kind == TypeKind::kStruct &&
+              a.inner.size() != a.type->fields.size()) {
+            return "struct arity";
+          }
+          if (a.type->kind == TypeKind::kArray &&
+              a.inner.size() > a.type->array_max) {
+            return "array overflow";
+          }
+          if (a.pointee != nullptr) {
+            return shape(*a.pointee);
+          }
+          for (const auto& child : a.inner) {
+            const std::string err = shape(*child);
+            if (!err.empty()) {
+              return err;
+            }
+          }
+          return "";
+        };
+        EXPECT_EQ(shape(*arg), "") << call.meta->name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutateConformanceTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+// ---- relation persistence ----
+
+TEST(RelationPersistenceTest, SaveLoadRoundTrip) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  StaticRelationLearn(target, &table);
+  const size_t before = table.Count();
+  const std::string path = "/tmp/healer_relations_test.txt";
+  ASSERT_TRUE(table.SaveToFile(path, target).ok());
+
+  RelationTable loaded(target.NumSyscalls());
+  auto count = loaded.LoadFromFile(path, target);
+  ASSERT_TRUE(count.ok()) << count.status().ToString();
+  EXPECT_EQ(*count, before);
+  EXPECT_EQ(loaded.Count(), before);
+  // Spot-check an edge survived.
+  const int memfd = target.FindSyscall("memfd_create")->id;
+  const int seals = target.FindSyscall("fcntl$ADD_SEALS")->id;
+  EXPECT_TRUE(loaded.Get(memfd, seals));
+  std::remove(path.c_str());
+}
+
+TEST(RelationPersistenceTest, MissingFileIsNotFound) {
+  RelationTable table(4);
+  EXPECT_EQ(
+      table.LoadFromFile("/tmp/no_such_relations", BuiltinTarget()).status()
+          .code(),
+      StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace healer

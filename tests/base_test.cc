@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/base/bitmap.h"
+#include "src/base/hash.h"
+#include "src/base/rng.h"
+#include "src/base/sim_clock.h"
+#include "src/base/status.h"
+#include "src/base/string_util.h"
+
+namespace healer {
+namespace {
+
+// ---- Status / Result ----
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgument("bad thing");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad thing");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad thing");
+}
+
+TEST(StatusTest, AllCodeNamesDistinct) {
+  std::set<std::string> names;
+  for (int c = 0; c <= static_cast<int>(StatusCode::kParseError); ++c) {
+    names.insert(StatusCodeName(static_cast<StatusCode>(c)));
+  }
+  EXPECT_EQ(names.size(), 10u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = NotFound("nope");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MovesValueOut) {
+  Result<std::string> result = std::string("payload");
+  std::string taken = std::move(result).value();
+  EXPECT_EQ(taken, "payload");
+}
+
+// ---- Rng ----
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next() ? 1 : 0;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Below(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, InRangeInclusive) {
+  Rng rng(9);
+  bool hit_lo = false;
+  bool hit_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = rng.InRange(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    hit_lo |= v == 3;
+    hit_hi |= v == 5;
+  }
+  EXPECT_TRUE(hit_lo);
+  EXPECT_TRUE(hit_hi);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    hits += rng.Bernoulli(0.25) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.25, 0.03);
+}
+
+TEST(RngTest, WeightedPickFollowsWeights) {
+  Rng rng(17);
+  std::vector<uint64_t> weights = {1, 0, 9};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.WeightedPick(weights)];
+  }
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0] * 5);
+}
+
+TEST(RngTest, PickOneCoversAll) {
+  Rng rng(19);
+  std::vector<int> items = {1, 2, 3};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(rng.PickOne(items));
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+// ---- Bitmap ----
+
+TEST(BitmapTest, SetAndTest) {
+  Bitmap bitmap(128);
+  EXPECT_FALSE(bitmap.Test(5));
+  EXPECT_TRUE(bitmap.Set(5));
+  EXPECT_TRUE(bitmap.Test(5));
+  EXPECT_FALSE(bitmap.Set(5));  // Already set.
+  EXPECT_EQ(bitmap.Count(), 1u);
+}
+
+TEST(BitmapTest, CountTracksSets) {
+  Bitmap bitmap(1024);
+  for (size_t i = 0; i < 1024; i += 3) {
+    bitmap.Set(i);
+  }
+  EXPECT_EQ(bitmap.Count(), (1024 + 2) / 3);
+}
+
+TEST(BitmapTest, MergeNewCountsFreshBitsOnly) {
+  Bitmap a(256);
+  Bitmap b(256);
+  a.Set(1);
+  a.Set(2);
+  b.Set(2);
+  b.Set(3);
+  b.Set(200);
+  EXPECT_EQ(a.MergeNew(b), 2u);  // 3 and 200.
+  EXPECT_EQ(a.Count(), 4u);
+  EXPECT_EQ(a.MergeNew(b), 0u);  // Idempotent.
+}
+
+TEST(BitmapTest, HasNewBits) {
+  Bitmap a(64);
+  Bitmap b(64);
+  b.Set(10);
+  EXPECT_TRUE(a.HasNewBits(b));
+  a.MergeNew(b);
+  EXPECT_FALSE(a.HasNewBits(b));
+}
+
+TEST(BitmapTest, ClearResets) {
+  Bitmap bitmap(64);
+  bitmap.Set(3);
+  bitmap.Clear();
+  EXPECT_EQ(bitmap.Count(), 0u);
+  EXPECT_FALSE(bitmap.Test(3));
+}
+
+// ---- Hash ----
+
+TEST(HashTest, Fnv1aStable) {
+  EXPECT_EQ(Fnv1a("hello"), Fnv1a("hello"));
+  EXPECT_NE(Fnv1a("hello"), Fnv1a("hellp"));
+  EXPECT_NE(Fnv1a("seeded", 1), Fnv1a("seeded", 2));
+}
+
+TEST(HashTest, Mix64Bijective) {
+  // Distinct inputs stay distinct (spot check).
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+// ---- SimClock ----
+
+TEST(SimClockTest, AdvanceAccumulates) {
+  SimClock clock;
+  clock.Advance(SimClock::kHour);
+  clock.Advance(30 * SimClock::kMinute);
+  EXPECT_DOUBLE_EQ(clock.hours(), 1.5);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 5400.0);
+}
+
+TEST(SimClockTest, ResetZeroes) {
+  SimClock clock;
+  clock.Advance(SimClock::kSecond);
+  clock.Reset();
+  EXPECT_EQ(clock.now(), 0u);
+}
+
+// ---- string_util ----
+
+TEST(StringUtilTest, StrSplitKeepsEmptyPieces) {
+  const auto parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringUtilTest, StrStrip) {
+  EXPECT_EQ(StrStrip("  x \t\n"), "x");
+  EXPECT_EQ(StrStrip(""), "");
+  EXPECT_EQ(StrStrip(" \t "), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("openat$kvm", "openat"));
+  EXPECT_FALSE(StartsWith("open", "openat"));
+  EXPECT_TRUE(EndsWith("ioctl$KVM_RUN", "RUN"));
+  EXPECT_FALSE(EndsWith("RUN", "KVM_RUN"));
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+}  // namespace
+}  // namespace healer

@@ -1,0 +1,123 @@
+// Consistency between the built-in descriptions and the SimKernel handler
+// table: every described syscall must have a handler and vice versa, and
+// the resource flows the relation-learning examples rely on must hold.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/kernel/kernel.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+namespace {
+
+TEST(BuiltinDescsTest, CompilesAndIsNonTrivial) {
+  const Target& target = BuiltinTarget();
+  EXPECT_GE(target.NumSyscalls(), 140u);
+  EXPECT_GE(target.NumResources(), 25u);
+}
+
+TEST(BuiltinDescsTest, EveryDescriptionHasAKernelHandler) {
+  const Target& target = BuiltinTarget();
+  for (const auto& call : target.syscalls()) {
+    EXPECT_NE(FindSyscallDef(call->name), nullptr)
+        << "no handler for described syscall " << call->name;
+  }
+}
+
+TEST(BuiltinDescsTest, EveryKernelHandlerIsDescribed) {
+  const Target& target = BuiltinTarget();
+  for (const SyscallDef& def : AllSyscallDefs()) {
+    EXPECT_NE(target.FindSyscall(def.name), nullptr)
+        << "no description for handler " << def.name;
+  }
+}
+
+TEST(BuiltinDescsTest, HandlerNamesUnique) {
+  std::set<std::string> names;
+  for (const SyscallDef& def : AllSyscallDefs()) {
+    EXPECT_TRUE(names.insert(def.name).second)
+        << "duplicate handler " << def.name;
+  }
+}
+
+TEST(BuiltinDescsTest, Figure2ResourceFlow) {
+  // memfd_create -> write$memfd and -> fcntl$ADD_SEALS via the memfd
+  // resource; mmap consumes plain fd.
+  const Target& target = BuiltinTarget();
+  const Syscall* memfd_create = target.FindSyscall("memfd_create");
+  const Syscall* add_seals = target.FindSyscall("fcntl$ADD_SEALS");
+  const Syscall* mmap = target.FindSyscall("mmap");
+  ASSERT_NE(memfd_create, nullptr);
+  ASSERT_NE(add_seals, nullptr);
+  ASSERT_NE(mmap, nullptr);
+  ASSERT_EQ(memfd_create->produced_resources.size(), 1u);
+  const ResourceDesc* memfd = memfd_create->produced_resources[0];
+  EXPECT_EQ(memfd->name, "memfd");
+  EXPECT_TRUE(Target::Consumes(*add_seals, memfd));
+  EXPECT_TRUE(Target::Consumes(*mmap, memfd));  // memfd inherits fd.
+}
+
+TEST(BuiltinDescsTest, KvmChainResourceFlow) {
+  const Target& target = BuiltinTarget();
+  const Syscall* create_vm = target.FindSyscall("ioctl$KVM_CREATE_VM");
+  const Syscall* create_vcpu = target.FindSyscall("ioctl$KVM_CREATE_VCPU");
+  const Syscall* run = target.FindSyscall("ioctl$KVM_RUN");
+  ASSERT_NE(create_vm, nullptr);
+  ASSERT_NE(create_vcpu, nullptr);
+  ASSERT_NE(run, nullptr);
+  EXPECT_TRUE(Target::Consumes(*create_vcpu, create_vm->ret));
+  EXPECT_TRUE(Target::Consumes(*run, create_vcpu->ret));
+  EXPECT_FALSE(Target::Consumes(*run, create_vm->ret));
+}
+
+TEST(BuiltinDescsTest, OutParamResourcesEnumerated) {
+  const Target& target = BuiltinTarget();
+  const Syscall* pipe2 = target.FindSyscall("pipe2");
+  ASSERT_NE(pipe2, nullptr);
+  // pipe2 produces both pipe ends through its out pointer.
+  EXPECT_EQ(pipe2->produced_resources.size(), 2u);
+  const Syscall* io_setup = target.FindSyscall("io_setup");
+  ASSERT_NE(io_setup, nullptr);
+  ASSERT_EQ(io_setup->produced_resources.size(), 1u);
+  EXPECT_EQ(io_setup->produced_resources[0]->name, "aio_ctx");
+}
+
+TEST(BuiltinDescsTest, VersionGatingMatchesConfig) {
+  const KernelConfig v4_19 = KernelConfig::ForVersion(KernelVersion::kV4_19);
+  const KernelConfig v5_11 = KernelConfig::ForVersion(KernelVersion::kV5_11);
+  const SyscallDef* uring = FindSyscallDef("io_uring_setup");
+  ASSERT_NE(uring, nullptr);
+  EXPECT_FALSE(SyscallAvailable(*uring, v4_19));
+  EXPECT_TRUE(SyscallAvailable(*uring, v5_11));
+  const SyscallDef* reiserfs = FindSyscallDef("mount$reiserfs");
+  ASSERT_NE(reiserfs, nullptr);
+  EXPECT_TRUE(SyscallAvailable(*reiserfs, v4_19));
+  EXPECT_FALSE(SyscallAvailable(*reiserfs, v5_11));
+  const SyscallDef* smi = FindSyscallDef("ioctl$KVM_SMI");
+  ASSERT_NE(smi, nullptr);
+  EXPECT_FALSE(SyscallAvailable(*smi, v4_19));
+  EXPECT_TRUE(SyscallAvailable(*smi, v5_11));
+}
+
+TEST(BuiltinDescsTest, StructLayoutsMatchHandlerReads) {
+  const Target& target = BuiltinTarget();
+  // kvm_userspace_memory_region must be exactly the 32 bytes the handler
+  // memcpys out of guest memory.
+  EXPECT_EQ(target.FindNamedType("kvm_userspace_memory_region")->ByteSize(),
+            32u);
+  EXPECT_EQ(target.FindNamedType("kvm_ioeventfd")->ByteSize(), 24u);
+  EXPECT_EQ(target.FindNamedType("itimerspec")->ByteSize(), 32u);
+  EXPECT_EQ(target.FindNamedType("timespec")->ByteSize(), 16u);
+  EXPECT_EQ(target.FindNamedType("gsm_config")->ByteSize(), 16u);
+  EXPECT_EQ(target.FindNamedType("vt_sizes")->ByteSize(), 4u);
+  EXPECT_EQ(target.FindNamedType("fb_var_screeninfo")->ByteSize(), 16u);
+  EXPECT_EQ(target.FindNamedType("sockaddr_in")->ByteSize(), 8u);
+  EXPECT_EQ(target.FindNamedType("pipe_fds")->ByteSize(), 16u);
+  EXPECT_EQ(target.FindNamedType("iocb")->ByteSize(), 32u);
+  EXPECT_EQ(target.FindNamedType("iovec")->ByteSize(), 16u);
+}
+
+}  // namespace
+}  // namespace healer

@@ -1,0 +1,412 @@
+// HEALER's core algorithms: relation table + static learning, Algorithm 1
+// (minimization), Algorithm 2 (dynamic learning), Algorithm 3 (guided call
+// selection) with the alpha schedule, and the Syzkaller choice table.
+
+#include <gtest/gtest.h>
+
+#include "src/exec/executor.h"
+#include "src/fuzz/call_selector.h"
+#include "src/fuzz/choice_table.h"
+#include "src/fuzz/learner.h"
+#include "src/fuzz/minimizer.h"
+#include "src/fuzz/relation_table.h"
+#include "src/fuzz/templates.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+namespace {
+
+std::vector<int> AllIds(const Target& target) {
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  return ids;
+}
+
+Prog Chain(const std::vector<std::string>& names, uint64_t seed = 1) {
+  const Target& target = BuiltinTarget();
+  Rng rng(seed);
+  return BuildChain(target, AllIds(target), names, &rng);
+}
+
+int IdOf(const std::string& name) {
+  return BuiltinTarget().FindSyscall(name)->id;
+}
+
+// ---- RelationTable ----
+
+TEST(RelationTableTest, SetGetAndDedup) {
+  RelationTable table(8);
+  EXPECT_FALSE(table.Get(1, 2));
+  EXPECT_TRUE(table.Set(1, 2, RelationSource::kDynamic, 100));
+  EXPECT_TRUE(table.Get(1, 2));
+  EXPECT_FALSE(table.Get(2, 1));  // Directed.
+  EXPECT_FALSE(table.Set(1, 2, RelationSource::kStatic, 200));  // Dup.
+  EXPECT_EQ(table.Count(), 1u);
+}
+
+TEST(RelationTableTest, EdgesBeforeCutoff) {
+  RelationTable table(8);
+  table.Set(0, 1, RelationSource::kDynamic, 10);
+  table.Set(1, 2, RelationSource::kDynamic, 20);
+  table.Set(2, 3, RelationSource::kDynamic, 30);
+  EXPECT_EQ(table.EdgesBefore(20).size(), 2u);
+  EXPECT_EQ(table.EdgesBefore().size(), 3u);
+}
+
+TEST(RelationTableTest, InfluencedByListsRow) {
+  RelationTable table(8);
+  table.Set(3, 1, RelationSource::kDynamic, 0);
+  table.Set(3, 5, RelationSource::kDynamic, 0);
+  const auto influenced = table.InfluencedBy(3);
+  EXPECT_EQ(influenced, (std::vector<int>{1, 5}));
+}
+
+TEST(StaticLearnTest, LearnsSpecificResourceEdges) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  const size_t added = StaticRelationLearn(target, &table);
+  EXPECT_GT(added, 50u);
+  // memfd_create -> fcntl$ADD_SEALS (memfd resource, specific).
+  EXPECT_TRUE(table.Get(IdOf("memfd_create"), IdOf("fcntl$ADD_SEALS")));
+  // KVM chain.
+  EXPECT_TRUE(
+      table.Get(IdOf("openat$kvm"), IdOf("ioctl$KVM_CREATE_VM")));
+  EXPECT_TRUE(table.Get(IdOf("ioctl$KVM_CREATE_VM"),
+                        IdOf("ioctl$KVM_CREATE_VCPU")));
+  EXPECT_TRUE(
+      table.Get(IdOf("ioctl$KVM_CREATE_VCPU"), IdOf("ioctl$KVM_RUN")));
+}
+
+TEST(StaticLearnTest, SkipsRootOnlyPairs) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  StaticRelationLearn(target, &table);
+  // close(fd) relates to everything through the root kind only: no static
+  // edge (dynamic learning would have to prove actual influence).
+  EXPECT_FALSE(table.Get(IdOf("memfd_create"), IdOf("close")));
+  EXPECT_FALSE(table.Get(IdOf("socket$tcp"), IdOf("read")));
+  // And fcntl$ADD_SEALS -> mmap is NOT statically derivable (Figure 2).
+  EXPECT_FALSE(table.Get(IdOf("fcntl$ADD_SEALS"), IdOf("mmap")));
+}
+
+TEST(StaticLearnTest, AllEdgesTimestampedZero) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  StaticRelationLearn(target, &table);
+  for (const auto& edge : table.EdgesBefore()) {
+    EXPECT_EQ(edge.learned_at, 0u);
+    EXPECT_EQ(edge.source, RelationSource::kStatic);
+  }
+}
+
+// ---- Minimizer (Algorithm 1) ----
+
+class MinimizerTest : public ::testing::Test {
+ protected:
+  MinimizerTest()
+      : executor_(BuiltinTarget(),
+                  KernelConfig::ForVersion(KernelVersion::kV5_11)),
+        coverage_(CallCoverage::kMapBits),
+        minimizer_([this](const Prog& p) { return executor_.Run(p, nullptr); }) {}
+
+  ExecResult Baseline(const Prog& prog) {
+    return executor_.Run(prog, &coverage_);
+  }
+
+  Executor executor_;
+  Bitmap coverage_;
+  Minimizer minimizer_;
+};
+
+TEST_F(MinimizerTest, RemovesIrrelevantCalls) {
+  // [memfd_create, timer noise, write$memfd]: the timer call does not
+  // affect write's coverage and must be removed.
+  Prog prog = Chain({"memfd_create", "timerfd_create", "write$memfd"});
+  ASSERT_EQ(prog.size(), 3u);
+  const ExecResult baseline = Baseline(prog);
+  ASSERT_GT(baseline.TotalNewEdges(), 0u);
+  const auto minimized = minimizer_.Minimize(prog, baseline);
+  ASSERT_FALSE(minimized.empty());
+  // The sequence targeting write$memfd keeps only the memfd chain.
+  bool found_write_seq = false;
+  for (const auto& seq : minimized) {
+    if (seq.prog.calls()[seq.target_index].meta->name == "write$memfd") {
+      found_write_seq = true;
+      for (const auto& call : seq.prog.calls()) {
+        EXPECT_NE(call.meta->name, "timerfd_create");
+      }
+      EXPECT_EQ(seq.prog.size(), 2u);
+    }
+  }
+  EXPECT_TRUE(found_write_seq);
+}
+
+TEST_F(MinimizerTest, PreservesTargetSignal) {
+  Prog prog = Chain({"openat$kvm", "ioctl$KVM_CREATE_VM", "eventfd2",
+                     "ioctl$KVM_CREATE_VCPU"});
+  const ExecResult baseline = Baseline(prog);
+  const auto minimized = minimizer_.Minimize(prog, baseline);
+  for (const auto& seq : minimized) {
+    const ExecResult re = executor_.Run(seq.prog, nullptr);
+    ASSERT_LT(seq.target_index, re.calls.size());
+    EXPECT_EQ(re.calls[seq.target_index].signal, seq.target_signal);
+  }
+}
+
+TEST_F(MinimizerTest, KeepsLoadBearingDependencies) {
+  Prog prog = Chain({"memfd_create", "fcntl$ADD_SEALS"});
+  // Force a real seal so the dependency matters.
+  prog.calls()[1].args[2]->val = 8;
+  const ExecResult baseline = Baseline(prog);
+  const auto minimized = minimizer_.Minimize(prog, baseline);
+  for (const auto& seq : minimized) {
+    if (seq.prog.calls()[seq.target_index].meta->name == "fcntl$ADD_SEALS") {
+      // memfd_create cannot be removed: ADD_SEALS on a bad fd covers
+      // different code.
+      EXPECT_EQ(seq.prog.size(), 2u);
+    }
+  }
+}
+
+TEST_F(MinimizerTest, SkipsCallsWithoutNewCoverage) {
+  Prog prog = Chain({"sync"});
+  ExecResult baseline = Baseline(prog);
+  // Re-run: nothing new anymore.
+  baseline = Baseline(prog);
+  EXPECT_EQ(baseline.TotalNewEdges(), 0u);
+  EXPECT_TRUE(minimizer_.Minimize(prog, baseline).empty());
+}
+
+TEST_F(MinimizerTest, CountsAnalysisExecs) {
+  Prog prog = Chain({"memfd_create", "timerfd_create", "write$memfd"});
+  const ExecResult baseline = Baseline(prog);
+  const uint64_t before = minimizer_.execs_used();
+  minimizer_.Minimize(prog, baseline);
+  EXPECT_GT(minimizer_.execs_used(), before);
+}
+
+// ---- Dynamic learner (Algorithm 2) ----
+
+class LearnerTest : public ::testing::Test {
+ protected:
+  LearnerTest()
+      : executor_(BuiltinTarget(),
+                  KernelConfig::ForVersion(KernelVersion::kV5_11)),
+        table_(BuiltinTarget().NumSyscalls()),
+        learner_(&table_, [this](const Prog& p) {
+          return executor_.Run(p, nullptr);
+        }, &clock_) {}
+
+  Executor executor_;
+  RelationTable table_;
+  SimClock clock_;
+  DynamicLearner learner_;
+};
+
+TEST_F(LearnerTest, LearnsSealsInfluenceMmap) {
+  // The paper's running example, end to end.
+  Prog prog = Chain({"memfd_create", "fcntl$ADD_SEALS", "mmap"}, 3);
+  ASSERT_EQ(prog.size(), 3u);
+  prog.calls()[0].args[1]->val = 2;      // MFD_ALLOW_SEALING.
+  prog.calls()[1].args[2]->val = 8;      // F_SEAL_WRITE.
+  prog.calls()[2].args[2]->val = 3;      // PROT_READ|WRITE.
+  prog.calls()[2].args[3]->val = 1;      // MAP_SHARED.
+  prog.calls()[2].args[4]->kind = ArgKind::kResource;
+  prog.calls()[2].args[4]->res_ref = 0;
+  prog.calls()[2].args[4]->res_slot = 0;
+
+  clock_.Advance(SimClock::kHour);
+  const size_t learned = learner_.Learn(prog);
+  EXPECT_GE(learned, 1u);
+  EXPECT_TRUE(table_.Get(IdOf("fcntl$ADD_SEALS"), IdOf("mmap")));
+  // Timestamped with the simulated clock.
+  const auto edges = table_.EdgesBefore();
+  ASSERT_FALSE(edges.empty());
+  EXPECT_EQ(edges.back().learned_at, SimClock::kHour);
+  EXPECT_EQ(edges.back().source, RelationSource::kDynamic);
+}
+
+TEST_F(LearnerTest, SkipsKnownRelations) {
+  Prog prog = Chain({"memfd_create", "write$memfd"});
+  table_.Set(IdOf("memfd_create"), IdOf("write$memfd"),
+             RelationSource::kStatic, 0);
+  const uint64_t before = learner_.execs_used();
+  EXPECT_EQ(learner_.Learn(prog), 0u);
+  // Only the baseline execution: the pair is already known.
+  EXPECT_EQ(learner_.execs_used(), before + 1);
+}
+
+TEST_F(LearnerTest, NoRelationForIndependentCalls) {
+  Prog prog = Chain({"timerfd_create", "epoll_create1"});
+  ASSERT_EQ(prog.size(), 2u);
+  learner_.Learn(prog);
+  EXPECT_FALSE(table_.Get(IdOf("timerfd_create"), IdOf("epoll_create1")));
+}
+
+TEST_F(LearnerTest, SingleCallLearnsNothing) {
+  Prog prog = Chain({"sync"});
+  EXPECT_EQ(learner_.Learn(prog), 0u);
+  EXPECT_EQ(table_.Count(), 0u);
+}
+
+TEST_F(LearnerTest, LinearExecutionCost) {
+  // Section 6.2: a length-n minimized sequence needs at most n extra
+  // executions (baseline + one per unknown adjacent pair).
+  Prog prog = Chain({"openat$kvm", "ioctl$KVM_CREATE_VM",
+                     "ioctl$KVM_CREATE_VCPU", "ioctl$KVM_RUN"});
+  ASSERT_EQ(prog.size(), 4u);
+  const uint64_t before = learner_.execs_used();
+  learner_.Learn(prog);
+  EXPECT_LE(learner_.execs_used() - before, prog.size());
+}
+
+// ---- CallSelector (Algorithm 3) + alpha ----
+
+TEST(AlphaScheduleTest, StartsAtInitial) {
+  AlphaSchedule alpha;
+  EXPECT_DOUBLE_EQ(alpha.alpha(), AlphaSchedule::kInitial);
+}
+
+TEST(AlphaScheduleTest, UpdatesEvery1024Execs) {
+  AlphaSchedule alpha;
+  for (int i = 0; i < 1023; ++i) {
+    alpha.Record(true, true);
+  }
+  EXPECT_EQ(alpha.updates(), 0u);
+  alpha.Record(false, false);
+  EXPECT_EQ(alpha.updates(), 1u);
+}
+
+TEST(AlphaScheduleTest, RisesWhenTableOutperforms) {
+  AlphaSchedule alpha;
+  for (int i = 0; i < 1024; ++i) {
+    alpha.Record(i % 2 == 0, /*gained=*/i % 2 == 0);
+  }
+  EXPECT_GT(alpha.alpha(), AlphaSchedule::kInitial);
+  EXPECT_LE(alpha.alpha(), AlphaSchedule::kMax);
+}
+
+TEST(AlphaScheduleTest, FallsWhenRandomOutperforms) {
+  AlphaSchedule alpha;
+  for (int i = 0; i < 1024; ++i) {
+    alpha.Record(i % 2 == 0, /*gained=*/i % 2 != 0);
+  }
+  EXPECT_LT(alpha.alpha(), AlphaSchedule::kInitial);
+  EXPECT_GE(alpha.alpha(), AlphaSchedule::kMin);
+}
+
+TEST(CallSelectorTest, AlphaZeroIsAlwaysRandom) {
+  RelationTable table(4);
+  table.Set(0, 1, RelationSource::kDynamic, 0);
+  Rng rng(5);
+  CallSelector selector(&table, {0, 1, 2, 3}, &rng);
+  bool used_table = false;
+  for (int i = 0; i < 64; ++i) {
+    selector.Select({0}, /*alpha=*/0.0, &used_table);
+    EXPECT_FALSE(used_table);
+  }
+}
+
+TEST(CallSelectorTest, FollowsRelationsAtAlphaOne) {
+  RelationTable table(4);
+  table.Set(0, 2, RelationSource::kDynamic, 0);
+  Rng rng(6);
+  CallSelector selector(&table, {0, 1, 2, 3}, &rng);
+  bool used_table = false;
+  int table_picks = 0;
+  for (int i = 0; i < 100; ++i) {
+    const int pick = selector.Select({0}, /*alpha=*/1.0, &used_table);
+    if (used_table) {
+      ++table_picks;
+      EXPECT_EQ(pick, 2);  // The only influenced candidate.
+    }
+  }
+  EXPECT_EQ(table_picks, 100);
+}
+
+TEST(CallSelectorTest, WeightsByInfluencerCount) {
+  // Prefix {0, 1}: candidate 2 influenced by both; candidate 3 by one.
+  RelationTable table(4);
+  table.Set(0, 2, RelationSource::kDynamic, 0);
+  table.Set(1, 2, RelationSource::kDynamic, 0);
+  table.Set(1, 3, RelationSource::kDynamic, 0);
+  Rng rng(7);
+  CallSelector selector(&table, {0, 1, 2, 3}, &rng);
+  int picks2 = 0;
+  int picks3 = 0;
+  bool used_table = false;
+  for (int i = 0; i < 3000; ++i) {
+    const int pick = selector.Select({0, 1}, 1.0, &used_table);
+    picks2 += pick == 2 ? 1 : 0;
+    picks3 += pick == 3 ? 1 : 0;
+  }
+  EXPECT_EQ(picks2 + picks3, 3000);
+  // ~2:1 ratio expected.
+  EXPECT_NEAR(static_cast<double>(picks2) / picks3, 2.0, 0.4);
+}
+
+TEST(CallSelectorTest, EmptyCandidatesFallBackToRandom) {
+  RelationTable table(4);
+  Rng rng(8);
+  CallSelector selector(&table, {0, 1}, &rng);
+  bool used_table = true;
+  const int pick = selector.Select({0}, 1.0, &used_table);
+  EXPECT_FALSE(used_table);
+  EXPECT_TRUE(pick == 0 || pick == 1);
+}
+
+TEST(CallSelectorTest, DisabledCallsNeverSelected) {
+  RelationTable table(4);
+  table.Set(0, 2, RelationSource::kDynamic, 0);
+  table.Set(0, 3, RelationSource::kDynamic, 0);
+  Rng rng(9);
+  CallSelector selector(&table, {0, 3}, &rng);  // 2 is disabled.
+  bool used_table = false;
+  for (int i = 0; i < 100; ++i) {
+    const int pick = selector.Select({0}, 1.0, &used_table);
+    EXPECT_NE(pick, 2);
+    EXPECT_NE(pick, 1);
+  }
+}
+
+// ---- ChoiceTable (Syzkaller baseline) ----
+
+TEST(ChoiceTableTest, StaticPrefersSharedResourceKinds) {
+  const Target& target = BuiltinTarget();
+  ChoiceTable table(target, AllIds(target));
+  // KVM vcpu calls share the kvm_vcpu_fd kind: high P0.
+  const uint32_t kvm_pair =
+      table.P(IdOf("ioctl$KVM_CREATE_VCPU"), IdOf("ioctl$KVM_RUN"));
+  const uint32_t unrelated =
+      table.P(IdOf("timerfd_create"), IdOf("ioctl$KVM_RUN"));
+  EXPECT_GT(kvm_pair, unrelated);
+}
+
+TEST(ChoiceTableTest, AdjacencyBoostsPairs) {
+  const Target& target = BuiltinTarget();
+  ChoiceTable table(target, AllIds(target));
+  const uint32_t before =
+      table.P(IdOf("timerfd_create"), IdOf("timerfd_settime"));
+  for (int i = 0; i < 50; ++i) {
+    table.NoteAdjacent(IdOf("timerfd_create"), IdOf("timerfd_settime"));
+  }
+  table.Rebuild();
+  EXPECT_GT(table.P(IdOf("timerfd_create"), IdOf("timerfd_settime")),
+            before);
+}
+
+TEST(ChoiceTableTest, ChooseWithoutPrevIsUniformlyEnabled) {
+  const Target& target = BuiltinTarget();
+  std::vector<int> enabled = {IdOf("sync"), IdOf("close")};
+  ChoiceTable table(target, enabled);
+  Rng rng(10);
+  for (int i = 0; i < 50; ++i) {
+    const int pick = table.Choose(&rng, -1);
+    EXPECT_TRUE(pick == enabled[0] || pick == enabled[1]);
+  }
+}
+
+}  // namespace
+}  // namespace healer

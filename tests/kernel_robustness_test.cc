@@ -1,0 +1,99 @@
+// Robustness property tests: every kernel handler must tolerate arbitrary
+// argument words (the executor hands it attacker-controlled values), and
+// the executor must tolerate arbitrary generated programs. "Tolerate" means
+// returning an errno or triggering an injected bug — never corrupting the
+// host process.
+
+#include <gtest/gtest.h>
+
+#include "src/base/rng.h"
+#include "src/exec/executor.h"
+#include "src/fuzz/arg_gen.h"
+#include "src/fuzz/prog_builder.h"
+#include "src/syzlang/builtin_descs.h"
+#include "tests/test_util.h"
+
+namespace healer {
+namespace {
+
+class HandlerRobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HandlerRobustnessTest, RandomRawArgsNeverCorrupt) {
+  Rng rng(GetParam());
+  for (KernelVersion version :
+       {KernelVersion::kV4_19, KernelVersion::kV5_6, KernelVersion::kV5_11}) {
+    KernelHarness h(version);
+    // A staged buffer gives pointer-shaped args something to hit.
+    const uint64_t staged = h.OutBuf(512);
+    for (const SyscallDef& def : AllSyscallDefs()) {
+      if (h.kernel().crashed()) {
+        break;  // Injected bug fired; that's a valid outcome.
+      }
+      uint64_t args[6];
+      for (auto& arg : args) {
+        switch (rng.Below(5)) {
+          case 0:
+            arg = rng.Below(16);  // Plausible fd.
+            break;
+          case 1:
+            arg = staged + rng.Below(512);  // In-window pointer.
+            break;
+          case 2:
+            arg = rng.PickOne(MagicNumbers());
+            break;
+          case 3:
+            arg = rng.Next();  // Garbage.
+            break;
+          default:
+            arg = static_cast<uint64_t>(-1);
+            break;
+        }
+      }
+      const int64_t ret = h.kernel().Exec(def, args);
+      // Returns are either success values or errnos in a sane range.
+      EXPECT_TRUE(ret >= -200 || ret >= 0)
+          << def.name << " returned " << ret;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HandlerRobustnessTest,
+                         ::testing::Range<uint64_t>(0, 30));
+
+class ExecutorRobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorRobustnessTest, RandomProgramsExecuteSafely) {
+  const Target& target = BuiltinTarget();
+  Rng rng(GetParam() * 31 + 5);
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  ProgBuilder builder(target, ids, &rng);
+  Executor executor(target, KernelConfig::ForVersion(KernelVersion::kV5_11));
+  Bitmap coverage(CallCoverage::kMapBits);
+  for (int round = 0; round < 20; ++round) {
+    Prog prog = builder.Generate(
+        [&](const std::vector<int>&) {
+          return static_cast<int>(rng.Below(target.NumSyscalls()));
+        },
+        4 + rng.Below(16));
+    builder.MutateArgs(&prog);
+    ASSERT_TRUE(prog.Validate().ok());
+    const ExecResult result = executor.Run(prog, &coverage);
+    ASSERT_EQ(result.calls.size(), prog.size());
+    // Calls after a crash must be unexecuted; all before it executed.
+    if (result.Crashed()) {
+      for (size_t i = 0; i < result.calls.size(); ++i) {
+        EXPECT_EQ(result.calls[i].executed, i <= result.crash->call_index);
+      }
+    }
+  }
+  EXPECT_GT(coverage.Count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorRobustnessTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace healer

@@ -1,0 +1,122 @@
+// End-to-end regression tests for the paper's headline claims, on fixed
+// seeds and reduced budgets so they run in CI time. If a refactor breaks
+// relation learning's advantage, these catch it.
+
+#include <gtest/gtest.h>
+
+#include "src/fuzz/campaign.h"
+#include "src/kernel/errno.h"
+
+namespace healer {
+namespace {
+
+CampaignResult RunShape(ToolKind tool, double hours, uint64_t seed) {
+  CampaignOptions options;
+  options.tool = tool;
+  options.version = KernelVersion::kV5_11;
+  options.hours = hours;
+  options.seed = seed;
+  return RunCampaign(options);
+}
+
+TEST(PaperShapeTest, HealerBeatsSyzkallerOnCoverage) {
+  // Section 6.1 / Table 1 direction (reduced 8h budget, 2 seeds averaged).
+  double healer = 0.0;
+  double syzkaller = 0.0;
+  for (uint64_t seed : {101u, 102u}) {
+    healer += static_cast<double>(
+        RunShape(ToolKind::kHealer, 8.0, seed).final_coverage);
+    syzkaller += static_cast<double>(
+        RunShape(ToolKind::kSyzkaller, 8.0, seed).final_coverage);
+  }
+  EXPECT_GT(healer, syzkaller * 1.05)
+      << "healer=" << healer / 2 << " syzkaller=" << syzkaller / 2;
+}
+
+TEST(PaperShapeTest, HealerBeatsAblation) {
+  // Table 2 direction.
+  const CampaignResult healer = RunShape(ToolKind::kHealer, 8.0, 103);
+  const CampaignResult minus = RunShape(ToolKind::kHealerMinus, 8.0, 103);
+  EXPECT_GT(healer.final_coverage, minus.final_coverage);
+}
+
+TEST(PaperShapeTest, CorpusSkewsLongerWithRelations) {
+  // Figure 6 direction: share of length>=3 sequences.
+  auto share3 = [](const CampaignResult& result) {
+    size_t total = 0;
+    size_t long3 = 0;
+    for (size_t i = 0; i < result.corpus_length_hist.size(); ++i) {
+      total += result.corpus_length_hist[i];
+      if (i >= 2) {
+        long3 += result.corpus_length_hist[i];
+      }
+    }
+    return total == 0 ? 0.0
+                      : static_cast<double>(long3) /
+                            static_cast<double>(total);
+  };
+  const CampaignResult healer = RunShape(ToolKind::kHealer, 8.0, 104);
+  const CampaignResult minus = RunShape(ToolKind::kHealerMinus, 8.0, 104);
+  EXPECT_GT(share3(healer), share3(minus));
+}
+
+TEST(PaperShapeTest, RelationsAccumulateOverTime) {
+  // Figure 5 direction: the relation count is non-decreasing and grows
+  // past its static seed during the campaign.
+  const CampaignResult result = RunShape(ToolKind::kHealer, 6.0, 105);
+  ASSERT_GE(result.samples.size(), 3u);
+  for (size_t i = 1; i < result.samples.size(); ++i) {
+    EXPECT_GE(result.samples[i].relations, result.samples[i - 1].relations);
+  }
+  EXPECT_GT(result.relations_dynamic, 0u);
+  EXPECT_EQ(result.relations_total,
+            result.relations_static + result.relations_dynamic);
+}
+
+TEST(PaperShapeTest, AlphaAdaptsDuringCampaign) {
+  const CampaignResult result = RunShape(ToolKind::kHealer, 8.0, 106);
+  // The schedule moved off its initial value after >1024-exec windows.
+  EXPECT_NE(result.final_alpha, AlphaSchedule::kInitial);
+  EXPECT_GE(result.final_alpha, AlphaSchedule::kMin);
+  EXPECT_LE(result.final_alpha, AlphaSchedule::kMax);
+}
+
+TEST(PaperShapeTest, DeepBugsRequireLongReproducers) {
+  // Table 4 direction: among found bugs, the deep class has strictly
+  // longer recorded reproducers on average than the shallow pool.
+  const CampaignResult result = RunShape(ToolKind::kHealer, 24.0, 107);
+  double deep_sum = 0.0;
+  double deep_n = 0.0;
+  double shallow_sum = 0.0;
+  double shallow_n = 0.0;
+  for (const CrashRecord& crash : result.crashes) {
+    if (GetBugInfo(crash.bug).deep) {
+      deep_sum += static_cast<double>(crash.shortest_repro);
+      deep_n += 1.0;
+    } else {
+      shallow_sum += static_cast<double>(crash.shortest_repro);
+      shallow_n += 1.0;
+    }
+  }
+  ASSERT_GT(deep_n, 0.0);
+  ASSERT_GT(shallow_n, 0.0);
+  EXPECT_GT(deep_sum / deep_n, shallow_sum / shallow_n);
+}
+
+// ---- small utility coverage ----
+
+TEST(ErrnoTest, NamesKnownValues) {
+  EXPECT_STREQ(ErrnoName(kEINVAL), "EINVAL");
+  EXPECT_STREQ(ErrnoName(kEDESTADDRREQ), "EDESTADDRREQ");
+  EXPECT_STREQ(ErrnoName(123456), "E?");
+}
+
+TEST(LatencyModelTest, DefaultsArePositive) {
+  VmLatencyModel model;
+  EXPECT_GT(model.boot, 0u);
+  EXPECT_GT(model.reboot, model.boot);
+  EXPECT_GT(model.exec_overhead, model.per_call);
+}
+
+}  // namespace
+}  // namespace healer

@@ -1,0 +1,293 @@
+// Edge-path tests for handler branches not covered by the main subsystem
+// suites: error paths, boundary values, and less-travelled ioctls.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace healer {
+namespace {
+
+// ---- vfs odds and ends ----
+
+TEST(VfsEdgeTest, LseekWhenceVariants) {
+  KernelHarness h;
+  const int64_t fd = h.Call("openat$file", h.StageString("/tmp/x"), 0x42, 0);
+  h.Call("write", fd, h.Stage("abcd", 4), 4);
+  EXPECT_EQ(h.Call("lseek", fd, 0, 2), 4);     // SEEK_END.
+  EXPECT_EQ(h.Call("lseek", fd, -2, 1), 2);    // SEEK_CUR backwards.
+  EXPECT_EQ(h.Call("lseek", fd, -9, 0), -kEINVAL);  // Negative target.
+  EXPECT_EQ(h.Call("lseek", fd, 0, 9), -kEINVAL);   // Bad whence.
+  EXPECT_EQ(h.Call("lseek", fd, 1ull << 50, 0), -kEINVAL);  // Huge.
+}
+
+TEST(VfsEdgeTest, SeekDataOnEmptyFileBug) {
+  KernelHarness h;
+  const int64_t fd = h.Call("openat$file", h.StageString("/tmp/e"), 0x42, 0);
+  EXPECT_EQ(h.Call("lseek", fd, 0, 3), -kEIO);  // SEEK_DATA logic bug.
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kSeekNegativeBug);
+}
+
+TEST(VfsEdgeTest, FcntlGetflReflectsSetfl) {
+  KernelHarness h;
+  const int64_t fd = h.Call("openat$file", h.StageString("/tmp/g"), 0x42, 0);
+  ASSERT_EQ(h.Call("fcntl$SETFL", fd, 4, 0x800), 0);  // O_NONBLOCK.
+  EXPECT_EQ(h.Call("fcntl$GETFL", fd, 3) & 0x800, 0x800);
+}
+
+TEST(VfsEdgeTest, FlockOps) {
+  KernelHarness h;
+  const int64_t fd = h.Call("openat$file", h.StageString("/tmp/l"), 0x42, 0);
+  EXPECT_EQ(h.Call("flock", fd, 2), 0);   // LOCK_EX.
+  EXPECT_EQ(h.Call("flock", fd, 8), 0);   // LOCK_UN.
+  EXPECT_EQ(h.Call("flock", fd, 0), -kEINVAL);
+}
+
+TEST(VfsEdgeTest, DupPressureLeak) {
+  KernelHarness h;
+  const int64_t fd = h.Call("openat$file", h.StageString("/tmp/d"), 0x42, 0);
+  int64_t last = 0;
+  for (int i = 0; i < 40 && last >= 0; ++i) {
+    last = h.Call("dup", fd);
+  }
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kDupLimitLeak);
+}
+
+TEST(VfsEdgeTest, FsReclaimChainOn419) {
+  KernelHarness h(KernelVersion::kV4_19);
+  const int64_t fd = h.Call("openat$file", h.StageString("/tmp/r"), 0x42, 0);
+  // Large fallocate latches reclaim pressure; sync trips the lockdep bug.
+  ASSERT_EQ(h.Call("fallocate", fd, 0, 0, 2 << 20), 0);
+  EXPECT_EQ(h.Call("sync"), -kEIO);
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kFsReclaimLockState);
+}
+
+// ---- mm ----
+
+TEST(MmEdgeTest, MadviseBranches) {
+  KernelHarness h;
+  const uint64_t addr = GuestMem::kVmaBase + 4096;
+  EXPECT_EQ(h.Call("madvise", addr, 4096, 4), 0);       // DONTNEED.
+  EXPECT_EQ(h.Call("madvise", addr, 4096, 14), -kEPERM);  // HWPOISON.
+  EXPECT_EQ(h.Call("madvise", addr, 4096, 99), -kEINVAL);
+  EXPECT_EQ(h.Call("madvise", 0x100, 4096, 4), -kEINVAL);  // Bad range.
+}
+
+TEST(MmEdgeTest, MsyncRequiresMapping) {
+  KernelHarness h;
+  const uint64_t addr = GuestMem::kVmaBase + 8 * 4096;
+  EXPECT_EQ(h.Call("msync", addr, 4096, 4), -kENOMEM);
+  ASSERT_EQ(h.Call("mmap", addr, 4096, 3, 0x22, static_cast<uint64_t>(-1),
+                   0),
+            static_cast<int64_t>(addr));
+  EXPECT_EQ(h.Call("msync", addr, 4096, 4), 0);
+}
+
+TEST(MmEdgeTest, MmapRequiresShareMode) {
+  KernelHarness h;
+  EXPECT_EQ(h.Call("mmap", GuestMem::kVmaBase + 4096, 4096, 3, 0x20,
+                   static_cast<uint64_t>(-1), 0),
+            -kEINVAL);  // ANON without SHARED/PRIVATE.
+}
+
+// ---- sockets ----
+
+TEST(SocketEdgeTest, GetsockoptReadsStoredValue) {
+  KernelHarness h;
+  const int64_t fd = h.Call("socket$tcp", 2, 1, 0);
+  ASSERT_EQ(h.Call("setsockopt$RCVBUF", fd, 1, h.StageU32(4096), 4), 0);
+  const uint64_t out = h.OutBuf(4);
+  EXPECT_EQ(h.Call("getsockopt", fd, 8 /*SO_RCVBUF*/, out), 0);
+  uint32_t value = 0;
+  ASSERT_TRUE(h.kernel().mem().Read32(out, &value));
+  EXPECT_EQ(value, 4096u);
+}
+
+TEST(SocketEdgeTest, ShutdownThenRecvSeesEof) {
+  KernelHarness h;
+  const int64_t fd = h.Call("socket$tcp", 2, 1, 0);
+  h.Call("bind", fd, h.StageSockaddr(70), 8);
+  EXPECT_EQ(h.Call("shutdown", fd, 0), 0);
+  EXPECT_EQ(h.Call("recvfrom", fd, h.OutBuf(16), 16, 0), 0);  // EOF.
+}
+
+TEST(SocketEdgeTest, ListenBacklogOverflowTimesOut) {
+  KernelHarness h;
+  const int64_t server = h.Call("socket$tcp", 2, 1, 0);
+  h.Call("bind", server, h.StageSockaddr(71), 8);
+  h.Call("listen", server, 0);  // Backlog 0 -> one pending connection max.
+  const int64_t c1 = h.Call("socket$tcp", 2, 1, 0);
+  EXPECT_EQ(h.Call("connect", c1, h.StageSockaddr(71), 8), 0);
+  const int64_t c2 = h.Call("socket$tcp", 2, 1, 0);
+  EXPECT_EQ(h.Call("connect", c2, h.StageSockaddr(71), 8), -kETIMEDOUT);
+}
+
+TEST(SocketEdgeTest, EphemeralPortAssignedOnZero) {
+  KernelHarness h;
+  const int64_t fd = h.Call("socket$udp", 2, 2, 0);
+  ASSERT_EQ(h.Call("bind", fd, h.StageSockaddr(0), 8), 0);
+  const uint64_t out = h.OutBuf(8);
+  ASSERT_EQ(h.Call("getsockname", fd, out), 0);
+  uint8_t raw[4];
+  h.kernel().mem().Read(out, raw, 4);
+  const uint16_t port = static_cast<uint16_t>(raw[2] | (raw[3] << 8));
+  EXPECT_GE(port, 1024);
+}
+
+TEST(SocketEdgeTest, MacvlanLifecycleErrors) {
+  KernelHarness h;
+  const int64_t fd = h.Call("socket$udp", 2, 2, 0);
+  EXPECT_EQ(h.Call("ioctl$SIOCDELMACVLAN", fd, 0x8939, 0), -kENODEV);
+  ASSERT_EQ(h.Call("ioctl$SIOCADDMACVLAN", fd, 0x8938, 0), 0);
+  EXPECT_EQ(h.Call("ioctl$SIOCADDMACVLAN", fd, 0x8938, 0), -kEEXIST);
+}
+
+// ---- pipes ----
+
+TEST(PipeEdgeTest, SpliceSamePipeRejected) {
+  KernelHarness h;
+  const uint64_t fds = h.OutBuf(16);
+  ASSERT_EQ(h.Call("pipe2", fds, 0), 0);
+  uint64_t rfd = 0;
+  uint64_t wfd = 0;
+  h.kernel().mem().Read64(fds, &rfd);
+  h.kernel().mem().Read64(fds + 8, &wfd);
+  EXPECT_EQ(h.Call("splice", rfd, wfd, 8, 0), -kEINVAL);
+}
+
+TEST(PipeEdgeTest, PacketModeBoundsWrites) {
+  KernelHarness h;
+  const uint64_t fds = h.OutBuf(16);
+  ASSERT_EQ(h.Call("pipe2", fds, 0x4000), 0);  // O_DIRECT packets.
+  uint64_t wfd = 0;
+  h.kernel().mem().Read64(fds + 8, &wfd);
+  EXPECT_EQ(h.Call("write$pipe", wfd, h.OutBuf(8000), 8000), -kEINVAL);
+}
+
+TEST(PipeEdgeTest, FullPipeWouldBlock) {
+  KernelHarness h;
+  const uint64_t fds = h.OutBuf(16);
+  ASSERT_EQ(h.Call("pipe2", fds, 0), 0);
+  uint64_t rfd = 0;
+  uint64_t wfd = 0;
+  h.kernel().mem().Read64(fds, &rfd);
+  h.kernel().mem().Read64(fds + 8, &wfd);
+  ASSERT_EQ(h.Call("fcntl$SETPIPE_SZ", wfd, 1031, 4096), 4096);
+  EXPECT_EQ(h.Call("write$pipe", wfd, h.OutBuf(4096), 4096), 4096);
+  EXPECT_EQ(h.Call("write$pipe", wfd, h.Stage("x", 1), 1), -kEAGAIN);
+}
+
+// ---- kvm ----
+
+TEST(KvmEdgeTest, CheckExtensionAndMmapSize) {
+  KernelHarness h;
+  const int64_t kvm = h.Call("openat$kvm", h.StageString("/dev/kvm"), 2);
+  EXPECT_EQ(h.Call("ioctl$KVM_CHECK_EXTENSION", kvm, 0xae03, 7), 1);
+  EXPECT_EQ(h.Call("ioctl$KVM_CHECK_EXTENSION", kvm, 0xae03, 250), 0);
+  EXPECT_EQ(h.Call("ioctl$KVM_GET_VCPU_MMAP_SIZE", kvm, 0xae04), 4096);
+}
+
+TEST(KvmEdgeTest, VcpuLimits) {
+  KernelHarness h;
+  const int64_t kvm = h.Call("openat$kvm", h.StageString("/dev/kvm"), 2);
+  const int64_t vm = h.Call("ioctl$KVM_CREATE_VM", kvm, 0xae01, 0);
+  EXPECT_EQ(h.Call("ioctl$KVM_CREATE_VCPU", vm, 0xae41, 20), -kEINVAL);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(h.Call("ioctl$KVM_CREATE_VCPU", vm, 0xae41, i), 0);
+  }
+  EXPECT_EQ(h.Call("ioctl$KVM_CREATE_VCPU", vm, 0xae41, 5), -kEMFILE);
+}
+
+TEST(KvmEdgeTest, WrongFdKindsRejected) {
+  KernelHarness h;
+  const int64_t efd = h.Call("eventfd2", 0, 0);
+  EXPECT_EQ(h.Call("ioctl$KVM_CREATE_VM", efd, 0xae01, 0), -kEBADF);
+  EXPECT_EQ(h.Call("ioctl$KVM_RUN", efd, 0xae80, 0), -kEBADF);
+}
+
+// ---- tty / timer ----
+
+TEST(TtyEdgeTest, VtResizeValidation) {
+  KernelHarness h;
+  const int64_t vcs = h.Call("openat$vcs", h.StageString("/dev/vcs"), 2);
+  const uint16_t zero[2] = {0, 80};
+  EXPECT_EQ(h.Call("ioctl$VT_RESIZE", vcs, 0x5609,
+                   h.Stage(zero, sizeof(zero))),
+            -kEINVAL);
+  const uint16_t huge[2] = {600, 80};
+  EXPECT_EQ(h.Call("ioctl$VT_RESIZE", vcs, 0x5609,
+                   h.Stage(huge, sizeof(huge))),
+            -kEINVAL);
+}
+
+TEST(TtyEdgeTest, WrongDeviceKindIoctls) {
+  KernelHarness h;
+  const int64_t vcs = h.Call("openat$vcs", h.StageString("/dev/vcs"), 2);
+  EXPECT_EQ(h.Call("ioctl$TIOCSETD", vcs, 0x5423, 0), -kENOTTY);
+  const int64_t ptmx = h.Call("openat$ptmx", h.StageString("/dev/ptmx"), 2);
+  EXPECT_EQ(h.Call("ioctl$VT_RESIZE", ptmx, 0x5609, h.OutBuf(4)), -kENOTTY);
+}
+
+TEST(TtyEdgeTest, OpenWrongPathFails) {
+  KernelHarness h;
+  EXPECT_EQ(h.Call("openat$ptmx", h.StageString("/dev/zero"), 2), -kENOENT);
+  EXPECT_EQ(h.Call("openat$kvm", h.StageString("/dev/null"), 2), -kENOENT);
+}
+
+TEST(TimerEdgeTest, GettimeBeforeSettimeIsZero) {
+  KernelHarness h;
+  const int64_t tfd = h.Call("timerfd_create", 1, 0);
+  const uint64_t out = h.OutBuf(32);
+  ASSERT_EQ(h.Call("timerfd_gettime", tfd, out), 0);
+  uint64_t value_sec = 1;
+  h.kernel().mem().Read64(out + 16, &value_sec);
+  EXPECT_EQ(value_sec, 0u);
+  EXPECT_EQ(h.Call("read$timerfd", tfd, h.OutBuf(8), 8), -kEAGAIN);
+}
+
+TEST(TimerEdgeTest, BadClockIdRejected) {
+  KernelHarness h;
+  EXPECT_EQ(h.Call("timerfd_create", 99, 0), -kEINVAL);
+  EXPECT_EQ(h.Call("clock_gettime", 99, h.OutBuf(16)), -kEINVAL);
+}
+
+// ---- io_uring ----
+
+TEST(UringEdgeTest, DoubleRegisterRejected) {
+  KernelHarness h;
+  const int64_t ring = h.Call("io_uring_setup", 8, h.OutBuf(4));
+  const uint64_t iov[2] = {0, 64};
+  ASSERT_EQ(h.Call("io_uring_register$BUFFERS", ring, 0,
+                   h.Stage(iov, sizeof(iov)), 1),
+            0);
+  EXPECT_EQ(h.Call("io_uring_register$BUFFERS", ring, 0,
+                   h.Stage(iov, sizeof(iov)), 1),
+            -kEBUSY);
+}
+
+TEST(UringEdgeTest, SubmitBeyondEntriesRejected) {
+  KernelHarness h;
+  const int64_t ring = h.Call("io_uring_setup", 8, h.OutBuf(4));
+  EXPECT_EQ(h.Call("io_uring_enter", ring, 50, 0, 0), -kEINVAL);
+}
+
+// ---- netlink ----
+
+TEST(NetlinkEdgeTest, UnboundSetParamsRejected) {
+  KernelHarness h;
+  const int64_t fd = h.Call("socket$nl802154", 16, 3, 20);
+  EXPECT_EQ(h.Call("sendmsg$nl802154_set_params", fd, h.OutBuf(8), 8),
+            -kENOTCONN);
+}
+
+TEST(NetlinkEdgeTest, NonNetlinkFdRejected) {
+  KernelHarness h;
+  const int64_t fd = h.Call("socket$udp", 2, 2, 0);
+  EXPECT_EQ(h.Call("bind$netlink", fd, h.OutBuf(8), 8), -kEBADF);
+}
+
+}  // namespace
+}  // namespace healer

@@ -1,0 +1,434 @@
+// VFS / memfd / mm / pipe / epoll / timer subsystem behaviour, including
+// the injected-bug reproducers for these subsystems.
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace healer {
+namespace {
+
+// ---- VFS basics ----
+
+class VfsTest : public ::testing::Test {
+ protected:
+  KernelHarness h{KernelVersion::kV5_11};
+
+  int64_t Open(const std::string& path, uint32_t flags = 0x42 /*RDWR|CREAT*/) {
+    return h.Call("openat$file", h.StageString(path), flags, 0644);
+  }
+};
+
+TEST_F(VfsTest, CreateWriteReadBack) {
+  const int64_t fd = Open("/tmp/a");
+  ASSERT_GE(fd, 0);
+  const char data[] = "hello vfs";
+  EXPECT_EQ(h.Call("write", fd, h.Stage(data, 9), 9), 9);
+  EXPECT_EQ(h.Call("lseek", fd, 0, 0), 0);
+  const uint64_t out = h.OutBuf(16);
+  EXPECT_EQ(h.Call("read", fd, out, 9), 9);
+  char back[10] = {0};
+  ASSERT_TRUE(h.kernel().mem().Read(out, back, 9));
+  EXPECT_STREQ(back, "hello vfs");
+}
+
+TEST_F(VfsTest, OpenMissingWithoutCreatFails) {
+  EXPECT_EQ(h.Call("openat$file", h.StageString("/tmp/nope"), 0, 0),
+            -kENOENT);
+}
+
+TEST_F(VfsTest, ReadOnWriteOnlyFdFails) {
+  const int64_t fd = Open("/tmp/w", 0x41);  // WRONLY|CREAT.
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(h.Call("read", fd, h.OutBuf(8), 8), -kEBADF);
+}
+
+TEST_F(VfsTest, AppendModeWritesAtEnd) {
+  const int64_t fd = Open("/tmp/app", 0x42 | 0x400);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(h.Call("write", fd, h.Stage("ab", 2), 2), 2);
+  EXPECT_EQ(h.Call("lseek", fd, 0, 0), 0);
+  EXPECT_EQ(h.Call("write", fd, h.Stage("cd", 2), 2), 2);
+  EXPECT_EQ(h.Call("lseek", fd, 0, 2), 4);  // SEEK_END: size 4.
+}
+
+TEST_F(VfsTest, PreadPwriteAtOffsets) {
+  const int64_t fd = Open("/tmp/p");
+  EXPECT_EQ(h.Call("pwrite64", fd, h.Stage("xyz", 3), 3, 100), 3);
+  const uint64_t out = h.OutBuf(4);
+  EXPECT_EQ(h.Call("pread64", fd, out, 3, 100), 3);
+  char back[4] = {0};
+  h.kernel().mem().Read(out, back, 3);
+  EXPECT_STREQ(back, "xyz");
+  // Hole reads as zero.
+  EXPECT_EQ(h.Call("pread64", fd, out, 3, 0), 3);
+}
+
+TEST_F(VfsTest, PwriteHugeOffsetRejected) {
+  const int64_t fd = Open("/tmp/h");
+  EXPECT_EQ(h.Call("pwrite64", fd, h.Stage("x", 1), 1,
+                   static_cast<uint64_t>(-1)),
+            -kEFBIG);
+}
+
+TEST_F(VfsTest, MkdirUnlinkRename) {
+  EXPECT_EQ(h.Call("mkdir", h.StageString("/tmp/d"), 0755), 0);
+  EXPECT_EQ(h.Call("mkdir", h.StageString("/tmp/d"), 0755), -kEEXIST);
+  ASSERT_GE(Open("/tmp/f"), 0);
+  EXPECT_EQ(h.Call("rename", h.StageString("/tmp/f"),
+                   h.StageString("/tmp/g")),
+            0);
+  EXPECT_EQ(h.Call("unlink", h.StageString("/tmp/g")), 0);
+  EXPECT_EQ(h.Call("unlink", h.StageString("/tmp/g")), -kENOENT);
+  EXPECT_EQ(h.Call("unlink", h.StageString("/tmp/d")), -kEISDIR);
+}
+
+TEST_F(VfsTest, DupSharesObject) {
+  const int64_t fd = Open("/tmp/dup");
+  const int64_t fd2 = h.Call("dup", fd);
+  ASSERT_GE(fd2, 0);
+  EXPECT_NE(fd, fd2);
+  EXPECT_EQ(h.Call("write", fd2, h.Stage("q", 1), 1), 1);
+  EXPECT_EQ(h.Call("close", fd), 0);
+  EXPECT_EQ(h.Call("write", fd2, h.Stage("q", 1), 1), 1);  // Still open.
+}
+
+TEST_F(VfsTest, FstatReportsSize) {
+  const int64_t fd = Open("/tmp/s");
+  h.Call("write", fd, h.Stage("12345", 5), 5);
+  const uint64_t out = h.OutBuf(32);
+  EXPECT_EQ(h.Call("fstat", fd, out), 0);
+  uint64_t size = 0;
+  h.kernel().mem().Read64(out, &size);
+  EXPECT_EQ(size, 5u);
+}
+
+// ---- ext4/jbd2 race bugs ----
+
+TEST_F(VfsTest, Ext4MarkIlocDirtyRace) {
+  const int64_t fd = Open("/tmp/j");
+  h.Call("write", fd, h.Stage("a", 1), 1);
+  EXPECT_EQ(h.Call("fsync", fd), 0);  // Opens the commit window.
+  EXPECT_EQ(h.Call("write", fd, h.Stage("b", 1), 1), -kEIO);
+  ASSERT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kExt4MarkIlocDirtyRace);
+}
+
+TEST_F(VfsTest, CommitWindowClosesAfterOneCall) {
+  const int64_t fd = Open("/tmp/j2");
+  h.Call("write", fd, h.Stage("a", 1), 1);
+  h.Call("fsync", fd);
+  h.Call("sync");  // Benign call consumes the window (dirty count is 0).
+  EXPECT_EQ(h.Call("write", fd, h.Stage("b", 1), 1), 1);
+  EXPECT_FALSE(h.kernel().crashed());
+}
+
+TEST_F(VfsTest, Ext4FcCommitRace) {
+  const int64_t fd = Open("/tmp/fc");
+  h.Call("write", fd, h.Stage("a", 1), 1);
+  EXPECT_EQ(h.Call("fdatasync", fd), 0);
+  h.Call("write", fd, h.Stage("b", 1), 1);
+  // journal_committing is false here (fdatasync uses the fc path).
+  EXPECT_EQ(h.Call("fdatasync", fd), -kEIO);
+  ASSERT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kExt4FcCommitRace);
+}
+
+TEST_F(VfsTest, DropNlinkRaceOnlyInV56) {
+  KernelHarness h56(KernelVersion::kV5_6);
+  const int64_t fd =
+      h56.Call("openat$file", h56.StageString("/tmp/u"), 0x42, 0644);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(h56.Call("unlink", h56.StageString("/tmp/u")), 0);
+  EXPECT_EQ(h56.Call("fstat", fd, h56.OutBuf(32)), -kEIO);
+  EXPECT_TRUE(h56.kernel().crashed());
+
+  // Same sequence on 5.11: no crash (bug fixed).
+  const int64_t fd2 = Open("/tmp/u");
+  h.Call("unlink", h.StageString("/tmp/u"));
+  EXPECT_EQ(h.Call("fstat", fd2, h.OutBuf(32)), 0);
+  EXPECT_FALSE(h.kernel().crashed());
+}
+
+TEST_F(VfsTest, NfsMonolithicLeak) {
+  KernelHarness h56(KernelVersion::kV5_6);
+  uint8_t data[12] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};  // No NUL.
+  EXPECT_EQ(h56.Call("mount$nfs", h56.StageString("/tmp/nfsdata"),
+                     h56.Stage(data, sizeof(data)), sizeof(data)),
+            -kENOMEM);
+  EXPECT_TRUE(h56.kernel().crashed());
+  EXPECT_EQ(h56.kernel().crash().bug, BugId::kNfsParseMonolithicLeak);
+}
+
+TEST_F(VfsTest, ReiserfsOnlyOn419) {
+  KernelHarness h419(KernelVersion::kV4_19);
+  uint8_t small[4] = {1, 2, 3, 4};
+  EXPECT_EQ(h419.Call("mount$reiserfs", h419.StageString("/tmp/f"),
+                      h419.Stage(small, 4), 4),
+            -kEIO);
+  EXPECT_TRUE(h419.kernel().crashed());
+  EXPECT_EQ(h.Call("mount$reiserfs", h.StageString("/tmp/f"),
+                   h.StageU32(1), 4),
+            -kENOSYS);
+}
+
+// ---- memfd + seals + mmap ----
+
+class MemfdTest : public ::testing::Test {
+ protected:
+  KernelHarness h{KernelVersion::kV5_11};
+
+  int64_t Create(uint32_t flags = 2 /*ALLOW_SEALING*/) {
+    return h.Call("memfd_create", h.StageString("m"), flags);
+  }
+};
+
+TEST_F(MemfdTest, SealsDefaultToSealSealWithoutAllow) {
+  const int64_t fd = Create(0);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(h.Call("fcntl$GET_SEALS", fd, 1034), 1);  // F_SEAL_SEAL.
+  EXPECT_EQ(h.Call("fcntl$ADD_SEALS", fd, 1033, 8), -kEPERM);
+}
+
+TEST_F(MemfdTest, WriteSealBlocksWrites) {
+  const int64_t fd = Create();
+  EXPECT_EQ(h.Call("write$memfd", fd, h.Stage("abc", 3), 3), 3);
+  EXPECT_EQ(h.Call("fcntl$ADD_SEALS", fd, 1033, 8), 0);  // F_SEAL_WRITE.
+  EXPECT_EQ(h.Call("write$memfd", fd, h.Stage("d", 1), 1), -kEPERM);
+}
+
+TEST_F(MemfdTest, ShrinkGrowSeals) {
+  const int64_t fd = Create();
+  h.Call("ftruncate$memfd", fd, 100);
+  EXPECT_EQ(h.Call("fcntl$ADD_SEALS", fd, 1033, 2 | 4), 0);  // SHRINK|GROW.
+  EXPECT_EQ(h.Call("ftruncate$memfd", fd, 50), -kEPERM);
+  EXPECT_EQ(h.Call("ftruncate$memfd", fd, 200), -kEPERM);
+  EXPECT_EQ(h.Call("ftruncate$memfd", fd, 100), 0);  // Same size OK.
+}
+
+TEST_F(MemfdTest, SealedSharedWritableMapRejected) {
+  const int64_t fd = Create();
+  h.Call("write$memfd", fd, h.Stage("abc", 3), 3);
+  EXPECT_EQ(h.Call("fcntl$ADD_SEALS", fd, 1033, 8), 0);
+  // mmap(addr, len, PROT_READ|PROT_WRITE, MAP_SHARED, fd, 0).
+  EXPECT_EQ(h.Call("mmap", GuestMem::kVmaBase + 4096, 4096, 3, 1, fd, 0),
+            -kEPERM);
+  // Read-only shared mapping is fine.
+  EXPECT_EQ(h.Call("mmap", GuestMem::kVmaBase + 8192, 4096, 1, 1, fd, 0),
+            static_cast<int64_t>(GuestMem::kVmaBase + 8192));
+}
+
+TEST_F(MemfdTest, WriteSealAfterSharedMapRejected) {
+  const int64_t fd = Create();
+  ASSERT_EQ(h.Call("mmap", GuestMem::kVmaBase + 4096, 4096, 3, 1, fd, 0),
+            static_cast<int64_t>(GuestMem::kVmaBase + 4096));
+  EXPECT_EQ(h.Call("fcntl$ADD_SEALS", fd, 1033, 8), -kEBUSY);
+}
+
+// ---- mm ----
+
+TEST(MmTest, MapUnmapLifecycle) {
+  KernelHarness h;
+  const uint64_t addr = GuestMem::kVmaBase + 3 * 4096;
+  EXPECT_EQ(h.Call("mmap", addr, 8192, 3, 0x22 /*ANON|PRIVATE*/,
+                   static_cast<uint64_t>(-1), 0),
+            static_cast<int64_t>(addr));
+  EXPECT_EQ(h.Call("mprotect", addr, 8192, 1), 0);
+  EXPECT_EQ(h.Call("msync", addr, 8192, 4), 0);
+  EXPECT_EQ(h.Call("munmap", addr, 8192), 0);
+  EXPECT_EQ(h.Call("munmap", addr, 8192), -kEINVAL);
+}
+
+TEST(MmTest, RejectsZeroLenAndBadRange) {
+  KernelHarness h;
+  EXPECT_EQ(h.Call("mmap", GuestMem::kVmaBase, 0, 3, 0x22,
+                   static_cast<uint64_t>(-1), 0),
+            -kEINVAL);
+  EXPECT_EQ(h.Call("mmap", 0x1000, 4096, 3, 0x22, static_cast<uint64_t>(-1),
+                   0),
+            -kEINVAL);
+}
+
+TEST(MmTest, IoremapBugNeedsMprotectHistory) {
+  KernelHarness h(KernelVersion::kV5_11);
+  const uint64_t addr = GuestMem::kVmaBase + 16 * 4096;
+  ASSERT_EQ(h.Call("mmap", addr, 4096, 3, 0x22, static_cast<uint64_t>(-1), 0),
+            static_cast<int64_t>(addr));
+  h.Call("mprotect", addr, 4096, 1);
+  h.Call("mprotect", addr, 4096, 3);
+  // MAP_FIXED|ANON|PRIVATE remap with PROT_EXEC over the churned region.
+  EXPECT_EQ(h.Call("mmap", addr, 4096, 4, 0x32, static_cast<uint64_t>(-1), 0),
+            -kEIO);
+  ASSERT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kIoremapPageRangeBug);
+}
+
+// ---- pipes ----
+
+class PipeTest : public ::testing::Test {
+ protected:
+  KernelHarness h{KernelVersion::kV5_11};
+  int64_t rfd_ = -1;
+  int64_t wfd_ = -1;
+
+  void MakePipe(uint32_t flags = 0) {
+    const uint64_t out = h.OutBuf(16);
+    ASSERT_EQ(h.Call("pipe2", out, flags), 0);
+    uint64_t r;
+    uint64_t w;
+    ASSERT_TRUE(h.kernel().mem().Read64(out, &r));
+    ASSERT_TRUE(h.kernel().mem().Read64(out + 8, &w));
+    rfd_ = static_cast<int64_t>(r);
+    wfd_ = static_cast<int64_t>(w);
+  }
+};
+
+TEST_F(PipeTest, WriteThenRead) {
+  MakePipe();
+  EXPECT_EQ(h.Call("write$pipe", wfd_, h.Stage("ping", 4), 4), 4);
+  const uint64_t out = h.OutBuf(8);
+  EXPECT_EQ(h.Call("read$pipe", rfd_, out, 4), 4);
+  char back[5] = {0};
+  h.kernel().mem().Read(out, back, 4);
+  EXPECT_STREQ(back, "ping");
+}
+
+TEST_F(PipeTest, EndsRejectWrongDirection) {
+  MakePipe();
+  EXPECT_EQ(h.Call("write$pipe", rfd_, h.Stage("x", 1), 1), -kEBADF);
+  EXPECT_EQ(h.Call("read$pipe", wfd_, h.OutBuf(4), 1), -kEBADF);
+}
+
+TEST_F(PipeTest, EmptyReadBlocksWouldBlock) {
+  MakePipe();
+  EXPECT_EQ(h.Call("read$pipe", rfd_, h.OutBuf(4), 4), -kEAGAIN);
+}
+
+TEST_F(PipeTest, SetPipeSizeShrinkBelowBufferedCrashes) {
+  MakePipe();
+  h.Call("write$pipe", wfd_, h.Stage("0123456789", 10), 10);
+  EXPECT_EQ(h.Call("fcntl$SETPIPE_SZ", wfd_, 1031, 4), -kEIO);
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kPipeSetSizeOob);
+}
+
+TEST_F(PipeTest, SpliceMovesBytesBetweenPipes) {
+  MakePipe();
+  const int64_t r1 = rfd_;
+  const int64_t w1 = wfd_;
+  MakePipe();
+  h.Call("write$pipe", w1, h.Stage("abcdef", 6), 6);
+  EXPECT_EQ(h.Call("splice", r1, wfd_, 6, 0), 6);
+  const uint64_t out = h.OutBuf(8);
+  EXPECT_EQ(h.Call("read$pipe", rfd_, out, 6), 6);
+}
+
+// ---- epoll / eventfd ----
+
+TEST(EpollTest, ReadinessReflectsPipeState) {
+  KernelHarness h;
+  const int64_t ep = h.Call("epoll_create1", 0);
+  const uint64_t pfds = h.OutBuf(16);
+  ASSERT_EQ(h.Call("pipe2", pfds, 0), 0);
+  uint64_t rfd = 0;
+  uint64_t wfd = 0;
+  ASSERT_TRUE(h.kernel().mem().Read64(pfds, &rfd));
+  ASSERT_TRUE(h.kernel().mem().Read64(pfds + 8, &wfd));
+  ASSERT_EQ(h.Call("epoll_ctl$ADD", ep, 1, rfd, h.StageU32(1)), 0);
+  const uint64_t events = h.OutBuf(512);
+  EXPECT_EQ(h.Call("epoll_wait", ep, events, 8, 0), 0);  // Empty pipe.
+  h.Call("write$pipe", wfd, h.Stage("x", 1), 1);
+  EXPECT_EQ(h.Call("epoll_wait", ep, events, 8, 0), 1);
+}
+
+TEST(EpollTest, DoubleAddAndMissingDel) {
+  KernelHarness h;
+  const int64_t ep = h.Call("epoll_create1", 0);
+  const int64_t efd = h.Call("eventfd2", 0, 0);
+  EXPECT_EQ(h.Call("epoll_ctl$ADD", ep, 1, efd, h.StageU32(1)), 0);
+  EXPECT_EQ(h.Call("epoll_ctl$ADD", ep, 1, efd, h.StageU32(1)), -kEEXIST);
+  EXPECT_EQ(h.Call("epoll_ctl$MOD", ep, 3, efd, h.StageU32(4)), 0);
+  EXPECT_EQ(h.Call("epoll_ctl$DEL", ep, 2, efd, h.StageU32(0)), 0);
+  EXPECT_EQ(h.Call("epoll_ctl$DEL", ep, 2, efd, h.StageU32(0)), -kENOENT);
+}
+
+TEST(EpollTest, SelfAddDeadlockBug) {
+  KernelHarness h;
+  const int64_t ep = h.Call("epoll_create1", 0);
+  EXPECT_EQ(h.Call("epoll_ctl$ADD", ep, 1, ep, h.StageU32(1)), -kEIO);
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kEpollSelfAddDeadlock);
+}
+
+TEST(EpollTest, FputEpRemoveRaceAfterClose) {
+  KernelHarness h(KernelVersion::kV5_11);
+  const int64_t ep = h.Call("epoll_create1", 0);
+  const int64_t efd = h.Call("eventfd2", 1, 0);
+  ASSERT_EQ(h.Call("epoll_ctl$ADD", ep, 1, efd, h.StageU32(1)), 0);
+  ASSERT_EQ(h.Call("close", efd), 0);
+  EXPECT_EQ(h.Call("epoll_wait", ep, h.OutBuf(512), 8, 0), -kEIO);
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kFputEpRemoveRace);
+}
+
+TEST(EventfdTest, CounterSemantics) {
+  KernelHarness h;
+  const int64_t efd = h.Call("eventfd2", 5, 0);
+  const uint64_t out = h.OutBuf(8);
+  EXPECT_EQ(h.Call("read$eventfd", efd, out, 8), 8);
+  uint64_t value = 0;
+  ASSERT_TRUE(h.kernel().mem().Read64(out, &value));
+  EXPECT_EQ(value, 5u);
+  EXPECT_EQ(h.Call("read$eventfd", efd, out, 8), -kEAGAIN);
+  EXPECT_EQ(h.Call("write$eventfd", efd, h.StageU64(7), 8), 8);
+  EXPECT_EQ(h.Call("read$eventfd", efd, out, 8), 8);
+}
+
+TEST(EventfdTest, OverflowBug) {
+  KernelHarness h;
+  const int64_t efd = h.Call("eventfd2", 2, 0);
+  EXPECT_EQ(h.Call("write$eventfd", efd,
+                   h.StageU64(0xfffffffffffffffeULL), 8),
+            -kEIO);
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kEventfdCounterOverflow);
+}
+
+// ---- timers ----
+
+TEST(TimerTest, SettimeGettimeRead) {
+  KernelHarness h;
+  const int64_t tfd = h.Call("timerfd_create", 0, 0);
+  ASSERT_GE(tfd, 0);
+  const uint64_t spec[4] = {1, 0, 2, 500000000};
+  EXPECT_EQ(h.Call("timerfd_settime", tfd, 0, h.Stage(spec, sizeof(spec)), 0),
+            0);
+  const uint64_t out = h.OutBuf(32);
+  EXPECT_EQ(h.Call("timerfd_gettime", tfd, out), 0);
+  uint64_t interval_sec = 0;
+  ASSERT_TRUE(h.kernel().mem().Read64(out, &interval_sec));
+  EXPECT_EQ(interval_sec, 1u);
+  EXPECT_EQ(h.Call("read$timerfd", tfd, h.OutBuf(8), 8), 8);
+}
+
+TEST(TimerTest, UnnormalizedNsecBug) {
+  KernelHarness h;
+  const int64_t tfd = h.Call("timerfd_create", 0, 0);
+  const uint64_t spec[4] = {0, 0, 0, 2000000000};  // value nsec >= 1e9.
+  EXPECT_EQ(h.Call("timerfd_settime", tfd, 0, h.Stage(spec, sizeof(spec)), 0),
+            -kEIO);
+  EXPECT_TRUE(h.kernel().crashed());
+  EXPECT_EQ(h.kernel().crash().bug, BugId::kTimerfdSettimeBug);
+}
+
+TEST(TimerTest, NanosleepValidation) {
+  KernelHarness h;
+  const uint64_t ok_ts[2] = {1, 100};
+  EXPECT_EQ(h.Call("nanosleep", h.Stage(ok_ts, sizeof(ok_ts))), 0);
+  const uint64_t bad_ts[2] = {2000000001, 0};  // Seconds overflow bug.
+  EXPECT_EQ(h.Call("nanosleep", h.Stage(bad_ts, sizeof(bad_ts))), -kEIO);
+  EXPECT_TRUE(h.kernel().crashed());
+}
+
+}  // namespace
+}  // namespace healer

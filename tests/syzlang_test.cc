@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "src/syzlang/lexer.h"
+#include "src/syzlang/parser.h"
+#include "src/syzlang/target.h"
+
+namespace healer {
+namespace {
+
+// ---- Lexer ----
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("foo(bar, 42) ret");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_GE(tokens->size(), 8u);
+  EXPECT_EQ((*tokens)[0].kind, TokKind::kIdent);
+  EXPECT_EQ((*tokens)[0].text, "foo");
+  EXPECT_EQ((*tokens)[1].kind, TokKind::kLParen);
+  EXPECT_EQ((*tokens)[3].kind, TokKind::kComma);
+  EXPECT_EQ((*tokens)[4].kind, TokKind::kNumber);
+  EXPECT_EQ((*tokens)[4].number, 42u);
+  EXPECT_EQ(tokens->back().kind, TokKind::kEof);
+}
+
+TEST(LexerTest, HexAndNegativeNumbers) {
+  auto tokens = Tokenize("0xae01 -1");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].number, 0xae01u);
+  EXPECT_EQ((*tokens)[1].number, static_cast<uint64_t>(-1));
+}
+
+TEST(LexerTest, StringsAndComments) {
+  auto tokens = Tokenize("\"/dev/kvm\" # a comment\nnext");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokKind::kString);
+  EXPECT_EQ((*tokens)[0].text, "/dev/kvm");
+  EXPECT_EQ((*tokens)[1].kind, TokKind::kNewline);
+  EXPECT_EQ((*tokens)[2].text, "next");
+}
+
+TEST(LexerTest, CollapsesBlankLines) {
+  auto tokens = Tokenize("a\n\n\nb");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);  // a, NL, b, NL, EOF
+  EXPECT_EQ((*tokens)[1].kind, TokKind::kNewline);
+  EXPECT_EQ((*tokens)[2].text, "b");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  auto tokens = Tokenize("\"oops");
+  EXPECT_FALSE(tokens.ok());
+  EXPECT_EQ(tokens.status().code(), StatusCode::kParseError);
+}
+
+TEST(LexerTest, UnexpectedCharFails) {
+  auto tokens = Tokenize("a @ b");
+  EXPECT_FALSE(tokens.ok());
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Tokenize("a\nb\nc");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].line, 1);
+  EXPECT_EQ((*tokens)[2].line, 2);
+  EXPECT_EQ((*tokens)[4].line, 3);
+}
+
+// ---- Parser ----
+
+TEST(ParserTest, ConstDecl) {
+  auto file = ParseDescriptions("const FOO = 0x10");
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->consts.size(), 1u);
+  EXPECT_EQ(file->consts[0].name, "FOO");
+  EXPECT_EQ(file->consts[0].value, 0x10u);
+}
+
+TEST(ParserTest, FlagsDecl) {
+  auto file = ParseDescriptions("const A = 1\nflags fs = A, 2, 4");
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->flags.size(), 1u);
+  EXPECT_EQ(file->flags[0].values.size(), 3u);
+}
+
+TEST(ParserTest, ResourceDecl) {
+  auto file = ParseDescriptions("resource fd[int32]: -1, 100");
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->resources.size(), 1u);
+  EXPECT_EQ(file->resources[0].name, "fd");
+  EXPECT_EQ(file->resources[0].base, "int32");
+  ASSERT_EQ(file->resources[0].special_values.size(), 2u);
+  EXPECT_EQ(file->resources[0].special_values[0], static_cast<uint64_t>(-1));
+}
+
+TEST(ParserTest, StructDecl) {
+  auto file = ParseDescriptions(
+      "struct point {\n  x int32\n  y int32\n}");
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->structs.size(), 1u);
+  EXPECT_FALSE(file->structs[0].is_union);
+  ASSERT_EQ(file->structs[0].fields.size(), 2u);
+  EXPECT_EQ(file->structs[0].fields[1].name, "y");
+}
+
+TEST(ParserTest, EmptyStructFails) {
+  auto file = ParseDescriptions("struct empty {\n}");
+  EXPECT_FALSE(file.ok());
+}
+
+TEST(ParserTest, SyscallWithVariantAndRet) {
+  auto file = ParseDescriptions(
+      "resource fd[int32]\n"
+      "openat$kvm(path ptr[in, string[\"/dev/kvm\"]], flags const[2]) fd");
+  ASSERT_TRUE(file.ok());
+  ASSERT_EQ(file->syscalls.size(), 1u);
+  EXPECT_EQ(file->syscalls[0].name, "openat$kvm");
+  EXPECT_EQ(file->syscalls[0].base_name, "openat");
+  EXPECT_EQ(file->syscalls[0].ret, "fd");
+  ASSERT_EQ(file->syscalls[0].args.size(), 2u);
+}
+
+TEST(ParserTest, ZeroArgSyscall) {
+  auto file = ParseDescriptions("sync()");
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(file->syscalls[0].args.empty());
+}
+
+TEST(ParserTest, RangeTypeArg) {
+  auto file = ParseDescriptions("nap(n int32[3:9])");
+  ASSERT_TRUE(file.ok());
+  const TypeExpr& type = file->syscalls[0].args[0].type;
+  ASSERT_EQ(type.args.size(), 1u);
+  EXPECT_EQ(type.args[0].kind, TypeExprArg::Kind::kRange);
+  EXPECT_EQ(type.args[0].number, 3u);
+  EXPECT_EQ(type.args[0].range_hi, 9u);
+}
+
+TEST(ParserTest, GarbageAfterDeclFails) {
+  auto file = ParseDescriptions("sync() extra stuff ]");
+  EXPECT_FALSE(file.ok());
+}
+
+// ---- Target compilation ----
+
+constexpr char kSmallDesc[] = R"(
+resource fd[int32]: -1
+resource sock[fd]
+resource tcp[sock]
+const AF_INET = 2
+flags oflags = 1, 2, AF_INET
+struct addr {
+  family const[AF_INET, int16]
+  port int16
+}
+open(path ptr[in, filename], flags flags[oflags]) fd
+socket() tcp
+bind(s sock, a ptr[in, addr], alen len[a])
+close(f fd)
+pair(out ptr[out, fdpair])
+struct fdpair {
+  r fd
+  w fd
+}
+)";
+
+class TargetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto target = Target::CompileSource(kSmallDesc, "small");
+    ASSERT_TRUE(target.ok()) << target.status().ToString();
+    target_ = std::make_unique<Target>(std::move(target).value());
+  }
+  std::unique_ptr<Target> target_;
+};
+
+TEST_F(TargetTest, CompilesAllSyscalls) {
+  EXPECT_EQ(target_->NumSyscalls(), 5u);
+  EXPECT_NE(target_->FindSyscall("open"), nullptr);
+  EXPECT_EQ(target_->FindSyscall("nosuch"), nullptr);
+}
+
+TEST_F(TargetTest, ResourceInheritanceChain) {
+  const ResourceDesc* fd = target_->FindResource("fd");
+  const ResourceDesc* sock = target_->FindResource("sock");
+  const ResourceDesc* tcp = target_->FindResource("tcp");
+  ASSERT_NE(fd, nullptr);
+  ASSERT_NE(tcp, nullptr);
+  EXPECT_TRUE(tcp->IsCompatibleWith(fd));
+  EXPECT_TRUE(tcp->IsCompatibleWith(sock));
+  EXPECT_TRUE(tcp->IsCompatibleWith(tcp));
+  EXPECT_FALSE(fd->IsCompatibleWith(tcp));
+}
+
+TEST_F(TargetTest, SubtypesInheritSpecialValues) {
+  const ResourceDesc* tcp = target_->FindResource("tcp");
+  ASSERT_EQ(tcp->special_values.size(), 1u);
+  EXPECT_EQ(tcp->special_values[0], static_cast<uint64_t>(-1));
+}
+
+TEST_F(TargetTest, ProducerIndexHonorsInheritance) {
+  // socket() returns tcp, which satisfies fd, sock and tcp consumers.
+  const ResourceDesc* fd = target_->FindResource("fd");
+  const auto& fd_producers = target_->ProducersOf(fd);
+  // open produces fd; socket produces tcp (compatible with fd); pair
+  // produces fds through its out-pointer.
+  EXPECT_EQ(fd_producers.size(), 3u);
+  const ResourceDesc* tcp = target_->FindResource("tcp");
+  const auto& tcp_producers = target_->ProducersOf(tcp);
+  ASSERT_EQ(tcp_producers.size(), 1u);
+  EXPECT_EQ(target_->syscall(tcp_producers[0]).name, "socket");
+}
+
+TEST_F(TargetTest, ConsumedAndProducedResources) {
+  const Syscall* bind = target_->FindSyscall("bind");
+  ASSERT_EQ(bind->consumed_resources.size(), 1u);
+  EXPECT_EQ(bind->consumed_resources[0]->name, "sock");
+  const Syscall* pair = target_->FindSyscall("pair");
+  // Out-pointer struct of two fds -> produced resources include fd.
+  ASSERT_EQ(pair->produced_resources.size(), 1u);
+  EXPECT_EQ(pair->produced_resources[0]->name, "fd");
+}
+
+TEST_F(TargetTest, ConstResolution) {
+  auto value = target_->FindConst("AF_INET");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(*value, 2u);
+  EXPECT_FALSE(target_->FindConst("MISSING").ok());
+}
+
+TEST_F(TargetTest, FlagsIncludeConstRefs) {
+  const Syscall* open = target_->FindSyscall("open");
+  const Type* flags = open->args[1].type;
+  ASSERT_EQ(flags->kind, TypeKind::kFlags);
+  ASSERT_EQ(flags->flag_values.size(), 3u);
+  EXPECT_EQ(flags->flag_values[2], 2u);  // AF_INET resolved.
+}
+
+TEST_F(TargetTest, StructLayoutSizes) {
+  const Type* addr = target_->FindNamedType("addr");
+  ASSERT_NE(addr, nullptr);
+  EXPECT_EQ(addr->ByteSize(), 4u);  // int16 + int16.
+}
+
+TEST(TargetErrorTest, UnknownTypeFails) {
+  auto target = Target::CompileSource("f(a nosuchtype)", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetErrorTest, UnknownResourceBaseFails) {
+  auto target = Target::CompileSource("resource a[nosuch]", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetErrorTest, DuplicateSyscallFails) {
+  auto target = Target::CompileSource("f()\nf()", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetErrorTest, LenWithoutSiblingFails) {
+  auto target = Target::CompileSource("f(n len[missing])", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetErrorTest, ResourceCycleFails) {
+  auto target =
+      Target::CompileSource("resource a[b]\nresource b[a]", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetErrorTest, UnknownRetResourceFails) {
+  auto target = Target::CompileSource("f() ghost", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetErrorTest, EmptyRangeFails) {
+  auto target = Target::CompileSource("f(n int32[9:3])", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetErrorTest, UnknownFlagsSetFails) {
+  auto target = Target::CompileSource("f(n flags[ghost])", "t");
+  EXPECT_FALSE(target.ok());
+}
+
+TEST(TargetTest2, PtrStringSugar) {
+  auto target =
+      Target::CompileSource("f(p ptr[in, \"/dev/x\"])", "t");
+  ASSERT_TRUE(target.ok());
+  const Type* ptr = target->FindSyscall("f")->args[0].type;
+  ASSERT_EQ(ptr->kind, TypeKind::kPtr);
+  ASSERT_EQ(ptr->elem->kind, TypeKind::kString);
+  EXPECT_EQ(ptr->elem->str_values[0], "/dev/x");
+}
+
+TEST(TargetTest2, UnionCompiles) {
+  auto target = Target::CompileSource(
+      "union u {\n a int32\n b int64\n}\nf(x ptr[in, u])", "t");
+  ASSERT_TRUE(target.ok());
+  const Type* u = target->FindNamedType("u");
+  ASSERT_EQ(u->kind, TypeKind::kUnion);
+  EXPECT_EQ(u->ByteSize(), 8u);  // Largest member.
+}
+
+TEST(TargetTest2, ArrayBounds) {
+  auto target = Target::CompileSource("f(x ptr[in, array[int8, 3:5]])", "t");
+  ASSERT_TRUE(target.ok());
+  const Type* arr = target->FindSyscall("f")->args[0].type->elem;
+  EXPECT_EQ(arr->array_min, 3u);
+  EXPECT_EQ(arr->array_max, 5u);
+}
+
+}  // namespace
+}  // namespace healer

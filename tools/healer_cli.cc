@@ -1,0 +1,236 @@
+// healer — command-line driver for the library.
+//
+//   healer fuzz   [--tool healer|healer-|syzkaller|moonshine]
+//                 [--version 4.19|5.0|5.4|5.6|5.11] [--hours H] [--seed N]
+//                 [--corpus-in FILE] [--corpus-out FILE]
+//                 [--relations-out FILE] [--curve] [--edges]
+//   healer relations [--version V] [--probe]      # static (+dynamic) table
+//   healer convert HEADER_FILE                    # C header -> HealLang
+//   healer replay CORPUS_FILE [--version V]       # run saved programs
+//   healer bugs   [--version V]                   # list live injected bugs
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "src/exec/executor.h"
+#include "src/fuzz/campaign.h"
+#include "src/fuzz/corpus_io.h"
+#include "src/fuzz/learner.h"
+#include "src/fuzz/report.h"
+#include "src/fuzz/templates.h"
+#include "src/syzlang/builtin_descs.h"
+#include "src/syzlang/header_gen.h"
+
+namespace {
+
+using namespace healer;
+
+// Minimal flag parsing: --name value pairs after the subcommand.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags["__positional"] = arg;
+      continue;
+    }
+    arg = arg.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags[arg] = argv[++i];
+    } else {
+      flags[arg] = "1";
+    }
+  }
+  return flags;
+}
+
+KernelVersion ParseVersion(const std::string& text) {
+  if (text == "4.19") return KernelVersion::kV4_19;
+  if (text == "5.0") return KernelVersion::kV5_0;
+  if (text == "5.4") return KernelVersion::kV5_4;
+  if (text == "5.6") return KernelVersion::kV5_6;
+  return KernelVersion::kV5_11;
+}
+
+ToolKind ParseTool(const std::string& text) {
+  if (text == "healer-") return ToolKind::kHealerMinus;
+  if (text == "syzkaller") return ToolKind::kSyzkaller;
+  if (text == "moonshine") return ToolKind::kMoonshine;
+  return ToolKind::kHealer;
+}
+
+std::vector<int> AllIds(const Target& target) {
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  return ids;
+}
+
+int CmdFuzz(const std::map<std::string, std::string>& flags) {
+  CampaignOptions options;
+  auto get = [&](const char* name, const char* fallback) {
+    auto it = flags.find(name);
+    return it == flags.end() ? std::string(fallback) : it->second;
+  };
+  options.tool = ParseTool(get("tool", "healer"));
+  options.version = ParseVersion(get("version", "5.11"));
+  options.hours = std::atof(get("hours", "4").c_str());
+  options.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
+  options.initial_corpus_path = get("corpus-in", "");
+  options.save_corpus_path = get("corpus-out", "");
+
+  const CampaignResult result = RunCampaign(options);
+  ReportOptions ropts;
+  ropts.include_samples = flags.count("curve") != 0;
+  ropts.include_relations = flags.count("edges") != 0;
+  std::fputs(FormatCampaignReport(result, ropts).c_str(), stdout);
+  return 0;
+}
+
+int CmdRelations(const std::map<std::string, std::string>& flags) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  const size_t statics = StaticRelationLearn(target, &table);
+  std::printf("# static relations: %zu\n", statics);
+  if (flags.count("probe") != 0) {
+    Executor executor(
+        target, KernelConfig::ForVersion(
+                    ParseVersion(flags.count("version") != 0
+                                     ? flags.at("version")
+                                     : "5.11")));
+    SimClock clock;
+    DynamicLearner learner(
+        &table, [&](const Prog& p) { return executor.Run(p, nullptr); },
+        &clock);
+    Rng rng(1);
+    size_t dynamic = 0;
+    for (const auto& chain : TemplateChains()) {
+      Prog prog = BuildChain(target, AllIds(target), chain, &rng);
+      if (!prog.empty()) {
+        dynamic += learner.Learn(prog);
+      }
+    }
+    std::printf("# dynamic relations from template probing: %zu\n", dynamic);
+  }
+  for (const RelationEdge& edge : table.EdgesBefore()) {
+    std::printf("%s %s\n", target.syscall(edge.from).name.c_str(),
+                target.syscall(edge.to).name.c_str());
+  }
+  return 0;
+}
+
+int CmdConvert(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("__positional");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "usage: healer convert HEADER_FILE\n");
+    return 2;
+  }
+  std::ifstream in(it->second);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", it->second.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  auto converted = ConvertHeaderToDescriptions(buf.str());
+  if (!converted.ok()) {
+    std::fprintf(stderr, "conversion failed: %s\n",
+                 converted.status().ToString().c_str());
+    return 1;
+  }
+  std::fputs(converted->c_str(), stdout);
+  return 0;
+}
+
+int CmdReplay(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("__positional");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "usage: healer replay CORPUS_FILE [--version V]\n");
+    return 2;
+  }
+  const Target& target = BuiltinTarget();
+  size_t skipped = 0;
+  auto progs = LoadProgs(it->second, target, &skipped);
+  if (!progs.ok()) {
+    std::fprintf(stderr, "%s\n", progs.status().ToString().c_str());
+    return 1;
+  }
+  Executor executor(
+      target,
+      KernelConfig::ForVersion(ParseVersion(
+          flags.count("version") != 0 ? flags.at("version") : "5.11")));
+  Bitmap coverage(CallCoverage::kMapBits);
+  size_t crashes = 0;
+  for (const Prog& prog : *progs) {
+    const ExecResult result = executor.Run(prog, &coverage);
+    if (result.Crashed()) {
+      ++crashes;
+      std::printf("CRASH %s\n%s", result.crash->title.c_str(),
+                  prog.ToString().c_str());
+    }
+  }
+  std::printf("replayed %zu programs (%zu skipped): %zu branches, "
+              "%zu crashes\n",
+              progs->size(), skipped, coverage.Count(), crashes);
+  return 0;
+}
+
+int CmdBugs(const std::map<std::string, std::string>& flags) {
+  const KernelVersion version = ParseVersion(
+      flags.count("version") != 0 ? flags.at("version") : "5.11");
+  std::printf("%-55s %-25s %-9s %s\n", "title", "class", "subsystem",
+              "min-repro");
+  size_t live = 0;
+  for (const BugInfo& info : AllBugs()) {
+    if (!BugLiveIn(info.id, version)) {
+      continue;
+    }
+    ++live;
+    std::printf("%-55s %-25s %-9s %d\n", info.title,
+                BugClassName(info.bug_class), info.subsystem,
+                info.repro_len);
+  }
+  std::printf("# %zu bugs live in v%s\n", live, KernelVersionName(version));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: healer <fuzz|relations|convert|replay|bugs> "
+               "[flags]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "fuzz") {
+    return CmdFuzz(flags);
+  }
+  if (cmd == "relations") {
+    return CmdRelations(flags);
+  }
+  if (cmd == "convert") {
+    return CmdConvert(flags);
+  }
+  if (cmd == "replay") {
+    return CmdReplay(flags);
+  }
+  if (cmd == "bugs") {
+    return CmdBugs(flags);
+  }
+  Usage();
+  return 2;
+}
