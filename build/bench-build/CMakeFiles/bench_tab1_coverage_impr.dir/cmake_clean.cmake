@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab1_coverage_impr"
+  "../bench/bench_tab1_coverage_impr.pdb"
+  "CMakeFiles/bench_tab1_coverage_impr.dir/bench_tab1_coverage_impr.cc.o"
+  "CMakeFiles/bench_tab1_coverage_impr.dir/bench_tab1_coverage_impr.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_coverage_impr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab2_ablation"
+  "../bench/bench_tab2_ablation.pdb"
+  "CMakeFiles/bench_tab2_ablation.dir/bench_tab2_ablation.cc.o"
+  "CMakeFiles/bench_tab2_ablation.dir/bench_tab2_ablation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab3_relations"
+  "../bench/bench_tab3_relations.pdb"
+  "CMakeFiles/bench_tab3_relations.dir/bench_tab3_relations.cc.o"
+  "CMakeFiles/bench_tab3_relations.dir/bench_tab3_relations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_relations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab4_unique_bugs"
+  "../bench/bench_tab4_unique_bugs.pdb"
+  "CMakeFiles/bench_tab4_unique_bugs.dir/bench_tab4_unique_bugs.cc.o"
+  "CMakeFiles/bench_tab4_unique_bugs.dir/bench_tab4_unique_bugs.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_unique_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tab5_bug_survey"
+  "../bench/bench_tab5_bug_survey.pdb"
+  "CMakeFiles/bench_tab5_bug_survey.dir/bench_tab5_bug_survey.cc.o"
+  "CMakeFiles/bench_tab5_bug_survey.dir/bench_tab5_bug_survey.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_bug_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

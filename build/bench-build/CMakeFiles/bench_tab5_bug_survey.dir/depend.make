@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_tab5_bug_survey.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_fuzzers.dir/compare_fuzzers.cpp.o"
+  "CMakeFiles/compare_fuzzers.dir/compare_fuzzers.cpp.o.d"
+  "compare_fuzzers"
+  "compare_fuzzers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_fuzzers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/find_kvm_bug.dir/find_kvm_bug.cpp.o"
+  "CMakeFiles/find_kvm_bug.dir/find_kvm_bug.cpp.o.d"
+  "find_kvm_bug"
+  "find_kvm_bug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/find_kvm_bug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/header_convert.dir/header_convert.cpp.o"
+  "CMakeFiles/header_convert.dir/header_convert.cpp.o.d"
+  "header_convert"
+  "header_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/header_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

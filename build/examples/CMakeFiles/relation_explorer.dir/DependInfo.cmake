@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/relation_explorer.cpp" "examples/CMakeFiles/relation_explorer.dir/relation_explorer.cpp.o" "gcc" "examples/CMakeFiles/relation_explorer.dir/relation_explorer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzz/CMakeFiles/healer_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/healer_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/healer_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/healer_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/healer_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/syzlang/CMakeFiles/healer_syzlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/healer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

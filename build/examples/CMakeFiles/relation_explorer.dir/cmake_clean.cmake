@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_explorer.dir/relation_explorer.cpp.o"
+  "CMakeFiles/relation_explorer.dir/relation_explorer.cpp.o.d"
+  "relation_explorer"
+  "relation_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

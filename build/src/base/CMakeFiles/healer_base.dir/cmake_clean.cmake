@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healer_base.dir/logging.cc.o"
+  "CMakeFiles/healer_base.dir/logging.cc.o.d"
+  "CMakeFiles/healer_base.dir/status.cc.o"
+  "CMakeFiles/healer_base.dir/status.cc.o.d"
+  "CMakeFiles/healer_base.dir/string_util.cc.o"
+  "CMakeFiles/healer_base.dir/string_util.cc.o.d"
+  "libhealer_base.a"
+  "libhealer_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healer_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healer_exec.dir/executor.cc.o"
+  "CMakeFiles/healer_exec.dir/executor.cc.o.d"
+  "libhealer_exec.a"
+  "libhealer_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healer_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

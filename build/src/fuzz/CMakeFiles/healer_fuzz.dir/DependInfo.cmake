@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fuzz/arg_gen.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/arg_gen.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/arg_gen.cc.o.d"
+  "/root/repo/src/fuzz/call_selector.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/call_selector.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/call_selector.cc.o.d"
+  "/root/repo/src/fuzz/campaign.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/campaign.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/campaign.cc.o.d"
+  "/root/repo/src/fuzz/choice_table.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/choice_table.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/choice_table.cc.o.d"
+  "/root/repo/src/fuzz/corpus.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/corpus.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/corpus.cc.o.d"
+  "/root/repo/src/fuzz/corpus_io.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/corpus_io.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/corpus_io.cc.o.d"
+  "/root/repo/src/fuzz/crash_db.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/crash_db.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/crash_db.cc.o.d"
+  "/root/repo/src/fuzz/fuzzer.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/fuzzer.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/fuzzer.cc.o.d"
+  "/root/repo/src/fuzz/learner.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/learner.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/learner.cc.o.d"
+  "/root/repo/src/fuzz/minimizer.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/minimizer.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/minimizer.cc.o.d"
+  "/root/repo/src/fuzz/moonshine.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/moonshine.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/moonshine.cc.o.d"
+  "/root/repo/src/fuzz/parallel.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/parallel.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/parallel.cc.o.d"
+  "/root/repo/src/fuzz/prog_builder.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/prog_builder.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/prog_builder.cc.o.d"
+  "/root/repo/src/fuzz/relation_table.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/relation_table.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/relation_table.cc.o.d"
+  "/root/repo/src/fuzz/report.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/report.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/report.cc.o.d"
+  "/root/repo/src/fuzz/repro.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/repro.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/repro.cc.o.d"
+  "/root/repo/src/fuzz/templates.cc" "src/fuzz/CMakeFiles/healer_fuzz.dir/templates.cc.o" "gcc" "src/fuzz/CMakeFiles/healer_fuzz.dir/templates.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/healer_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/healer_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/healer_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/syzlang/CMakeFiles/healer_syzlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/healer_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/healer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

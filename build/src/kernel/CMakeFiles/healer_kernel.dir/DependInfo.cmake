@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/bugs.cc" "src/kernel/CMakeFiles/healer_kernel.dir/bugs.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/bugs.cc.o.d"
+  "/root/repo/src/kernel/config.cc" "src/kernel/CMakeFiles/healer_kernel.dir/config.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/config.cc.o.d"
+  "/root/repo/src/kernel/errno.cc" "src/kernel/CMakeFiles/healer_kernel.dir/errno.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/errno.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/healer_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/subsys_aio.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_aio.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_aio.cc.o.d"
+  "/root/repo/src/kernel/subsys_block.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_block.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_block.cc.o.d"
+  "/root/repo/src/kernel/subsys_coredump.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_coredump.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_coredump.cc.o.d"
+  "/root/repo/src/kernel/subsys_epoll.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_epoll.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_epoll.cc.o.d"
+  "/root/repo/src/kernel/subsys_kvm.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_kvm.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_kvm.cc.o.d"
+  "/root/repo/src/kernel/subsys_memfd.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_memfd.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_memfd.cc.o.d"
+  "/root/repo/src/kernel/subsys_mm.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_mm.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_mm.cc.o.d"
+  "/root/repo/src/kernel/subsys_netlink.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_netlink.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_netlink.cc.o.d"
+  "/root/repo/src/kernel/subsys_pipe.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_pipe.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_pipe.cc.o.d"
+  "/root/repo/src/kernel/subsys_rdma.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_rdma.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_rdma.cc.o.d"
+  "/root/repo/src/kernel/subsys_socket.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_socket.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_socket.cc.o.d"
+  "/root/repo/src/kernel/subsys_timer.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_timer.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_timer.cc.o.d"
+  "/root/repo/src/kernel/subsys_tty.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_tty.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_tty.cc.o.d"
+  "/root/repo/src/kernel/subsys_uring.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_uring.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_uring.cc.o.d"
+  "/root/repo/src/kernel/subsys_vfs.cc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_vfs.cc.o" "gcc" "src/kernel/CMakeFiles/healer_kernel.dir/subsys_vfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/healer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

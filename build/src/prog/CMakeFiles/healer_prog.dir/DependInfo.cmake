@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prog/prog.cc" "src/prog/CMakeFiles/healer_prog.dir/prog.cc.o" "gcc" "src/prog/CMakeFiles/healer_prog.dir/prog.cc.o.d"
+  "/root/repo/src/prog/serialize.cc" "src/prog/CMakeFiles/healer_prog.dir/serialize.cc.o" "gcc" "src/prog/CMakeFiles/healer_prog.dir/serialize.cc.o.d"
+  "/root/repo/src/prog/slots.cc" "src/prog/CMakeFiles/healer_prog.dir/slots.cc.o" "gcc" "src/prog/CMakeFiles/healer_prog.dir/slots.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/syzlang/CMakeFiles/healer_syzlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/healer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healer_prog.dir/prog.cc.o"
+  "CMakeFiles/healer_prog.dir/prog.cc.o.d"
+  "CMakeFiles/healer_prog.dir/serialize.cc.o"
+  "CMakeFiles/healer_prog.dir/serialize.cc.o.d"
+  "CMakeFiles/healer_prog.dir/slots.cc.o"
+  "CMakeFiles/healer_prog.dir/slots.cc.o.d"
+  "libhealer_prog.a"
+  "libhealer_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healer_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/syzlang/builtin_descs.cc" "src/syzlang/CMakeFiles/healer_syzlang.dir/builtin_descs.cc.o" "gcc" "src/syzlang/CMakeFiles/healer_syzlang.dir/builtin_descs.cc.o.d"
+  "/root/repo/src/syzlang/header_gen.cc" "src/syzlang/CMakeFiles/healer_syzlang.dir/header_gen.cc.o" "gcc" "src/syzlang/CMakeFiles/healer_syzlang.dir/header_gen.cc.o.d"
+  "/root/repo/src/syzlang/lexer.cc" "src/syzlang/CMakeFiles/healer_syzlang.dir/lexer.cc.o" "gcc" "src/syzlang/CMakeFiles/healer_syzlang.dir/lexer.cc.o.d"
+  "/root/repo/src/syzlang/parser.cc" "src/syzlang/CMakeFiles/healer_syzlang.dir/parser.cc.o" "gcc" "src/syzlang/CMakeFiles/healer_syzlang.dir/parser.cc.o.d"
+  "/root/repo/src/syzlang/target.cc" "src/syzlang/CMakeFiles/healer_syzlang.dir/target.cc.o" "gcc" "src/syzlang/CMakeFiles/healer_syzlang.dir/target.cc.o.d"
+  "/root/repo/src/syzlang/types.cc" "src/syzlang/CMakeFiles/healer_syzlang.dir/types.cc.o" "gcc" "src/syzlang/CMakeFiles/healer_syzlang.dir/types.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/healer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healer_syzlang.dir/builtin_descs.cc.o"
+  "CMakeFiles/healer_syzlang.dir/builtin_descs.cc.o.d"
+  "CMakeFiles/healer_syzlang.dir/header_gen.cc.o"
+  "CMakeFiles/healer_syzlang.dir/header_gen.cc.o.d"
+  "CMakeFiles/healer_syzlang.dir/lexer.cc.o"
+  "CMakeFiles/healer_syzlang.dir/lexer.cc.o.d"
+  "CMakeFiles/healer_syzlang.dir/parser.cc.o"
+  "CMakeFiles/healer_syzlang.dir/parser.cc.o.d"
+  "CMakeFiles/healer_syzlang.dir/target.cc.o"
+  "CMakeFiles/healer_syzlang.dir/target.cc.o.d"
+  "CMakeFiles/healer_syzlang.dir/types.cc.o"
+  "CMakeFiles/healer_syzlang.dir/types.cc.o.d"
+  "libhealer_syzlang.a"
+  "libhealer_syzlang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healer_syzlang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

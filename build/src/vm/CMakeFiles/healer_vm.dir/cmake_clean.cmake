@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healer_vm.dir/guest_vm.cc.o"
+  "CMakeFiles/healer_vm.dir/guest_vm.cc.o.d"
+  "CMakeFiles/healer_vm.dir/vm_pool.cc.o"
+  "CMakeFiles/healer_vm.dir/vm_pool.cc.o.d"
+  "libhealer_vm.a"
+  "libhealer_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healer_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

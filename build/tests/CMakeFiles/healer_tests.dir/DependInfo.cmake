@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/arg_conformance_test.cc" "tests/CMakeFiles/healer_tests.dir/arg_conformance_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/arg_conformance_test.cc.o.d"
+  "/root/repo/tests/base_test.cc" "tests/CMakeFiles/healer_tests.dir/base_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/base_test.cc.o.d"
+  "/root/repo/tests/builtin_descs_test.cc" "tests/CMakeFiles/healer_tests.dir/builtin_descs_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/builtin_descs_test.cc.o.d"
+  "/root/repo/tests/exec_vm_test.cc" "tests/CMakeFiles/healer_tests.dir/exec_vm_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/exec_vm_test.cc.o.d"
+  "/root/repo/tests/fuzz_algo_test.cc" "tests/CMakeFiles/healer_tests.dir/fuzz_algo_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/fuzz_algo_test.cc.o.d"
+  "/root/repo/tests/fuzz_ext_test.cc" "tests/CMakeFiles/healer_tests.dir/fuzz_ext_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/fuzz_ext_test.cc.o.d"
+  "/root/repo/tests/fuzz_loop_test.cc" "tests/CMakeFiles/healer_tests.dir/fuzz_loop_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/fuzz_loop_test.cc.o.d"
+  "/root/repo/tests/header_gen_test.cc" "tests/CMakeFiles/healer_tests.dir/header_gen_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/header_gen_test.cc.o.d"
+  "/root/repo/tests/kernel_core_test.cc" "tests/CMakeFiles/healer_tests.dir/kernel_core_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/kernel_core_test.cc.o.d"
+  "/root/repo/tests/kernel_robustness_test.cc" "tests/CMakeFiles/healer_tests.dir/kernel_robustness_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/kernel_robustness_test.cc.o.d"
+  "/root/repo/tests/paper_shape_test.cc" "tests/CMakeFiles/healer_tests.dir/paper_shape_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/paper_shape_test.cc.o.d"
+  "/root/repo/tests/prog_test.cc" "tests/CMakeFiles/healer_tests.dir/prog_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/prog_test.cc.o.d"
+  "/root/repo/tests/subsys_drivers_test.cc" "tests/CMakeFiles/healer_tests.dir/subsys_drivers_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/subsys_drivers_test.cc.o.d"
+  "/root/repo/tests/subsys_edge_test.cc" "tests/CMakeFiles/healer_tests.dir/subsys_edge_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/subsys_edge_test.cc.o.d"
+  "/root/repo/tests/subsys_vfs_test.cc" "tests/CMakeFiles/healer_tests.dir/subsys_vfs_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/subsys_vfs_test.cc.o.d"
+  "/root/repo/tests/syzlang_test.cc" "tests/CMakeFiles/healer_tests.dir/syzlang_test.cc.o" "gcc" "tests/CMakeFiles/healer_tests.dir/syzlang_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fuzz/CMakeFiles/healer_fuzz.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/healer_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/healer_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/healer_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/healer_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/syzlang/CMakeFiles/healer_syzlang.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/healer_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

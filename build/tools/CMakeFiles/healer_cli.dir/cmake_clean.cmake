@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/healer_cli.dir/healer_cli.cc.o"
+  "CMakeFiles/healer_cli.dir/healer_cli.cc.o.d"
+  "healer"
+  "healer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/healer_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
