@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build+tests, an ASan/UBSan pass over everything,
+# and a ThreadSanitizer pass over the multi-threaded fuzzing paths.
+#
+#   scripts/check.sh          # all three stages
+#   scripts/check.sh tier1    # just the tier-1 verify
+#   scripts/check.sh asan     # just the ASan/UBSan stage
+#   scripts/check.sh tsan     # just the TSan stage
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+stage="${1:-all}"
+
+run_tier1() {
+  echo "==> tier-1: build + ctest"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs"
+  ctest --test-dir build --output-on-failure -j"$jobs"
+}
+
+run_asan() {
+  echo "==> ASan/UBSan: build + ctest"
+  cmake -B build-asan -S . -DHEALER_SANITIZE=ON >/dev/null
+  cmake --build build-asan -j"$jobs"
+  ctest --test-dir build-asan --output-on-failure -j"$jobs"
+}
+
+run_tsan() {
+  echo "==> TSan: build + parallel-fuzz tests"
+  cmake -B build-tsan -S . -DHEALER_SANITIZE_THREAD=ON >/dev/null
+  cmake --build build-tsan -j"$jobs" --target healer_tests
+  ctest --test-dir build-tsan --output-on-failure -R parallel_fuzz_tsan
+}
+
+case "$stage" in
+  tier1) run_tier1 ;;
+  asan)  run_asan ;;
+  tsan)  run_tsan ;;
+  all)   run_tier1; run_asan; run_tsan ;;
+  *) echo "usage: $0 [tier1|asan|tsan|all]" >&2; exit 2 ;;
+esac
+
+echo "==> all requested checks passed"

@@ -72,6 +72,17 @@ class Bitmap {
     return bits_ == other.bits_ && words_ == other.words_;
   }
 
+  // Stable content checksum (tests use it to prove a faulted execution left
+  // the campaign bitmap untouched).
+  uint64_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint64_t w : words_) {
+      h = (h ^ w) * 0x100000001b3ULL;
+      h ^= h >> 29;
+    }
+    return h;
+  }
+
  private:
   size_t bits_;
   std::vector<uint64_t> words_;

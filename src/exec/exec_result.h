@@ -36,11 +36,42 @@ struct CrashInfo {
   size_t call_index = 0;
 };
 
+// Infrastructure failure of an execution attempt, as opposed to a guest
+// kernel crash (CrashInfo), which is a fuzzing result. A failed execution
+// carries no usable feedback: its calls are empty, nothing was merged into
+// the global coverage bitmap, and the fuzzer's recovery policy decides
+// whether to retry or discard the program.
+enum class ExecFailure : uint8_t {
+  kNone = 0,
+  kVmLost,          // The VM died mid-program.
+  kTimeout,         // The executor hung; the watchdog gave up waiting.
+  kCorruptedReply,  // The wire bytes were damaged in transit.
+  kBootFailure,     // The VM failed to (re)boot.
+};
+
+inline const char* ExecFailureName(ExecFailure failure) {
+  switch (failure) {
+    case ExecFailure::kNone:
+      return "none";
+    case ExecFailure::kVmLost:
+      return "vm-lost";
+    case ExecFailure::kTimeout:
+      return "timeout";
+    case ExecFailure::kCorruptedReply:
+      return "corrupted-reply";
+    case ExecFailure::kBootFailure:
+      return "boot-failure";
+  }
+  return "?";
+}
+
 struct ExecResult {
   std::vector<CallExecInfo> calls;
   std::optional<CrashInfo> crash;
+  ExecFailure failure = ExecFailure::kNone;
 
   bool Crashed() const { return crash.has_value(); }
+  bool Failed() const { return failure != ExecFailure::kNone; }
   uint32_t TotalNewEdges() const {
     uint32_t total = 0;
     for (const auto& call : calls) {

@@ -24,6 +24,8 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   fuzz_options.moonshine_traces = options.moonshine_traces;
   fuzz_options.guidance = options.guidance;
   fuzz_options.fixed_alpha = options.fixed_alpha;
+  fuzz_options.fault_plan = options.fault_plan;
+  fuzz_options.recovery = options.recovery;
   Fuzzer fuzzer(target, fuzz_options);
 
   if (!options.initial_corpus_path.empty()) {
@@ -76,6 +78,7 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
       fuzzer.relations().CountBySource(RelationSource::kDynamic);
   result.relation_edges = fuzzer.relations().EdgesBefore();
   result.final_alpha = fuzzer.alpha();
+  result.faults = fuzzer.fault_stats();
 
   if (!options.save_corpus_path.empty()) {
     const Status saved =

@@ -27,6 +27,10 @@ struct CampaignOptions {
   // HEALER guidance ablation knobs (see GuidanceMode).
   GuidanceMode guidance = GuidanceMode::kDefault;
   double fixed_alpha = 0.8;
+  // Deterministic fault injection (empty = fault-free) and recovery policy;
+  // campaigns stay pure functions of (options, seed, plan).
+  FaultPlan fault_plan;
+  RecoveryPolicy recovery;
   // Optional corpus persistence: seed programs loaded before fuzzing, and
   // the final corpus written after it.
   std::string initial_corpus_path;
@@ -55,6 +59,8 @@ struct CampaignResult {
   size_t relations_dynamic = 0;
   std::vector<RelationEdge> relation_edges;  // Timestamped learn log.
   double final_alpha = 0.0;
+  // Injected faults and recovery outcomes (all zero for fault-free runs).
+  FaultStats faults;
 
   bool FoundBug(BugId bug) const;
 };

@@ -61,22 +61,40 @@ Result<std::vector<Prog>> LoadProgs(const std::string& path,
   if (file == nullptr) {
     return NotFound(StrFormat("cannot open '%s'", path.c_str()));
   }
+  // The file size bounds every length field, so a hostile header can never
+  // force an allocation larger than the file itself.
+  if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+    return ParseError(StrFormat("cannot stat '%s'", path.c_str()));
+  }
+  const long file_size = std::ftell(file.get());
+  std::rewind(file.get());
+  if (file_size < 8) {
+    return ParseError(StrFormat("'%s' is not a corpus file", path.c_str()));
+  }
+  uint64_t remaining = static_cast<uint64_t>(file_size) - 8;
   char magic[4];
   if (std::fread(magic, 4, 1, file.get()) != 1 ||
       std::memcmp(magic, kMagic, 4) != 0) {
     return ParseError(StrFormat("'%s' is not a corpus file", path.c_str()));
   }
   uint32_t count;
-  if (!ReadU32(file.get(), &count) || count > (1u << 20)) {
+  if (!ReadU32(file.get(), &count) || count > (1u << 20) ||
+      count > remaining / 4) {
     return ParseError("bad corpus count");
   }
   std::vector<Prog> progs;
   progs.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t len;
-    if (!ReadU32(file.get(), &len) || len > (1u << 24)) {
+    if (!ReadU32(file.get(), &len)) {
       return ParseError(StrFormat("bad program length at entry %u", i));
     }
+    remaining -= 4;
+    if (len > (1u << 24) || len > remaining) {
+      return ParseError(
+          StrFormat("oversized program length at entry %u", i));
+    }
+    remaining -= len;
     std::vector<uint8_t> bytes(len);
     if (len > 0 && std::fread(bytes.data(), len, 1, file.get()) != 1) {
       return ParseError(StrFormat("truncated program at entry %u", i));

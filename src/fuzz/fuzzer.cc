@@ -54,7 +54,8 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
       options_(options),
       rng_(options.seed),
       pool_(target, KernelConfig::ForVersion(options.version), &clock_,
-            options.num_vms, options.latency),
+            options.num_vms, options.latency, options.fault_plan,
+            options.seed),
       coverage_(CallCoverage::kMapBits),
       builder_(target,
                EnabledSyscalls(target,
@@ -84,9 +85,46 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
 ExecFn Fuzzer::AnalysisExec() {
   // Analysis runs (minimization / dynamic learning) execute on the VM fleet
   // and consume simulated time, but do not merge into campaign coverage.
+  // They go through the same recovery policy as fuzzing executions; a
+  // still-failed result reaches the minimizer/learner as a typed failure,
+  // which both treat as "no information".
   return [this](const Prog& prog) {
-    return pool_.Next().Exec(prog, nullptr);
+    return ExecWithRecovery(prog, nullptr);
   };
+}
+
+ExecResult Fuzzer::ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
+  SimClock::Nanos backoff = options_.recovery.backoff;
+  int attempt = 0;
+  while (true) {
+    GuestVm& vm = pool_.Next();
+    ExecResult result = vm.Exec(prog, coverage);
+    if (!result.Failed()) {
+      if (attempt > 0) {
+        ++recovery_stats_.recovered;
+      }
+      return result;
+    }
+    ++recovery_stats_.failed_execs;
+    if (vm.consecutive_failures() >= options_.recovery.quarantine_threshold) {
+      vm.QuarantineReboot();
+      ++recovery_stats_.quarantines;
+    }
+    if (attempt >= options_.recovery.max_retries) {
+      ++recovery_stats_.discarded;
+      return result;
+    }
+    ++attempt;
+    ++recovery_stats_.retries;
+    clock_.Advance(backoff);
+    backoff *= 2;
+  }
+}
+
+FaultStats Fuzzer::fault_stats() const {
+  FaultStats stats = pool_.InjectedStats();
+  stats.Merge(recovery_stats_);
+  return stats;
 }
 
 CallChooser Fuzzer::MakeChooser(bool* used_table) {
@@ -126,8 +164,11 @@ void Fuzzer::SeedWith(const std::vector<Prog>& seeds) {
     if (seed.empty() || !seed.Validate().ok()) {
       continue;
     }
-    const ExecResult result = pool_.Next().Exec(seed, &coverage_);
+    const ExecResult result = ExecWithRecovery(seed, &coverage_);
     ++fuzz_execs_;
+    if (result.Failed()) {
+      continue;  // Retry budget exhausted: the seed's feedback is discarded.
+    }
     ProcessFeedback(seed, result);
   }
 }
@@ -157,8 +198,14 @@ void Fuzzer::Step() {
     return;
   }
 
-  const ExecResult result = pool_.Next().Exec(prog, &coverage_);
+  const ExecResult result = ExecWithRecovery(prog, &coverage_);
   ++fuzz_execs_;
+  if (result.Failed()) {
+    // Never merge partial feedback from a faulted execution: no coverage
+    // was recorded (the VM guarantees that), no alpha update, no corpus or
+    // relation learning.
+    return;
+  }
 
   const bool gained = result.TotalNewEdges() > 0;
   if (options_.tool == ToolKind::kHealer) {

@@ -64,6 +64,10 @@ struct FuzzerOptions {
   // HEALER guidance ablation (ignored by the other tools).
   GuidanceMode guidance = GuidanceMode::kDefault;
   double fixed_alpha = 0.8;
+  // Deterministic fault injection (empty = no faults) and the policy for
+  // surviving it; see fault_plan.h.
+  FaultPlan fault_plan;
+  RecoveryPolicy recovery;
 };
 
 class Fuzzer {
@@ -91,10 +95,19 @@ class Fuzzer {
   const FuzzerOptions& options() const { return options_; }
   // Minimized reproducer for a found bug, nullptr when unknown.
   const Prog* ReproFor(BugId bug) const;
+  // Injected-fault counters (from the VM injectors) merged with the
+  // recovery-side counters (retries, recoveries, quarantines, discards).
+  FaultStats fault_stats() const;
 
  private:
   CallChooser MakeChooser(bool* used_table);
   ExecFn AnalysisExec();
+  // Executes `prog` under the recovery policy: bounded retry with
+  // exponential backoff across the pool, quarantine-rebooting VMs whose
+  // consecutive-failure streak crosses the threshold. Returns the last
+  // attempt's result; a still-failed result means the program's feedback
+  // must be discarded.
+  ExecResult ExecWithRecovery(const Prog& prog, Bitmap* coverage);
   void ProcessFeedback(const Prog& prog, const ExecResult& result);
   void LoadMoonshineSeeds();
 
@@ -115,6 +128,7 @@ class Fuzzer {
   CrashReproducer reproducer_;
   AlphaSchedule alpha_;
   std::map<BugId, Prog> repros_;
+  FaultStats recovery_stats_;
   uint64_t fuzz_execs_ = 0;
   uint64_t adjacency_notes_ = 0;
 };

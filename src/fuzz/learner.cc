@@ -10,7 +10,7 @@ size_t DynamicLearner::Learn(const Prog& minimized) {
   // Baseline per-call signals of the minimized sequence.
   ++execs_used_;
   const ExecResult baseline = exec_(minimized);
-  if (baseline.calls.size() < len) {
+  if (baseline.Failed() || baseline.calls.size() < len) {
     return 0;
   }
 
@@ -28,6 +28,11 @@ size_t DynamicLearner::Learn(const Prog& minimized) {
     cand.RemoveCall(idx - 1);
     ++execs_used_;
     const ExecResult res = exec_(cand);
+    if (res.Failed()) {
+      // A faulted probe proves nothing about the relation — skipping the
+      // pair keeps the table free of fault-induced edges.
+      continue;
+    }
     const size_t cj_pos = idx - 1;
     // Lines 9-10: if C_j's coverage changed, C_i influences C_j.
     const bool unchanged = cj_pos < res.calls.size() &&

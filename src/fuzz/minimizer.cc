@@ -35,8 +35,11 @@ std::vector<MinimizedSeq> Minimizer::Minimize(const Prog& prog,
       ++execs_used_;
       const ExecResult res = exec_(cand);
       const size_t cand_last = last - 1;
+      // A faulted probe is treated as "coverage not preserved": the call is
+      // conservatively kept rather than trusting a failed execution.
       const bool preserved =
-          cand_last < res.calls.size() && res.calls[cand_last].executed &&
+          !res.Failed() && cand_last < res.calls.size() &&
+          res.calls[cand_last].executed &&
           res.calls[cand_last].signal == target_signal;
       if (preserved) {
         cur = std::move(cand);

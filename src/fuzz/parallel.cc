@@ -62,6 +62,37 @@ class Worker {
     return [this](const std::vector<int>&) { return selector_.RandomCall(); };
   }
 
+  // Runs `prog` on this worker's VM under the recovery policy: bounded
+  // retry, quarantine-rebooting the VM when its failure streak crosses the
+  // threshold. Every failure is accounted in the shared FaultStats, so the
+  // per-VM infra_faults counters and the recovery-side failed_execs agree.
+  // Caller must hold shared_->mu. A faulted execution merged nothing into
+  // the shared coverage, so retrying is safe; a still-Failed() return means
+  // the program's feedback must be discarded.
+  ExecResult ExecWithRecoveryLocked(const Prog& prog, Bitmap* coverage) {
+    ExecResult result = vm_.Exec(prog, coverage);
+    int attempt = 0;
+    while (result.Failed()) {
+      ++shared_->faults.failed_execs;
+      if (vm_.consecutive_failures() >=
+          options_.recovery.quarantine_threshold) {
+        vm_.QuarantineReboot();
+        ++shared_->faults.quarantines;
+      }
+      if (attempt >= options_.recovery.max_retries) {
+        ++shared_->faults.discarded;
+        return result;
+      }
+      ++attempt;
+      ++shared_->faults.retries;
+      result = vm_.Exec(prog, coverage);
+    }
+    if (attempt > 0) {
+      ++shared_->faults.recovered;
+    }
+    return result;
+  }
+
   void StepLocked() {
     bool used_table = false;
     double alpha = 0.0;
@@ -90,7 +121,10 @@ class Worker {
 
     // Execute + merge feedback under the shared-state lock (see header).
     std::lock_guard<std::mutex> lock(shared_->mu);
-    const ExecResult result = vm_.Exec(prog, &shared_->coverage);
+    const ExecResult result = ExecWithRecoveryLocked(prog, &shared_->coverage);
+    if (result.Failed()) {
+      return;  // Feedback discarded; the exec slot is still consumed.
+    }
     const bool gained = result.TotalNewEdges() > 0;
     if (options_.tool == ToolKind::kHealer) {
       shared_->alpha.Record(used_table, gained);
@@ -103,11 +137,17 @@ class Worker {
     if (!gained) {
       return;
     }
-    Minimizer minimizer(
-        [this](const Prog& p) { return vm_.Exec(p, nullptr); });
+    // Analysis probes go through the same recovery accounting as fuzzing
+    // executions (the caller already holds the shared lock); a still-failed
+    // probe reaches the minimizer/learner as a typed failure, which both
+    // treat as "no information".
+    Minimizer minimizer([this](const Prog& p) {
+      return ExecWithRecoveryLocked(p, nullptr);
+    });
     DynamicLearner learner(
         &shared_->relations,
-        [this](const Prog& p) { return vm_.Exec(p, nullptr); }, &clock_);
+        [this](const Prog& p) { return ExecWithRecoveryLocked(p, nullptr); },
+        &clock_);
     for (MinimizedSeq& seq : minimizer.Minimize(prog, result)) {
       if (options_.tool == ToolKind::kHealer) {
         learner.Learn(seq.prog);
@@ -137,7 +177,8 @@ ParallelResult RunParallelFuzz(const Target& target,
   }
   SimClock clock;  // Shared simulated clock (advanced under the lock).
   VmPool pool(target, KernelConfig::ForVersion(options.version), &clock,
-              options.num_workers);
+              options.num_workers, VmLatencyModel(), options.fault_plan,
+              options.seed);
   Monitor monitor(&pool);
   monitor.Start();
 
@@ -154,15 +195,19 @@ ParallelResult RunParallelFuzz(const Target& target,
   for (auto& thread : threads) {
     thread.join();
   }
+  ParallelResult result;
+  result.vm_health = monitor.HealthReport();
   monitor.Stop();
 
-  ParallelResult result;
   result.coverage = shared.coverage.Count();
   result.fuzz_execs = shared.fuzz_execs;
   result.corpus_size = shared.corpus.size();
   result.unique_bugs = shared.crashes.UniqueBugs();
   result.relations = shared.relations.Count();
   result.monitor_lines = monitor.lines_collected();
+  result.faults = pool.InjectedStats();
+  result.faults.Merge(shared.faults);
+  result.corpus_progs = shared.corpus.ExportAll();
   return result;
 }
 

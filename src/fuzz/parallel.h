@@ -41,6 +41,9 @@ struct SharedFuzzState {
   RelationTable relations;  // Internally reader-writer locked.
   AlphaSchedule alpha;
   uint64_t fuzz_execs = 0;
+  // Recovery-side fault accounting (retries, discards, quarantines); the
+  // injected counters live in the VM injectors and are merged at the end.
+  FaultStats faults;
 };
 
 struct ParallelOptions {
@@ -49,6 +52,9 @@ struct ParallelOptions {
   uint64_t seed = 1;
   size_t num_workers = 4;
   uint64_t total_execs = 10000;
+  // Fault injection (empty = fault-free) and per-worker recovery policy.
+  FaultPlan fault_plan;
+  RecoveryPolicy recovery;
 };
 
 struct ParallelResult {
@@ -58,6 +64,13 @@ struct ParallelResult {
   size_t unique_bugs = 0;
   size_t relations = 0;
   size_t monitor_lines = 0;
+  // Injected + recovery counters, and the final per-VM health accounting
+  // from the Monitor.
+  FaultStats faults;
+  std::vector<VmHealth> vm_health;
+  // The final corpus (for differential/property checks against the
+  // single-threaded fuzzer).
+  std::vector<Prog> corpus_progs;
 };
 
 // Runs `num_workers` threads until `total_execs` test cases have executed.

@@ -33,6 +33,25 @@ std::string FormatCampaignReport(const CampaignResult& result,
                    result.relations_total, result.relations_static,
                    result.relations_dynamic, result.final_alpha);
 
+  const FaultStats& faults = result.faults;
+  if (faults.TotalInjected() > 0 || faults.failed_execs > 0) {
+    out += StrFormat("faults     : %llu injected (",
+                     (unsigned long long)faults.TotalInjected());
+    for (size_t i = 0; i < kNumFaultKinds; ++i) {
+      out += StrFormat("%s%s=%llu", i == 0 ? "" : " ",
+                       FaultKindName(static_cast<FaultKind>(i)),
+                       (unsigned long long)faults.injected[i]);
+    }
+    out += ")\n";
+    out += StrFormat("recovery   : %llu failed execs, %llu retries, "
+                     "%llu recovered, %llu discarded, %llu quarantines\n",
+                     (unsigned long long)faults.failed_execs,
+                     (unsigned long long)faults.retries,
+                     (unsigned long long)faults.recovered,
+                     (unsigned long long)faults.discarded,
+                     (unsigned long long)faults.quarantines);
+  }
+
   out += StrFormat("crashes    : %zu unique\n", result.crashes.size());
   size_t shown = 0;
   for (const CrashRecord& crash : result.crashes) {

@@ -145,8 +145,15 @@ void EncodeArg(const Arg& arg, Writer& w) {
   }
 }
 
+// Hostile input can nest pointer/group tags arbitrarily deep; genuine
+// programs never come close to this bound.
+constexpr int kMaxDecodeDepth = 64;
+
 // Decodes one arg of type `type`, validating tags against the type kind.
-Result<ArgPtr> DecodeArg(const Type* type, Reader& r) {
+Result<ArgPtr> DecodeArg(const Type* type, Reader& r, int depth = 0) {
+  if (depth > kMaxDecodeDepth) {
+    return ParseError("arg nesting too deep");
+  }
   uint8_t tag_byte;
   if (!r.U8(&tag_byte)) {
     return ParseError("truncated arg tag");
@@ -173,7 +180,7 @@ Result<ArgPtr> DecodeArg(const Type* type, Reader& r) {
       if (type == nullptr || type->kind != TypeKind::kPtr) {
         return ParseError("pointer tag for non-pointer type");
       }
-      HEALER_ASSIGN_OR_RETURN(ArgPtr pointee, DecodeArg(type->elem, r));
+      HEALER_ASSIGN_OR_RETURN(ArgPtr pointee, DecodeArg(type->elem, r, depth + 1));
       return MakePointer(type, std::move(pointee));
     }
     case Tag::kGroup: {
@@ -189,13 +196,13 @@ Result<ArgPtr> DecodeArg(const Type* type, Reader& r) {
         }
         for (uint32_t i = 0; i < count; ++i) {
           HEALER_ASSIGN_OR_RETURN(ArgPtr child,
-                                  DecodeArg(type->fields[i].type, r));
+                                  DecodeArg(type->fields[i].type, r, depth + 1));
           inner.push_back(std::move(child));
         }
       } else if (type != nullptr && type->kind == TypeKind::kArray) {
         for (uint32_t i = 0; i < count; ++i) {
           HEALER_ASSIGN_OR_RETURN(ArgPtr child,
-                                  DecodeArg(type->array_elem, r));
+                                  DecodeArg(type->array_elem, r, depth + 1));
           inner.push_back(std::move(child));
         }
       } else {
@@ -212,7 +219,7 @@ Result<ArgPtr> DecodeArg(const Type* type, Reader& r) {
         return ParseError("bad union index");
       }
       HEALER_ASSIGN_OR_RETURN(ArgPtr child,
-                              DecodeArg(type->fields[index].type, r));
+                              DecodeArg(type->fields[index].type, r, depth + 1));
       return MakeUnion(type, static_cast<int>(index), std::move(child));
     }
     case Tag::kResourceRef: {

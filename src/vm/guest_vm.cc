@@ -7,8 +7,12 @@
 namespace healer {
 
 GuestVm::GuestVm(const Target& target, const KernelConfig& config,
-                 SimClock* clock, VmLatencyModel latency)
-    : executor_(target, config), clock_(clock), latency_(latency) {}
+                 SimClock* clock, VmLatencyModel latency,
+                 const FaultPlan& fault_plan, uint64_t fault_seed)
+    : executor_(target, config),
+      clock_(clock),
+      latency_(latency),
+      injector_(fault_plan, fault_seed) {}
 
 void GuestVm::Boot() {
   clock_->Advance(latency_.boot);
@@ -25,7 +29,27 @@ void GuestVm::Boot() {
                       KernelVersionName(executor_.config().version)));
 }
 
+ExecResult GuestVm::FailWith(ExecFailure failure) {
+  infra_faults_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+  AppendLog(StrFormat("[ fault  ] exec failed: %s", ExecFailureName(failure)));
+  ExecResult result;
+  result.failure = failure;
+  return result;
+}
+
 ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
+  const std::optional<FaultKind> fault = injector_.Draw();
+
+  if (fault == FaultKind::kBootFailure) {
+    // The guest dies (or was down) and the automatic restart fails: the VM
+    // burns the boot budget and stays down until the recovery policy or a
+    // later, fault-free Exec brings it back.
+    clock_->Advance(booted_ && !down_ ? latency_.reboot : latency_.boot);
+    booted_ = true;
+    down_ = true;
+    return FailWith(ExecFailure::kBootFailure);
+  }
   if (!booted_) {
     Boot();
   }
@@ -34,7 +58,44 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     AppendLog("[ reboot ] restarting crashed guest");
     down_ = false;
   }
-  const std::vector<uint8_t> bytes = SerializeProg(prog);
+
+  if (fault == FaultKind::kVmCrash) {
+    // The QEMU instance is lost mid-program: partial wall-clock cost, no
+    // reply, and the next execution pays a reboot.
+    clock_->Advance(latency_.exec_overhead / 2);
+    down_ = true;
+    return FailWith(ExecFailure::kVmLost);
+  }
+  if (fault == FaultKind::kExecTimeout) {
+    // The in-guest agent hangs; the watchdog waits out its budget and the
+    // guest must be reset to get a fresh executor.
+    clock_->Advance(latency_.exec_timeout);
+    down_ = true;
+    return FailWith(ExecFailure::kTimeout);
+  }
+
+  std::vector<uint8_t> bytes = SerializeProg(prog);
+  if (fault == FaultKind::kTruncatedResult ||
+      fault == FaultKind::kBitFlipResult) {
+    // Transport corruption: the executor sees damaged wire bytes. The decode
+    // attempt runs (exercising the hardened deserializer) but whatever comes
+    // out is discarded — a corrupted reply must never contribute feedback,
+    // so no coverage bitmap is offered and no calls are returned.
+    if (!bytes.empty()) {
+      if (fault == FaultKind::kTruncatedResult) {
+        bytes.resize(injector_.Rand() % bytes.size());
+      } else {
+        bytes[injector_.Rand() % bytes.size()] ^=
+            static_cast<uint8_t>(1u << (injector_.Rand() % 8));
+      }
+    }
+    if (shm_.WriteProg(bytes)) {
+      executor_.RunSerialized(shm_.prog_data(), shm_.prog_size(), nullptr);
+    }
+    clock_->Advance(latency_.exec_overhead);
+    return FailWith(ExecFailure::kCorruptedReply);
+  }
+
   if (!shm_.WriteProg(bytes)) {
     LOG_WARNING << "program too large for shm region (" << bytes.size()
                 << " bytes)";
@@ -49,11 +110,16 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
   ctrl_.Send(CtrlFrame{CtrlKind::kExecReply, result.calls.size()});
   ctrl_.Recv(&frame);
 
-  ++execs_;
+  execs_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.store(0, std::memory_order_relaxed);
   clock_->Advance(latency_.exec_overhead +
                   latency_.per_call * prog.size());
+  if (fault == FaultKind::kSlowVm) {
+    clock_->Advance(latency_.slow_penalty);
+    AppendLog("[ fault  ] slow round trip (host contention)");
+  }
   if (result.Crashed()) {
-    ++crashes_;
+    crashes_.fetch_add(1, std::memory_order_relaxed);
     down_ = true;
     ctrl_.Send(CtrlFrame{CtrlKind::kCrashNotice,
                          static_cast<uint64_t>(result.crash->bug)});
@@ -61,6 +127,15 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     AppendLog(StrFormat("BUG: %s", result.crash->title.c_str()));
   }
   return result;
+}
+
+void GuestVm::QuarantineReboot() {
+  quarantines_.fetch_add(1, std::memory_order_relaxed);
+  consecutive_failures_.store(0, std::memory_order_relaxed);
+  clock_->Advance(latency_.reboot);
+  booted_ = true;
+  down_ = false;
+  AppendLog("[ monitor] quarantined guest force-rebooted");
 }
 
 std::vector<std::string> GuestVm::DrainLog() {

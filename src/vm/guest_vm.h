@@ -6,10 +6,18 @@
 // The latency model maps the paper's wall-clock axis onto the simulator:
 // one program round trip costs ~overhead + per-call time, so a 24-hour
 // campaign corresponds to a few hundred thousand executions.
+//
+// A GuestVm may carry a FaultInjector (see fault_plan.h). Injected faults
+// surface as typed ExecFailure results that never carry feedback: a faulted
+// execution leaves the global coverage bitmap untouched and returns no
+// per-call results, so callers can discard it safely. Health counters
+// (consecutive failures, infra faults, quarantines) feed the recovery
+// policy and the Monitor's per-VM health report.
 
 #ifndef SRC_VM_GUEST_VM_H_
 #define SRC_VM_GUEST_VM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -18,6 +26,7 @@
 #include "src/base/sim_clock.h"
 #include "src/exec/executor.h"
 #include "src/exec/shm_channel.h"
+#include "src/vm/fault_plan.h"
 
 namespace healer {
 
@@ -26,13 +35,20 @@ struct VmLatencyModel {
   SimClock::Nanos reboot = 20 * SimClock::kSecond;
   SimClock::Nanos exec_overhead = 300 * SimClock::kMillisecond;
   SimClock::Nanos per_call = 10 * SimClock::kMillisecond;
+  // Watchdog budget burned by a hung executor before it is declared dead.
+  SimClock::Nanos exec_timeout = 5 * SimClock::kSecond;
+  // Extra latency of a "slow VM" fault (host contention spike).
+  SimClock::Nanos slow_penalty = 2 * SimClock::kSecond;
 };
 
 class GuestVm {
  public:
-  // `clock` is shared with the campaign and must outlive the VM.
+  // `clock` is shared with the campaign and must outlive the VM. A
+  // non-empty `fault_plan` arms the injector; `fault_seed` makes its
+  // decision stream deterministic per VM.
   GuestVm(const Target& target, const KernelConfig& config, SimClock* clock,
-          VmLatencyModel latency = VmLatencyModel());
+          VmLatencyModel latency = VmLatencyModel(),
+          const FaultPlan& fault_plan = FaultPlan(), uint64_t fault_seed = 0);
 
   // Boots the guest and performs the executor handshake.
   void Boot();
@@ -41,28 +57,54 @@ class GuestVm {
   // Serializes `prog` into shared memory, round-trips through the executor,
   // and advances the simulated clock. A crashing program marks the VM as
   // down; the next Exec reboots it first (modelling crash-and-restart).
+  // Injected faults return a result with `failure` set and no calls.
   ExecResult Exec(const Prog& prog, Bitmap* global_coverage);
+
+  // Recovery hook: reboots a repeatedly failing guest out-of-band and
+  // clears its consecutive-failure streak.
+  void QuarantineReboot();
 
   // Guest console log lines accumulated since the last Drain (consumed by
   // the Monitor's background IO thread).
   std::vector<std::string> DrainLog();
 
   const Executor& executor() const { return executor_; }
-  uint64_t execs() const { return execs_; }
-  uint64_t crashes() const { return crashes_; }
+  const FaultInjector& injector() const { return injector_; }
+  uint64_t execs() const { return execs_.load(std::memory_order_relaxed); }
+  uint64_t crashes() const {
+    return crashes_.load(std::memory_order_relaxed);
+  }
+  // Infrastructure faults surfaced (injected faults, not kernel bugs).
+  uint64_t infra_faults() const {
+    return infra_faults_.load(std::memory_order_relaxed);
+  }
+  uint64_t consecutive_failures() const {
+    return consecutive_failures_.load(std::memory_order_relaxed);
+  }
+  uint64_t quarantines() const {
+    return quarantines_.load(std::memory_order_relaxed);
+  }
 
  private:
   void AppendLog(std::string line);
+  // Records an infra failure and builds the typed failure result.
+  ExecResult FailWith(ExecFailure failure);
 
   Executor executor_;
   ShmChannel shm_;
   ControlSocket ctrl_;
   SimClock* clock_;
   VmLatencyModel latency_;
+  FaultInjector injector_;
   bool booted_ = false;
   bool down_ = false;
-  uint64_t execs_ = 0;
-  uint64_t crashes_ = 0;
+  // Counters are atomics so the Monitor's health poll can read them while a
+  // parallel worker executes on the VM.
+  std::atomic<uint64_t> execs_{0};
+  std::atomic<uint64_t> crashes_{0};
+  std::atomic<uint64_t> infra_faults_{0};
+  std::atomic<uint64_t> consecutive_failures_{0};
+  std::atomic<uint64_t> quarantines_{0};
   std::mutex log_mu_;  // The Monitor drains the log from its own thread.
   std::vector<std::string> log_;
 };

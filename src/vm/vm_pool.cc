@@ -2,13 +2,19 @@
 
 #include <chrono>
 
+#include "src/base/hash.h"
+
 namespace healer {
 
 VmPool::VmPool(const Target& target, const KernelConfig& config,
-               SimClock* clock, size_t count, VmLatencyModel latency) {
+               SimClock* clock, size_t count, VmLatencyModel latency,
+               const FaultPlan& fault_plan, uint64_t fault_seed) {
   vms_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    vms_.push_back(std::make_unique<GuestVm>(target, config, clock, latency));
+    // Each VM gets an independent, reproducible fault stream.
+    const uint64_t vm_seed = Mix64(fault_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    vms_.push_back(std::make_unique<GuestVm>(target, config, clock, latency,
+                                             fault_plan, vm_seed));
   }
 }
 
@@ -26,6 +32,25 @@ uint64_t VmPool::TotalCrashes() const {
     total += vm->crashes();
   }
   return total;
+}
+
+uint64_t VmPool::TotalInfraFaults() const {
+  uint64_t total = 0;
+  for (const auto& vm : vms_) {
+    total += vm->infra_faults();
+  }
+  return total;
+}
+
+FaultStats VmPool::InjectedStats() const {
+  FaultStats stats;
+  for (const auto& vm : vms_) {
+    const auto& injected = vm->injector().injected();
+    for (size_t i = 0; i < kNumFaultKinds; ++i) {
+      stats.injected[i] += injected[i];
+    }
+  }
+  return stats;
 }
 
 void Monitor::Start() {
@@ -74,6 +99,23 @@ void Monitor::Poll() {
 std::vector<std::string> Monitor::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   return journal_;
+}
+
+std::vector<VmHealth> Monitor::HealthReport() const {
+  std::vector<VmHealth> report;
+  report.reserve(pool_->size());
+  for (size_t i = 0; i < pool_->size(); ++i) {
+    GuestVm& vm = pool_->vm(i);
+    VmHealth health;
+    health.index = i;
+    health.execs = vm.execs();
+    health.kernel_crashes = vm.crashes();
+    health.infra_faults = vm.infra_faults();
+    health.consecutive_failures = vm.consecutive_failures();
+    health.quarantines = vm.quarantines();
+    report.push_back(health);
+  }
+  return report;
 }
 
 }  // namespace healer

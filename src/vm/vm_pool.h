@@ -1,6 +1,8 @@
 // VmPool + Monitor: manage a fleet of guest VMs and collect their console
 // logs on a background IO thread, mirroring HEALER's "background
-// asynchronous IO" worker (Fig. 3).
+// asynchronous IO" worker (Fig. 3). The Monitor also keeps per-VM health
+// accounting (execs, kernel crashes, infra faults, quarantines) so the
+// recovery policy and reports can see which guests are struggling.
 
 #ifndef SRC_VM_VM_POOL_H_
 #define SRC_VM_VM_POOL_H_
@@ -19,8 +21,11 @@ namespace healer {
 
 class VmPool {
  public:
+  // A non-empty `fault_plan` arms every VM's injector; each VM draws from
+  // its own stream derived from `fault_seed` and its index.
   VmPool(const Target& target, const KernelConfig& config, SimClock* clock,
-         size_t count, VmLatencyModel latency = VmLatencyModel());
+         size_t count, VmLatencyModel latency = VmLatencyModel(),
+         const FaultPlan& fault_plan = FaultPlan(), uint64_t fault_seed = 0);
 
   size_t size() const { return vms_.size(); }
   GuestVm& vm(size_t index) { return *vms_[index]; }
@@ -34,10 +39,25 @@ class VmPool {
 
   uint64_t TotalExecs() const;
   uint64_t TotalCrashes() const;
+  uint64_t TotalInfraFaults() const;
+
+  // Sums every VM injector's per-kind injected counters; the recovery-side
+  // fields (retries, quarantines, ...) are zero — the fuzzer merges its own.
+  FaultStats InjectedStats() const;
 
  private:
   std::vector<std::unique_ptr<GuestVm>> vms_;
   size_t next_ = 0;
+};
+
+// Point-in-time health of one guest, snapshotted by the Monitor.
+struct VmHealth {
+  size_t index = 0;
+  uint64_t execs = 0;
+  uint64_t kernel_crashes = 0;
+  uint64_t infra_faults = 0;
+  uint64_t consecutive_failures = 0;
+  uint64_t quarantines = 0;
 };
 
 // Background log collector. Call Start() with the pool; it periodically
@@ -56,6 +76,9 @@ class Monitor {
 
   std::vector<std::string> Snapshot() const;
   size_t lines_collected() const { return lines_collected_; }
+
+  // Per-VM health accounting, safe to call while workers are executing.
+  std::vector<VmHealth> HealthReport() const;
 
  private:
   VmPool* pool_;

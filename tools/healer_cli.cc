@@ -4,6 +4,8 @@
 //                 [--version 4.19|5.0|5.4|5.6|5.11] [--hours H] [--seed N]
 //                 [--corpus-in FILE] [--corpus-out FILE]
 //                 [--relations-out FILE] [--curve] [--edges]
+//                 [--fault-rate P | --faults crash=0.01,timeout=0.005,...]
+//                 [--fault-retries N]
 //   healer relations [--version V] [--probe]      # static (+dynamic) table
 //   healer convert HEADER_FILE                    # C header -> HealLang
 //   healer replay CORPUS_FILE [--version V]       # run saved programs
@@ -85,6 +87,25 @@ int CmdFuzz(const std::map<std::string, std::string>& flags) {
   options.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
   options.initial_corpus_path = get("corpus-in", "");
   options.save_corpus_path = get("corpus-out", "");
+
+  // Fault injection: --fault-rate P applies one rate to every kind;
+  // --faults gives per-kind rates ("crash=0.01,timeout=0.005").
+  const std::string fault_rate = get("fault-rate", "");
+  if (!fault_rate.empty()) {
+    options.fault_plan = FaultPlan::Uniform(std::atof(fault_rate.c_str()));
+  }
+  const std::string fault_spec = get("faults", "");
+  if (!fault_spec.empty()) {
+    Result<FaultPlan> plan = ParseFaultPlan(fault_spec);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "bad --faults: %s\n",
+                   plan.status().ToString().c_str());
+      return 2;
+    }
+    options.fault_plan = *plan;
+  }
+  options.recovery.max_retries =
+      std::atoi(get("fault-retries", "3").c_str());
 
   const CampaignResult result = RunCampaign(options);
   ReportOptions ropts;
