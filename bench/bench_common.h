@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/fuzz/campaign.h"
@@ -69,6 +70,28 @@ inline ImprStats Compare(const std::vector<CampaignResult>& ours,
   stats.avg_speedup =
       speedups == 0 ? 0.0 : speedup_sum / static_cast<double>(speedups);
   return stats;
+}
+
+// Writes a flat metric dump as BENCH_<name>.json in the working directory,
+// so driver scripts can scrape bench results without parsing the tables.
+// Values come from campaign telemetry snapshots or derived statistics.
+inline void WriteBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {", name.c_str());
+  for (size_t i = 0; i < metrics.size(); ++i) {
+    std::fprintf(f, "%s\n    \"%s\": %.17g", i == 0 ? "" : ",",
+                 metrics[i].first.c_str(), metrics[i].second);
+  }
+  std::fprintf(f, "\n  }\n}\n");
+  std::fclose(f);
+  std::printf("# metrics written to %s\n", path.c_str());
 }
 
 inline void PrintRule(int width = 78) {

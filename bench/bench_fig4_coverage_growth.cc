@@ -27,6 +27,7 @@ void Run() {
                      "Fig. 4");
   const ToolKind tools[] = {ToolKind::kHealer, ToolKind::kSyzkaller,
                             ToolKind::kMoonshine};
+  std::vector<std::pair<std::string, double>> dump;
   for (KernelVersion version : bench::EvalVersions()) {
     std::printf("\n== Linux v%s ==\n", KernelVersionName(version));
     std::printf("%6s %12s %12s %12s\n", "hour", "healer", "syzkaller",
@@ -50,7 +51,23 @@ void Run() {
       }
       std::printf("\n");
     }
+    for (ToolKind tool : tools) {
+      double coverage = 0.0;
+      double execs = 0.0;
+      double relations = 0.0;
+      for (const auto& result : results[tool]) {
+        coverage += static_cast<double>(result.final_coverage);
+        execs += result.telemetry.counter("healer_fuzz_execs_total");
+        relations += result.telemetry.gauge("healer_relations_total");
+      }
+      const std::string prefix = std::string(ToolKindName(tool)) + "_v" +
+                                 KernelVersionName(version);
+      dump.emplace_back(prefix + "_coverage_24h", coverage / kRounds);
+      dump.emplace_back(prefix + "_fuzz_execs", execs / kRounds);
+      dump.emplace_back(prefix + "_relations", relations / kRounds);
+    }
   }
+  bench::WriteBenchJson("fig4_coverage_growth", dump);
   std::printf("\nExpected shape: healer > moonshine > syzkaller at 24h on "
               "every version,\nwith curves separating after the early "
               "hours once relations are learned.\n");

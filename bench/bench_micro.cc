@@ -8,6 +8,7 @@
 
 #include "src/exec/executor.h"
 #include "src/fuzz/call_selector.h"
+#include "src/fuzz/fuzzer.h"
 #include "src/fuzz/learner.h"
 #include "src/fuzz/minimizer.h"
 #include "src/fuzz/prog_builder.h"
@@ -129,6 +130,30 @@ void BM_LearningExecCost(benchmark::State& state) {
       static_cast<double>(total_execs) / static_cast<double>(rounds);
 }
 BENCHMARK(BM_LearningExecCost);
+
+// The telemetry-overhead guard: full fuzzing iterations with metrics and a
+// live trace ring armed. scripts/check.sh builds this benchmark twice (with
+// and without -DHEALER_NO_TELEMETRY) and asserts the instrumented hot path
+// stays within 3% of the compiled-out baseline.
+void BM_FuzzerSteps(benchmark::State& state) {
+  constexpr int kSteps = 256;
+  for (auto _ : state) {
+    // A fresh fuzzer per iteration keeps the measured work identical across
+    // iterations and binaries (same seed -> same deterministic campaign
+    // prefix), so the instrumented/compiled-out ratio is meaningful.
+    FuzzerOptions options;
+    options.seed = 7;
+    options.num_vms = 2;
+    options.trace_capacity = 4096;
+    Fuzzer fuzzer(BuiltinTarget(), options);
+    for (int i = 0; i < kSteps; ++i) {
+      fuzzer.Step();
+    }
+    benchmark::DoNotOptimize(fuzzer.CoverageCount());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kSteps);
+}
+BENCHMARK(BM_FuzzerSteps);
 
 void BM_KernelBoot(benchmark::State& state) {
   const KernelConfig config = KernelConfig::ForVersion(KernelVersion::kV5_11);

@@ -10,7 +10,8 @@ namespace {
 
 constexpr int kRounds = 4;
 
-void PrintSubtable(const char* title, ToolKind baseline) {
+void PrintSubtable(const char* title, ToolKind baseline,
+                   std::vector<std::pair<std::string, double>>* dump) {
   std::printf("\n(%s)\n", title);
   std::printf("%-8s %10s %10s %10s %10s\n", "Version", "min-impr", "max-impr",
               "Average", "Speed-up");
@@ -41,6 +42,9 @@ void PrintSubtable(const char* title, ToolKind baseline) {
   std::printf("%-8s %+9.0f%% %+9.0f%% %+9.0f%% %+9.1fx\n", "Overall",
               overall_min / n * 100, overall_max / n * 100,
               overall_avg / n * 100, overall_speed / n);
+  const std::string prefix = std::string("vs_") + ToolKindName(baseline);
+  dump->emplace_back(prefix + "_avg_impr", overall_avg / n);
+  dump->emplace_back(prefix + "_avg_speedup", overall_speed / n);
 }
 
 }  // namespace
@@ -50,9 +54,11 @@ int main() {
   healer::bench::PrintHeader(
       "Table 1: branch coverage of HEALER vs Syzkaller / Moonshine",
       "Tab. 1 (paper: +28% / 2.2x vs Syzkaller, +21% / 1.8x vs Moonshine)");
+  std::vector<std::pair<std::string, double>> dump;
   healer::PrintSubtable("a) HEALER vs. Syzkaller",
-                        healer::ToolKind::kSyzkaller);
+                        healer::ToolKind::kSyzkaller, &dump);
   healer::PrintSubtable("b) HEALER vs. Moonshine",
-                        healer::ToolKind::kMoonshine);
+                        healer::ToolKind::kMoonshine, &dump);
+  healer::bench::WriteBenchJson("tab1_coverage_impr", dump);
   return 0;
 }

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build+tests, an ASan/UBSan pass over everything,
-# and a ThreadSanitizer pass over the multi-threaded fuzzing paths.
+# a ThreadSanitizer pass over the multi-threaded fuzzing paths, and a
+# telemetry stage (smoke-test the observability surfaces + hot-path
+# overhead guard against a -DHEALER_NO_TELEMETRY baseline build).
 #
-#   scripts/check.sh          # all three stages
-#   scripts/check.sh tier1    # just the tier-1 verify
-#   scripts/check.sh asan     # just the ASan/UBSan stage
-#   scripts/check.sh tsan     # just the TSan stage
+#   scripts/check.sh              # all four stages
+#   scripts/check.sh tier1        # just the tier-1 verify
+#   scripts/check.sh asan         # just the ASan/UBSan stage
+#   scripts/check.sh tsan         # just the TSan stage
+#   scripts/check.sh telemetry    # just the telemetry smoke + overhead guard
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -34,12 +37,79 @@ run_tsan() {
   ctest --test-dir build-tsan --output-on-failure -R parallel_fuzz_tsan
 }
 
+run_telemetry() {
+  echo "==> telemetry: smoke-test metrics/trace/status surfaces"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target healer_cli bench_micro
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+
+  ./build/tools/healer fuzz --hours 0.5 --seed 3 --fault-rate 0.005 \
+    --status-period 300 \
+    --metrics-out "$tmp/metrics.prom" --trace-out "$tmp/trace.json" \
+    > "$tmp/report.txt" 2> "$tmp/status.txt"
+
+  # Live status: at least one line per simulated 5 minutes reached the sink.
+  grep -q "execs" "$tmp/status.txt" || {
+    echo "FAIL: no status lines on stderr" >&2; exit 1; }
+  # Prometheus dump: parseable "# TYPE" lines and name/value samples.
+  grep -q "^# TYPE healer_fuzz_execs_total counter$" "$tmp/metrics.prom" || {
+    echo "FAIL: metrics dump missing TYPE line" >&2; exit 1; }
+  awk '!/^#/ && NF { if ($0 !~ /^[a-z_]+(\{[^}]*\})? -?[0-9.e+-]+$/) \
+      { print "bad sample: " $0; exit 1 } }' "$tmp/metrics.prom" || {
+    echo "FAIL: malformed Prometheus sample" >&2; exit 1; }
+  # Chrome trace: valid JSON (python3 when available) with trace events.
+  if command -v python3 >/dev/null; then
+    python3 -m json.tool "$tmp/trace.json" >/dev/null || {
+      echo "FAIL: trace is not valid JSON" >&2; exit 1; }
+  fi
+  grep -q '"traceEvents"' "$tmp/trace.json" || {
+    echo "FAIL: trace missing traceEvents" >&2; exit 1; }
+  grep -q '"name": "exec"' "$tmp/trace.json" || {
+    echo "FAIL: trace has no exec spans" >&2; exit 1; }
+  echo "    smoke OK: status lines, Prometheus dump, Chrome trace"
+
+  echo "==> telemetry: hot-path overhead guard (< 3% vs HEALER_NO_TELEMETRY)"
+  cmake -B build-notel -S . -DHEALER_NO_TELEMETRY=ON >/dev/null
+  cmake --build build-notel -j"$jobs" --target bench_micro
+  local bench_args="--benchmark_filter=BM_FuzzerSteps \
+    --benchmark_repetitions=3 --benchmark_format=csv"
+  # Interleave instrumented / compiled-out runs so slow machine-load drift
+  # hits both sides, then compare the global min real_time per binary. The
+  # awk match is anchored on the exact row name: "BM_FuzzerSteps_mean" /
+  # "_stddev" aggregate rows must not leak into the minimum.
+  : > "$tmp/with.csv"
+  : > "$tmp/without.csv"
+  local round
+  for round in 1 2 3; do
+    # shellcheck disable=SC2086
+    ./build/bench/bench_micro $bench_args 2>/dev/null >> "$tmp/with.csv"
+    # shellcheck disable=SC2086
+    ./build-notel/bench/bench_micro $bench_args 2>/dev/null \
+      >> "$tmp/without.csv"
+  done
+  local with without
+  with=$(awk -F, '/^"BM_FuzzerSteps",/ {
+      t=$3+0; if (min=="" || t<min) min=t } END { print min }' "$tmp/with.csv")
+  without=$(awk -F, '/^"BM_FuzzerSteps",/ {
+      t=$3+0; if (min=="" || t<min) min=t } END { print min }' "$tmp/without.csv")
+  echo "    BM_FuzzerSteps min real_time: with=$with ns, without=$without ns"
+  awk -v w="$with" -v wo="$without" 'BEGIN {
+    if (wo <= 0) { print "FAIL: bad baseline"; exit 1 }
+    ratio = w / wo;
+    printf "    overhead: %+.2f%%\n", (ratio - 1) * 100;
+    if (ratio > 1.03) { print "FAIL: telemetry overhead above 3%"; exit 1 }
+  }'
+}
+
 case "$stage" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   tsan)  run_tsan ;;
-  all)   run_tier1; run_asan; run_tsan ;;
-  *) echo "usage: $0 [tier1|asan|tsan|all]" >&2; exit 2 ;;
+  telemetry) run_telemetry ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

@@ -9,7 +9,8 @@ namespace healer {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
-std::mutex g_log_mutex;
+std::mutex g_log_mutex;  // Serializes sink calls and sink replacement.
+LogSink g_sink;          // Empty -> stderr default.
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -32,6 +33,20 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel GetLogLevel() { return g_level.load(); }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  g_sink = std::move(sink);
+}
+
+void LogToSink(LogLevel level, const std::string& line) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  if (g_sink) {
+    g_sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -45,10 +60,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
   stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
 }
 
-LogMessage::~LogMessage() {
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "%s\n", stream_.str().c_str());
-}
+LogMessage::~LogMessage() { LogToSink(level_, stream_.str()); }
 
 }  // namespace internal
 

@@ -2,11 +2,13 @@
 //
 // The fuzzer is throughput-sensitive, so logging is compiled around a global
 // level check and stream-style message assembly only happens for enabled
-// levels. Output goes to stderr.
+// levels. Output goes to a replaceable LogSink (default: stderr), so tests
+// can capture lines and embedders can redirect them.
 
 #ifndef SRC_BASE_LOGGING_H_
 #define SRC_BASE_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -24,6 +26,18 @@ enum class LogLevel : int {
 // so library users are quiet unless they opt in.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Destination for emitted log lines (without trailing newline). Calls are
+// serialized by the logging layer; the sink need not lock.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+
+// Replaces the sink; an empty function restores the stderr default.
+void SetLogSink(LogSink sink);
+
+// Routes a preformatted line straight through the sink, bypassing the level
+// threshold. Used for output the user asked for explicitly (e.g. the
+// periodic campaign status line behind --status-period).
+void LogToSink(LogLevel level, const std::string& line);
 
 namespace internal {
 

@@ -1,0 +1,173 @@
+#include "src/base/metrics.h"
+
+#include <cstdlib>
+
+#include "src/base/string_util.h"
+
+namespace healer {
+
+size_t Counter::ThisThreadShard() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+uint64_t Histogram::BucketUpperEdge(size_t index) {
+  if (index == 0) {
+    return 0;
+  }
+  if (index >= 64) {
+    return ~uint64_t{0};
+  }
+  return (uint64_t{1} << index) - 1;
+}
+
+uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  auto it = counters.find(name);
+  return it == counters.end() ? 0 : it->second;
+}
+
+double MetricsSnapshot::gauge(const std::string& name) const {
+  auto it = gauges.find(name);
+  return it == gauges.end() ? 0.0 : it->second;
+}
+
+namespace {
+
+// Shortest representation that round-trips; avoids "0.620000" noise.
+std::string FormatDouble(double value) {
+  std::string text = StrFormat("%.17g", value);
+  for (int precision = 1; precision < 17; ++precision) {
+    std::string candidate = StrFormat("%.*g", precision, value);
+    if (std::strtod(candidate.c_str(), nullptr) == value) {
+      return candidate;
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("# TYPE %s counter\n", name.c_str());
+    out += StrFormat("%s %llu\n", name.c_str(), (unsigned long long)value);
+  }
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("# TYPE %s gauge\n", name.c_str());
+    out += StrFormat("%s %s\n", name.c_str(), FormatDouble(value).c_str());
+  }
+  for (const auto& [name, hist] : histograms) {
+    out += StrFormat("# TYPE %s histogram\n", name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      cumulative += hist.buckets[i];
+      out += StrFormat("%s_bucket{le=\"%llu\"} %llu\n", name.c_str(),
+                       (unsigned long long)Histogram::BucketUpperEdge(i),
+                       (unsigned long long)cumulative);
+    }
+    out += StrFormat("%s_bucket{le=\"+Inf\"} %llu\n", name.c_str(),
+                     (unsigned long long)hist.count);
+    out += StrFormat("%s_sum %llu\n", name.c_str(),
+                     (unsigned long long)hist.sum);
+    out += StrFormat("%s_count %llu\n", name.c_str(),
+                     (unsigned long long)hist.count);
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += StrFormat("%s\n    \"%s\": %llu", first ? "" : ",", name.c_str(),
+                     (unsigned long long)value);
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += StrFormat("%s\n    \"%s\": %s", first ? "" : ",", name.c_str(),
+                     FormatDouble(value).c_str());
+    first = false;
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    out += StrFormat("%s\n    \"%s\": {\"count\": %llu, \"sum\": %llu, "
+                     "\"buckets\": [",
+                     first ? "" : ",", name.c_str(),
+                     (unsigned long long)hist.count,
+                     (unsigned long long)hist.sum);
+    for (size_t i = 0; i < hist.buckets.size(); ++i) {
+      out += StrFormat("%s%llu", i == 0 ? "" : ", ",
+                       (unsigned long long)hist.buckets[i]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+Counter* MetricRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* MetricRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    HistogramSnapshot h;
+    h.count = hist->Count();
+    h.sum = hist->Sum();
+    size_t highest = 0;
+    for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+      if (hist->BucketCount(i) != 0) {
+        highest = i + 1;
+      }
+    }
+    h.buckets.resize(highest);
+    for (size_t i = 0; i < highest; ++i) {
+      h.buckets[i] = hist->BucketCount(i);
+    }
+    snapshot.histograms[name] = std::move(h);
+  }
+  return snapshot;
+}
+
+}  // namespace healer

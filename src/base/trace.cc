@@ -1,0 +1,119 @@
+#include "src/base/trace.h"
+
+#include "src/base/string_util.h"
+
+namespace healer {
+
+void TraceBuffer::Push(const TraceEvent& event) {
+#ifdef HEALER_NO_TELEMETRY
+  (void)event;
+#else
+  if (capacity_ == 0) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+  }
+#endif
+}
+
+void TraceBuffer::RecordComplete(const char* name, const char* category,
+                                 SimClock::Nanos start,
+                                 SimClock::Nanos duration, uint32_t tid) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'X';
+  event.tid = tid;
+  event.start = start;
+  event.duration = duration;
+  Push(event);
+}
+
+void TraceBuffer::RecordInstant(const char* name, const char* category,
+                                SimClock::Nanos at, uint32_t tid) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.tid = tid;
+  event.start = at;
+  Push(event);
+}
+
+void TraceBuffer::RecordInstantArg(const char* name, const char* category,
+                                   SimClock::Nanos at, uint64_t arg,
+                                   uint32_t tid) {
+  TraceEvent event;
+  event.name = name;
+  event.category = category;
+  event.phase = 'i';
+  event.tid = tid;
+  event.start = at;
+  event.arg = arg;
+  event.has_arg = true;
+  Push(event);
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_ || capacity_ == 0) {
+    out = ring_;
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<long>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<long>(next_));
+  }
+  return out;
+}
+
+size_t TraceBuffer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+uint64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_ - ring_.size();
+}
+
+std::string TraceBuffer::ToChromeJson() const {
+  return TraceEventsToChromeJson(Events());
+}
+
+std::string TraceEventsToChromeJson(const std::vector<TraceEvent>& events) {
+  // Simulated nanoseconds -> trace microseconds (Chrome's unit).
+  std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += StrFormat("{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"%c\", "
+                     "\"pid\": 1, \"tid\": %u, \"ts\": %.3f",
+                     e.name, e.category, e.phase, e.tid,
+                     static_cast<double>(e.start) / 1000.0);
+    if (e.phase == 'X') {
+      out += StrFormat(", \"dur\": %.3f",
+                       static_cast<double>(e.duration) / 1000.0);
+    }
+    if (e.phase == 'i') {
+      out += ", \"s\": \"t\"";
+    }
+    if (e.has_arg) {
+      out += StrFormat(", \"args\": {\"value\": %llu}",
+                       (unsigned long long)e.arg);
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace healer

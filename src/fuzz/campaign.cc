@@ -4,6 +4,7 @@
 
 #include "src/base/logging.h"
 #include "src/fuzz/corpus_io.h"
+#include "src/fuzz/report.h"
 #include "src/syzlang/builtin_descs.h"
 
 namespace healer {
@@ -26,6 +27,8 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   fuzz_options.fixed_alpha = options.fixed_alpha;
   fuzz_options.fault_plan = options.fault_plan;
   fuzz_options.recovery = options.recovery;
+  fuzz_options.trace_capacity =
+      options.capture_trace ? options.trace_capacity : 0;
   Fuzzer fuzzer(target, fuzz_options);
 
   if (!options.initial_corpus_path.empty()) {
@@ -54,15 +57,51 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     result.samples.push_back(s);
   };
 
+  // Live status: one line through the log sink every status_period of
+  // simulated time, syz-manager style.
+  SimClock::Nanos next_status = options.status_period;
+  uint64_t last_status_execs = 0;
+  SimClock::Nanos last_status_time = 0;
+  auto emit_status = [&] {
+    StatusLineInfo info;
+    info.hours = fuzzer.clock().hours();
+    info.execs = fuzzer.FuzzExecs();
+    const SimClock::Nanos dt = fuzzer.clock().now() - last_status_time;
+    if (dt > 0) {
+      info.execs_per_sec = static_cast<double>(info.execs -
+                                               last_status_execs) *
+                           static_cast<double>(SimClock::kSecond) /
+                           static_cast<double>(dt);
+    }
+    info.coverage = fuzzer.CoverageCount();
+    info.corpus = fuzzer.corpus().size();
+    info.relations = fuzzer.relations().Count();
+    info.crashes = fuzzer.crashes().UniqueBugs();
+    info.vms = fuzzer.pool().size();
+    const FaultStats faults = fuzzer.fault_stats();
+    info.failed_execs = faults.failed_execs;
+    info.quarantines = faults.quarantines;
+    LogToSink(LogLevel::kInfo, FormatStatusLine(info));
+    last_status_execs = info.execs;
+    last_status_time = fuzzer.clock().now();
+  };
+
   while (fuzzer.clock().now() < deadline &&
          fuzzer.FuzzExecs() < options.max_execs) {
     if (fuzzer.clock().now() >= next_sample) {
       sample();
       next_sample += options.sample_period;
     }
+    if (options.status_period > 0 && fuzzer.clock().now() >= next_status) {
+      emit_status();
+      next_status += options.status_period;
+    }
     fuzzer.Step();
   }
   sample();
+  if (options.status_period > 0) {
+    emit_status();
+  }
 
   result.final_coverage = fuzzer.CoverageCount();
   result.fuzz_execs = fuzzer.FuzzExecs();
@@ -79,6 +118,11 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   result.relation_edges = fuzzer.relations().EdgesBefore();
   result.final_alpha = fuzzer.alpha();
   result.faults = fuzzer.fault_stats();
+  fuzzer.RefreshGauges();
+  result.telemetry = fuzzer.metrics().Snapshot();
+  if (options.capture_trace) {
+    result.trace_events = fuzzer.trace().Events();
+  }
 
   if (!options.save_corpus_path.empty()) {
     const Status saved =

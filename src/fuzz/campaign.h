@@ -35,6 +35,13 @@ struct CampaignOptions {
   // the final corpus written after it.
   std::string initial_corpus_path;
   std::string save_corpus_path;
+  // Live status: a one-line summary through the log sink every
+  // `status_period` of simulated time (0 disables).
+  SimClock::Nanos status_period = 0;
+  // Span tracing: when enabled the fuzzer records into a bounded ring of
+  // `trace_capacity` events, copied into CampaignResult::trace_events.
+  bool capture_trace = false;
+  size_t trace_capacity = 1 << 15;
 };
 
 struct CoverageSample {
@@ -61,6 +68,11 @@ struct CampaignResult {
   double final_alpha = 0.0;
   // Injected faults and recovery outcomes (all zero for fault-free runs).
   FaultStats faults;
+  // Full metric-registry snapshot at campaign end (counters, gauges,
+  // histograms). Use ToPrometheusText()/ToJson() to export.
+  MetricsSnapshot telemetry;
+  // Buffered span trace, oldest first (empty unless capture_trace).
+  std::vector<TraceEvent> trace_events;
 
   bool FoundBug(BugId bug) const;
 };

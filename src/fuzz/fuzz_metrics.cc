@@ -1,0 +1,56 @@
+#include "src/fuzz/fuzz_metrics.h"
+
+namespace healer {
+
+FuzzMetrics::FuzzMetrics(MetricRegistry* registry) {
+  generated = registry->GetCounter("healer_fuzz_generated_total");
+  mutated = registry->GetCounter("healer_fuzz_mutated_total");
+  seeded = registry->GetCounter("healer_fuzz_seeded_total");
+  fuzz_execs = registry->GetCounter("healer_fuzz_execs_total");
+  analysis_execs = registry->GetCounter("healer_exec_analysis_total");
+
+  exec_attempts = registry->GetCounter("healer_exec_attempts_total");
+  exec_ok = registry->GetCounter("healer_exec_ok_total");
+  exec_failed = registry->GetCounter("healer_exec_failed_total");
+  exec_retries = registry->GetCounter("healer_exec_retries_total");
+  exec_recovered = registry->GetCounter("healer_exec_recovered_total");
+  exec_discarded = registry->GetCounter("healer_exec_discarded_total");
+  quarantines = registry->GetCounter("healer_vm_quarantines_total");
+
+  coverage_edges = registry->GetCounter("healer_coverage_edges_total");
+  corpus_adds = registry->GetCounter("healer_corpus_adds_total");
+  crash_reports = registry->GetCounter("healer_crash_reports_total");
+  crash_new = registry->GetCounter("healer_crash_new_total");
+  minimize_rounds = registry->GetCounter("healer_minimize_rounds_total");
+  minimize_probes = registry->GetCounter("healer_minimize_probes_total");
+  learn_rounds = registry->GetCounter("healer_learn_rounds_total");
+  learn_probes = registry->GetCounter("healer_learn_probes_total");
+  relations_learned = registry->GetCounter("healer_relations_learned_total");
+  alpha_updates = registry->GetCounter("healer_alpha_updates_total");
+
+  coverage_branches = registry->GetGauge("healer_coverage_branches");
+  corpus_programs = registry->GetGauge("healer_corpus_programs");
+  relations_total = registry->GetGauge("healer_relations_total");
+  relations_static = registry->GetGauge("healer_relations_static");
+  relations_dynamic = registry->GetGauge("healer_relations_dynamic");
+  crashes_unique = registry->GetGauge("healer_crashes_unique");
+  alpha = registry->GetGauge("healer_alpha");
+  sim_hours = registry->GetGauge("healer_sim_hours");
+
+  prog_len = registry->GetHistogram("healer_prog_len");
+  exec_new_edges = registry->GetHistogram("healer_exec_new_edges");
+  minimize_execs = registry->GetHistogram("healer_minimize_execs");
+  learn_execs = registry->GetHistogram("healer_learn_execs");
+}
+
+FaultStats FuzzMetrics::RecoveryStats() const {
+  FaultStats stats;
+  stats.failed_execs = exec_failed->Value();
+  stats.retries = exec_retries->Value();
+  stats.recovered = exec_recovered->Value();
+  stats.discarded = exec_discarded->Value();
+  stats.quarantines = quarantines->Value();
+  return stats;
+}
+
+}  // namespace healer

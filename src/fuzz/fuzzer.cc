@@ -55,7 +55,7 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
       rng_(options.seed),
       pool_(target, KernelConfig::ForVersion(options.version), &clock_,
             options.num_vms, options.latency, options.fault_plan,
-            options.seed),
+            options.seed, &metrics_),
       coverage_(CallCoverage::kMapBits),
       builder_(target,
                EnabledSyscalls(target,
@@ -89,33 +89,38 @@ ExecFn Fuzzer::AnalysisExec() {
   // still-failed result reaches the minimizer/learner as a typed failure,
   // which both treat as "no information".
   return [this](const Prog& prog) {
+    m_.analysis_execs->Add();
     return ExecWithRecovery(prog, nullptr);
   };
 }
 
 ExecResult Fuzzer::ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
+  HEALER_TRACE_SPAN(&trace_, &clock_, "exec", "vm");
   SimClock::Nanos backoff = options_.recovery.backoff;
   int attempt = 0;
   while (true) {
     GuestVm& vm = pool_.Next();
+    m_.exec_attempts->Add();
     ExecResult result = vm.Exec(prog, coverage);
     if (!result.Failed()) {
+      m_.exec_ok->Add();
       if (attempt > 0) {
-        ++recovery_stats_.recovered;
+        m_.exec_recovered->Add();
       }
       return result;
     }
-    ++recovery_stats_.failed_execs;
+    m_.exec_failed->Add();
     if (vm.consecutive_failures() >= options_.recovery.quarantine_threshold) {
       vm.QuarantineReboot();
-      ++recovery_stats_.quarantines;
+      m_.quarantines->Add();
+      HEALER_TRACE_INSTANT(&trace_, &clock_, "quarantine", "fault");
     }
     if (attempt >= options_.recovery.max_retries) {
-      ++recovery_stats_.discarded;
+      m_.exec_discarded->Add();
       return result;
     }
     ++attempt;
-    ++recovery_stats_.retries;
+    m_.exec_retries->Add();
     clock_.Advance(backoff);
     backoff *= 2;
   }
@@ -123,8 +128,24 @@ ExecResult Fuzzer::ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
 
 FaultStats Fuzzer::fault_stats() const {
   FaultStats stats = pool_.InjectedStats();
-  stats.Merge(recovery_stats_);
+  stats.Merge(m_.RecoveryStats());
   return stats;
+}
+
+void Fuzzer::RefreshGauges() {
+  m_.coverage_branches->Set(static_cast<double>(coverage_.Count()));
+  m_.corpus_programs->Set(static_cast<double>(corpus_.size()));
+  m_.relations_total->Set(static_cast<double>(relations_->Count()));
+  m_.relations_static->Set(static_cast<double>(
+      relations_->CountBySource(RelationSource::kStatic)));
+  m_.relations_dynamic->Set(static_cast<double>(
+      relations_->CountBySource(RelationSource::kDynamic)));
+  m_.crashes_unique->Set(static_cast<double>(crash_db_.UniqueBugs()));
+  m_.alpha->Set(options_.guidance == GuidanceMode::kFixedAlpha
+                    ? options_.fixed_alpha
+                    : alpha_.alpha());
+  m_.sim_hours->Set(static_cast<double>(clock_.now()) /
+                    static_cast<double>(SimClock::kHour));
 }
 
 CallChooser Fuzzer::MakeChooser(bool* used_table) {
@@ -166,8 +187,15 @@ void Fuzzer::SeedWith(const std::vector<Prog>& seeds) {
     }
     const ExecResult result = ExecWithRecovery(seed, &coverage_);
     ++fuzz_execs_;
+    m_.fuzz_execs->Add();
+    m_.seeded->Add();
+    m_.prog_len->Observe(seed.size());
     if (result.Failed()) {
       continue;  // Retry budget exhausted: the seed's feedback is discarded.
+    }
+    m_.coverage_edges->Add(result.TotalNewEdges());
+    if (result.TotalNewEdges() > 0) {
+      m_.exec_new_edges->Observe(result.TotalNewEdges());
     }
     ProcessFeedback(seed, result);
   }
@@ -200,6 +228,9 @@ void Fuzzer::Step() {
 
   const ExecResult result = ExecWithRecovery(prog, &coverage_);
   ++fuzz_execs_;
+  m_.fuzz_execs->Add();
+  (generate ? m_.generated : m_.mutated)->Add();
+  m_.prog_len->Observe(prog.size());
   if (result.Failed()) {
     // Never merge partial feedback from a faulted execution: no coverage
     // was recorded (the VM guarantees that), no alpha update, no corpus or
@@ -208,14 +239,25 @@ void Fuzzer::Step() {
   }
 
   const bool gained = result.TotalNewEdges() > 0;
+  m_.coverage_edges->Add(result.TotalNewEdges());
+  if (gained) {
+    m_.exec_new_edges->Observe(result.TotalNewEdges());
+  }
   if (options_.tool == ToolKind::kHealer) {
     alpha_.Record(used_table, gained);
+    if (alpha_.updates() != last_alpha_updates_) {
+      last_alpha_updates_ = alpha_.updates();
+      m_.alpha_updates->Add();
+      m_.alpha->Set(alpha_.alpha());
+      HEALER_TRACE_INSTANT(&trace_, &clock_, "alpha-update", "alpha");
+    }
   }
   ProcessFeedback(prog, result);
 }
 
 void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
   if (result.Crashed()) {
+    m_.crash_reports->Add();
     const bool is_new =
         crash_db_.Record(result.crash->bug, result.crash->title, clock_.now(),
                          fuzz_execs_, result.crash->call_index + 1);
@@ -223,6 +265,8 @@ void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
     // crash reproduction component). The extra executions run on the VM
     // fleet and consume simulated time like any other analysis.
     if (is_new) {
+      m_.crash_new->Add();
+      HEALER_TRACE_INSTANT(&trace_, &clock_, "new-crash", "crash");
       std::optional<CrashRepro> repro =
           reproducer_.Minimize(prog, result.crash->bug);
       if (repro.has_value()) {
@@ -236,11 +280,33 @@ void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
     return;
   }
   // Minimize, then learn relations from / archive each minimal sequence.
-  std::vector<MinimizedSeq> minimized = minimizer_.Minimize(prog, result);
+  const uint64_t min_before = minimizer_.execs_used();
+  std::vector<MinimizedSeq> minimized;
+  {
+    HEALER_TRACE_SPAN(&trace_, &clock_, "minimize", "analysis");
+    minimized = minimizer_.Minimize(prog, result);
+  }
+  m_.minimize_rounds->Add();
+  const uint64_t min_probes = minimizer_.execs_used() - min_before;
+  m_.minimize_probes->Add(min_probes);
+  m_.minimize_execs->Observe(min_probes);
   for (MinimizedSeq& seq : minimized) {
     if (options_.tool == ToolKind::kHealer &&
         options_.guidance != GuidanceMode::kStaticOnly) {
-      learner_.Learn(seq.prog);
+      const uint64_t learn_before = learner_.execs_used();
+      size_t learned = 0;
+      {
+        HEALER_TRACE_SPAN(&trace_, &clock_, "learn", "analysis");
+        learned = learner_.Learn(seq.prog);
+      }
+      m_.learn_rounds->Add();
+      const uint64_t learn_probes = learner_.execs_used() - learn_before;
+      m_.learn_probes->Add(learn_probes);
+      m_.learn_execs->Observe(learn_probes);
+      if (learned > 0) {
+        m_.relations_learned->Add(learned);
+        HEALER_TRACE_INSTANT(&trace_, &clock_, "relation-learned", "learn");
+      }
     }
     if (choice_table_ != nullptr && seq.prog.size() >= 2) {
       for (size_t i = 1; i < seq.prog.size(); ++i) {
@@ -254,6 +320,7 @@ void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
     const uint32_t prio =
         std::max<uint32_t>(1, result.TotalNewEdges());
     corpus_.Add(std::move(seq.prog), prio);
+    m_.corpus_adds->Add();
   }
 }
 

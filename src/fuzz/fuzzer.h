@@ -16,10 +16,13 @@
 #include <memory>
 
 #include "src/base/bitmap.h"
+#include "src/base/metrics.h"
+#include "src/base/trace.h"
 #include "src/fuzz/call_selector.h"
 #include "src/fuzz/choice_table.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_db.h"
+#include "src/fuzz/fuzz_metrics.h"
 #include "src/fuzz/learner.h"
 #include "src/fuzz/minimizer.h"
 #include "src/fuzz/prog_builder.h"
@@ -68,6 +71,9 @@ struct FuzzerOptions {
   // surviving it; see fault_plan.h.
   FaultPlan fault_plan;
   RecoveryPolicy recovery;
+  // Span-trace ring capacity (0 disables tracing entirely; recording then
+  // costs one predicted branch per span, no lock).
+  size_t trace_capacity = 0;
 };
 
 class Fuzzer {
@@ -99,6 +105,15 @@ class Fuzzer {
   // recovery-side counters (retries, recoveries, quarantines, discards).
   FaultStats fault_stats() const;
 
+  // ---- telemetry ----
+  MetricRegistry& metrics() { return metrics_; }
+  const MetricRegistry& metrics() const { return metrics_; }
+  TraceBuffer& trace() { return trace_; }
+  // Pushes the derived campaign-state gauges (coverage, corpus size,
+  // relation counts, alpha, simulated hours) into the registry. Call before
+  // snapshotting; counters and histograms are always current.
+  void RefreshGauges();
+
  private:
   CallChooser MakeChooser(bool* used_table);
   ExecFn AnalysisExec();
@@ -115,6 +130,10 @@ class Fuzzer {
   FuzzerOptions options_;
   Rng rng_;
   SimClock clock_;
+  // Declared before pool_: the VMs register their handles in metrics_.
+  MetricRegistry metrics_;
+  TraceBuffer trace_{options_.trace_capacity};
+  FuzzMetrics m_{&metrics_};
   VmPool pool_;
   Bitmap coverage_;
   Corpus corpus_;
@@ -128,9 +147,9 @@ class Fuzzer {
   CrashReproducer reproducer_;
   AlphaSchedule alpha_;
   std::map<BugId, Prog> repros_;
-  FaultStats recovery_stats_;
   uint64_t fuzz_execs_ = 0;
   uint64_t adjacency_notes_ = 0;
+  uint64_t last_alpha_updates_ = 0;
 };
 
 }  // namespace healer

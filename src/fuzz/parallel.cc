@@ -24,12 +24,16 @@ std::vector<int> EnabledIds(const Target& target, const KernelConfig& config) {
 class Worker {
  public:
   Worker(const Target& target, const ParallelOptions& options,
-         SharedFuzzState* shared, size_t index, GuestVm* vm)
+         SharedFuzzState* shared, size_t index, GuestVm* vm,
+         const SimClock* sim_clock)
       : target_(target),
         options_(options),
         shared_(shared),
         rng_(options.seed * 7919 + index),
         vm_(*vm),
+        sim_clock_(sim_clock),
+        tid_(static_cast<uint32_t>(index)),
+        m_(&shared->metrics),
         builder_(target,
                  EnabledIds(target, KernelConfig::ForVersion(options.version)),
                  &rng_),
@@ -64,31 +68,35 @@ class Worker {
 
   // Runs `prog` on this worker's VM under the recovery policy: bounded
   // retry, quarantine-rebooting the VM when its failure streak crosses the
-  // threshold. Every failure is accounted in the shared FaultStats, so the
-  // per-VM infra_faults counters and the recovery-side failed_execs agree.
-  // Caller must hold shared_->mu. A faulted execution merged nothing into
-  // the shared coverage, so retrying is safe; a still-Failed() return means
-  // the program's feedback must be discarded.
+  // threshold. Every failure is accounted in the shared registry's recovery
+  // counters, so the per-VM infra_faults counters and the recovery-side
+  // failed_execs agree. Caller must hold shared_->mu. A faulted execution
+  // merged nothing into the shared coverage, so retrying is safe; a
+  // still-Failed() return means the program's feedback must be discarded.
   ExecResult ExecWithRecoveryLocked(const Prog& prog, Bitmap* coverage) {
+    TraceSpan span(&shared_->trace, sim_clock_, "exec", "vm", tid_);
+    m_.exec_attempts->Add();
     ExecResult result = vm_.Exec(prog, coverage);
     int attempt = 0;
     while (result.Failed()) {
-      ++shared_->faults.failed_execs;
+      m_.exec_failed->Add();
       if (vm_.consecutive_failures() >=
           options_.recovery.quarantine_threshold) {
         vm_.QuarantineReboot();
-        ++shared_->faults.quarantines;
+        m_.quarantines->Add();
       }
       if (attempt >= options_.recovery.max_retries) {
-        ++shared_->faults.discarded;
+        m_.exec_discarded->Add();
         return result;
       }
       ++attempt;
-      ++shared_->faults.retries;
+      m_.exec_retries->Add();
+      m_.exec_attempts->Add();
       result = vm_.Exec(prog, coverage);
     }
+    m_.exec_ok->Add();
     if (attempt > 0) {
-      ++shared_->faults.recovered;
+      m_.exec_recovered->Add();
     }
     return result;
   }
@@ -96,6 +104,7 @@ class Worker {
   void StepLocked() {
     bool used_table = false;
     double alpha = 0.0;
+    bool mutated = false;
     Prog prog(&target_);
     {
       std::lock_guard<std::mutex> lock(shared_->mu);
@@ -108,6 +117,7 @@ class Worker {
     if (prog.empty()) {
       prog = builder_.Generate(chooser, 4 + rng_.Below(10));
     } else {
+      mutated = true;
       if (rng_.Chance(7, 10)) {
         builder_.MutateInsert(&prog, chooser);
       }
@@ -122,17 +132,36 @@ class Worker {
     // Execute + merge feedback under the shared-state lock (see header).
     std::lock_guard<std::mutex> lock(shared_->mu);
     const ExecResult result = ExecWithRecoveryLocked(prog, &shared_->coverage);
+    m_.fuzz_execs->Add();
+    (mutated ? m_.mutated : m_.generated)->Add();
+    m_.prog_len->Observe(prog.size());
     if (result.Failed()) {
       return;  // Feedback discarded; the exec slot is still consumed.
     }
     const bool gained = result.TotalNewEdges() > 0;
+    m_.coverage_edges->Add(result.TotalNewEdges());
+    if (gained) {
+      m_.exec_new_edges->Observe(result.TotalNewEdges());
+    }
     if (options_.tool == ToolKind::kHealer) {
       shared_->alpha.Record(used_table, gained);
+      if (shared_->alpha.updates() != shared_->alpha_updates_seen) {
+        shared_->alpha_updates_seen = shared_->alpha.updates();
+        m_.alpha_updates->Add();
+        m_.alpha->Set(shared_->alpha.alpha());
+        shared_->trace.RecordInstant("alpha-update", "alpha",
+                                     sim_clock_->now(), tid_);
+      }
     }
     if (result.Crashed()) {
-      shared_->crashes.Record(result.crash->bug, result.crash->title, 0,
-                              shared_->fuzz_execs,
-                              result.crash->call_index + 1);
+      m_.crash_reports->Add();
+      const bool is_new =
+          shared_->crashes.Record(result.crash->bug, result.crash->title, 0,
+                                  shared_->fuzz_execs,
+                                  result.crash->call_index + 1);
+      if (is_new) {
+        m_.crash_new->Add();
+      }
     }
     if (!gained) {
       return;
@@ -142,18 +171,34 @@ class Worker {
     // probe reaches the minimizer/learner as a typed failure, which both
     // treat as "no information".
     Minimizer minimizer([this](const Prog& p) {
+      m_.analysis_execs->Add();
       return ExecWithRecoveryLocked(p, nullptr);
     });
     DynamicLearner learner(
         &shared_->relations,
-        [this](const Prog& p) { return ExecWithRecoveryLocked(p, nullptr); },
+        [this](const Prog& p) {
+          m_.analysis_execs->Add();
+          return ExecWithRecoveryLocked(p, nullptr);
+        },
         &clock_);
-    for (MinimizedSeq& seq : minimizer.Minimize(prog, result)) {
+    std::vector<MinimizedSeq> minimized = minimizer.Minimize(prog, result);
+    m_.minimize_rounds->Add();
+    m_.minimize_probes->Add(minimizer.execs_used());
+    m_.minimize_execs->Observe(minimizer.execs_used());
+    for (MinimizedSeq& seq : minimized) {
       if (options_.tool == ToolKind::kHealer) {
-        learner.Learn(seq.prog);
+        const uint64_t learn_before = learner.execs_used();
+        const size_t learned = learner.Learn(seq.prog);
+        m_.learn_rounds->Add();
+        m_.learn_probes->Add(learner.execs_used() - learn_before);
+        m_.learn_execs->Observe(learner.execs_used() - learn_before);
+        if (learned > 0) {
+          m_.relations_learned->Add(learned);
+        }
       }
       shared_->corpus.Add(std::move(seq.prog),
                           std::max<uint32_t>(1, result.TotalNewEdges()));
+      m_.corpus_adds->Add();
     }
   }
 
@@ -163,6 +208,9 @@ class Worker {
   Rng rng_;
   SimClock clock_;  // Worker-local timestamps for learned relations.
   GuestVm& vm_;
+  const SimClock* sim_clock_;  // The fleet clock, for trace timestamps.
+  uint32_t tid_;
+  FuzzMetrics m_;
   ProgBuilder builder_;
   CallSelector selector_;
 };
@@ -171,21 +219,21 @@ class Worker {
 
 ParallelResult RunParallelFuzz(const Target& target,
                                const ParallelOptions& options) {
-  SharedFuzzState shared(target.NumSyscalls());
+  SharedFuzzState shared(target.NumSyscalls(), options.trace_capacity);
   if (options.tool == ToolKind::kHealer) {
     StaticRelationLearn(target, &shared.relations);
   }
   SimClock clock;  // Shared simulated clock (advanced under the lock).
   VmPool pool(target, KernelConfig::ForVersion(options.version), &clock,
               options.num_workers, VmLatencyModel(), options.fault_plan,
-              options.seed);
+              options.seed, &shared.metrics);
   Monitor monitor(&pool);
   monitor.Start();
 
   std::vector<std::unique_ptr<Worker>> workers;
   for (size_t i = 0; i < options.num_workers; ++i) {
-    workers.push_back(
-        std::make_unique<Worker>(target, options, &shared, i, &pool.vm(i)));
+    workers.push_back(std::make_unique<Worker>(target, options, &shared, i,
+                                               &pool.vm(i), &clock));
   }
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
@@ -205,9 +253,24 @@ ParallelResult RunParallelFuzz(const Target& target,
   result.unique_bugs = shared.crashes.UniqueBugs();
   result.relations = shared.relations.Count();
   result.monitor_lines = monitor.lines_collected();
+  FuzzMetrics handles(&shared.metrics);
   result.faults = pool.InjectedStats();
-  result.faults.Merge(shared.faults);
+  result.faults.Merge(handles.RecoveryStats());
   result.corpus_progs = shared.corpus.ExportAll();
+  // Final gauge refresh, then snapshot the whole registry.
+  handles.coverage_branches->Set(static_cast<double>(result.coverage));
+  handles.corpus_programs->Set(static_cast<double>(result.corpus_size));
+  handles.relations_total->Set(static_cast<double>(result.relations));
+  handles.relations_static->Set(static_cast<double>(
+      shared.relations.CountBySource(RelationSource::kStatic)));
+  handles.relations_dynamic->Set(static_cast<double>(
+      shared.relations.CountBySource(RelationSource::kDynamic)));
+  handles.crashes_unique->Set(static_cast<double>(result.unique_bugs));
+  handles.alpha->Set(shared.alpha.alpha());
+  handles.sim_hours->Set(static_cast<double>(clock.now()) /
+                         static_cast<double>(SimClock::kHour));
+  result.telemetry = shared.metrics.Snapshot();
+  result.trace_events = shared.trace.Events();
   return result;
 }
 

@@ -18,9 +18,12 @@
 #include <mutex>
 #include <thread>
 
+#include "src/base/metrics.h"
+#include "src/base/trace.h"
 #include "src/fuzz/call_selector.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_db.h"
+#include "src/fuzz/fuzz_metrics.h"
 #include "src/fuzz/fuzzer.h"
 #include "src/fuzz/learner.h"
 #include "src/fuzz/minimizer.h"
@@ -31,8 +34,10 @@ namespace healer {
 
 // The "Shared Fuzz State" box of Figure 3.
 struct SharedFuzzState {
-  explicit SharedFuzzState(size_t num_syscalls)
-      : coverage(CallCoverage::kMapBits), relations(num_syscalls) {}
+  explicit SharedFuzzState(size_t num_syscalls, size_t trace_capacity = 0)
+      : coverage(CallCoverage::kMapBits),
+        relations(num_syscalls),
+        trace(trace_capacity) {}
 
   std::mutex mu;
   Bitmap coverage;
@@ -41,9 +46,14 @@ struct SharedFuzzState {
   RelationTable relations;  // Internally reader-writer locked.
   AlphaSchedule alpha;
   uint64_t fuzz_execs = 0;
-  // Recovery-side fault accounting (retries, discards, quarantines); the
-  // injected counters live in the VM injectors and are merged at the end.
-  FaultStats faults;
+  // How many alpha re-estimations workers have already published to the
+  // telemetry counters (guarded by mu).
+  uint64_t alpha_updates_seen = 0;
+  // Fleet-wide telemetry: counters shard per worker thread, so recording is
+  // contention-free; the recovery-side fault accounting lives here too (the
+  // injected counters live in the VM injectors, merged at the end).
+  MetricRegistry metrics;
+  TraceBuffer trace;
 };
 
 struct ParallelOptions {
@@ -55,6 +65,8 @@ struct ParallelOptions {
   // Fault injection (empty = fault-free) and per-worker recovery policy.
   FaultPlan fault_plan;
   RecoveryPolicy recovery;
+  // Span-trace ring capacity (0 disables tracing).
+  size_t trace_capacity = 0;
 };
 
 struct ParallelResult {
@@ -71,6 +83,10 @@ struct ParallelResult {
   // The final corpus (for differential/property checks against the
   // single-threaded fuzzer).
   std::vector<Prog> corpus_progs;
+  // Full telemetry snapshot of the shared registry, and the buffered span
+  // trace (empty unless options.trace_capacity > 0).
+  MetricsSnapshot telemetry;
+  std::vector<TraceEvent> trace_events;
 };
 
 // Runs `num_workers` threads until `total_execs` test cases have executed.

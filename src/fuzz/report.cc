@@ -1,5 +1,7 @@
 #include "src/fuzz/report.h"
 
+#include <vector>
+
 #include "src/base/string_util.h"
 #include "src/syzlang/builtin_descs.h"
 
@@ -9,15 +11,28 @@ std::string FormatCampaignReport(const CampaignResult& result,
                                  const ReportOptions& options) {
   std::string out;
   const CampaignOptions& opts = result.options;
+  // Prefer the telemetry snapshot when the campaign captured one: the report
+  // then quotes the same registry the Prometheus/JSON exports come from.
+  const MetricsSnapshot& t = result.telemetry;
+  const bool has_telemetry = !t.empty();
+
   out += StrFormat("=== %s on sim-linux %s, %.1f simulated hours (seed %llu) "
                    "===\n",
                    ToolKindName(opts.tool), KernelVersionName(opts.version),
                    opts.hours, (unsigned long long)opts.seed);
-  out += StrFormat("coverage   : %zu branches\n", result.final_coverage);
+  const size_t coverage = has_telemetry
+                              ? static_cast<size_t>(
+                                    t.gauge("healer_coverage_branches"))
+                              : result.final_coverage;
+  out += StrFormat("coverage   : %zu branches\n", coverage);
+  const uint64_t fuzz_execs =
+      has_telemetry ? t.counter("healer_fuzz_execs_total") : result.fuzz_execs;
+  const uint64_t analysis_execs =
+      has_telemetry ? t.counter("healer_exec_analysis_total")
+                    : result.total_execs - result.fuzz_execs;
   out += StrFormat("executions : %llu fuzzing + %llu analysis\n",
-                   (unsigned long long)result.fuzz_execs,
-                   (unsigned long long)(result.total_execs -
-                                        result.fuzz_execs));
+                   (unsigned long long)fuzz_execs,
+                   (unsigned long long)analysis_execs);
   out += StrFormat("corpus     : %zu programs, mean length %.2f\n",
                    result.corpus_size, result.corpus_mean_len);
   if (result.corpus_length_hist.size() == 5) {
@@ -43,34 +58,67 @@ std::string FormatCampaignReport(const CampaignResult& result,
                        (unsigned long long)faults.injected[i]);
     }
     out += ")\n";
+    const uint64_t failed = has_telemetry
+                                ? t.counter("healer_exec_failed_total")
+                                : faults.failed_execs;
+    const uint64_t retries = has_telemetry
+                                 ? t.counter("healer_exec_retries_total")
+                                 : faults.retries;
+    const uint64_t recovered = has_telemetry
+                                   ? t.counter("healer_exec_recovered_total")
+                                   : faults.recovered;
+    const uint64_t discarded = has_telemetry
+                                   ? t.counter("healer_exec_discarded_total")
+                                   : faults.discarded;
+    const uint64_t quarantines = has_telemetry
+                                     ? t.counter("healer_vm_quarantines_total")
+                                     : faults.quarantines;
     out += StrFormat("recovery   : %llu failed execs, %llu retries, "
                      "%llu recovered, %llu discarded, %llu quarantines\n",
-                     (unsigned long long)faults.failed_execs,
-                     (unsigned long long)faults.retries,
-                     (unsigned long long)faults.recovered,
-                     (unsigned long long)faults.discarded,
-                     (unsigned long long)faults.quarantines);
+                     (unsigned long long)failed, (unsigned long long)retries,
+                     (unsigned long long)recovered,
+                     (unsigned long long)discarded,
+                     (unsigned long long)quarantines);
   }
 
   out += StrFormat("crashes    : %zu unique\n", result.crashes.size());
-  size_t shown = 0;
-  for (const CrashRecord& crash : result.crashes) {
-    if (shown++ >= options.max_crashes) {
-      out += StrFormat("  ... and %zu more\n",
-                       result.crashes.size() - options.max_crashes);
-      break;
+  if (options.max_crashes > 0) {
+    size_t shown = 0;
+    for (const CrashRecord& crash : result.crashes) {
+      if (shown >= options.max_crashes) {
+        out += StrFormat("  ... and %zu more\n",
+                         result.crashes.size() - shown);
+        break;
+      }
+      ++shown;
+      out += StrFormat("  [%6.2fh] %-55s repro=%zu hits=%llu\n",
+                       static_cast<double>(crash.first_seen) / SimClock::kHour,
+                       crash.title.c_str(), crash.shortest_repro,
+                       (unsigned long long)crash.hits);
     }
-    out += StrFormat("  [%6.2fh] %-55s repro=%zu hits=%llu\n",
-                     static_cast<double>(crash.first_seen) / SimClock::kHour,
-                     crash.title.c_str(), crash.shortest_repro,
-                     (unsigned long long)crash.hits);
+  } else if (!result.crashes.empty()) {
+    out += StrFormat("  (crash list suppressed, %zu records)\n",
+                     result.crashes.size());
   }
 
   if (options.include_samples) {
     out += "coverage curve (hours, branches, execs):\n";
-    for (const CoverageSample& sample : result.samples) {
-      out += StrFormat("  %6.2f %8zu %10llu\n", sample.hours,
-                       sample.branches, (unsigned long long)sample.execs);
+    const std::vector<CoverageSample>& samples = result.samples;
+    const size_t cap = options.max_samples;
+    if (cap == 0 || samples.size() <= cap) {
+      for (const CoverageSample& sample : samples) {
+        out += StrFormat("  %6.2f %8zu %10llu\n", sample.hours,
+                         sample.branches, (unsigned long long)sample.execs);
+      }
+    } else {
+      // Evenly thin the curve, always keeping the first and last samples.
+      for (size_t i = 0; i < cap; ++i) {
+        const size_t idx = i * (samples.size() - 1) / (cap - 1);
+        const CoverageSample& sample = samples[idx];
+        out += StrFormat("  %6.2f %8zu %10llu\n", sample.hours,
+                         sample.branches, (unsigned long long)sample.execs);
+      }
+      out += StrFormat("  (%zu of %zu samples shown)\n", cap, samples.size());
     }
   }
   if (options.include_relations) {
@@ -86,6 +134,20 @@ std::string FormatCampaignReport(const CampaignResult& result,
                        static_cast<double>(edge.learned_at) /
                            SimClock::kHour);
     }
+  }
+  return out;
+}
+
+std::string FormatStatusLine(const StatusLineInfo& info) {
+  std::string out = StrFormat(
+      "%6.2fh: execs %llu (%.2f/sec sim), cover %zu, corpus %zu, "
+      "relations %zu, crashes %zu, vms %zu",
+      info.hours, (unsigned long long)info.execs, info.execs_per_sec,
+      info.coverage, info.corpus, info.relations, info.crashes, info.vms);
+  if (info.failed_execs > 0 || info.quarantines > 0) {
+    out += StrFormat(", faults %llu (%llu quarantined)",
+                     (unsigned long long)info.failed_execs,
+                     (unsigned long long)info.quarantines);
   }
   return out;
 }

@@ -1,6 +1,11 @@
 // Human-readable campaign reports, syz-manager-status style: coverage,
 // throughput, corpus composition, learned-relation summary, and a crash
-// list with reproducer lengths.
+// list with reproducer lengths. When the result carries a telemetry
+// snapshot (CampaignResult::telemetry), the report reads its numbers from
+// the snapshot so the two can never disagree.
+//
+// FormatStatusLine renders the one-line live status the campaign loop
+// emits every --status-period simulated seconds.
 
 #ifndef SRC_FUZZ_REPORT_H_
 #define SRC_FUZZ_REPORT_H_
@@ -14,12 +19,34 @@ namespace healer {
 struct ReportOptions {
   bool include_samples = false;   // Appends the full coverage curve.
   bool include_relations = false; // Appends every learned relation edge.
+  // Crash-list cap: 0 suppresses the per-crash lines entirely (the unique
+  // count is always printed).
   size_t max_crashes = 64;
+  // Coverage-curve cap: longer curves are evenly thinned to this many
+  // sample lines (endpoints kept). 0 means unlimited.
+  size_t max_samples = 96;
 };
 
 // Formats `result` as a multi-line text report.
 std::string FormatCampaignReport(const CampaignResult& result,
                                  const ReportOptions& options = {});
+
+// One sampled moment of a running campaign, for the live status line.
+struct StatusLineInfo {
+  double hours = 0.0;        // Simulated hours elapsed.
+  uint64_t execs = 0;        // Fuzzing executions so far.
+  double execs_per_sec = 0;  // Simulated throughput since the last line.
+  size_t coverage = 0;
+  size_t corpus = 0;
+  size_t relations = 0;
+  size_t crashes = 0;
+  size_t vms = 0;
+  uint64_t failed_execs = 0;  // Infra faults surfaced so far.
+  uint64_t quarantines = 0;
+};
+
+// syz-manager style: "12.5h: execs 48123 (22/sec sim), cover 1234, ..."
+std::string FormatStatusLine(const StatusLineInfo& info);
 
 }  // namespace healer
 

@@ -8,11 +8,23 @@ namespace healer {
 
 GuestVm::GuestVm(const Target& target, const KernelConfig& config,
                  SimClock* clock, VmLatencyModel latency,
-                 const FaultPlan& fault_plan, uint64_t fault_seed)
+                 const FaultPlan& fault_plan, uint64_t fault_seed,
+                 MetricRegistry* metrics)
     : executor_(target, config),
       clock_(clock),
       latency_(latency),
-      injector_(fault_plan, fault_seed) {}
+      injector_(fault_plan, fault_seed) {
+  if (metrics != nullptr) {
+    m_execs_ = metrics->GetCounter("healer_vm_execs_total");
+    m_reboots_ = metrics->GetCounter("healer_vm_reboots_total");
+    m_rtt_ = metrics->GetHistogram("healer_vm_rtt_ns");
+    for (size_t i = 0; i < kNumFaultKinds; ++i) {
+      m_fault_injected_[i] = metrics->GetCounter(
+          StrFormat("healer_fault_injected_%s_total",
+                    FaultKindName(static_cast<FaultKind>(i))));
+    }
+  }
+}
 
 void GuestVm::Boot() {
   clock_->Advance(latency_.boot);
@@ -39,7 +51,11 @@ ExecResult GuestVm::FailWith(ExecFailure failure) {
 }
 
 ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
+  const SimClock::Nanos start = clock_->now();
   const std::optional<FaultKind> fault = injector_.Draw();
+  if (fault.has_value() && m_fault_injected_[0] != nullptr) {
+    m_fault_injected_[static_cast<size_t>(*fault)]->Add();
+  }
 
   if (fault == FaultKind::kBootFailure) {
     // The guest dies (or was down) and the automatic restart fails: the VM
@@ -57,6 +73,9 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     clock_->Advance(latency_.reboot);
     AppendLog("[ reboot ] restarting crashed guest");
     down_ = false;
+    if (m_reboots_ != nullptr) {
+      m_reboots_->Add();
+    }
   }
 
   if (fault == FaultKind::kVmCrash) {
@@ -118,6 +137,10 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     clock_->Advance(latency_.slow_penalty);
     AppendLog("[ fault  ] slow round trip (host contention)");
   }
+  if (m_execs_ != nullptr) {
+    m_execs_->Add();
+    m_rtt_->Observe(clock_->now() - start);
+  }
   if (result.Crashed()) {
     crashes_.fetch_add(1, std::memory_order_relaxed);
     down_ = true;
@@ -131,6 +154,9 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
 
 void GuestVm::QuarantineReboot() {
   quarantines_.fetch_add(1, std::memory_order_relaxed);
+  if (m_reboots_ != nullptr) {
+    m_reboots_->Add();
+  }
   consecutive_failures_.store(0, std::memory_order_relaxed);
   clock_->Advance(latency_.reboot);
   booted_ = true;

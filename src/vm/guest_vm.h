@@ -17,12 +17,14 @@
 #ifndef SRC_VM_GUEST_VM_H_
 #define SRC_VM_GUEST_VM_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/base/metrics.h"
 #include "src/base/sim_clock.h"
 #include "src/exec/executor.h"
 #include "src/exec/shm_channel.h"
@@ -45,10 +47,13 @@ class GuestVm {
  public:
   // `clock` is shared with the campaign and must outlive the VM. A
   // non-empty `fault_plan` arms the injector; `fault_seed` makes its
-  // decision stream deterministic per VM.
+  // decision stream deterministic per VM. A non-null `metrics` registry
+  // receives the VM-side telemetry (round-trip latency histogram, per-kind
+  // injected-fault counters, reboots).
   GuestVm(const Target& target, const KernelConfig& config, SimClock* clock,
           VmLatencyModel latency = VmLatencyModel(),
-          const FaultPlan& fault_plan = FaultPlan(), uint64_t fault_seed = 0);
+          const FaultPlan& fault_plan = FaultPlan(), uint64_t fault_seed = 0,
+          MetricRegistry* metrics = nullptr);
 
   // Boots the guest and performs the executor handshake.
   void Boot();
@@ -107,6 +112,12 @@ class GuestVm {
   std::atomic<uint64_t> quarantines_{0};
   std::mutex log_mu_;  // The Monitor drains the log from its own thread.
   std::vector<std::string> log_;
+  // Telemetry handles (null when no registry was supplied). All VMs of a
+  // pool share the same counters; shards keep parallel workers uncontended.
+  Counter* m_execs_ = nullptr;                               // healer_vm_execs_total
+  Counter* m_reboots_ = nullptr;                             // healer_vm_reboots_total
+  Histogram* m_rtt_ = nullptr;                               // healer_vm_rtt_ns
+  std::array<Counter*, kNumFaultKinds> m_fault_injected_{};  // healer_fault_injected_<kind>_total
 };
 
 }  // namespace healer

@@ -8,13 +8,14 @@ namespace healer {
 
 VmPool::VmPool(const Target& target, const KernelConfig& config,
                SimClock* clock, size_t count, VmLatencyModel latency,
-               const FaultPlan& fault_plan, uint64_t fault_seed) {
+               const FaultPlan& fault_plan, uint64_t fault_seed,
+               MetricRegistry* metrics) {
   vms_.reserve(count);
   for (size_t i = 0; i < count; ++i) {
     // Each VM gets an independent, reproducible fault stream.
     const uint64_t vm_seed = Mix64(fault_seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
     vms_.push_back(std::make_unique<GuestVm>(target, config, clock, latency,
-                                             fault_plan, vm_seed));
+                                             fault_plan, vm_seed, metrics));
   }
 }
 

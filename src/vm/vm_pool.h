@@ -22,10 +22,12 @@ namespace healer {
 class VmPool {
  public:
   // A non-empty `fault_plan` arms every VM's injector; each VM draws from
-  // its own stream derived from `fault_seed` and its index.
+  // its own stream derived from `fault_seed` and its index. A non-null
+  // `metrics` registry is shared by every VM for fleet-wide telemetry.
   VmPool(const Target& target, const KernelConfig& config, SimClock* clock,
          size_t count, VmLatencyModel latency = VmLatencyModel(),
-         const FaultPlan& fault_plan = FaultPlan(), uint64_t fault_seed = 0);
+         const FaultPlan& fault_plan = FaultPlan(), uint64_t fault_seed = 0,
+         MetricRegistry* metrics = nullptr);
 
   size_t size() const { return vms_.size(); }
   GuestVm& vm(size_t index) { return *vms_[index]; }

@@ -6,6 +6,9 @@
 //                 [--relations-out FILE] [--curve] [--edges]
 //                 [--fault-rate P | --faults crash=0.01,timeout=0.005,...]
 //                 [--fault-retries N]
+//                 [--status-period SECS]   # live status line (simulated s)
+//                 [--metrics-out FILE]     # Prometheus text (.json -> JSON)
+//                 [--trace-out FILE]       # Chrome trace JSON (Perfetto)
 //   healer relations [--version V] [--probe]      # static (+dynamic) table
 //   healer convert HEADER_FILE                    # C header -> HealLang
 //   healer replay CORPUS_FILE [--version V]       # run saved programs
@@ -107,11 +110,44 @@ int CmdFuzz(const std::map<std::string, std::string>& flags) {
   options.recovery.max_retries =
       std::atoi(get("fault-retries", "3").c_str());
 
+  // Telemetry surfaces: live status, metric dump, span trace.
+  const double status_secs = std::atof(get("status-period", "0").c_str());
+  if (status_secs > 0) {
+    options.status_period = static_cast<SimClock::Nanos>(
+        status_secs * static_cast<double>(SimClock::kSecond));
+  }
+  const std::string metrics_out = get("metrics-out", "");
+  const std::string trace_out = get("trace-out", "");
+  options.capture_trace = !trace_out.empty();
+
   const CampaignResult result = RunCampaign(options);
   ReportOptions ropts;
   ropts.include_samples = flags.count("curve") != 0;
   ropts.include_relations = flags.count("edges") != 0;
   std::fputs(FormatCampaignReport(result, ropts).c_str(), stdout);
+
+  if (!metrics_out.empty()) {
+    // A .json suffix selects the JSON encoding; anything else gets the
+    // Prometheus text exposition format.
+    const bool json = metrics_out.size() >= 5 &&
+                      metrics_out.compare(metrics_out.size() - 5, 5,
+                                          ".json") == 0;
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    out << (json ? result.telemetry.ToJson()
+                 : result.telemetry.ToPrometheusText());
+  }
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    out << TraceEventsToChromeJson(result.trace_events);
+  }
   return 0;
 }
 
