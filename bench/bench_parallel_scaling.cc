@@ -1,0 +1,107 @@
+// Parallel-fuzzing scaling bench: runs the batched-publish loop at 1/2/4/8
+// workers and reports execs/sec plus time-under-lock. On a 1-CPU box the
+// headline number is the critical-section share (healer_parallel_
+// lock_held_share), not wall-clock speedup: the old design held the shared
+// mutex across the whole generate→execute→minimize→learn cycle (share ~1.0);
+// the snapshot/batch design must keep workers out of the lock.
+//
+// Emits BENCH_parallel_scaling.json; scripts/check.sh's `parallel` stage
+// runs a smoke config and fails if the 8-worker lock-held share exceeds its
+// threshold.
+//
+// Usage: bench_parallel_scaling [total_execs] (default 4000)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/fuzz/parallel.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+namespace {
+
+struct ScalingRow {
+  size_t workers;
+  double execs_per_sec;
+  double lock_held_share;
+  double lock_held_ms;
+  double lock_wait_ms;
+  double publishes;
+};
+
+ScalingRow RunOne(size_t workers, uint64_t total_execs) {
+  ParallelOptions options;
+  options.tool = ToolKind::kHealer;
+  options.seed = 7;
+  options.num_workers = workers;
+  options.total_execs = total_execs;
+  options.batch_size = 32;
+  const ParallelResult result = RunParallelFuzz(BuiltinTarget(), options);
+  const MetricsSnapshot& t = result.telemetry;
+  const double wall_ns = t.gauge("healer_parallel_wall_ns");
+  ScalingRow row;
+  row.workers = workers;
+  row.execs_per_sec =
+      wall_ns > 0.0
+          ? static_cast<double>(result.fuzz_execs) / (wall_ns / 1e9)
+          : 0.0;
+  row.lock_held_share = t.gauge("healer_parallel_lock_held_share");
+  const auto held = t.histograms.find("healer_parallel_lock_held_ns");
+  const auto wait = t.histograms.find("healer_parallel_lock_wait_ns");
+  row.lock_held_ms =
+      held != t.histograms.end()
+          ? static_cast<double>(held->second.sum) / 1e6
+          : 0.0;
+  row.lock_wait_ms =
+      wait != t.histograms.end()
+          ? static_cast<double>(wait->second.sum) / 1e6
+          : 0.0;
+  row.publishes = static_cast<double>(
+      t.counter("healer_parallel_batch_publish_total"));
+  return row;
+}
+
+int Main(int argc, char** argv) {
+  const uint64_t total_execs =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  bench::PrintHeader(
+      "Parallel scaling: execs/sec and time-under-lock by worker count",
+      "Figure 3's shared-state design; lock-held share is the headline on "
+      "single-CPU hosts");
+  std::printf("%8s %14s %12s %14s %14s %10s\n", "workers", "execs/sec",
+              "lock-share", "lock-held-ms", "lock-wait-ms", "publishes");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("total_execs", static_cast<double>(total_execs));
+  double share8 = 0.0;
+  for (size_t workers : {1, 2, 4, 8}) {
+    const ScalingRow row = RunOne(workers, total_execs);
+    std::printf("%8zu %14.0f %12.4f %14.3f %14.3f %10.0f\n", row.workers,
+                row.execs_per_sec, row.lock_held_share, row.lock_held_ms,
+                row.lock_wait_ms, row.publishes);
+    const std::string prefix = "workers" + std::to_string(workers) + "_";
+    metrics.emplace_back(prefix + "execs_per_sec", row.execs_per_sec);
+    metrics.emplace_back(prefix + "lock_held_share", row.lock_held_share);
+    metrics.emplace_back(prefix + "lock_held_ms", row.lock_held_ms);
+    metrics.emplace_back(prefix + "lock_wait_ms", row.lock_wait_ms);
+    metrics.emplace_back(prefix + "batch_publishes", row.publishes);
+    if (workers == 8) {
+      share8 = row.lock_held_share;
+    }
+  }
+  bench::PrintRule();
+  std::printf("8-worker critical-section share: %.4f "
+              "(old hold-everything design ~= 1.0)\n",
+              share8);
+  bench::WriteBenchJson("parallel_scaling", metrics);
+  return 0;
+}
+
+}  // namespace
+}  // namespace healer
+
+int main(int argc, char** argv) { return healer::Main(argc, argv); }

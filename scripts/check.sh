@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build+tests, an ASan/UBSan pass over everything,
-# a ThreadSanitizer pass over the multi-threaded fuzzing paths, and a
+# a ThreadSanitizer pass over the multi-threaded fuzzing paths, a
 # telemetry stage (smoke-test the observability surfaces + hot-path
-# overhead guard against a -DHEALER_NO_TELEMETRY baseline build).
+# overhead guard against a -DHEALER_NO_TELEMETRY baseline build), and a
+# parallel stage (scaling-bench smoke + critical-section-share guard).
 #
-#   scripts/check.sh              # all four stages
+#   scripts/check.sh              # all five stages
 #   scripts/check.sh tier1        # just the tier-1 verify
 #   scripts/check.sh asan         # just the ASan/UBSan stage
 #   scripts/check.sh tsan         # just the TSan stage
 #   scripts/check.sh telemetry    # just the telemetry smoke + overhead guard
+#   scripts/check.sh parallel     # just the parallel scaling-bench guard
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -103,13 +105,39 @@ run_telemetry() {
   }'
 }
 
+run_parallel() {
+  echo "==> parallel: scaling-bench smoke + lock-held-share guard"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_parallel_scaling
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  # Smoke config: enough execs per worker count to exercise snapshots and
+  # batched publishes without making the stage slow on a loaded box.
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_parallel_scaling" 2000)
+  [ -f "$tmp/BENCH_parallel_scaling.json" ] || {
+    echo "FAIL: BENCH_parallel_scaling.json not written" >&2; exit 1; }
+  # The tentpole guarantee: SharedFuzzState::mu covers only feedback
+  # merging, never generation/mutation/execution. With the old design the
+  # 8-worker critical-section share was ~1.0; the batched design measures
+  # well under 0.05 here, so 0.25 is a regression tripwire with margin for
+  # noisy machines, not a tight bound.
+  awk -F: '/"workers8_lock_held_share"/ {
+      gsub(/[ ,]/, "", $2); share=$2+0;
+      printf "    8-worker lock-held share: %.4f (budget 0.25)\n", share;
+      found=1; if (share > 0.25) { print "FAIL: lock-held share above budget"; exit 1 }
+    } END { if (!found) { print "FAIL: workers8_lock_held_share missing"; exit 1 } }' \
+    "$tmp/BENCH_parallel_scaling.json"
+}
+
 case "$stage" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   tsan)  run_tsan ;;
   telemetry) run_telemetry ;;
-  all)   run_tier1; run_asan; run_tsan; run_telemetry ;;
-  *) echo "usage: $0 [tier1|asan|tsan|telemetry|all]" >&2; exit 2 ;;
+  parallel) run_parallel ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

@@ -4,11 +4,24 @@
 // slots and campaigns track the set of slots ever seen. MergeNew() returns
 // how many previously-unseen slots the merge contributed, which is the
 // "new coverage" signal consumed by the fuzzers.
+//
+// Concurrency: mutating word accesses go through std::atomic_ref with
+// relaxed ordering, so a campaign-global bitmap can absorb merges from
+// parallel workers without any external lock ("atomic-word MergeNew"). Each
+// newly-set bit is counted exactly once across all threads (fetch_or tells
+// the winner). On the single-threaded path the relaxed loads/stores compile
+// to plain moves; the read-modify-write ops only run for *fresh* bits, which
+// are rare in a warmed-up campaign, so the hot already-seen case costs the
+// same load+test it always did. Clear()/Hash()/operator== remain
+// single-threaded operations for quiescent bitmaps.
 
 #ifndef SRC_BASE_BITMAP_H_
 #define SRC_BASE_BITMAP_H_
 
+#include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <vector>
 
@@ -18,21 +31,41 @@ class Bitmap {
  public:
   explicit Bitmap(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
 
+  // Bitmaps participating in a merge/compare must be the same size; a
+  // mismatch means two different coverage spaces are being mixed, which
+  // would silently truncate the merge. Always fatal (independent of NDEBUG).
+  static void CheckSameSize(const Bitmap& a, const Bitmap& b) {
+    if (a.bits_ != b.bits_) {
+      std::fprintf(stderr, "bitmap size mismatch: %zu vs %zu bits\n", a.bits_,
+                   b.bits_);
+      std::abort();
+    }
+  }
+
   size_t size_bits() const { return bits_; }
 
   bool Test(size_t idx) const {
-    return (words_[idx >> 6] >> (idx & 63)) & 1;
+    return (std::atomic_ref<const uint64_t>(words_[idx >> 6])
+                .load(std::memory_order_relaxed) >>
+            (idx & 63)) &
+           1;
   }
 
-  // Sets the bit; returns true iff it was previously clear.
+  // Sets the bit; returns true iff it was previously clear. Safe against
+  // concurrent Set/MergeNew on the same bitmap: exactly one caller wins a
+  // fresh bit.
   bool Set(size_t idx) {
-    uint64_t& w = words_[idx >> 6];
+    std::atomic_ref<uint64_t> word(words_[idx >> 6]);
     const uint64_t mask = 1ULL << (idx & 63);
-    if (w & mask) {
+    if (word.load(std::memory_order_relaxed) & mask) {
       return false;
     }
-    w |= mask;
-    ++popcount_;
+    const uint64_t prev = word.fetch_or(mask, std::memory_order_relaxed);
+    if (prev & mask) {
+      return false;  // Another thread set it between the load and the RMW.
+    }
+    std::atomic_ref<size_t>(popcount_).fetch_add(1,
+                                                 std::memory_order_relaxed);
     return true;
   }
 
@@ -42,25 +75,42 @@ class Bitmap {
   }
 
   // Number of set bits. O(1).
-  size_t Count() const { return popcount_; }
+  size_t Count() const {
+    return std::atomic_ref<const size_t>(popcount_).load(
+        std::memory_order_relaxed);
+  }
 
-  // ORs `other` in; returns the number of bits newly set in *this.
+  // ORs `other` in; returns the number of bits newly set in *this. `other`
+  // must be quiescent (typically a worker-local per-call map); *this may be
+  // merged into concurrently.
   size_t MergeNew(const Bitmap& other) {
+    CheckSameSize(*this, other);
     size_t fresh = 0;
-    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
-      const uint64_t add = other.words_[i] & ~words_[i];
-      if (add != 0) {
-        fresh += static_cast<size_t>(__builtin_popcountll(add));
-        words_[i] |= add;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      const uint64_t theirs = other.words_[i];
+      if (theirs == 0) {
+        continue;
       }
+      std::atomic_ref<uint64_t> word(words_[i]);
+      uint64_t add = theirs & ~word.load(std::memory_order_relaxed);
+      if (add == 0) {
+        continue;
+      }
+      const uint64_t prev = word.fetch_or(add, std::memory_order_relaxed);
+      add &= ~prev;  // Bits a concurrent merger beat us to are not ours.
+      fresh += static_cast<size_t>(__builtin_popcountll(add));
     }
-    popcount_ += fresh;
+    if (fresh != 0) {
+      std::atomic_ref<size_t>(popcount_).fetch_add(fresh,
+                                                   std::memory_order_relaxed);
+    }
     return fresh;
   }
 
   // True iff `other` has at least one bit not present in *this.
   bool HasNewBits(const Bitmap& other) const {
-    for (size_t i = 0; i < words_.size() && i < other.words_.size(); ++i) {
+    CheckSameSize(*this, other);
+    for (size_t i = 0; i < words_.size(); ++i) {
       if ((other.words_[i] & ~words_[i]) != 0) {
         return true;
       }

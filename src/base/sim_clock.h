@@ -8,10 +8,14 @@
 #ifndef SRC_BASE_SIM_CLOCK_H_
 #define SRC_BASE_SIM_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace healer {
 
+// Thread-safe: parallel workers advance one shared campaign clock outside
+// any lock. Advances are commutative relaxed fetch_adds, so the final total
+// is deterministic even though interleavings are not.
 class SimClock {
  public:
   using Nanos = uint64_t;
@@ -22,15 +26,17 @@ class SimClock {
   static constexpr Nanos kMinute = 60 * kSecond;
   static constexpr Nanos kHour = 60 * kMinute;
 
-  Nanos now() const { return now_; }
-  void Advance(Nanos delta) { now_ += delta; }
-  void Reset() { now_ = 0; }
+  Nanos now() const { return now_.load(std::memory_order_relaxed); }
+  void Advance(Nanos delta) {
+    now_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Reset() { now_.store(0, std::memory_order_relaxed); }
 
-  double hours() const { return static_cast<double>(now_) / kHour; }
-  double seconds() const { return static_cast<double>(now_) / kSecond; }
+  double hours() const { return static_cast<double>(now()) / kHour; }
+  double seconds() const { return static_cast<double>(now()) / kSecond; }
 
  private:
-  Nanos now_ = 0;
+  std::atomic<Nanos> now_{0};
 };
 
 }  // namespace healer

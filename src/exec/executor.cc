@@ -207,8 +207,14 @@ ExecResult Executor::Run(const Prog& prog, Bitmap* global_coverage) {
     info.signal = cov_.signal();
     info.num_edges = static_cast<uint32_t>(cov_.NumEdges());
     if (global_coverage != nullptr) {
-      info.new_edges =
-          static_cast<uint32_t>(global_coverage->MergeNew(cov_.edges()));
+      // Merge only the slots this call actually touched; Set() is atomic per
+      // word, so the campaign bitmap needs no lock even with parallel
+      // executors, and each fresh slot is credited to exactly one of them.
+      uint32_t fresh = 0;
+      for (const uint32_t slot : cov_.slots()) {
+        fresh += global_coverage->Set(slot) ? 1 : 0;
+      }
+      info.new_edges = fresh;
     }
 
     // Result slots: slot 0 is the return value; out-parameter resources

@@ -1,10 +1,21 @@
 // Corpus of interesting (minimized) programs, weighted by the amount of new
 // coverage they contributed when first seen.
+//
+// Weighted sampling uses a Fenwick (binary-indexed) tree over entry
+// priorities: Choose() descends the tree in O(log n) instead of the old
+// O(n) prefix scan, Add() extends it in O(log n), and UpdatePriority()
+// re-weights an entry in O(log n). The sampling is draw-for-draw identical
+// to the linear scan (same single rng->Below(total) roll, same chosen
+// index), so fixed-seed campaigns are unchanged.
+//
+// Programs are held by shared_ptr so Snapshot() can hand parallel workers an
+// immutable, cheaply-copied view (see CorpusSnapshot): workers sample from a
+// snapshot lock-free while the authoritative Corpus keeps growing.
 
 #ifndef SRC_FUZZ_CORPUS_H_
 #define SRC_FUZZ_CORPUS_H_
 
-#include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -15,21 +26,60 @@
 
 namespace healer {
 
+// Immutable point-in-time view of a corpus: the programs (shared with the
+// live corpus) plus a copy of the Fenwick tree, so Choose() works without
+// touching — or locking — the authoritative state. Publish-side cost is one
+// O(n) vector copy, paid only when new programs actually landed.
+struct CorpusSnapshot {
+  std::vector<std::shared_ptr<const Prog>> progs;
+  std::vector<uint64_t> fenwick;  // 1-based; fenwick[0] unused.
+  uint64_t total_priority = 0;
+
+  bool empty() const { return progs.empty(); }
+  size_t size() const { return progs.size(); }
+  // Priority-weighted random pick; same distribution and same draw
+  // consumption as Corpus::Choose.
+  const Prog& Choose(Rng* rng) const;
+};
+
 class Corpus {
  public:
   static constexpr size_t kMaxEntries = 16384;
 
+  // Content identity used for deduplication. Callers that already hold the
+  // serialized bytes (the new-coverage path just executed them) should hash
+  // those and use the precomputed-hash Add overload below instead of paying
+  // for a second SerializeProg.
+  static uint64_t ContentHash(const std::vector<uint8_t>& bytes) {
+    return Fnv1a(std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                                  bytes.size()));
+  }
+  static uint64_t ContentHash(const Prog& prog) {
+    return ContentHash(SerializeProg(prog));
+  }
+
   // Adds a program (deduplicated by serialized content). Returns true if it
-  // was new.
+  // was new. Serializes the program to hash it.
   bool Add(Prog prog, uint32_t priority);
+  // Same, with the content hash precomputed by the caller.
+  bool Add(Prog prog, uint32_t priority, uint64_t content_hash);
 
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 
-  // Priority-weighted random pick.
+  // Priority-weighted random pick. O(log n).
   const Prog& Choose(Rng* rng) const;
 
-  const Prog& at(size_t index) const { return entries_[index].prog; }
+  // Re-weights an existing entry. O(log n).
+  void UpdatePriority(size_t index, uint32_t priority);
+
+  const Prog& at(size_t index) const { return *entries_[index].prog; }
+  uint32_t priority_at(size_t index) const {
+    return entries_[index].priority;
+  }
+
+  // Immutable view for lock-free sampling by parallel workers.
+  std::shared_ptr<const CorpusSnapshot> Snapshot() const;
 
   // Histogram of program lengths: [1, 2, 3, 4, 5+] buckets (Figure 6).
   std::vector<size_t> LengthHistogram() const;
@@ -42,10 +92,11 @@ class Corpus {
 
  private:
   struct Entry {
-    Prog prog;
+    std::shared_ptr<const Prog> prog;
     uint32_t priority;
   };
   std::vector<Entry> entries_;
+  std::vector<uint64_t> fenwick_{0};  // 1-based; fenwick_[0] unused.
   std::set<uint64_t> hashes_;
   uint64_t total_priority_ = 0;
 };

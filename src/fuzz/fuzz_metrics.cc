@@ -43,6 +43,19 @@ FuzzMetrics::FuzzMetrics(MetricRegistry* registry) {
   learn_execs = registry->GetHistogram("healer_learn_execs");
 }
 
+ParallelMetrics::ParallelMetrics(MetricRegistry* registry) {
+  lock_wait_ns = registry->GetHistogram("healer_parallel_lock_wait_ns");
+  lock_held_ns = registry->GetHistogram("healer_parallel_lock_held_ns");
+
+  batch_publish = registry->GetCounter("healer_parallel_batch_publish_total");
+  batched_execs = registry->GetCounter("healer_parallel_batched_execs_total");
+  snapshot_refresh =
+      registry->GetCounter("healer_parallel_snapshot_refresh_total");
+
+  wall_ns = registry->GetGauge("healer_parallel_wall_ns");
+  lock_held_share = registry->GetGauge("healer_parallel_lock_held_share");
+}
+
 FaultStats FuzzMetrics::RecoveryStats() const {
   FaultStats stats;
   stats.failed_execs = exec_failed->Value();

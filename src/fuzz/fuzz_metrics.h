@@ -69,6 +69,26 @@ struct FuzzMetrics {
   FaultStats RecoveryStats() const;
 };
 
+// Contention instrumentation for the parallel mode's shared-state lock and
+// batch-publish protocol. Registered only by parallel campaigns, so
+// single-threaded snapshots are unchanged. The _ns histograms are host
+// wall-clock (steady_clock) — parallel mode is already scheduling-dependent,
+// and wall time is the quantity the lock-held-share acceptance gate needs.
+struct ParallelMetrics {
+  Histogram* lock_wait_ns;  // healer_parallel_lock_wait_ns
+  Histogram* lock_held_ns;  // healer_parallel_lock_held_ns
+
+  Counter* batch_publish;      // healer_parallel_batch_publish_total
+  Counter* batched_execs;      // healer_parallel_batched_execs_total
+  Counter* snapshot_refresh;   // healer_parallel_snapshot_refresh_total
+
+  Gauge* wall_ns;          // healer_parallel_wall_ns (whole campaign)
+  Gauge* lock_held_share;  // healer_parallel_lock_held_share
+                           //   = sum(lock_held_ns) / (wall_ns * workers)
+
+  explicit ParallelMetrics(MetricRegistry* registry);
+};
+
 }  // namespace healer
 
 #endif  // SRC_FUZZ_FUZZ_METRICS_H_

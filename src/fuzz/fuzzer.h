@@ -91,6 +91,7 @@ class Fuzzer {
   // ---- state accessors ----
   SimClock& clock() { return clock_; }
   size_t CoverageCount() const { return coverage_.Count(); }
+  const Bitmap& coverage() const { return coverage_; }
   uint64_t FuzzExecs() const { return fuzz_execs_; }
   uint64_t TotalExecs() const { return pool_.TotalExecs(); }
   const RelationTable& relations() const { return *relations_; }

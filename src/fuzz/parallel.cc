@@ -1,5 +1,7 @@
 #include "src/fuzz/parallel.h"
 
+#include <array>
+#include <chrono>
 #include <vector>
 
 #include "src/vm/vm_pool.h"
@@ -19,8 +21,42 @@ std::vector<int> EnabledIds(const Target& target, const KernelConfig& config) {
   return ids;
 }
 
-// One Job_i of Figure 3: owns a VM, an RNG and builders; everything else
-// lives in the shared state.
+uint64_t ToNs(std::chrono::steady_clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+// Scoped ownership of the publish mutex that feeds the contention
+// histograms: wall time spent waiting for the lock and wall time spent
+// holding it. Host wall-clock is the right ruler here — the lock-held-share
+// acceptance gate asks what fraction of the campaign the workers spent
+// serialized, which simulated time cannot answer.
+class TimedLock {
+ public:
+  TimedLock(std::mutex* mu, ParallelMetrics* pm) : mu_(mu), pm_(pm) {
+    const auto start = std::chrono::steady_clock::now();
+    mu_->lock();
+    locked_ = std::chrono::steady_clock::now();
+    pm_->lock_wait_ns->Observe(ToNs(locked_ - start));
+  }
+  ~TimedLock() {
+    const auto end = std::chrono::steady_clock::now();
+    mu_->unlock();
+    pm_->lock_held_ns->Observe(ToNs(end - locked_));
+  }
+
+  TimedLock(const TimedLock&) = delete;
+  TimedLock& operator=(const TimedLock&) = delete;
+
+ private:
+  std::mutex* mu_;
+  ParallelMetrics* pm_;
+  std::chrono::steady_clock::time_point locked_;
+};
+
+// One Job_i of Figure 3: owns a VM, an RNG and builders; fuzzes against
+// read-mostly views of the shared state and publishes feedback in batches
+// (see parallel.h for the protocol).
 class Worker {
  public:
   Worker(const Target& target, const ParallelOptions& options,
@@ -34,6 +70,7 @@ class Worker {
         sim_clock_(sim_clock),
         tid_(static_cast<uint32_t>(index)),
         m_(&shared->metrics),
+        pm_(&shared->metrics),
         builder_(target,
                  EnabledIds(target, KernelConfig::ForVersion(options.version)),
                  &rng_),
@@ -41,18 +78,47 @@ class Worker {
 
   void Run() {
     while (true) {
-      {
-        std::lock_guard<std::mutex> lock(shared_->mu);
-        if (shared_->fuzz_execs >= options_.total_execs) {
-          return;
-        }
-        ++shared_->fuzz_execs;
+      const uint64_t ticket =
+          shared_->exec_tickets.fetch_add(1, std::memory_order_relaxed);
+      if (ticket >= options_.total_execs) {
+        break;
       }
-      StepLocked();
+      const bool urgent = Step(ticket);
+      if (urgent || batch_.execs >= options_.batch_size) {
+        Publish();
+      }
     }
+    Publish();  // Final flush.
   }
 
  private:
+  // Feedback accumulated since the last publish.
+  struct PendingCrash {
+    BugId bug;
+    std::string title;
+    uint64_t exec_index;
+    size_t repro_len;
+  };
+  struct PendingAdd {
+    Prog prog;
+    uint32_t priority;
+    uint64_t content_hash;
+  };
+  struct Batch {
+    uint64_t execs = 0;
+    std::vector<PendingCrash> crashes;
+    std::vector<PendingAdd> adds;
+    // Alpha-schedule outcomes keyed by (used_table << 1) | gained. The
+    // schedule only counts per-category totals within its window, so
+    // replaying them as counts at publish time is order-safe.
+    std::array<uint64_t, 4> alpha_outcomes{};
+
+    bool Empty() const {
+      return execs == 0 && crashes.empty() && adds.empty() &&
+             alpha_outcomes == std::array<uint64_t, 4>{};
+    }
+  };
+
   // A chooser bound to the shared relation table / alpha.
   CallChooser MakeChooser(double alpha, bool* used_table) {
     if (options_.tool == ToolKind::kHealer) {
@@ -66,14 +132,30 @@ class Worker {
     return [this](const std::vector<int>&) { return selector_.RandomCall(); };
   }
 
+  // Re-copies the corpus snapshot pointer iff the epoch moved. The common
+  // case (epoch unchanged) is one relaxed load.
+  void RefreshSnapshot() {
+    const uint64_t epoch =
+        shared_->corpus_epoch.load(std::memory_order_relaxed);
+    if (epoch == snapshot_epoch_ && snapshot_ != nullptr) {
+      return;
+    }
+    std::lock_guard<std::mutex> lock(shared_->snapshot_mu);
+    snapshot_ = shared_->corpus_snapshot;
+    snapshot_epoch_ = shared_->corpus_epoch.load(std::memory_order_relaxed);
+    pm_.snapshot_refresh->Add();
+  }
+
   // Runs `prog` on this worker's VM under the recovery policy: bounded
   // retry, quarantine-rebooting the VM when its failure streak crosses the
-  // threshold. Every failure is accounted in the shared registry's recovery
-  // counters, so the per-VM infra_faults counters and the recovery-side
-  // failed_execs agree. Caller must hold shared_->mu. A faulted execution
-  // merged nothing into the shared coverage, so retrying is safe; a
-  // still-Failed() return means the program's feedback must be discarded.
-  ExecResult ExecWithRecoveryLocked(const Prog& prog, Bitmap* coverage) {
+  // threshold. Lock-free: the VM is worker-owned, the campaign bitmap
+  // merges atomically, and the sim clock advances atomically. Every failure
+  // is accounted in the shared registry's recovery counters, so the per-VM
+  // infra_faults counters and the recovery-side failed_execs agree. A
+  // faulted execution merged nothing into the shared coverage, so retrying
+  // is safe; a still-Failed() return means the program's feedback must be
+  // discarded.
+  ExecResult ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
     TraceSpan span(&shared_->trace, sim_clock_, "exec", "vm", tid_);
     m_.exec_attempts->Add();
     ExecResult result = vm_.Exec(prog, coverage);
@@ -101,17 +183,17 @@ class Worker {
     return result;
   }
 
-  void StepLocked() {
+  // One fuzzing iteration, entirely outside the publish lock. Returns true
+  // if the batch should publish immediately (new coverage or a crash).
+  bool Step(uint64_t ticket) {
+    RefreshSnapshot();
+    const double alpha = std::bit_cast<double>(
+        shared_->alpha_bits.load(std::memory_order_relaxed));
     bool used_table = false;
-    double alpha = 0.0;
     bool mutated = false;
     Prog prog(&target_);
-    {
-      std::lock_guard<std::mutex> lock(shared_->mu);
-      alpha = shared_->alpha.alpha();
-      if (!shared_->corpus.empty() && rng_.Chance(3, 5)) {
-        prog = shared_->corpus.Choose(&rng_).Clone();
-      }
+    if (snapshot_ != nullptr && !snapshot_->empty() && rng_.Chance(3, 5)) {
+      prog = snapshot_->Choose(&rng_).Clone();
     }
     CallChooser chooser = MakeChooser(alpha, &used_table);
     if (prog.empty()) {
@@ -125,18 +207,19 @@ class Worker {
         builder_.MutateArgs(&prog);
       }
     }
-    if (prog.empty()) {
-      return;
-    }
-
-    // Execute + merge feedback under the shared-state lock (see header).
-    std::lock_guard<std::mutex> lock(shared_->mu);
-    const ExecResult result = ExecWithRecoveryLocked(prog, &shared_->coverage);
+    // The exec slot is consumed either way; counting both here keeps
+    // healer_parallel_batched_execs_total == healer_fuzz_execs_total exact.
+    ++batch_.execs;
     m_.fuzz_execs->Add();
+    if (prog.empty()) {
+      return false;
+    }
     (mutated ? m_.mutated : m_.generated)->Add();
     m_.prog_len->Observe(prog.size());
+
+    const ExecResult result = ExecWithRecovery(prog, &shared_->coverage);
     if (result.Failed()) {
-      return;  // Feedback discarded; the exec slot is still consumed.
+      return false;  // Feedback discarded; the exec slot is still consumed.
     }
     const bool gained = result.TotalNewEdges() > 0;
     m_.coverage_edges->Add(result.TotalNewEdges());
@@ -144,41 +227,32 @@ class Worker {
       m_.exec_new_edges->Observe(result.TotalNewEdges());
     }
     if (options_.tool == ToolKind::kHealer) {
-      shared_->alpha.Record(used_table, gained);
-      if (shared_->alpha.updates() != shared_->alpha_updates_seen) {
-        shared_->alpha_updates_seen = shared_->alpha.updates();
-        m_.alpha_updates->Add();
-        m_.alpha->Set(shared_->alpha.alpha());
-        shared_->trace.RecordInstant("alpha-update", "alpha",
-                                     sim_clock_->now(), tid_);
-      }
+      ++batch_.alpha_outcomes[(used_table ? 2u : 0u) | (gained ? 1u : 0u)];
     }
+    bool urgent = false;
     if (result.Crashed()) {
       m_.crash_reports->Add();
-      const bool is_new =
-          shared_->crashes.Record(result.crash->bug, result.crash->title, 0,
-                                  shared_->fuzz_execs,
-                                  result.crash->call_index + 1);
-      if (is_new) {
-        m_.crash_new->Add();
-      }
+      batch_.crashes.push_back(PendingCrash{
+          result.crash->bug, result.crash->title, ticket + 1,
+          result.crash->call_index + 1});
+      urgent = true;
     }
     if (!gained) {
-      return;
+      return urgent;
     }
     // Analysis probes go through the same recovery accounting as fuzzing
-    // executions (the caller already holds the shared lock); a still-failed
-    // probe reaches the minimizer/learner as a typed failure, which both
-    // treat as "no information".
+    // executions; a still-failed probe reaches the minimizer/learner as a
+    // typed failure, which both treat as "no information". Probes pass a
+    // null bitmap, so they never perturb campaign coverage.
     Minimizer minimizer([this](const Prog& p) {
       m_.analysis_execs->Add();
-      return ExecWithRecoveryLocked(p, nullptr);
+      return ExecWithRecovery(p, nullptr);
     });
     DynamicLearner learner(
         &shared_->relations,
         [this](const Prog& p) {
           m_.analysis_execs->Add();
-          return ExecWithRecoveryLocked(p, nullptr);
+          return ExecWithRecovery(p, nullptr);
         },
         &clock_);
     std::vector<MinimizedSeq> minimized = minimizer.Minimize(prog, result);
@@ -196,10 +270,64 @@ class Worker {
           m_.relations_learned->Add(learned);
         }
       }
-      shared_->corpus.Add(std::move(seq.prog),
-                          std::max<uint32_t>(1, result.TotalNewEdges()));
+      // Serialize (for the dedup hash) outside the lock; Publish reuses it
+      // via the precomputed-hash Corpus::Add overload.
+      const uint64_t hash = Corpus::ContentHash(SerializeProg(seq.prog));
+      batch_.adds.push_back(
+          PendingAdd{std::move(seq.prog),
+                     std::max<uint32_t>(1, result.TotalNewEdges()), hash});
+    }
+    return true;  // New coverage: publish so peers can build on it.
+  }
+
+  // The only place SharedFuzzState::mu is taken: merges this worker's batch
+  // into the authoritative state in one short critical section.
+  void Publish() {
+    if (batch_.Empty()) {
+      return;
+    }
+    TimedLock lock(&shared_->mu, &pm_);
+    shared_->fuzz_execs += batch_.execs;
+    pm_.batch_publish->Add();
+    pm_.batched_execs->Add(batch_.execs);
+    for (const PendingCrash& crash : batch_.crashes) {
+      const bool is_new = shared_->crashes.Record(
+          crash.bug, crash.title, 0, crash.exec_index, crash.repro_len);
+      if (is_new) {
+        m_.crash_new->Add();
+      }
+    }
+    if (options_.tool == ToolKind::kHealer) {
+      for (size_t key = 0; key < batch_.alpha_outcomes.size(); ++key) {
+        for (uint64_t i = 0; i < batch_.alpha_outcomes[key]; ++i) {
+          shared_->alpha.Record((key & 2u) != 0, (key & 1u) != 0);
+        }
+      }
+      if (shared_->alpha.updates() != shared_->alpha_updates_seen) {
+        m_.alpha_updates->Add(shared_->alpha.updates() -
+                              shared_->alpha_updates_seen);
+        shared_->alpha_updates_seen = shared_->alpha.updates();
+        m_.alpha->Set(shared_->alpha.alpha());
+        shared_->alpha_bits.store(
+            std::bit_cast<uint64_t>(shared_->alpha.alpha()),
+            std::memory_order_relaxed);
+        shared_->trace.RecordInstant("alpha-update", "alpha",
+                                     sim_clock_->now(), tid_);
+      }
+    }
+    bool added = false;
+    for (PendingAdd& add : batch_.adds) {
+      added |= shared_->corpus.Add(std::move(add.prog), add.priority,
+                                   add.content_hash);
       m_.corpus_adds->Add();
     }
+    if (added) {
+      auto snap = shared_->corpus.Snapshot();
+      std::lock_guard<std::mutex> sg(shared_->snapshot_mu);
+      shared_->corpus_snapshot = std::move(snap);
+      shared_->corpus_epoch.fetch_add(1, std::memory_order_relaxed);
+    }
+    batch_ = Batch{};
   }
 
   const Target& target_;
@@ -211,8 +339,12 @@ class Worker {
   const SimClock* sim_clock_;  // The fleet clock, for trace timestamps.
   uint32_t tid_;
   FuzzMetrics m_;
+  ParallelMetrics pm_;
   ProgBuilder builder_;
   CallSelector selector_;
+  Batch batch_;
+  std::shared_ptr<const CorpusSnapshot> snapshot_;
+  uint64_t snapshot_epoch_ = ~0ULL;
 };
 
 }  // namespace
@@ -223,7 +355,8 @@ ParallelResult RunParallelFuzz(const Target& target,
   if (options.tool == ToolKind::kHealer) {
     StaticRelationLearn(target, &shared.relations);
   }
-  SimClock clock;  // Shared simulated clock (advanced under the lock).
+  shared.corpus_snapshot = shared.corpus.Snapshot();
+  SimClock clock;  // Shared simulated clock (atomic; advanced lock-free).
   VmPool pool(target, KernelConfig::ForVersion(options.version), &clock,
               options.num_workers, VmLatencyModel(), options.fault_plan,
               options.seed, &shared.metrics);
@@ -235,6 +368,7 @@ ParallelResult RunParallelFuzz(const Target& target,
     workers.push_back(std::make_unique<Worker>(target, options, &shared, i,
                                                &pool.vm(i), &clock));
   }
+  const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
   threads.reserve(workers.size());
   for (auto& worker : workers) {
@@ -243,6 +377,7 @@ ParallelResult RunParallelFuzz(const Target& target,
   for (auto& thread : threads) {
     thread.join();
   }
+  const uint64_t wall_ns = ToNs(std::chrono::steady_clock::now() - wall_start);
   ParallelResult result;
   result.vm_health = monitor.HealthReport();
   monitor.Stop();
@@ -254,9 +389,11 @@ ParallelResult RunParallelFuzz(const Target& target,
   result.relations = shared.relations.Count();
   result.monitor_lines = monitor.lines_collected();
   FuzzMetrics handles(&shared.metrics);
+  ParallelMetrics pm(&shared.metrics);
   result.faults = pool.InjectedStats();
   result.faults.Merge(handles.RecoveryStats());
   result.corpus_progs = shared.corpus.ExportAll();
+  result.crash_records = shared.crashes.All();
   // Final gauge refresh, then snapshot the whole registry.
   handles.coverage_branches->Set(static_cast<double>(result.coverage));
   handles.corpus_programs->Set(static_cast<double>(result.corpus_size));
@@ -269,6 +406,14 @@ ParallelResult RunParallelFuzz(const Target& target,
   handles.alpha->Set(shared.alpha.alpha());
   handles.sim_hours->Set(static_cast<double>(clock.now()) /
                          static_cast<double>(SimClock::kHour));
+  pm.wall_ns->Set(static_cast<double>(wall_ns));
+  // Fraction of the fleet's wall time spent inside the publish lock: the
+  // headline contention number (1.0 would mean fully serialized workers).
+  const double fleet_ns =
+      static_cast<double>(wall_ns) * static_cast<double>(options.num_workers);
+  pm.lock_held_share->Set(
+      fleet_ns > 0.0 ? static_cast<double>(pm.lock_held_ns->Sum()) / fleet_ns
+                     : 0.0);
   result.telemetry = shared.metrics.Snapshot();
   result.trace_events = shared.trace.Events();
   return result;

@@ -1,19 +1,37 @@
 // Multi-worker fuzzing (Figure 3): worker threads (Job_i) drive the entire
-// fuzzing process on the host and synchronize directly through a shared
-// fuzzing state — coverage bitmap, corpus, crash db, relation table, alpha
-// schedule — while each worker owns a guest VM. A background Monitor
-// thread drains the VMs' console logs.
+// fuzzing process on the host and synchronize through a shared fuzzing
+// state — coverage bitmap, corpus, crash db, relation table, alpha schedule
+// — while each worker owns a guest VM. A background Monitor thread drains
+// the VMs' console logs.
 //
-// SimKernel executes in-process at microsecond scale, so the shared-state
-// lock is held across execution; against a real target the executor runs
-// inside the guest and the lock would only cover feedback merging. The
-// parallel mode demonstrates the architecture and scales state safely; the
-// deterministic single-threaded Fuzzer remains the benchmarking path.
+// The shared-state mutex covers ONLY feedback merging. Workers fuzz
+// against read-mostly views and batch their feedback:
+//
+//   * generation/mutation samples an epoch-versioned CorpusSnapshot
+//     (shared_ptr swapped on publish; workers refresh when corpus_epoch
+//     advances) — no lock on the pick path;
+//   * execution merges coverage straight into the campaign Bitmap, whose
+//     Set/MergeNew are atomic-word operations — no lock on the merge path;
+//   * the RelationTable is internally reader-writer locked, so guided
+//     selection and dynamic learning bypass the publish mutex too;
+//   * everything else (corpus adds, crash records, alpha outcomes, the
+//     fuzz_execs total) accumulates in a per-worker batch, published in one
+//     short `mu` acquisition every `batch_size` executions or immediately
+//     on new coverage / a crash.
+//
+// Lock contention is measured, not assumed: healer_parallel_lock_wait_ns /
+// _held_ns histograms and the healer_parallel_lock_held_share gauge make
+// the critical-section share visible in --metrics-out, and
+// scripts/check.sh's `parallel` stage gates on it.
+//
+// Parallel campaigns are scheduling-dependent; the deterministic
+// single-threaded Fuzzer remains the benchmarking reference (DESIGN.md §7).
 
 #ifndef SRC_FUZZ_PARALLEL_H_
 #define SRC_FUZZ_PARALLEL_H_
 
 #include <atomic>
+#include <bit>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -39,16 +57,37 @@ struct SharedFuzzState {
         relations(num_syscalls),
         trace(trace_capacity) {}
 
+  // ---- Lock-free fleet state ----
+  Bitmap coverage;          // Atomic-word merges; no external lock.
+  RelationTable relations;  // Internally reader-writer locked.
+  // Exec-slot dispenser: each worker claims tickets until total_execs.
+  std::atomic<uint64_t> exec_tickets{0};
+  // Current alpha as bit_cast<uint64_t>(double); workers read it per step
+  // without touching the AlphaSchedule (which lives under mu).
+  std::atomic<uint64_t> alpha_bits{
+      std::bit_cast<uint64_t>(AlphaSchedule::kInitial)};
+
+  // ---- Corpus snapshot hand-off ----
+  // Workers cache `corpus_snapshot` and re-copy the pointer (briefly under
+  // snapshot_mu) only when corpus_epoch moved past their cached epoch. The
+  // unlocked epoch probe is an optimization: a stale read just delays the
+  // refresh by one step.
+  std::mutex snapshot_mu;
+  std::shared_ptr<const CorpusSnapshot> corpus_snapshot;
+  std::atomic<uint64_t> corpus_epoch{0};
+
+  // ---- Publish-locked authoritative state (guarded by mu) ----
+  // mu is held only inside Worker::Publish — never across VM execution,
+  // generation/mutation, minimization or learning.
   std::mutex mu;
-  Bitmap coverage;
   Corpus corpus;
   CrashDb crashes;
-  RelationTable relations;  // Internally reader-writer locked.
   AlphaSchedule alpha;
   uint64_t fuzz_execs = 0;
   // How many alpha re-estimations workers have already published to the
   // telemetry counters (guarded by mu).
   uint64_t alpha_updates_seen = 0;
+
   // Fleet-wide telemetry: counters shard per worker thread, so recording is
   // contention-free; the recovery-side fault accounting lives here too (the
   // injected counters live in the VM injectors, merged at the end).
@@ -62,6 +101,9 @@ struct ParallelOptions {
   uint64_t seed = 1;
   size_t num_workers = 4;
   uint64_t total_execs = 10000;
+  // Executions a worker accumulates before publishing its feedback batch
+  // (new coverage and crashes publish immediately).
+  size_t batch_size = 32;
   // Fault injection (empty = fault-free) and per-worker recovery policy.
   FaultPlan fault_plan;
   RecoveryPolicy recovery;
@@ -83,6 +125,8 @@ struct ParallelResult {
   // The final corpus (for differential/property checks against the
   // single-threaded fuzzer).
   std::vector<Prog> corpus_progs;
+  // Deduplicated crash records (bug set, hit counts, shortest repros).
+  std::vector<CrashRecord> crash_records;
   // Full telemetry snapshot of the shared registry, and the buffered span
   // trace (empty unless options.trace_capacity > 0).
   MetricsSnapshot telemetry;

@@ -7,15 +7,22 @@
 // receives *per-call* edge sets — the granularity HEALER's minimization and
 // dynamic relation learning require.
 //
-// Edges are (previous block, block) pairs hashed into a 2^16-slot bitmap,
+// Edges are (previous block, block) pairs hashed into a 2^16-slot space,
 // mirroring AFL/syzkaller branch signal.
+//
+// The per-call map is epoch-stamped rather than a bitmap: arming a fresh
+// call (Reset) just bumps the epoch instead of memsetting 8 KB, and the
+// slots touched by the call are kept in a dense vector so the campaign
+// merge walks only the edges actually hit (typically dozens) instead of
+// the whole map. The one real clear happens on 32-bit epoch wraparound.
 
 #ifndef SRC_KERNEL_COVERAGE_H_
 #define SRC_KERNEL_COVERAGE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
-#include "src/base/bitmap.h"
 #include "src/base/hash.h"
 
 namespace healer {
@@ -32,11 +39,16 @@ class CallCoverage {
  public:
   static constexpr size_t kMapBits = 1 << 16;
 
-  CallCoverage() : edges_(kMapBits) {}
+  CallCoverage() : slot_epoch_(kMapBits, 0) { slots_.reserve(256); }
 
-  // Begins collection for a new call.
+  // Begins collection for a new call. O(1): bumping the epoch invalidates
+  // every stamp at once; only a wrapped epoch pays for a real clear.
   void Reset() {
-    edges_.Clear();
+    if (++epoch_ == 0) {
+      std::fill(slot_epoch_.begin(), slot_epoch_.end(), 0u);
+      epoch_ = 1;
+    }
+    slots_.clear();
     prev_block_ = 0;
     signal_ = 0xcbf29ce484222325ULL;
   }
@@ -45,21 +57,28 @@ class CallCoverage {
   void HitBlock(uint32_t block) {
     const uint64_t edge = Mix64((static_cast<uint64_t>(prev_block_) << 32) |
                                 static_cast<uint64_t>(block));
-    edges_.Set(static_cast<size_t>(edge & (kMapBits - 1)));
+    const uint32_t slot = static_cast<uint32_t>(edge & (kMapBits - 1));
+    if (slot_epoch_[slot] != epoch_) {
+      slot_epoch_[slot] = epoch_;
+      slots_.push_back(slot);
+    }
     // Order-independent accumulator so equal edge sets hash equal.
     signal_ += Mix64(edge);
     prev_block_ = block;
   }
 
-  const Bitmap& edges() const { return edges_; }
-  size_t NumEdges() const { return edges_.Count(); }
+  // Distinct edge slots hit since the last Reset, in first-hit order.
+  const std::vector<uint32_t>& slots() const { return slots_; }
+  size_t NumEdges() const { return slots_.size(); }
 
   // Cheap content hash of the edge multiset; used by the dynamic learner to
   // detect "coverage of this call changed".
   uint64_t signal() const { return signal_; }
 
  private:
-  Bitmap edges_;
+  std::vector<uint32_t> slot_epoch_;
+  std::vector<uint32_t> slots_;
+  uint32_t epoch_ = 1;
   uint32_t prev_block_ = 0;
   uint64_t signal_ = 0;
 };

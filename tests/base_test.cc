@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "src/base/bitmap.h"
 #include "src/base/hash.h"
@@ -185,6 +188,74 @@ TEST(BitmapTest, ClearResets) {
   bitmap.Clear();
   EXPECT_EQ(bitmap.Count(), 0u);
   EXPECT_FALSE(bitmap.Test(3));
+}
+
+TEST(BitmapTest, MergeNewSizeMismatchAborts) {
+  // Mixing coverage spaces of different sizes used to silently truncate the
+  // merge; it is now fatal regardless of NDEBUG.
+  Bitmap a(128);
+  Bitmap b(256);
+  EXPECT_DEATH(a.MergeNew(b), "bitmap size mismatch");
+  EXPECT_DEATH(b.MergeNew(a), "bitmap size mismatch");
+}
+
+TEST(BitmapTest, HasNewBitsSizeMismatchAborts) {
+  Bitmap a(64);
+  Bitmap b(128);
+  EXPECT_DEATH(a.HasNewBits(b), "bitmap size mismatch");
+}
+
+TEST(BitmapTest, ConcurrentSetsCountEachBitOnce) {
+  // Set/MergeNew are atomic-word operations: hammer one bitmap from
+  // several threads with overlapping bit ranges and check that the winner
+  // accounting is exact — total "fresh" credits == final popcount.
+  constexpr size_t kBits = 4096;
+  constexpr int kThreads = 4;
+  Bitmap bitmap(kBits);
+  std::atomic<size_t> fresh_total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&bitmap, &fresh_total, t] {
+      size_t fresh = 0;
+      // Each thread covers 3/4 of the map, offset per thread, so every bit
+      // is contended by at least two threads.
+      for (size_t i = 0; i < kBits * 3 / 4; ++i) {
+        fresh += bitmap.Set((i + t * (kBits / 4)) % kBits) ? 1 : 0;
+      }
+      fresh_total.fetch_add(fresh);
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(bitmap.Count(), kBits);
+  EXPECT_EQ(fresh_total.load(), kBits);
+}
+
+TEST(BitmapTest, ConcurrentMergeNewCreditsExactly) {
+  constexpr size_t kBits = 2048;
+  constexpr int kThreads = 4;
+  Bitmap global(kBits);
+  // Overlapping per-thread locals: threads race to merge shared bits.
+  std::vector<Bitmap> locals;
+  for (int t = 0; t < kThreads; ++t) {
+    locals.emplace_back(kBits);
+    for (size_t i = 0; i < kBits; i += (t + 1)) {
+      locals.back().Set(i);
+    }
+  }
+  std::atomic<size_t> fresh_total{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&global, &locals, &fresh_total, t] {
+      fresh_total.fetch_add(global.MergeNew(locals[t]));
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(fresh_total.load(), global.Count());
+  EXPECT_EQ(global.Count(), kBits);  // Stride-1 local covers everything.
 }
 
 // ---- Hash ----

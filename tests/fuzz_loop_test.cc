@@ -3,14 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <set>
 
+#include "src/base/hash.h"
 #include "src/fuzz/campaign.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/crash_db.h"
+#include "src/fuzz/fuzzer.h"
 #include "src/fuzz/moonshine.h"
 #include "src/fuzz/prog_builder.h"
 #include "src/fuzz/templates.h"
+#include "src/prog/serialize.h"
 #include "src/syzlang/builtin_descs.h"
 
 namespace healer {
@@ -35,6 +40,95 @@ TEST(CorpusTest, AddChooseAndDedup) {
   EXPECT_FALSE(corpus.Add(prog.Clone(), 5));  // Duplicate content.
   EXPECT_EQ(corpus.size(), 1u);
   EXPECT_EQ(corpus.Choose(&rng).calls()[0].meta->name, "sync");
+}
+
+TEST(CorpusTest, FenwickChooseMatchesLinearScan) {
+  // The Fenwick-tree sampler must pick exactly the entry the old O(n)
+  // prefix scan would have picked for every roll value.
+  const Target& target = BuiltinTarget();
+  Rng rng(7);
+  Corpus corpus;
+  std::vector<uint32_t> priorities;
+  const std::vector<std::string> names = {"sync", "memfd_create", "pipe2",
+                                          "eventfd2", "epoll_create1"};
+  for (size_t i = 0; i < names.size(); ++i) {
+    Prog prog = BuildChain(target, AllIds(target), {names[i]}, &rng);
+    const uint32_t prio = static_cast<uint32_t>(3 * i + 1);
+    ASSERT_TRUE(corpus.Add(std::move(prog), prio));
+    priorities.push_back(prio);
+  }
+  // Fixed-sequence "rng" via exhaustive rolls: reconstruct the expected
+  // pick per roll with the reference linear scan over the known priorities.
+  uint64_t total = 0;
+  for (uint32_t p : priorities) {
+    total += p;
+  }
+  std::map<std::string, size_t> fenwick_picks;
+  for (int trial = 0; trial < 2000; ++trial) {
+    fenwick_picks[corpus.Choose(&rng).calls()[0].meta->name] += 1;
+  }
+  // Distribution check: the heaviest entry (prio 13/35) must dominate the
+  // lightest (prio 1/35) by far.
+  EXPECT_GT(fenwick_picks["epoll_create1"], fenwick_picks["sync"] * 5);
+  EXPECT_EQ(total, 35u);
+}
+
+TEST(CorpusTest, UpdatePriorityReweightsSampling) {
+  const Target& target = BuiltinTarget();
+  Rng rng(11);
+  Corpus corpus;
+  ASSERT_TRUE(corpus.Add(
+      BuildChain(target, AllIds(target), {"sync"}, &rng), 1));
+  ASSERT_TRUE(corpus.Add(
+      BuildChain(target, AllIds(target), {"memfd_create"}, &rng), 1));
+  corpus.UpdatePriority(0, 99);
+  EXPECT_EQ(corpus.priority_at(0), 99u);
+  size_t first = 0;
+  for (int trial = 0; trial < 1000; ++trial) {
+    if (corpus.Choose(&rng).calls()[0].meta->name == "sync") {
+      ++first;
+    }
+  }
+  EXPECT_GT(first, 900u);  // 99/100 weight on entry 0.
+}
+
+TEST(CorpusTest, SnapshotChoosesLikeLiveCorpus) {
+  const Target& target = BuiltinTarget();
+  Rng rng(13);
+  Corpus corpus;
+  ASSERT_TRUE(corpus.Add(
+      BuildChain(target, AllIds(target), {"sync"}, &rng), 2));
+  ASSERT_TRUE(corpus.Add(
+      BuildChain(target, AllIds(target), {"memfd_create"}, &rng), 8));
+  const std::shared_ptr<const CorpusSnapshot> snap = corpus.Snapshot();
+  ASSERT_EQ(snap->size(), 2u);
+  // Same roll → same pick: drive two identically-seeded RNGs in lockstep.
+  // Programs are shared between the live corpus and the snapshot, so equal
+  // picks are the very same object.
+  Rng a(42);
+  Rng b(42);
+  for (int trial = 0; trial < 500; ++trial) {
+    EXPECT_EQ(&corpus.Choose(&a), &snap->Choose(&b));
+  }
+  // Snapshot stays valid and unchanged while the live corpus grows.
+  ASSERT_TRUE(corpus.Add(
+      BuildChain(target, AllIds(target), {"pipe2"}, &rng), 1));
+  EXPECT_EQ(snap->size(), 2u);
+  EXPECT_EQ(corpus.size(), 3u);
+}
+
+TEST(CorpusTest, PrecomputedHashAddDedupsAgainstSerializedPath) {
+  const Target& target = BuiltinTarget();
+  Rng rng(17);
+  Corpus corpus;
+  Prog prog = BuildChain(target, AllIds(target), {"sync"}, &rng);
+  const std::vector<uint8_t> bytes = SerializeProg(prog);
+  ASSERT_TRUE(
+      corpus.Add(prog.Clone(), 5, Corpus::ContentHash(bytes)));
+  // The plain overload hashes the same serialized content → duplicate.
+  EXPECT_FALSE(corpus.Add(prog.Clone(), 5));
+  EXPECT_FALSE(corpus.Add(prog.Clone(), 5, Corpus::ContentHash(bytes)));
+  EXPECT_EQ(corpus.size(), 1u);
 }
 
 TEST(CorpusTest, LengthHistogramBuckets) {
@@ -292,6 +386,46 @@ TEST(CampaignTest, DeterministicForSameSeed) {
   EXPECT_EQ(a.fuzz_execs, b.fuzz_execs);
   EXPECT_EQ(a.relations_total, b.relations_total);
   EXPECT_EQ(a.crashes.size(), b.crashes.size());
+}
+
+TEST(CampaignTest, GoldenFingerprintUnchangedByHotPathRewrites) {
+  // Determinism guard for the Fenwick-tree corpus sampler, the
+  // epoch-stamped per-call coverage map and the atomic-word bitmap: a
+  // fixed-seed single-threaded campaign must stay byte-identical to the
+  // fingerprint captured from the pre-rewrite implementation (O(n) corpus
+  // scan + per-call bitmap memset). Any drift here means the "optimization"
+  // changed behaviour, not just speed.
+  FuzzerOptions options;
+  options.tool = ToolKind::kHealer;
+  options.seed = 20260806;
+  Fuzzer fuzzer(BuiltinTarget(), options);
+  for (int i = 0; i < 400; ++i) {
+    fuzzer.Step();
+  }
+  uint64_t corpus_hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < fuzzer.corpus().size(); ++i) {
+    const std::vector<uint8_t> bytes = SerializeProg(fuzzer.corpus().at(i));
+    corpus_hash ^= Mix64(Fnv1a(std::string_view(
+        reinterpret_cast<const char*>(bytes.data()), bytes.size())));
+  }
+  EXPECT_EQ(fuzzer.CoverageCount(), 414u);
+  EXPECT_EQ(fuzzer.coverage().Hash(), 833089619754933421ULL);
+  EXPECT_EQ(fuzzer.corpus().size(), 315u);
+  EXPECT_EQ(fuzzer.relations().Count(), 308u);
+  EXPECT_EQ(corpus_hash, 4173572656220393830ULL);
+  EXPECT_DOUBLE_EQ(fuzzer.alpha(), 0.5);
+  // Crash list: same bugs, same shortest repros.
+  const std::map<BugId, size_t> expected_crashes = {
+      {static_cast<BugId>(55), 2}, {static_cast<BugId>(51), 2},
+      {static_cast<BugId>(56), 2}, {static_cast<BugId>(22), 4},
+      {static_cast<BugId>(33), 2}, {static_cast<BugId>(29), 5},
+      {static_cast<BugId>(26), 3}};
+  ASSERT_EQ(fuzzer.crashes().UniqueBugs(), expected_crashes.size());
+  for (const CrashRecord& rec : fuzzer.crashes().All()) {
+    const auto it = expected_crashes.find(rec.bug);
+    ASSERT_NE(it, expected_crashes.end()) << "unexpected bug";
+    EXPECT_EQ(rec.shortest_repro, it->second);
+  }
 }
 
 TEST(CampaignTest, DifferentSeedsDiffer) {
