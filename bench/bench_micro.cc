@@ -9,6 +9,8 @@
 #include <chrono>
 #include <cstring>
 #include <functional>
+#include <map>
+#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -98,23 +100,113 @@ void BM_RelationTableLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_RelationTableLookup);
 
+// The built-in-target prefix every guided-selection measurement uses.
+std::vector<int> SelectionPrefix() {
+  const Target& target = BuiltinTarget();
+  return {
+      target.FindSyscall("openat$kvm")->id,
+      target.FindSyscall("ioctl$KVM_CREATE_VM")->id,
+      target.FindSyscall("memfd_create")->id,
+  };
+}
+
 void BM_GuidedSelection(benchmark::State& state) {
   const Target& target = BuiltinTarget();
   RelationTable table(target.NumSyscalls());
   StaticRelationLearn(target, &table);
   Rng rng(3);
   CallSelector selector(&table, AllIds(target), &rng);
-  const std::vector<int> prefix = {
-      target.FindSyscall("openat$kvm")->id,
-      target.FindSyscall("ioctl$KVM_CREATE_VM")->id,
-      target.FindSyscall("memfd_create")->id,
-  };
+  const std::vector<int> prefix = SelectionPrefix();
   bool used = false;
   for (auto _ : state) {
     benchmark::DoNotOptimize(selector.Select(prefix, 0.9, &used));
   }
 }
 BENCHMARK(BM_GuidedSelection);
+
+// Reference implementation of the pre-snapshot Select hot path: a
+// shared_mutex-guarded dense relation matrix whose InfluencedBy allocates a
+// fresh vector per prefix call, feeding a std::map candidate accumulator —
+// one reader-lock acquisition and O(prefix) heap allocations per pick. The
+// bench_micro guard in scripts/check.sh asserts the snapshot rewrite beats
+// this by >= 5x at the built-in target size.
+class LegacyRelationView {
+ public:
+  explicit LegacyRelationView(const RelationTable& table)
+      : n_(table.n()), cells_(n_ * n_, 0) {
+    for (const RelationEdge& edge : table.EdgesBefore()) {
+      cells_[static_cast<size_t>(edge.from) * n_ +
+             static_cast<size_t>(edge.to)] = 1;
+    }
+  }
+
+  std::vector<int> InfluencedBy(int from) const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    std::vector<int> influenced;
+    const size_t base = static_cast<size_t>(from) * n_;
+    for (size_t to = 0; to < n_; ++to) {
+      if (cells_[base + to] != 0) {
+        influenced.push_back(static_cast<int>(to));
+      }
+    }
+    return influenced;
+  }
+
+ private:
+  size_t n_;
+  mutable std::shared_mutex mu_;
+  std::vector<uint8_t> cells_;
+};
+
+int LegacySelect(const LegacyRelationView& view,
+                 const std::vector<int>& enabled,
+                 const std::vector<uint8_t>& mask, Rng* rng,
+                 const std::vector<int>& prefix, double alpha,
+                 bool* used_table) {
+  *used_table = false;
+  if (prefix.empty() || !rng->Bernoulli(alpha)) {
+    return enabled[rng->Below(enabled.size())];
+  }
+  std::map<int, uint64_t> candidates;
+  for (int ci : prefix) {
+    for (int cj : view.InfluencedBy(ci)) {
+      if (mask[static_cast<size_t>(cj)] != 0) {
+        ++candidates[cj];
+      }
+    }
+  }
+  if (candidates.empty()) {
+    return enabled[rng->Below(enabled.size())];
+  }
+  *used_table = true;
+  std::vector<int> calls;
+  std::vector<uint64_t> weights;
+  for (const auto& [call, weight] : candidates) {
+    calls.push_back(call);
+    weights.push_back(weight);
+  }
+  return calls[rng->WeightedPick(weights)];
+}
+
+void BM_GuidedSelectionLegacyRef(benchmark::State& state) {
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  StaticRelationLearn(target, &table);
+  const LegacyRelationView view(table);
+  const std::vector<int> enabled = AllIds(target);
+  std::vector<uint8_t> mask(target.NumSyscalls(), 0);
+  for (int id : enabled) {
+    mask[static_cast<size_t>(id)] = 1;
+  }
+  Rng rng(3);
+  const std::vector<int> prefix = SelectionPrefix();
+  bool used = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LegacySelect(view, enabled, mask, &rng, prefix, 0.9, &used));
+  }
+}
+BENCHMARK(BM_GuidedSelectionLegacyRef);
 
 // Measures the *executions* (not time) minimization + learning cost for the
 // typical minimized length the paper cites. Reported as counters.
@@ -282,6 +374,33 @@ double TimeNs(size_t iters, const std::function<void()>& fn) {
 }
 
 void WriteMicroJson() {
+  // Guided selection: the snapshot/flat-array Select vs the legacy
+  // shared_mutex + std::map reference, both on the statically learned table
+  // at the built-in target size and alpha = 1.0 (every pick exercises the
+  // table path). scripts/check.sh's `relation` stage asserts >= 5x.
+  const Target& target = BuiltinTarget();
+  RelationTable table(target.NumSyscalls());
+  StaticRelationLearn(target, &table);
+  const LegacyRelationView legacy_view(table);
+  const std::vector<int> enabled = AllIds(target);
+  std::vector<uint8_t> mask(target.NumSyscalls(), 0);
+  for (int id : enabled) {
+    mask[static_cast<size_t>(id)] = 1;
+  }
+  const std::vector<int> prefix = SelectionPrefix();
+  Rng rng_sel_new(3);
+  Rng rng_sel_old(3);
+  CallSelector selector(&table, enabled, &rng_sel_new);
+  bool used = false;
+  constexpr size_t kSelectIters = 50000;
+  const double select_snapshot_ns = TimeNs(kSelectIters, [&] {
+    benchmark::DoNotOptimize(selector.Select(prefix, 1.0, &used));
+  });
+  const double select_legacy_ns = TimeNs(kSelectIters, [&] {
+    benchmark::DoNotOptimize(LegacySelect(legacy_view, enabled, mask,
+                                          &rng_sel_old, prefix, 1.0, &used));
+  });
+
   const Corpus& corpus = BigCorpus();
   std::vector<uint32_t> priorities;
   uint64_t total = 0;
@@ -320,6 +439,11 @@ void WriteMicroJson() {
   bench::WriteBenchJson(
       "micro",
       {
+          {"select_snapshot_ns", select_snapshot_ns},
+          {"select_legacy_ns", select_legacy_ns},
+          {"select_speedup", select_snapshot_ns > 0.0
+                                 ? select_legacy_ns / select_snapshot_ns
+                                 : 0.0},
           {"corpus_choose_fenwick_ns_16k", fenwick_ns},
           {"corpus_choose_linear_ns_16k", linear_ns},
           {"corpus_choose_speedup_16k",
@@ -336,11 +460,27 @@ void WriteMicroJson() {
 int main(int argc, char** argv) {
   // Filtered runs (the check.sh telemetry guard parses CSV output) skip the
   // JSON side-artifact; a plain run regenerates BENCH_micro.json.
+  // --json-only writes BENCH_micro.json without running the registered
+  // google-benchmark suite (the check.sh relation guard only needs the
+  // hand-timed numbers).
   bool filtered = false;
+  bool json_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strstr(argv[i], "--benchmark_filter") != nullptr) {
       filtered = true;
     }
+    if (std::strcmp(argv[i], "--json-only") == 0) {
+      json_only = true;
+      for (int j = i; j + 1 < argc; ++j) {
+        argv[j] = argv[j + 1];
+      }
+      --argc;
+      --i;
+    }
+  }
+  if (json_only) {
+    healer::WriteMicroJson();
+    return 0;
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

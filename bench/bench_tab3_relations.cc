@@ -2,6 +2,14 @@
 // (min / max / average over rounds), split by static vs dynamic source.
 // The paper's table varies per-round because learned relations depend on
 // the fuzzing trajectory — ours reproduces that property.
+//
+// Headline numbers are also dumped to BENCH_tab3_relations.json (per
+// version: min/max/avg total and avg dynamic; plus the overall row) so
+// driver scripts can scrape them like the other benches.
+
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "src/syzlang/builtin_descs.h"
@@ -16,6 +24,7 @@ void Run() {
                      "Tab. 3 (paper: 5434-6320 avg across versions)");
   std::printf("%-8s %8s %8s %8s   %s\n", "Version", "Min", "Max", "Average",
               "(of which dynamic, avg)");
+  std::vector<std::pair<std::string, double>> metrics;
   size_t overall_min = 0;
   size_t overall_max = 0;
   double overall_avg = 0.0;
@@ -33,9 +42,16 @@ void Run() {
       sum_dyn += result.relations_dynamic;
     }
     const double avg = static_cast<double>(sum_rel) / kRounds;
+    const double avg_dyn = static_cast<double>(sum_dyn) / kRounds;
     std::printf("%-8s %8zu %8zu %8.0f   %.0f\n", KernelVersionName(version),
-                min_rel, max_rel, avg,
-                static_cast<double>(sum_dyn) / kRounds);
+                min_rel, max_rel, avg, avg_dyn);
+    const std::string key = std::string("v") + KernelVersionName(version);
+    metrics.emplace_back(key + "_relations_min",
+                         static_cast<double>(min_rel));
+    metrics.emplace_back(key + "_relations_max",
+                         static_cast<double>(max_rel));
+    metrics.emplace_back(key + "_relations_avg", avg);
+    metrics.emplace_back(key + "_relations_dynamic_avg", avg_dyn);
     overall_min += min_rel;
     overall_max += max_rel;
     overall_avg += avg;
@@ -44,10 +60,16 @@ void Run() {
   std::printf("%-8s %8.0f %8.0f %8.0f\n", "Overall",
               static_cast<double>(overall_min) / n,
               static_cast<double>(overall_max) / n, overall_avg / n);
+  metrics.emplace_back("overall_relations_min",
+                       static_cast<double>(overall_min) / n);
+  metrics.emplace_back("overall_relations_max",
+                       static_cast<double>(overall_max) / n);
+  metrics.emplace_back("overall_relations_avg", overall_avg / n);
   std::printf("\nThe table is 'overall sparse, locally dense': counts are a "
               "tiny fraction of the\nn^2 = %zu possible pairs, matching the "
               "paper's observation.\n",
               BuiltinTarget().NumSyscalls() * BuiltinTarget().NumSyscalls());
+  bench::WriteBenchJson("tab3_relations", metrics);
 }
 
 }  // namespace

@@ -3,14 +3,16 @@
 # a ThreadSanitizer pass over the multi-threaded fuzzing paths, a
 # telemetry stage (smoke-test the observability surfaces + hot-path
 # overhead guard against a -DHEALER_NO_TELEMETRY baseline build), and a
-# parallel stage (scaling-bench smoke + critical-section-share guard).
+# parallel stage (scaling-bench smoke + critical-section-share guard), and a
+# relation stage (snapshot-Select speedup guard + draw-determinism tests).
 #
-#   scripts/check.sh              # all five stages
+#   scripts/check.sh              # all six stages
 #   scripts/check.sh tier1        # just the tier-1 verify
 #   scripts/check.sh asan         # just the ASan/UBSan stage
 #   scripts/check.sh tsan         # just the TSan stage
 #   scripts/check.sh telemetry    # just the telemetry smoke + overhead guard
 #   scripts/check.sh parallel     # just the parallel scaling-bench guard
+#   scripts/check.sh relation     # just the relation-engine guards
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -130,14 +132,41 @@ run_parallel() {
     "$tmp/BENCH_parallel_scaling.json"
 }
 
+run_relation() {
+  echo "==> relation: snapshot-Select speedup guard + draw determinism"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_micro healer_tests
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  # bench_micro --json-only times the epoch-snapshot Select against the
+  # legacy shared_mutex + std::map reference on the same table and RNG.
+  # The rewrite measures 10-12x here; 5x is the regression tripwire.
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_micro" --json-only)
+  [ -f "$tmp/BENCH_micro.json" ] || {
+    echo "FAIL: BENCH_micro.json not written" >&2; exit 1; }
+  awk -F: '/"select_speedup"/ {
+      gsub(/[ ,]/, "", $2); speedup=$2+0;
+      printf "    snapshot Select speedup over legacy: %.2fx (floor 5x)\n", speedup;
+      found=1; if (speedup < 5) { print "FAIL: Select speedup below 5x"; exit 1 }
+    } END { if (!found) { print "FAIL: select_speedup missing"; exit 1 } }' \
+    "$tmp/BENCH_micro.json"
+  # Determinism: the snapshot Select must stay draw-identical to the map
+  # reference, and fixed-seed campaigns must reproduce the golden
+  # fingerprint bit-for-bit.
+  ctest --test-dir build --output-on-failure \
+    -R 'DrawEquivalentWithMapReference|GoldenFingerprint'
+}
+
 case "$stage" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
   tsan)  run_tsan ;;
   telemetry) run_telemetry ;;
   parallel) run_parallel ;;
-  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel ;;
-  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|all]" >&2; exit 2 ;;
+  relation) run_relation ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

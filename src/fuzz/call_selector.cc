@@ -1,7 +1,6 @@
 #include "src/fuzz/call_selector.h"
 
 #include <algorithm>
-#include <map>
 
 namespace healer {
 
@@ -35,6 +34,29 @@ void AlphaSchedule::Record(bool used_table, bool gained_coverage) {
   random_execs_ = random_gains_ = 0;
 }
 
+CallSelector::CallSelector(const RelationTable* table,
+                           std::vector<int> enabled, Rng* rng)
+    : table_(table), enabled_(std::move(enabled)), rng_(rng) {
+  const size_t n = table_->n();
+  enabled_mask_.assign(n, 0);
+  for (int id : enabled_) {
+    enabled_mask_[static_cast<size_t>(id)] = 1;
+  }
+  cand_count_.assign(n, 0);
+  cand_stamp_.assign(n, 0);
+  cand_calls_.reserve(n);
+  cand_weights_.reserve(n);
+}
+
+const RelationSnapshot& CallSelector::Snap() {
+  const uint64_t epoch = table_->epoch();
+  if (epoch != snapshot_epoch_ || snapshot_ == nullptr) {
+    snapshot_ = table_->snapshot();
+    snapshot_epoch_ = snapshot_->epoch();
+  }
+  return *snapshot_;
+}
+
 int CallSelector::RandomCall() {
   return enabled_[rng_->Below(enabled_.size())];
 }
@@ -46,36 +68,44 @@ int CallSelector::Select(const std::vector<int>& prefix, double alpha,
   if (prefix.empty() || !rng_->Bernoulli(alpha)) {
     return RandomCall();
   }
-  if (enabled_mask_.empty()) {
-    enabled_mask_.resize(table_->n(), 0);
-    for (int id : enabled_) {
-      enabled_mask_[static_cast<size_t>(id)] = 1;
-    }
+  const RelationSnapshot& snap = Snap();
+  // Lines 3-7: candidate counts M[c_j] = |{c_i in S : R[i][j] = 1}|,
+  // accumulated into the epoch-stamped flat array.
+  if (++pick_epoch_ == 0) {
+    std::fill(cand_stamp_.begin(), cand_stamp_.end(), 0);
+    pick_epoch_ = 1;
   }
-  // Lines 3-7: candidate map M[c_j] = |{c_i in S : R[i][j] = 1}|.
-  std::map<int, uint64_t> candidates;
+  cand_calls_.clear();
   for (int ci : prefix) {
-    for (int cj : table_->InfluencedBy(ci)) {
-      if (enabled_mask_[static_cast<size_t>(cj)] != 0) {
-        ++candidates[cj];
+    const int32_t* row = snap.Row(ci);
+    const uint32_t degree = snap.OutDegree(ci);
+    for (uint32_t k = 0; k < degree; ++k) {
+      const int cj = row[k];
+      if (enabled_mask_[static_cast<size_t>(cj)] == 0) {
+        continue;
       }
+      if (cand_stamp_[static_cast<size_t>(cj)] != pick_epoch_) {
+        cand_stamp_[static_cast<size_t>(cj)] = pick_epoch_;
+        cand_count_[static_cast<size_t>(cj)] = 0;
+        cand_calls_.push_back(cj);
+      }
+      ++cand_count_[static_cast<size_t>(cj)];
     }
   }
   // Lines 8-9: no information -> random.
-  if (candidates.empty()) {
+  if (cand_calls_.empty()) {
     return RandomCall();
   }
-  // Lines 10-11: weighted random pick.
+  // Lines 10-11: weighted random pick, candidates in ascending id order
+  // (the std::map order of the original implementation — keeps fixed-seed
+  // campaigns draw-identical).
   *used_table = true;
-  std::vector<int> calls;
-  std::vector<uint64_t> weights;
-  calls.reserve(candidates.size());
-  weights.reserve(candidates.size());
-  for (const auto& [call, weight] : candidates) {
-    calls.push_back(call);
-    weights.push_back(weight);
+  std::sort(cand_calls_.begin(), cand_calls_.end());
+  cand_weights_.clear();
+  for (int cj : cand_calls_) {
+    cand_weights_.push_back(cand_count_[static_cast<size_t>(cj)]);
   }
-  return calls[rng_->WeightedPick(weights)];
+  return cand_calls_[rng_->WeightedPick(cand_weights_)];
 }
 
 }  // namespace healer

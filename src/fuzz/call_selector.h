@@ -4,10 +4,19 @@
 // sub-sequence influence them according to the relation table. α is
 // re-estimated every 1024 executed test cases from the relative
 // new-coverage return of table-guided vs random selections.
+//
+// Select runs against the table's immutable RelationSnapshot (CSR rows):
+// the steady-state hot path performs no mutex acquisition (one relaxed
+// epoch probe per pick) and no heap allocation (the candidate accumulator
+// is a flat epoch-stamped count array — the CallCoverage::Reset trick — and
+// the pick buffers are reserved once in the constructor). Candidates are
+// ranked in ascending syscall-id order, so picks are draw-for-draw
+// identical to the original std::map-based implementation.
 
 #ifndef SRC_FUZZ_CALL_SELECTOR_H_
 #define SRC_FUZZ_CALL_SELECTOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/base/rng.h"
@@ -44,8 +53,7 @@ class CallSelector {
  public:
   // `enabled` lists the syscall ids available in the kernel under test.
   CallSelector(const RelationTable* table, std::vector<int> enabled,
-               Rng* rng)
-      : table_(table), enabled_(std::move(enabled)), rng_(rng) {}
+               Rng* rng);
 
   // Algorithm 3: selects the call to place after sub-sequence `prefix`
   // (syscall ids). Sets *used_table to whether the relation table drove the
@@ -57,10 +65,25 @@ class CallSelector {
   int RandomCall();
 
  private:
+  // Cached snapshot, refreshed only when the table's epoch moved.
+  const RelationSnapshot& Snap();
+
   const RelationTable* table_;
   std::vector<int> enabled_;
   std::vector<uint8_t> enabled_mask_;
   Rng* rng_;
+
+  std::shared_ptr<const RelationSnapshot> snapshot_;
+  uint64_t snapshot_epoch_ = ~0ULL;
+
+  // Flat epoch-stamped candidate accumulator: cand_count_[j] is valid iff
+  // cand_stamp_[j] == pick_epoch_, so arming a new pick is one increment
+  // instead of a map rebuild.
+  std::vector<uint32_t> cand_count_;
+  std::vector<uint64_t> cand_stamp_;
+  uint64_t pick_epoch_ = 0;
+  std::vector<int> cand_calls_;
+  std::vector<uint64_t> cand_weights_;
 };
 
 }  // namespace healer

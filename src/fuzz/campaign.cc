@@ -31,6 +31,18 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
       options.capture_trace ? options.trace_capacity : 0;
   Fuzzer fuzzer(target, fuzz_options);
 
+  size_t relations_loaded = 0;
+  if (!options.initial_relations_path.empty()) {
+    Result<size_t> loaded =
+        fuzzer.LoadRelations(options.initial_relations_path);
+    if (loaded.ok()) {
+      relations_loaded = *loaded;
+    } else {
+      LOG_WARNING << "failed to load initial relations: "
+                  << loaded.status().ToString();
+    }
+  }
+
   if (!options.initial_corpus_path.empty()) {
     Result<std::vector<Prog>> seeds =
         LoadProgs(options.initial_corpus_path, target);
@@ -116,6 +128,7 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   result.relations_dynamic =
       fuzzer.relations().CountBySource(RelationSource::kDynamic);
   result.relation_edges = fuzzer.relations().EdgesBefore();
+  result.relations_loaded = relations_loaded;
   result.final_alpha = fuzzer.alpha();
   result.faults = fuzzer.fault_stats();
   fuzzer.RefreshGauges();
@@ -129,6 +142,12 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
         SaveProgs(options.save_corpus_path, fuzzer.corpus().ExportAll());
     if (!saved.ok()) {
       LOG_WARNING << "failed to save corpus: " << saved.ToString();
+    }
+  }
+  if (!options.save_relations_path.empty()) {
+    const Status saved = fuzzer.SaveRelations(options.save_relations_path);
+    if (!saved.ok()) {
+      LOG_WARNING << "failed to save relations: " << saved.ToString();
     }
   }
   return result;

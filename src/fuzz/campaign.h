@@ -35,6 +35,11 @@ struct CampaignOptions {
   // the final corpus written after it.
   std::string initial_corpus_path;
   std::string save_corpus_path;
+  // Optional relation persistence: edges from a previous campaign loaded
+  // into the table before fuzzing (warm start), and the final table written
+  // after it (RelationTable::SaveToFile name-pair format).
+  std::string initial_relations_path;
+  std::string save_relations_path;
   // Live status: a one-line summary through the log sink every
   // `status_period` of simulated time (0 disables).
   SimClock::Nanos status_period = 0;
@@ -64,6 +69,8 @@ struct CampaignResult {
   size_t relations_total = 0;
   size_t relations_static = 0;
   size_t relations_dynamic = 0;
+  // Edges warm-started from initial_relations_path (0 when not used).
+  size_t relations_loaded = 0;
   std::vector<RelationEdge> relation_edges;  // Timestamped learn log.
   double final_alpha = 0.0;
   // Injected faults and recovery outcomes (all zero for fault-free runs).

@@ -78,7 +78,8 @@ ChoiceTable::ChoiceTable(const Target& target, std::vector<int> enabled)
       adjacency_(n_ * n_, 0),
       p_(n_ * n_, 0) {
   BuildStatic();
-  Rebuild();
+  Rebuild();  // Publishes the first snapshot, so Choose() never sees null.
+  weights_.reserve(enabled_.size());
 }
 
 void ChoiceTable::BuildStatic() {
@@ -130,24 +131,39 @@ void ChoiceTable::Rebuild() {
     const uint32_t p1 = Normalize(adjacency_[idx], max_adj);
     p_[idx] = p0_[idx] * p1 / 1000;
   }
+  // Publish the recomputed matrix as an immutable snapshot (same protocol
+  // as RelationTable: pointer swap first, epoch release-store after).
+  auto snap = std::make_shared<ChoiceSnapshot>();
+  snap->n_ = n_;
+  snap->p_ = p_;
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  snap->epoch_ = epoch;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snap);
+  }
+  epoch_.store(epoch, std::memory_order_release);
 }
 
-int ChoiceTable::Choose(Rng* rng, int prev) const {
+std::shared_ptr<const ChoiceSnapshot> ChoiceTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+int ChoiceTable::Choose(Rng* rng, int prev) {
   if (prev < 0) {
     return enabled_[rng->Below(enabled_.size())];
   }
-  std::vector<uint64_t> weights;
-  weights.reserve(enabled_.size());
-  uint64_t total = 0;
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (epoch != cached_epoch_ || cached_ == nullptr) {
+    cached_ = snapshot();
+    cached_epoch_ = cached_->epoch();
+  }
+  weights_.clear();
   for (int candidate : enabled_) {
-    const uint64_t weight = 1 + P(prev, candidate);
-    weights.push_back(weight);
-    total += weight;
+    weights_.push_back(1 + cached_->P(prev, candidate));
   }
-  if (total == 0) {
-    return enabled_[rng->Below(enabled_.size())];
-  }
-  return enabled_[rng->WeightedPick(weights)];
+  return enabled_[rng->WeightedPick(weights_)];
 }
 
 }  // namespace healer

@@ -4,17 +4,44 @@
 // vma 5, ...) and P1 counts adjacent call pairs in the corpus. Both factors
 // are normalized to [10, 1000]. The paper argues this misleads selection —
 // implementing it verbatim lets the benches reproduce that effect.
+//
+// Like RelationTable (DESIGN.md §8), the table separates the builder state
+// (P0, adjacency counts) from an immutable, epoch-versioned ChoiceSnapshot
+// of the P matrix that Rebuild() publishes by shared_ptr swap. Choose()
+// reads the cached snapshot (one relaxed epoch probe) and reuses a member
+// weights buffer — no mutex, no allocation per pick — so the Section-3
+// ablation benches compare the baseline against HEALER like with like.
 
 #ifndef SRC_FUZZ_CHOICE_TABLE_H_
 #define SRC_FUZZ_CHOICE_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/base/rng.h"
 #include "src/syzlang/target.h"
 
 namespace healer {
+
+// Immutable point-in-time view of the P matrix.
+class ChoiceSnapshot {
+ public:
+  uint64_t epoch() const { return epoch_; }
+  size_t n() const { return n_; }
+
+  uint32_t P(int before, int after) const {
+    return p_[static_cast<size_t>(before) * n_ + static_cast<size_t>(after)];
+  }
+
+ private:
+  friend class ChoiceTable;
+  uint64_t epoch_ = 0;
+  size_t n_ = 0;
+  std::vector<uint32_t> p_;
+};
 
 class ChoiceTable {
  public:
@@ -29,14 +56,22 @@ class ChoiceTable {
     ++adjacency_[Index(before, after)];
   }
 
-  // Recomputes P from P0 and the adjacency counts.
+  // Recomputes P from P0 and the adjacency counts, and publishes it as a
+  // new snapshot.
   void Rebuild();
 
   // Selects the next call biased by P[prev][*]; uniform among enabled calls
-  // when prev < 0.
-  int Choose(Rng* rng, int prev) const;
+  // when prev < 0. Reads the published snapshot, refreshed only when the
+  // epoch moved; reuses the member weights buffer (no per-pick allocation).
+  int Choose(Rng* rng, int prev);
 
   uint32_t P(int before, int after) const { return p_[Index(before, after)]; }
+
+  // Snapshot epoch; bumped by every Rebuild().
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
+
+  // Current immutable view of the P matrix.
+  std::shared_ptr<const ChoiceSnapshot> snapshot() const;
 
  private:
   size_t Index(int before, int after) const {
@@ -49,6 +84,15 @@ class ChoiceTable {
   std::vector<uint32_t> p0_;
   std::vector<uint32_t> adjacency_;
   std::vector<uint32_t> p_;
+
+  std::atomic<uint64_t> epoch_{0};
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const ChoiceSnapshot> snapshot_;
+
+  // Choose() scratch: cached snapshot + reusable weights buffer.
+  std::shared_ptr<const ChoiceSnapshot> cached_;
+  uint64_t cached_epoch_ = ~0ULL;
+  std::vector<uint64_t> weights_;
 };
 
 }  // namespace healer

@@ -201,6 +201,14 @@ void Fuzzer::SeedWith(const std::vector<Prog>& seeds) {
   }
 }
 
+Result<size_t> Fuzzer::LoadRelations(const std::string& path) {
+  return relations_->LoadFromFile(path, target_);
+}
+
+Status Fuzzer::SaveRelations(const std::string& path) const {
+  return relations_->SaveToFile(path, target_);
+}
+
 void Fuzzer::Step() {
   bool used_table = false;
   CallChooser chooser = MakeChooser(&used_table);

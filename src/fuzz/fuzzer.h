@@ -88,6 +88,12 @@ class Fuzzer {
   // ("the user can optionally provide an initial corpus", Section 4).
   void SeedWith(const std::vector<Prog>& seeds);
 
+  // Relation persistence: warm-starts the table from a previous campaign's
+  // saved edges (loaded as dynamic edges at time 0; returns how many were
+  // new), and saves the current table for the next campaign.
+  Result<size_t> LoadRelations(const std::string& path);
+  Status SaveRelations(const std::string& path) const;
+
   // ---- state accessors ----
   SimClock& clock() { return clock_; }
   size_t CoverageCount() const { return coverage_.Count(); }

@@ -3,6 +3,15 @@
 namespace healer {
 
 size_t DynamicLearner::Learn(const Prog& minimized) {
+  RelationDelta delta;
+  if (LearnInto(minimized, &delta) == 0) {
+    return 0;
+  }
+  return table_->Apply(delta);
+}
+
+size_t DynamicLearner::LearnInto(const Prog& minimized,
+                                 RelationDelta* delta) {
   const size_t len = minimized.size();
   if (len < 2) {
     return 0;
@@ -14,13 +23,15 @@ size_t DynamicLearner::Learn(const Prog& minimized) {
     return 0;
   }
 
+  const std::shared_ptr<const RelationSnapshot> snap = table_->snapshot();
   size_t learned = 0;
   for (size_t idx = 1; idx < len; ++idx) {
     const int ci = minimized.calls()[idx - 1].meta->id;
     const int cj = minimized.calls()[idx].meta->id;
     // Line 6: skip pairs whose relation is already known (e.g. found by
-    // static learning).
-    if (table_->Get(ci, cj)) {
+    // static learning), either in the published snapshot or in the batch
+    // this learner is building.
+    if (snap->Contains(ci, cj) || delta->Contains(ci, cj)) {
       continue;
     }
     // Lines 7-8: remove C_i and re-execute.
@@ -40,7 +51,7 @@ size_t DynamicLearner::Learn(const Prog& minimized) {
                            res.calls[cj_pos].signal ==
                                baseline.calls[idx].signal;
     if (!unchanged) {
-      if (table_->Set(ci, cj, RelationSource::kDynamic, clock_->now())) {
+      if (delta->Add(ci, cj, RelationSource::kDynamic, clock_->now())) {
         ++learned;
       }
     }

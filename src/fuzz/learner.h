@@ -6,6 +6,13 @@
 // relation and sets R[i][j] = 1. Only adjacent pairs are analyzed, since a
 // coverage change after removing a non-adjacent call could be an indirect
 // effect (Section 4.1).
+//
+// Learned edges are produced as a RelationDelta: LearnInto() appends edges
+// to a caller-owned delta without touching the table (the parallel fuzzer
+// flushes worker deltas through its batched publish), while Learn() is the
+// single-threaded convenience that applies the delta immediately. Known
+// pairs are skipped by consulting the table's immutable snapshot plus the
+// pending delta — the learner never takes the table's write lock to read.
 
 #ifndef SRC_FUZZ_LEARNER_H_
 #define SRC_FUZZ_LEARNER_H_
@@ -21,9 +28,15 @@ class DynamicLearner {
   DynamicLearner(RelationTable* table, ExecFn exec, const SimClock* clock)
       : table_(table), exec_(std::move(exec)), clock_(clock) {}
 
-  // Runs Algorithm 2 on one minimized sequence; returns the number of new
-  // relations learned.
+  // Runs Algorithm 2 on one minimized sequence and applies the resulting
+  // delta to the table; returns the number of new relations learned.
   size_t Learn(const Prog& minimized);
+
+  // Runs Algorithm 2 but accumulates the learned edges into `delta` instead
+  // of writing the table; returns the number of edges added to the delta.
+  // Pairs already in the snapshot or in `delta` are not re-probed, so a
+  // worker's batch never pays twice for the same pair.
+  size_t LearnInto(const Prog& minimized, RelationDelta* delta);
 
   uint64_t execs_used() const { return execs_used_; }
 

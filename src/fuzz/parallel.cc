@@ -108,6 +108,9 @@ class Worker {
     uint64_t execs = 0;
     std::vector<PendingCrash> crashes;
     std::vector<PendingAdd> adds;
+    // Relation edges learned since the last publish (locally deduplicated;
+    // RelationTable::Apply credits them exactly once fleet-wide).
+    RelationDelta relations;
     // Alpha-schedule outcomes keyed by (used_table << 1) | gained. The
     // schedule only counts per-category totals within its window, so
     // replaying them as counts at publish time is order-safe.
@@ -115,7 +118,7 @@ class Worker {
 
     bool Empty() const {
       return execs == 0 && crashes.empty() && adds.empty() &&
-             alpha_outcomes == std::array<uint64_t, 4>{};
+             relations.empty() && alpha_outcomes == std::array<uint64_t, 4>{};
     }
   };
 
@@ -262,13 +265,12 @@ class Worker {
     for (MinimizedSeq& seq : minimized) {
       if (options_.tool == ToolKind::kHealer) {
         const uint64_t learn_before = learner.execs_used();
-        const size_t learned = learner.Learn(seq.prog);
+        // Edges accumulate in the batch delta; the exactly-once credit (and
+        // the relations_learned counter) happens in Publish via Apply.
+        learner.LearnInto(seq.prog, &batch_.relations);
         m_.learn_rounds->Add();
         m_.learn_probes->Add(learner.execs_used() - learn_before);
         m_.learn_execs->Observe(learner.execs_used() - learn_before);
-        if (learned > 0) {
-          m_.relations_learned->Add(learned);
-        }
       }
       // Serialize (for the dedup hash) outside the lock; Publish reuses it
       // via the precomputed-hash Corpus::Add overload.
@@ -285,6 +287,18 @@ class Worker {
   void Publish() {
     if (batch_.Empty()) {
       return;
+    }
+    // Flush the relation delta before taking mu: Apply is internally
+    // synchronized (the table's write mutex) and republishes the snapshot
+    // itself, so routing it through the publish lock would only lengthen
+    // the critical section. The return value is the number of edges that
+    // were new fleet-wide — the exactly-once credit.
+    if (!batch_.relations.empty()) {
+      const size_t credited = shared_->relations.Apply(batch_.relations);
+      if (credited > 0) {
+        m_.relations_learned->Add(credited);
+      }
+      batch_.relations.clear();
     }
     TimedLock lock(&shared_->mu, &pm_);
     shared_->fuzz_execs += batch_.execs;
@@ -387,6 +401,10 @@ ParallelResult RunParallelFuzz(const Target& target,
   result.corpus_size = shared.corpus.size();
   result.unique_bugs = shared.crashes.UniqueBugs();
   result.relations = shared.relations.Count();
+  result.relations_static =
+      shared.relations.CountBySource(RelationSource::kStatic);
+  result.relations_dynamic =
+      shared.relations.CountBySource(RelationSource::kDynamic);
   result.monitor_lines = monitor.lines_collected();
   FuzzMetrics handles(&shared.metrics);
   ParallelMetrics pm(&shared.metrics);
@@ -398,10 +416,9 @@ ParallelResult RunParallelFuzz(const Target& target,
   handles.coverage_branches->Set(static_cast<double>(result.coverage));
   handles.corpus_programs->Set(static_cast<double>(result.corpus_size));
   handles.relations_total->Set(static_cast<double>(result.relations));
-  handles.relations_static->Set(static_cast<double>(
-      shared.relations.CountBySource(RelationSource::kStatic)));
-  handles.relations_dynamic->Set(static_cast<double>(
-      shared.relations.CountBySource(RelationSource::kDynamic)));
+  handles.relations_static->Set(static_cast<double>(result.relations_static));
+  handles.relations_dynamic->Set(
+      static_cast<double>(result.relations_dynamic));
   handles.crashes_unique->Set(static_cast<double>(result.unique_bugs));
   handles.alpha->Set(shared.alpha.alpha());
   handles.sim_hours->Set(static_cast<double>(clock.now()) /

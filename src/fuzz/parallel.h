@@ -12,8 +12,11 @@
 //     advances) — no lock on the pick path;
 //   * execution merges coverage straight into the campaign Bitmap, whose
 //     Set/MergeNew are atomic-word operations — no lock on the merge path;
-//   * the RelationTable is internally reader-writer locked, so guided
-//     selection and dynamic learning bypass the publish mutex too;
+//   * guided selection reads the RelationTable's immutable CSR snapshot
+//     (epoch-probed, same protocol as the corpus snapshot) and dynamic
+//     learning accumulates a per-worker RelationDelta, flushed through
+//     RelationTable::Apply at publish time with exactly-once edge credit —
+//     workers never take a lock to read relations (DESIGN.md §8);
 //   * everything else (corpus adds, crash records, alpha outcomes, the
 //     fuzz_execs total) accumulates in a per-worker batch, published in one
 //     short `mu` acquisition every `batch_size` executions or immediately
@@ -59,7 +62,7 @@ struct SharedFuzzState {
 
   // ---- Lock-free fleet state ----
   Bitmap coverage;          // Atomic-word merges; no external lock.
-  RelationTable relations;  // Internally reader-writer locked.
+  RelationTable relations;  // Snapshot-read, delta-written (DESIGN.md §8).
   // Exec-slot dispenser: each worker claims tickets until total_execs.
   std::atomic<uint64_t> exec_tickets{0};
   // Current alpha as bit_cast<uint64_t>(double); workers read it per step
@@ -117,6 +120,8 @@ struct ParallelResult {
   size_t corpus_size = 0;
   size_t unique_bugs = 0;
   size_t relations = 0;
+  size_t relations_static = 0;
+  size_t relations_dynamic = 0;
   size_t monitor_lines = 0;
   // Injected + recovery counters, and the final per-VM health accounting
   // from the Monitor.

@@ -2,24 +2,121 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <mutex>
 
 namespace healer {
 
+bool RelationSnapshot::Contains(int from, int to) const {
+  const int32_t* row = Row(from);
+  const uint32_t deg = OutDegree(from);
+  return std::binary_search(row, row + deg, static_cast<int32_t>(to));
+}
+
+bool RelationDelta::Add(int from, int to, RelationSource source,
+                        SimClock::Nanos learned_at) {
+  if (!seen_.insert(Key(from, to)).second) {
+    return false;
+  }
+  edges_.push_back(RelationEdge{from, to, source, learned_at});
+  return true;
+}
+
+void RelationDelta::clear() {
+  edges_.clear();
+  seen_.clear();
+}
+
+RelationTable::RelationTable(size_t num_syscalls)
+    : n_(num_syscalls), cells_(num_syscalls * num_syscalls, 0) {
+  // Publish the empty snapshot so readers never see a null pointer.
+  auto snap = std::make_shared<RelationSnapshot>();
+  snap->epoch_ = 0;
+  snap->n_ = n_;
+  snap->row_offset_.assign(n_ + 1, 0);
+  snap->degree_.assign(n_, 0);
+  snapshot_ = std::move(snap);
+}
+
+void RelationTable::PublishLocked() {
+  auto snap = std::make_shared<RelationSnapshot>();
+  snap->n_ = n_;
+  snap->row_offset_.resize(n_ + 1);
+  snap->degree_.resize(n_);
+  snap->cols_.reserve(edges_.size());
+  // The dense matrix scan yields each row already sorted ascending, which
+  // keeps Contains() binary-searchable and the selector's candidate order
+  // identical to the old per-row scan.
+  for (size_t from = 0; from < n_; ++from) {
+    snap->row_offset_[from] = static_cast<uint32_t>(snap->cols_.size());
+    const size_t base = from * n_;
+    for (size_t to = 0; to < n_; ++to) {
+      if (cells_[base + to] != 0) {
+        snap->cols_.push_back(static_cast<int32_t>(to));
+      }
+    }
+    snap->degree_[from] =
+        static_cast<uint32_t>(snap->cols_.size()) - snap->row_offset_[from];
+  }
+  snap->row_offset_[n_] = static_cast<uint32_t>(snap->cols_.size());
+  const uint64_t epoch = epoch_.load(std::memory_order_relaxed) + 1;
+  snap->epoch_ = epoch;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snap);
+  }
+  // Publish the epoch after the pointer swap: a reader that sees the new
+  // epoch and refreshes is guaranteed to copy the new (or a newer) pointer.
+  epoch_.store(epoch, std::memory_order_release);
+}
+
+std::shared_ptr<const RelationSnapshot> RelationTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+bool RelationTable::Get(int from, int to) const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  return cells_[Index(from, to)] != 0;
+}
+
 bool RelationTable::Set(int from, int to, RelationSource source,
                         SimClock::Nanos learned_at) {
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   uint8_t& cell = cells_[Index(from, to)];
   if (cell != 0) {
     return false;
   }
   cell = 1;
   edges_.push_back(RelationEdge{from, to, source, learned_at});
+  num_edges_.store(edges_.size(), std::memory_order_relaxed);
+  PublishLocked();
   return true;
 }
 
+size_t RelationTable::Apply(const RelationDelta& delta) {
+  if (delta.empty()) {
+    return 0;
+  }
+  std::lock_guard<std::mutex> lock(write_mu_);
+  size_t added = 0;
+  for (const RelationEdge& edge : delta.edges()) {
+    uint8_t& cell = cells_[Index(edge.from, edge.to)];
+    if (cell != 0) {
+      continue;  // Another batch already published this edge: zero credit.
+    }
+    cell = 1;
+    edges_.push_back(edge);
+    ++added;
+  }
+  if (added == 0) {
+    return 0;  // Nothing new: no republish, no epoch bump.
+  }
+  num_edges_.store(edges_.size(), std::memory_order_relaxed);
+  PublishLocked();
+  return added;
+}
+
 size_t RelationTable::CountBySource(RelationSource source) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   return static_cast<size_t>(
       std::count_if(edges_.begin(), edges_.end(),
                     [&](const RelationEdge& e) { return e.source == source; }));
@@ -27,7 +124,7 @@ size_t RelationTable::CountBySource(RelationSource source) const {
 
 std::vector<RelationEdge> RelationTable::EdgesBefore(
     SimClock::Nanos cutoff) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(write_mu_);
   std::vector<RelationEdge> out;
   for (const RelationEdge& edge : edges_) {
     if (edge.learned_at <= cutoff) {
@@ -42,15 +139,9 @@ std::vector<RelationEdge> RelationTable::EdgesBefore(
 }
 
 std::vector<int> RelationTable::InfluencedBy(int from) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  std::vector<int> out;
-  const size_t base = static_cast<size_t>(from) * n_;
-  for (size_t to = 0; to < n_; ++to) {
-    if (cells_[base + to] != 0) {
-      out.push_back(static_cast<int>(to));
-    }
-  }
-  return out;
+  const std::shared_ptr<const RelationSnapshot> snap = snapshot();
+  const int32_t* row = snap->Row(from);
+  return std::vector<int>(row, row + snap->OutDegree(from));
 }
 
 namespace {
@@ -90,7 +181,7 @@ Result<size_t> RelationTable::LoadFromFile(const std::string& path,
   if (f == nullptr) {
     return NotFound("cannot open relation file");
   }
-  size_t loaded = 0;
+  RelationDelta delta;
   char from_name[256];
   char to_name[256];
   while (std::fscanf(f, "%255s %255s", from_name, to_name) == 2) {
@@ -99,16 +190,14 @@ Result<size_t> RelationTable::LoadFromFile(const std::string& path,
     if (from == nullptr || to == nullptr) {
       continue;  // Description changed since the table was saved.
     }
-    if (Set(from->id, to->id, RelationSource::kDynamic, 0)) {
-      ++loaded;
-    }
+    delta.Add(from->id, to->id, RelationSource::kDynamic, 0);
   }
   std::fclose(f);
-  return loaded;
+  return Apply(delta);
 }
 
 size_t StaticRelationLearn(const Target& target, RelationTable* table) {
-  size_t added = 0;
+  RelationDelta delta;
   const size_t n = target.NumSyscalls();
   for (size_t i = 0; i < n; ++i) {
     const Syscall& producer = target.syscall(static_cast<int>(i));
@@ -132,14 +221,13 @@ size_t StaticRelationLearn(const Target& target, RelationTable* table) {
           break;
         }
       }
-      if (influences &&
-          table->Set(static_cast<int>(i), static_cast<int>(j),
-                     RelationSource::kStatic, 0)) {
-        ++added;
+      if (influences) {
+        delta.Add(static_cast<int>(i), static_cast<int>(j),
+                  RelationSource::kStatic, 0);
       }
     }
   }
-  return added;
+  return table->Apply(delta);
 }
 
 }  // namespace healer

@@ -47,6 +47,11 @@ std::string FormatCampaignReport(const CampaignResult& result,
                    "alpha %.2f\n",
                    result.relations_total, result.relations_static,
                    result.relations_dynamic, result.final_alpha);
+  if (result.relations_loaded > 0) {
+    out += StrFormat("  warm-up  : %zu edges loaded from a previous "
+                     "campaign\n",
+                     result.relations_loaded);
+  }
 
   const FaultStats& faults = result.faults;
   if (faults.TotalInjected() > 0 || faults.failed_execs > 0) {

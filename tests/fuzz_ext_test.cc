@@ -165,6 +165,42 @@ TEST(CorpusIoTest, CampaignSeedsFromSavedCorpus) {
   std::remove(path.c_str());
 }
 
+TEST(RelationWarmStartTest, CampaignLoadsAndSavesRelations) {
+  const std::string path = "/tmp/healer_relations_warm.txt";
+  // First campaign saves its relation table (statics + learned dynamics).
+  CampaignOptions options;
+  options.tool = ToolKind::kHealer;
+  options.hours = 1.0;
+  options.seed = 51;
+  options.save_relations_path = path;
+  const CampaignResult first = RunCampaign(options);
+  ASSERT_GT(first.relations_dynamic, 0u);
+  EXPECT_EQ(first.relations_loaded, 0u);  // Cold start.
+
+  // Second campaign warm-starts from the file: its own static learning
+  // already covers the static edges, so exactly the dynamic edges load.
+  CampaignOptions warm = options;
+  warm.save_relations_path.clear();
+  warm.initial_relations_path = path;
+  warm.seed = 52;
+  warm.hours = 0.25;
+  const CampaignResult warm_result = RunCampaign(warm);
+  EXPECT_EQ(warm_result.relations_loaded, first.relations_dynamic);
+  EXPECT_GE(warm_result.relations_total,
+            first.relations_static + first.relations_dynamic);
+  // The summary reports the warm start.
+  const std::string report = FormatCampaignReport(warm_result);
+  EXPECT_NE(report.find("warm-up"), std::string::npos);
+
+  // A missing file is survivable: the campaign runs cold and reports 0.
+  CampaignOptions missing = warm;
+  missing.initial_relations_path = "/tmp/no_such_relations_warm";
+  missing.hours = 0.1;
+  const CampaignResult missing_result = RunCampaign(missing);
+  EXPECT_EQ(missing_result.relations_loaded, 0u);
+  std::remove(path.c_str());
+}
+
 // ---- Guidance ablation modes ----
 
 TEST(GuidanceModeTest, StaticOnlyLearnsNoDynamicEdges) {

@@ -64,6 +64,16 @@ TEST(ParallelScalingTest, EightWorkersReconcileTelemetryExactly) {
   EXPECT_EQ(result.corpus_progs.size(), result.corpus_size);
   EXPECT_GE(t.counter("healer_corpus_adds_total"), result.corpus_size);
 
+  // Relation-edge reconciliation: RelationTable::Apply credits each learned
+  // edge to exactly one worker's published delta, so the summed
+  // relations_learned counter equals the dynamic edge count — no edge is
+  // double-credited across batches, and none is lost.
+  EXPECT_EQ(t.counter("healer_relations_learned_total"),
+            result.relations_dynamic);
+  EXPECT_EQ(result.relations,
+            result.relations_static + result.relations_dynamic);
+  EXPECT_GT(result.relations_dynamic, 0u);
+
   // Lock instrumentation: one held-interval observation per publish, and
   // the campaign-level contention gauges are populated and sane.
   const HistogramSnapshot& held =
@@ -73,6 +83,37 @@ TEST(ParallelScalingTest, EightWorkersReconcileTelemetryExactly) {
   const double share = t.gauge("healer_parallel_lock_held_share");
   EXPECT_GE(share, 0.0);
   EXPECT_LT(share, 0.5);  // Far below the old hold-everything design (~1.0).
+}
+
+TEST(ParallelScalingTest, EightWorkersReconcileRelationEdgesExactly) {
+  // Dedicated relation-delta stress: 8 workers race overlapping deltas
+  // through Apply with a small batch size (run under TSan via
+  // scripts/check.sh tsan). Invariants:
+  //   * static edges are exactly the static-learn set (published once,
+  //     before the workers start);
+  //   * sum of per-worker published-delta credits == dynamic edge count ==
+  //     Count() - statics (exactly-once, nothing double-credited, nothing
+  //     lost: Apply never re-admits a pair that is already in the table).
+  if (!kTelemetryEnabled) {
+    GTEST_SKIP() << "telemetry compiled out";
+  }
+  const Target& target = BuiltinTarget();
+  RelationTable statics_only(target.NumSyscalls());
+  const size_t statics = StaticRelationLearn(target, &statics_only);
+
+  ParallelOptions options;
+  options.num_workers = 8;
+  options.total_execs = 1600;
+  options.batch_size = 8;
+  options.seed = 13;
+  const ParallelResult result = RunParallelFuzz(target, options);
+
+  EXPECT_EQ(result.relations_static, statics);
+  EXPECT_EQ(result.relations, result.relations_static +
+                                  result.relations_dynamic);
+  EXPECT_EQ(result.telemetry.counter("healer_relations_learned_total"),
+            result.relations_dynamic);
+  EXPECT_GT(result.relations_dynamic, 0u);
 }
 
 TEST(ParallelScalingTest, SingleWorkerParallelIsDeterministic) {

@@ -3,7 +3,9 @@
 //   healer fuzz   [--tool healer|healer-|syzkaller|moonshine]
 //                 [--version 4.19|5.0|5.4|5.6|5.11] [--hours H] [--seed N]
 //                 [--corpus-in FILE] [--corpus-out FILE]
-//                 [--relations-out FILE] [--curve] [--edges]
+//                 [--relations-in FILE]    # warm-start the relation table
+//                 [--relations-out FILE]   # save learned relations
+//                 [--curve] [--edges]
 //                 [--fault-rate P | --faults crash=0.01,timeout=0.005,...]
 //                 [--fault-retries N]
 //                 [--status-period SECS]   # live status line (simulated s)
@@ -90,6 +92,8 @@ int CmdFuzz(const std::map<std::string, std::string>& flags) {
   options.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
   options.initial_corpus_path = get("corpus-in", "");
   options.save_corpus_path = get("corpus-out", "");
+  options.initial_relations_path = get("relations-in", "");
+  options.save_relations_path = get("relations-out", "");
 
   // Fault injection: --fault-rate P applies one rate to every kind;
   // --faults gives per-kind rates ("crash=0.01,timeout=0.005").
