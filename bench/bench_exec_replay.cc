@@ -1,0 +1,193 @@
+// Executor-transport replay bench: replays one deterministic program stream
+// through the legacy one-at-a-time ShmChannel handshake and through the
+// batched SQ/CQ ring transport (GuestVm::ExecBatch) at several pipeline
+// depths, and reports per-program round-trip spans (simulated time between
+// consecutive completions). The ring amortizes the per-round-trip overhead
+// across a whole drain, so its p50 span at batch >= 64 must be at least 2x
+// better than legacy — scripts/check.sh's `exec` stage gates on the
+// ring_vs_legacy_p50_speedup metric emitted here.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/base/rng.h"
+#include "src/fuzz/prog_builder.h"
+#include "src/syzlang/builtin_descs.h"
+#include "src/vm/guest_vm.h"
+
+namespace healer {
+namespace {
+
+constexpr uint64_t kSeed = 20260808;
+constexpr size_t kPrograms = 512;
+
+std::vector<int> AllIds(const Target& target) {
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  return ids;
+}
+
+// The deterministic replay stream: same seed, same programs, every run and
+// every transport.
+std::vector<Prog> BuildStream(const Target& target) {
+  Rng rng(kSeed);
+  ProgBuilder builder(target, AllIds(target), &rng);
+  std::vector<Prog> progs;
+  progs.reserve(kPrograms);
+  while (progs.size() < kPrograms) {
+    Prog prog = builder.Generate(
+        [&](const std::vector<int>&) {
+          return static_cast<int>(rng.Below(target.NumSyscalls()));
+        },
+        4 + rng.Below(10));
+    if (!prog.empty()) {
+      progs.push_back(std::move(prog));
+    }
+  }
+  return progs;
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) {
+    return 0.0;
+  }
+  std::sort(values.begin(), values.end());
+  const size_t idx = static_cast<size_t>(
+      p * static_cast<double>(values.size() - 1) + 0.5);
+  return values[std::min(idx, values.size() - 1)];
+}
+
+struct ReplayStats {
+  double p50_span_ns = 0.0;
+  double p99_span_ns = 0.0;
+  double total_ns = 0.0;
+  uint64_t completions = 0;
+};
+
+// Legacy transport: one program per round trip; the span of program i is
+// the simulated time its Exec call consumed.
+ReplayStats ReplayLegacy(const Target& target, const std::vector<Prog>& progs) {
+  SimClock clock;
+  GuestVm vm(target, KernelConfig::ForVersion(KernelVersion::kV5_11), &clock);
+  vm.Boot();
+  Bitmap coverage(CallCoverage::kMapBits);
+  const SimClock::Nanos start = clock.now();
+  std::vector<double> spans;
+  spans.reserve(progs.size());
+  for (const Prog& prog : progs) {
+    const SimClock::Nanos before = clock.now();
+    vm.Exec(prog, &coverage);
+    spans.push_back(static_cast<double>(clock.now() - before));
+  }
+  ReplayStats stats;
+  stats.p50_span_ns = Percentile(spans, 0.50);
+  stats.p99_span_ns = Percentile(spans, 0.99);
+  stats.total_ns = static_cast<double>(clock.now() - start);
+  stats.completions = progs.size();
+  return stats;
+}
+
+// Ring transport: submit `batch` programs per drain; the span of a
+// completion is the simulated time since the previous completion (the first
+// of each drain is measured from the drain's start, so it carries the
+// amortized round-trip overhead).
+ReplayStats ReplayRing(const Target& target, const std::vector<Prog>& progs,
+                       size_t batch) {
+  SimClock clock;
+  GuestVm vm(target, KernelConfig::ForVersion(KernelVersion::kV5_11), &clock);
+  vm.Boot();
+  Bitmap coverage(CallCoverage::kMapBits);
+  const SimClock::Nanos start = clock.now();
+  std::vector<double> spans;
+  spans.reserve(progs.size());
+  ReplayStats stats;
+  for (size_t base = 0; base < progs.size(); base += batch) {
+    const size_t count = std::min(batch, progs.size() - base);
+    std::vector<const Prog*> window;
+    window.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      window.push_back(&progs[base + i]);
+    }
+    SimClock::Nanos prev = clock.now();
+    const std::vector<RingCompletion> completions =
+        vm.ExecBatch(window, &coverage);
+    for (const RingCompletion& completion : completions) {
+      spans.push_back(static_cast<double>(completion.completed_at - prev));
+      prev = completion.completed_at;
+      ++stats.completions;
+    }
+  }
+  stats.p50_span_ns = Percentile(spans, 0.50);
+  stats.p99_span_ns = Percentile(spans, 0.99);
+  stats.total_ns = static_cast<double>(clock.now() - start);
+  return stats;
+}
+
+double Ms(double ns) { return ns / 1e6; }
+
+}  // namespace
+}  // namespace healer
+
+int main() {
+  using namespace healer;
+  const Target& target = BuiltinTarget();
+  const std::vector<Prog> progs = BuildStream(target);
+
+  bench::PrintHeader("Executor transport replay: ring vs legacy",
+                     "the transport redesign; spans are simulated time");
+  std::printf("%-14s %8s %14s %14s %14s\n", "transport", "batch",
+              "p50 span (ms)", "p99 span (ms)", "total (s)");
+  bench::PrintRule();
+
+  const ReplayStats legacy = ReplayLegacy(target, progs);
+  std::printf("%-14s %8s %14.1f %14.1f %14.2f\n", "shm-legacy", "1",
+              Ms(legacy.p50_span_ns), Ms(legacy.p99_span_ns),
+              legacy.total_ns / 1e9);
+
+  const std::vector<size_t> batches = {1, 16, 64, 256};
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("programs", static_cast<double>(kPrograms));
+  metrics.emplace_back("legacy_p50_span_ns", legacy.p50_span_ns);
+  metrics.emplace_back("legacy_p99_span_ns", legacy.p99_span_ns);
+  metrics.emplace_back("legacy_total_ns", legacy.total_ns);
+
+  double speedup_b64 = 0.0;
+  double max_inflight = 0.0;
+  for (const size_t batch : batches) {
+    const ReplayStats ring = ReplayRing(target, progs, batch);
+    std::printf("%-14s %8zu %14.1f %14.1f %14.2f\n", "ring", batch,
+                Ms(ring.p50_span_ns), Ms(ring.p99_span_ns),
+                ring.total_ns / 1e9);
+    if (ring.completions != kPrograms) {
+      std::fprintf(stderr, "ring replay lost completions: %llu != %zu\n",
+                   static_cast<unsigned long long>(ring.completions),
+                   kPrograms);
+      return 1;
+    }
+    const std::string prefix = "ring_b" + std::to_string(batch);
+    metrics.emplace_back(prefix + "_p50_span_ns", ring.p50_span_ns);
+    metrics.emplace_back(prefix + "_p99_span_ns", ring.p99_span_ns);
+    metrics.emplace_back(prefix + "_total_ns", ring.total_ns);
+    const double speedup =
+        ring.p50_span_ns > 0.0 ? legacy.p50_span_ns / ring.p50_span_ns : 0.0;
+    metrics.emplace_back(prefix + "_p50_speedup", speedup);
+    if (batch == 64) {
+      speedup_b64 = speedup;
+    }
+    max_inflight = std::max(max_inflight, static_cast<double>(batch));
+  }
+  bench::PrintRule();
+  std::printf("ring p50 speedup over legacy at batch 64: %.2fx "
+              "(gate: >= 2x)\n", speedup_b64);
+
+  // The headline gate metric: speedup at the smallest batch the acceptance
+  // bar names (>= 64). Larger batches only improve it.
+  metrics.emplace_back("ring_vs_legacy_p50_speedup", speedup_b64);
+  metrics.emplace_back("max_inflight_programs", max_inflight);
+  bench::WriteBenchJson("exec_replay", metrics);
+  return 0;
+}

@@ -3,16 +3,18 @@
 # a ThreadSanitizer pass over the multi-threaded fuzzing paths, a
 # telemetry stage (smoke-test the observability surfaces + hot-path
 # overhead guard against a -DHEALER_NO_TELEMETRY baseline build), and a
-# parallel stage (scaling-bench smoke + critical-section-share guard), and a
-# relation stage (snapshot-Select speedup guard + draw-determinism tests).
+# parallel stage (scaling-bench smoke + critical-section-share guard), a
+# relation stage (snapshot-Select speedup guard + draw-determinism tests),
+# and an exec stage (ring-transport replay bench + speedup guard).
 #
-#   scripts/check.sh              # all six stages
+#   scripts/check.sh              # all seven stages
 #   scripts/check.sh tier1        # just the tier-1 verify
 #   scripts/check.sh asan         # just the ASan/UBSan stage
 #   scripts/check.sh tsan         # just the TSan stage
 #   scripts/check.sh telemetry    # just the telemetry smoke + overhead guard
 #   scripts/check.sh parallel     # just the parallel scaling-bench guard
 #   scripts/check.sh relation     # just the relation-engine guards
+#   scripts/check.sh exec         # just the ring-transport replay guard
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -158,6 +160,32 @@ run_relation() {
     -R 'DrawEquivalentWithMapReference|GoldenFingerprint'
 }
 
+run_exec() {
+  echo "==> exec: ring-transport replay bench + speedup guard"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_exec_replay healer_tests
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_exec_replay")
+  [ -f "$tmp/BENCH_exec_replay.json" ] || {
+    echo "FAIL: BENCH_exec_replay.json not written" >&2; exit 1; }
+  # The tentpole guarantee: amortizing the per-program round-trip overhead
+  # across a drain makes the ring's per-program p50 span at batch >= 64 at
+  # least 2x better than the legacy one-at-a-time channel. The latency
+  # model measures ~3.9x here; 2x is the regression tripwire.
+  awk -F: '/"ring_vs_legacy_p50_speedup"/ {
+      gsub(/[ ,]/, "", $2); speedup=$2+0;
+      printf "    ring p50 speedup over legacy at batch 64: %.2fx (floor 2x)\n", speedup;
+      found=1; if (speedup < 2) { print "FAIL: ring speedup below 2x"; exit 1 }
+    } END { if (!found) { print "FAIL: ring_vs_legacy_p50_speedup missing"; exit 1 } }' \
+    "$tmp/BENCH_exec_replay.json"
+  # Transport equivalence: fixed-seed ring campaigns must stay bit-identical
+  # to their legacy twins (the differential that licenses the fast path).
+  ctest --test-dir build --output-on-failure \
+    -R 'RingTransport|PipelinedRing'
+}
+
 case "$stage" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
@@ -165,8 +193,9 @@ case "$stage" in
   telemetry) run_telemetry ;;
   parallel) run_parallel ;;
   relation) run_relation ;;
-  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation ;;
-  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|all]" >&2; exit 2 ;;
+  exec) run_exec ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation; run_exec ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|exec|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

@@ -27,6 +27,8 @@ struct CallExecInfo {
   // Result-slot values this call produced (slot -> value), parallel to
   // ResultSlotsOf(call.meta).
   std::vector<uint64_t> slot_values;
+
+  bool operator==(const CallExecInfo& other) const = default;
 };
 
 struct CrashInfo {
@@ -34,6 +36,8 @@ struct CrashInfo {
   std::string title;
   // Index of the crashing call within the program.
   size_t call_index = 0;
+
+  bool operator==(const CrashInfo& other) const = default;
 };
 
 // Infrastructure failure of an execution attempt, as opposed to a guest
@@ -47,6 +51,11 @@ enum class ExecFailure : uint8_t {
   kTimeout,         // The executor hung; the watchdog gave up waiting.
   kCorruptedReply,  // The wire bytes were damaged in transit.
   kBootFailure,     // The VM failed to (re)boot.
+  // Ring-transport lifecycle failures (exec_ring.h; keep kRingStall last —
+  // the completion codec bounds-checks the enum against it).
+  kRingSetup,       // Ring setup/register/mmap equivalent failed.
+  kRingTorn,        // A submission entry was torn/corrupted in the SQ.
+  kRingStall,       // The completion never arrived; the reaper gave up.
 };
 
 inline const char* ExecFailureName(ExecFailure failure) {
@@ -61,6 +70,12 @@ inline const char* ExecFailureName(ExecFailure failure) {
       return "corrupted-reply";
     case ExecFailure::kBootFailure:
       return "boot-failure";
+    case ExecFailure::kRingSetup:
+      return "ring-setup";
+    case ExecFailure::kRingTorn:
+      return "ring-torn";
+    case ExecFailure::kRingStall:
+      return "ring-stall";
   }
   return "?";
 }
@@ -69,6 +84,8 @@ struct ExecResult {
   std::vector<CallExecInfo> calls;
   std::optional<CrashInfo> crash;
   ExecFailure failure = ExecFailure::kNone;
+
+  bool operator==(const ExecResult& other) const = default;
 
   bool Crashed() const { return crash.has_value(); }
   bool Failed() const { return failure != ExecFailure::kNone; }

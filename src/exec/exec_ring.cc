@@ -1,0 +1,322 @@
+#include "src/exec/exec_ring.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "src/base/string_util.h"
+
+namespace healer {
+
+// ---- WakeupFd ----
+
+void WakeupFd::Signal() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  signals_.fetch_add(1, std::memory_order_relaxed);
+  cv_.notify_one();
+}
+
+bool WakeupFd::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ > 0 || closed_; });
+  if (pending_ == 0) {
+    return false;
+  }
+  --pending_;
+  return true;
+}
+
+void WakeupFd::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ---- SlotRing ----
+
+SlotRing::SlotRing(uint32_t entries, uint32_t slot_bytes)
+    : entries_(entries),
+      mask_(entries - 1),
+      slot_bytes_(slot_bytes),
+      data_(static_cast<size_t>(entries) * slot_bytes, 0),
+      seq_(new std::atomic<uint64_t>[entries]) {
+  assert(entries != 0 && (entries & (entries - 1)) == 0);
+  assert(slot_bytes > kSlotHeader);
+  for (uint32_t i = 0; i < entries_; ++i) {
+    seq_[i].store(i, std::memory_order_relaxed);
+  }
+}
+
+size_t SlotRing::size() const {
+  const uint64_t tail = tail_.load(std::memory_order_acquire);
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  return tail >= head ? static_cast<size_t>(tail - head) : 0;
+}
+
+bool SlotRing::Push(const uint8_t* payload, size_t len, uint64_t user_data) {
+  if (len > payload_capacity()) {
+    return false;
+  }
+  const uint64_t pos = tail_.load(std::memory_order_relaxed);
+  const uint32_t idx = static_cast<uint32_t>(pos) & mask_;
+  // Free slots carry seq == pos. Anything else means the consumer has not
+  // recycled this slot yet: the ring is full.
+  if (seq_[idx].load(std::memory_order_acquire) != pos) {
+    full_rejects_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  uint8_t* slot = data_.data() + static_cast<size_t>(idx) * slot_bytes_;
+  std::memcpy(slot, &user_data, 8);
+  const uint32_t len32 = static_cast<uint32_t>(len);
+  std::memcpy(slot + 8, &len32, 4);
+  std::memset(slot + 12, 0, 4);
+  if (len > 0) {
+    std::memcpy(slot + kSlotHeader, payload, len);
+  }
+  // Publish: the release on seq_ is the barrier that makes the payload
+  // bytes visible to the consumer's acquire load.
+  seq_[idx].store(pos + 1, std::memory_order_release);
+  tail_.store(pos + 1, std::memory_order_release);
+  pushes_.fetch_add(1, std::memory_order_relaxed);
+  WakeConsumerIfNeeded();
+  return true;
+}
+
+SlotRing::Pop SlotRing::TryPop(std::vector<uint8_t>* payload,
+                               uint64_t* user_data) {
+  const uint64_t pos = head_.load(std::memory_order_relaxed);
+  const uint32_t idx = static_cast<uint32_t>(pos) & mask_;
+  const uint64_t seq = seq_[idx].load(std::memory_order_acquire);
+  if (seq == pos) {
+    return Pop::kEmpty;  // Slot still free: nothing published.
+  }
+  if (seq != pos + 1) {
+    // Neither free nor ready-for-this-position: the sequence word was
+    // corrupted (or replayed from a previous lap). Skip and free the slot so
+    // the ring stays live; the entry is lost, never half-trusted.
+    stale_.fetch_add(1, std::memory_order_relaxed);
+    seq_[idx].store(pos + entries_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+    return Pop::kStale;
+  }
+  const uint8_t* slot = data_.data() + static_cast<size_t>(idx) * slot_bytes_;
+  uint32_t len = 0;
+  std::memcpy(&len, slot + 8, 4);
+  if (len > payload_capacity()) {
+    // The length word claims bytes beyond the slot budget: a torn write.
+    // Reject before copying anything.
+    torn_.fetch_add(1, std::memory_order_relaxed);
+    seq_[idx].store(pos + entries_, std::memory_order_release);
+    head_.store(pos + 1, std::memory_order_release);
+    return Pop::kTorn;
+  }
+  std::memcpy(user_data, slot, 8);
+  payload->assign(slot + kSlotHeader, slot + kSlotHeader + len);
+  // Recycle: mark the slot free for the producer's next lap.
+  seq_[idx].store(pos + entries_, std::memory_order_release);
+  head_.store(pos + 1, std::memory_order_release);
+  pops_.fetch_add(1, std::memory_order_relaxed);
+  return Pop::kOk;
+}
+
+bool SlotRing::PrepareToSleep() {
+  need_wakeup_.store(true, std::memory_order_seq_cst);
+  // Re-check emptiness after raising the flag: a producer that published
+  // before seeing the flag would otherwise be missed (the classic lost
+  // wakeup). seq_cst on both sides makes flag-then-check safe.
+  if (!Empty()) {
+    need_wakeup_.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void SlotRing::WakeConsumerIfNeeded() {
+  if (need_wakeup_.load(std::memory_order_seq_cst) &&
+      need_wakeup_.exchange(false, std::memory_order_seq_cst)) {
+    wakeup_.Signal();
+  }
+}
+
+uint8_t* SlotRing::TestSlotBytes(uint64_t pos) {
+  const uint32_t idx = static_cast<uint32_t>(pos) & mask_;
+  return data_.data() + static_cast<size_t>(idx) * slot_bytes_;
+}
+
+void SlotRing::TestPokeSeq(uint64_t pos, uint64_t seq) {
+  seq_[static_cast<uint32_t>(pos) & mask_].store(seq,
+                                                 std::memory_order_release);
+}
+
+// ---- ExecRing ----
+
+ExecRing::ExecRing(RingConfig config)
+    : config_(config),
+      sq_(config.sq_entries, config.sq_slot_bytes),
+      cq_(config.cq_entries, config.cq_slot_bytes) {}
+
+// ---- completion codec ----
+
+namespace {
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<uint8_t>* out) : out_(out) {}
+  void U8(uint8_t v) { out_->push_back(v); }
+  void U16(uint16_t v) { Put(&v, 2); }
+  void U32(uint32_t v) { Put(&v, 4); }
+  void U64(uint64_t v) { Put(&v, 8); }
+  void Bytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+
+ private:
+  void Put(const void* v, size_t n) {
+    // The simulator runs host-endian; the serialized program format makes
+    // the same assumption.
+    Bytes(v, n);
+  }
+  std::vector<uint8_t>* out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  bool U8(uint8_t* v) { return Get(v, 1); }
+  bool U16(uint16_t* v) { return Get(v, 2); }
+  bool U32(uint32_t* v) { return Get(v, 4); }
+  bool U64(uint64_t* v) { return Get(v, 8); }
+  bool Bytes(void* out, size_t n) { return Get(out, n); }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  bool Get(void* out, size_t n) {
+    if (size_ - pos_ < n) {
+      return false;
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Result<ExecResult> CompletionError(const char* what) {
+  return ParseError(StrFormat("bad completion: %s", what));
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeCompletion(const ExecResult& result) {
+  std::vector<uint8_t> out;
+  ByteWriter w(&out);
+  w.U32(kCompletionMagic);
+  w.U8(static_cast<uint8_t>(result.failure));
+  w.U8(result.crash.has_value() ? 1 : 0);
+  w.U16(static_cast<uint16_t>(result.calls.size()));
+  if (result.crash.has_value()) {
+    w.U32(static_cast<uint32_t>(result.crash->bug));
+    w.U32(static_cast<uint32_t>(result.crash->call_index));
+    const size_t title_len =
+        std::min(result.crash->title.size(), kMaxCrashTitle);
+    w.U16(static_cast<uint16_t>(title_len));
+    w.Bytes(result.crash->title.data(), title_len);
+  }
+  for (const CallExecInfo& call : result.calls) {
+    w.U8(call.executed ? 1 : 0);
+    w.U64(static_cast<uint64_t>(call.retval));
+    w.U64(call.signal);
+    w.U32(call.new_edges);
+    w.U32(call.num_edges);
+    w.U16(static_cast<uint16_t>(call.slot_values.size()));
+    for (uint64_t slot : call.slot_values) {
+      w.U64(slot);
+    }
+  }
+  return out;
+}
+
+Result<ExecResult> DecodeCompletion(const uint8_t* data, size_t size) {
+  ByteReader r(data, size);
+  uint32_t magic = 0;
+  if (!r.U32(&magic) || magic != kCompletionMagic) {
+    return CompletionError("bad magic");
+  }
+  uint8_t failure = 0;
+  uint8_t has_crash = 0;
+  uint16_t num_calls = 0;
+  if (!r.U8(&failure) || !r.U8(&has_crash) || !r.U16(&num_calls)) {
+    return CompletionError("truncated header");
+  }
+  if (failure > static_cast<uint8_t>(ExecFailure::kRingStall)) {
+    return CompletionError("unknown failure kind");
+  }
+  if (has_crash > 1) {
+    return CompletionError("bad crash flag");
+  }
+  if (num_calls > kMaxCompletionCalls) {
+    return CompletionError("bad call count");
+  }
+  ExecResult result;
+  result.failure = static_cast<ExecFailure>(failure);
+  if (has_crash != 0) {
+    uint32_t bug = 0;
+    uint32_t call_index = 0;
+    uint16_t title_len = 0;
+    if (!r.U32(&bug) || !r.U32(&call_index) || !r.U16(&title_len)) {
+      return CompletionError("truncated crash record");
+    }
+    if (title_len > kMaxCrashTitle) {
+      return CompletionError("oversized crash title");
+    }
+    std::string title(title_len, '\0');
+    if (title_len > 0 && !r.Bytes(title.data(), title_len)) {
+      return CompletionError("truncated crash title");
+    }
+    CrashInfo crash;
+    crash.bug = static_cast<BugId>(bug);
+    crash.title = std::move(title);
+    crash.call_index = call_index;
+    result.crash = std::move(crash);
+  }
+  result.calls.reserve(num_calls);
+  for (uint16_t i = 0; i < num_calls; ++i) {
+    CallExecInfo call;
+    uint8_t executed = 0;
+    uint64_t retval = 0;
+    uint16_t nslots = 0;
+    if (!r.U8(&executed) || !r.U64(&retval) || !r.U64(&call.signal) ||
+        !r.U32(&call.new_edges) || !r.U32(&call.num_edges) ||
+        !r.U16(&nslots)) {
+      return CompletionError("truncated call record");
+    }
+    if (executed > 1) {
+      return CompletionError("bad executed flag");
+    }
+    if (nslots > kMaxCompletionSlots) {
+      return CompletionError("bad slot count");
+    }
+    call.executed = executed != 0;
+    call.retval = static_cast<int64_t>(retval);
+    call.slot_values.resize(nslots);
+    for (uint16_t s = 0; s < nslots; ++s) {
+      if (!r.U64(&call.slot_values[s])) {
+        return CompletionError("truncated slot values");
+      }
+    }
+    result.calls.push_back(std::move(call));
+  }
+  if (r.remaining() != 0) {
+    return CompletionError("trailing bytes");
+  }
+  return result;
+}
+
+}  // namespace healer

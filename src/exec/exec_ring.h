@@ -1,0 +1,185 @@
+// Ring-based fuzzer <-> executor transport (io_uring idiom), replacing the
+// one-program-at-a-time ShmChannel handshake for batched execution: paired
+// fixed-slot submission/completion rings over a per-VM shared-memory region.
+//
+// Layout follows io_uring's split between ring headers and entry arrays:
+// head/tail indices and per-slot sequence numbers live in a "doorbell page"
+// (atomics), while entry payloads live in a flat byte area. Entries are
+// sequence-numbered; a slot is free when its sequence equals the position a
+// producer wants to claim and ready when it equals position + 1, which gives
+// wraparound, full/empty detection, and torn/stale-entry detection without
+// any shared lock. The steady state is doorbell-free polling: consumers spin
+// on the sequence word; only when a consumer has declared itself asleep
+// (need_wakeup, io_uring's SQ_NEED_WAKEUP) does the producer pay for an
+// eventfd-style signal (WakeupFd).
+//
+// The wire surfaces are hostile-input hardened like serialize.cc: slot
+// length words are validated against the slot budget before any copy, and
+// the completion codec (EncodeCompletion/DecodeCompletion) rejects
+// truncated, oversized, or trailing-byte payloads with a typed status
+// instead of trusting guest-controlled lengths. tests/exec_ring_test.cc
+// holds the producer/consumer property suite; DESIGN.md §9 documents the
+// invariants.
+
+#ifndef SRC_EXEC_EXEC_RING_H_
+#define SRC_EXEC_EXEC_RING_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/base/status.h"
+#include "src/exec/exec_result.h"
+
+namespace healer {
+
+// Eventfd-style wakeup line: a counting signal the consumer blocks on when
+// it has seen the ring empty and parked itself. Signal() is cheap for the
+// producer; Wait() blocks until a signal arrives or the fd is closed.
+class WakeupFd {
+ public:
+  void Signal();
+  // Returns false once the fd is closed and all pending signals consumed.
+  bool Wait();
+  void Close();
+
+  // Total signals ever raised (the "doorbell rings"; steady-state polling
+  // keeps this far below the push count).
+  uint64_t signals() const { return signals_.load(std::memory_order_relaxed); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  uint64_t pending_ = 0;
+  bool closed_ = false;
+  std::atomic<uint64_t> signals_{0};
+};
+
+// One ring direction: fixed-count, fixed-stride slots, single producer and
+// single consumer (the fuzzer worker owns the VM; the executor owns the
+// guest side). Sequence numbers double as the publish barrier: the producer
+// writes payload bytes, then releases the slot's sequence; the consumer
+// acquires the sequence before touching the bytes.
+class SlotRing {
+ public:
+  // What TryPop found. kTorn and kStale consume (and free) the bad slot so
+  // one corrupted entry cannot wedge the ring.
+  enum class Pop : uint8_t {
+    kOk = 0,
+    kEmpty,  // Nothing published.
+    kTorn,   // Slot length word exceeds the slot budget (corrupt framing).
+    kStale,  // Slot sequence number is neither free nor ready (corruption).
+  };
+
+  // `entries` must be a power of two; `slot_bytes` is the full slot stride
+  // including the 16-byte slot header.
+  SlotRing(uint32_t entries, uint32_t slot_bytes);
+
+  // Producer side. False when the ring is full or the payload exceeds the
+  // slot budget (callers drain or spill to the legacy path).
+  bool Push(const uint8_t* payload, size_t len, uint64_t user_data);
+
+  // Consumer side. On kOk fills `payload` (copied out of the slot) and
+  // `user_data`; on kTorn/kStale the slot is skipped and freed.
+  Pop TryPop(std::vector<uint8_t>* payload, uint64_t* user_data);
+
+  size_t size() const;
+  bool Empty() const { return size() == 0; }
+  bool Full() const { return size() >= entries_; }
+  uint32_t entries() const { return entries_; }
+  // Largest payload one slot can carry.
+  uint32_t payload_capacity() const { return slot_bytes_ - kSlotHeader; }
+
+  // ---- wakeup protocol (io_uring SQ_NEED_WAKEUP idiom) ----
+  // Consumer: declare intent to sleep. Returns true if the ring is still
+  // empty after the flag was raised (safe to Wait); false means an entry
+  // raced in and the consumer should keep polling.
+  bool PrepareToSleep();
+  void CancelSleep() { need_wakeup_.store(false, std::memory_order_release); }
+  // Producer: called after every Push; signals the WakeupFd only when the
+  // consumer declared itself asleep.
+  void WakeConsumerIfNeeded();
+  WakeupFd& wakeup() { return wakeup_; }
+
+  // ---- counters (relaxed; exact once the threads have joined) ----
+  uint64_t pushes() const { return pushes_.load(std::memory_order_relaxed); }
+  uint64_t pops() const { return pops_.load(std::memory_order_relaxed); }
+  uint64_t torn() const { return torn_.load(std::memory_order_relaxed); }
+  uint64_t stale() const { return stale_.load(std::memory_order_relaxed); }
+  uint64_t full_rejects() const {
+    return full_rejects_.load(std::memory_order_relaxed);
+  }
+
+  // ---- hostile-input / fault-injection access ----
+  // Raw bytes of the slot that position `pos` maps to (header + payload).
+  // Tests and the fault injector use this to model a guest tearing an entry
+  // mid-flight; production code never touches it.
+  uint8_t* TestSlotBytes(uint64_t pos);
+  // Overwrites the slot's sequence word (modelling a stale/corrupt publish).
+  void TestPokeSeq(uint64_t pos, uint64_t seq);
+
+ private:
+  static constexpr uint32_t kSlotHeader = 16;  // u64 user_data + u32 len + pad
+
+  uint32_t entries_;
+  uint32_t mask_;
+  uint32_t slot_bytes_;
+  std::vector<uint8_t> data_;  // The shm entry area: entries_ * slot_bytes_.
+  std::unique_ptr<std::atomic<uint64_t>[]> seq_;  // The doorbell page.
+  std::atomic<uint64_t> head_{0};
+  std::atomic<uint64_t> tail_{0};
+  std::atomic<bool> need_wakeup_{false};
+  WakeupFd wakeup_;
+  std::atomic<uint64_t> pushes_{0};
+  std::atomic<uint64_t> pops_{0};
+  std::atomic<uint64_t> torn_{0};
+  std::atomic<uint64_t> stale_{0};
+  std::atomic<uint64_t> full_rejects_{0};
+};
+
+// Geometry of one VM's paired rings. Defaults keep >= 256 programs in
+// flight per VM with the region on the same scale as ShmChannel's 1 MiB.
+struct RingConfig {
+  uint32_t sq_entries = 256;     // Power of two.
+  uint32_t cq_entries = 256;     // Power of two.
+  uint32_t sq_slot_bytes = 4096; // Slot stride (16-byte header + payload).
+  uint32_t cq_slot_bytes = 4096;
+};
+
+// The paired rings: the fuzzer pushes serialized programs into the SQ and
+// reaps encoded ExecResults from the CQ; the in-guest executor drains the
+// SQ multi-shot and posts completions. Both directions carry the
+// submission's user_data tag so completions can be matched out of band.
+class ExecRing {
+ public:
+  explicit ExecRing(RingConfig config = RingConfig());
+
+  SlotRing& sq() { return sq_; }
+  SlotRing& cq() { return cq_; }
+  const RingConfig& config() const { return config_; }
+
+ private:
+  RingConfig config_;
+  SlotRing sq_;
+  SlotRing cq_;
+};
+
+// ---- completion wire codec ----
+//
+// CQ entry payload: a self-delimiting encoding of one ExecResult. Bounds
+// mirror the program wire format's defensive caps; DecodeCompletion fails
+// with kParseError on any truncation, cap violation, or trailing bytes.
+inline constexpr uint32_t kCompletionMagic = 0x43514531;  // "CQE1"
+inline constexpr size_t kMaxCompletionCalls = 1024;
+inline constexpr size_t kMaxCompletionSlots = 64;
+inline constexpr size_t kMaxCrashTitle = 256;
+
+std::vector<uint8_t> EncodeCompletion(const ExecResult& result);
+Result<ExecResult> DecodeCompletion(const uint8_t* data, size_t size);
+
+}  // namespace healer
+
+#endif  // SRC_EXEC_EXEC_RING_H_

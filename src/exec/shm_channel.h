@@ -11,6 +11,8 @@
 #include <deque>
 #include <vector>
 
+#include "src/base/metrics.h"
+
 namespace healer {
 
 // The shared-memory data plane. One in-flight program at a time, like the
@@ -35,11 +37,18 @@ class ShmChannel {
   }
 
   const uint8_t* prog_data() const { return region_.data() + 8; }
+  // The guest-written length word is untrusted: a value the region cannot
+  // hold reads as 0, so RunSerialized sees an empty (cleanly rejected)
+  // program instead of reading past the mapping.
   size_t prog_size() const {
     uint64_t len;
     std::memcpy(&len, region_.data(), 8);
-    return static_cast<size_t>(len);
+    return len <= kSize - 8 ? static_cast<size_t>(len) : 0;
   }
+
+  // Raw region access for hostile-guest tests and fault injection; the
+  // production path only ever writes through WriteProg.
+  uint8_t* raw() { return region_.data(); }
 
  private:
   std::vector<uint8_t> region_;
@@ -62,7 +71,22 @@ struct CtrlFrame {
 
 class ControlSocket {
  public:
-  void Send(CtrlFrame frame) { queue_.push_back(frame); }
+  // A real socket has a finite buffer; an unbounded frame queue lets a
+  // babbling guest exhaust host memory. Frames past the cap are dropped and
+  // counted (surfaced as healer_ctrl_overflow_total when a registry is
+  // attached).
+  static constexpr size_t kMaxPending = 1024;
+
+  void Send(CtrlFrame frame) {
+    if (queue_.size() >= kMaxPending) {
+      ++overflows_;
+      if (overflow_counter_ != nullptr) {
+        overflow_counter_->Add();
+      }
+      return;
+    }
+    queue_.push_back(frame);
+  }
 
   bool Recv(CtrlFrame* frame) {
     if (queue_.empty()) {
@@ -75,9 +99,15 @@ class ControlSocket {
 
   bool empty() const { return queue_.empty(); }
   size_t pending() const { return queue_.size(); }
+  uint64_t overflows() const { return overflows_; }
+
+  // Optional telemetry hookup; the counter must outlive the socket.
+  void set_overflow_counter(Counter* counter) { overflow_counter_ = counter; }
 
  private:
   std::deque<CtrlFrame> queue_;
+  uint64_t overflows_ = 0;
+  Counter* overflow_counter_ = nullptr;
 };
 
 }  // namespace healer

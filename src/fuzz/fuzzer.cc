@@ -33,6 +33,16 @@ const char* GuidanceModeName(GuidanceMode mode) {
   return "?";
 }
 
+const char* ExecTransportName(ExecTransport transport) {
+  switch (transport) {
+    case ExecTransport::kShmChannel:
+      return "shm-channel";
+    case ExecTransport::kRing:
+      return "ring";
+  }
+  return "?";
+}
+
 namespace {
 
 std::vector<int> EnabledSyscalls(const Target& target,
@@ -101,7 +111,9 @@ ExecResult Fuzzer::ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
   while (true) {
     GuestVm& vm = pool_.Next();
     m_.exec_attempts->Add();
-    ExecResult result = vm.Exec(prog, coverage);
+    ExecResult result = options_.transport == ExecTransport::kRing
+                            ? vm.ExecRingOne(prog, coverage)
+                            : vm.Exec(prog, coverage);
     if (!result.Failed()) {
       m_.exec_ok->Add();
       if (attempt > 0) {

@@ -77,6 +77,10 @@ class Worker {
         selector_(&shared->relations, builder_.enabled(), &rng_) {}
 
   void Run() {
+    if (options_.pipeline_depth > 1) {
+      RunPipelined();
+      return;
+    }
     while (true) {
       const uint64_t ticket =
           shared_->exec_tickets.fetch_add(1, std::memory_order_relaxed);
@@ -158,10 +162,75 @@ class Worker {
   // faulted execution merged nothing into the shared coverage, so retrying
   // is safe; a still-Failed() return means the program's feedback must be
   // discarded.
-  ExecResult ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
-    TraceSpan span(&shared_->trace, sim_clock_, "exec", "vm", tid_);
-    m_.exec_attempts->Add();
-    ExecResult result = vm_.Exec(prog, coverage);
+  // The pipelined submit path: claim up to pipeline_depth tickets, build
+  // that many programs lock-free, submit them all into the VM's SQ ring in
+  // one ExecBatch, then run the recovery tail and feedback processing per
+  // completion. The VM charges its round-trip overhead once per drain, so
+  // deep pipelines amortize it across hundreds of in-flight programs.
+  void RunPipelined() {
+    while (true) {
+      std::vector<PendingExec> pending;
+      pending.reserve(options_.pipeline_depth);
+      while (pending.size() < options_.pipeline_depth) {
+        const uint64_t ticket =
+            shared_->exec_tickets.fetch_add(1, std::memory_order_relaxed);
+        if (ticket >= options_.total_execs) {
+          break;
+        }
+        pending.push_back(BuildOne(ticket));
+      }
+      if (pending.empty()) {
+        break;
+      }
+      // Submit every non-empty program in claim order; completion tags are
+      // indices into `progs`, reaped in submission order.
+      std::vector<const Prog*> progs;
+      std::vector<size_t> pending_of;
+      progs.reserve(pending.size());
+      pending_of.reserve(pending.size());
+      for (size_t i = 0; i < pending.size(); ++i) {
+        if (!pending[i].prog.empty()) {
+          progs.push_back(&pending[i].prog);
+          pending_of.push_back(i);
+        }
+      }
+      bool urgent = false;
+      if (!progs.empty()) {
+        TraceSpan span(&shared_->trace, sim_clock_, "exec-batch", "vm", tid_);
+        m_.exec_attempts->Add(progs.size());
+        std::vector<RingCompletion> completions =
+            vm_.ExecBatch(progs, &shared_->coverage);
+        for (RingCompletion& completion : completions) {
+          const PendingExec& p =
+              pending[pending_of[static_cast<size_t>(completion.tag)]];
+          const ExecResult result = RetryTail(p.prog, &shared_->coverage,
+                                              std::move(completion.result));
+          urgent |= HandleFeedback(p, result);
+        }
+      }
+      if (urgent || batch_.execs >= options_.batch_size) {
+        Publish();
+      }
+    }
+    Publish();  // Final flush.
+  }
+
+  // One execution on this worker's VM, routed by transport: the pipelined
+  // path (pipeline_depth > 1) keeps retries and analysis probes on the ring
+  // so a worker uses exactly one transport for its whole campaign.
+  ExecResult ExecOne(const Prog& prog, Bitmap* coverage) {
+    return options_.pipeline_depth > 1 ? vm_.ExecRingOne(prog, coverage)
+                                       : vm_.Exec(prog, coverage);
+  }
+
+  // The recovery tail shared by both transports: takes the result of an
+  // already-attempted (and already attempt-counted) execution and applies
+  // the bounded-retry/quarantine policy. Every observed failure is counted
+  // once, which keeps the per-VM infra_faults counters and the
+  // recovery-side failed_execs in agreement — including ring completions
+  // that failed inside a batched drain.
+  ExecResult RetryTail(const Prog& prog, Bitmap* coverage,
+                       ExecResult result) {
     int attempt = 0;
     while (result.Failed()) {
       m_.exec_failed->Add();
@@ -177,7 +246,7 @@ class Worker {
       ++attempt;
       m_.exec_retries->Add();
       m_.exec_attempts->Add();
-      result = vm_.Exec(prog, coverage);
+      result = ExecOne(prog, coverage);
     }
     m_.exec_ok->Add();
     if (attempt > 0) {
@@ -186,19 +255,36 @@ class Worker {
     return result;
   }
 
-  // One fuzzing iteration, entirely outside the publish lock. Returns true
-  // if the batch should publish immediately (new coverage or a crash).
-  bool Step(uint64_t ticket) {
+  ExecResult ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
+    TraceSpan span(&shared_->trace, sim_clock_, "exec", "vm", tid_);
+    m_.exec_attempts->Add();
+    return RetryTail(prog, coverage, ExecOne(prog, coverage));
+  }
+
+  // One claimed exec slot: the built program plus the selection context the
+  // feedback phase needs. `prog` may be empty (a wasted slot, still
+  // consumed).
+  struct PendingExec {
+    uint64_t ticket = 0;
+    Prog prog;
+    bool used_table = false;
+  };
+
+  // Front half of one iteration, entirely lock-free: refresh the snapshot,
+  // pick generate-or-mutate, and build the program. Consumes the exec-slot
+  // accounting.
+  PendingExec BuildOne(uint64_t ticket) {
     RefreshSnapshot();
     const double alpha = std::bit_cast<double>(
         shared_->alpha_bits.load(std::memory_order_relaxed));
-    bool used_table = false;
+    PendingExec pending;
+    pending.ticket = ticket;
     bool mutated = false;
     Prog prog(&target_);
     if (snapshot_ != nullptr && !snapshot_->empty() && rng_.Chance(3, 5)) {
       prog = snapshot_->Choose(&rng_).Clone();
     }
-    CallChooser chooser = MakeChooser(alpha, &used_table);
+    CallChooser chooser = MakeChooser(alpha, &pending.used_table);
     if (prog.empty()) {
       prog = builder_.Generate(chooser, 4 + rng_.Below(10));
     } else {
@@ -214,13 +300,33 @@ class Worker {
     // healer_parallel_batched_execs_total == healer_fuzz_execs_total exact.
     ++batch_.execs;
     m_.fuzz_execs->Add();
-    if (prog.empty()) {
+    if (!prog.empty()) {
+      (mutated ? m_.mutated : m_.generated)->Add();
+      m_.prog_len->Observe(prog.size());
+    }
+    pending.prog = std::move(prog);
+    return pending;
+  }
+
+  // One fuzzing iteration, entirely outside the publish lock. Returns true
+  // if the batch should publish immediately (new coverage or a crash).
+  bool Step(uint64_t ticket) {
+    PendingExec pending = BuildOne(ticket);
+    if (pending.prog.empty()) {
       return false;
     }
-    (mutated ? m_.mutated : m_.generated)->Add();
-    m_.prog_len->Observe(prog.size());
+    const ExecResult result =
+        ExecWithRecovery(pending.prog, &shared_->coverage);
+    return HandleFeedback(pending, result);
+  }
 
-    const ExecResult result = ExecWithRecovery(prog, &shared_->coverage);
+  // Back half of one iteration: feedback processing for a recovered (or
+  // finally-failed) result. Returns true if the batch should publish
+  // immediately (new coverage or a crash).
+  bool HandleFeedback(const PendingExec& pending, const ExecResult& result) {
+    const Prog& prog = pending.prog;
+    const uint64_t ticket = pending.ticket;
+    const bool used_table = pending.used_table;
     if (result.Failed()) {
       return false;  // Feedback discarded; the exec slot is still consumed.
     }

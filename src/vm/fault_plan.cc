@@ -20,6 +20,12 @@ const char* FaultKindName(FaultKind kind) {
       return "slow";
     case FaultKind::kBootFailure:
       return "boot";
+    case FaultKind::kRingSetup:
+      return "ringsetup";
+    case FaultKind::kRingTorn:
+      return "torn";
+    case FaultKind::kRingStall:
+      return "stall";
   }
   return "?";
 }

@@ -32,8 +32,15 @@ enum class FaultKind : uint8_t {
   kBitFlipResult,    // One bit of the shm wire bytes is corrupted.
   kSlowVm,           // Latency spike: the exec completes but takes longer.
   kBootFailure,      // The guest fails to (re)boot and stays down.
+  // Ring-transport lifecycle faults (exec_ring.h), modelled on the
+  // setup/register/mmap/enter failure points a real io_uring transport
+  // probes. On the legacy one-at-a-time path they degrade to the closest
+  // shm-channel equivalent so any plan is valid on either transport.
+  kRingSetup,        // Ring setup/register/mmap equivalent fails.
+  kRingTorn,         // A submission entry is torn mid-flight in the SQ.
+  kRingStall,        // A completion stalls; the reaper waits out the watchdog.
 };
-inline constexpr size_t kNumFaultKinds = 6;
+inline constexpr size_t kNumFaultKinds = 9;
 
 const char* FaultKindName(FaultKind kind);
 
@@ -62,7 +69,8 @@ struct FaultPlan {
 };
 
 // Parses a plan spec of the form "crash=0.01,timeout=0.005,boot=0.001".
-// Keys: crash, timeout, trunc, bitflip, slow, boot. Unlisted kinds stay 0.
+// Keys: crash, timeout, trunc, bitflip, slow, boot, ringsetup, torn, stall.
+// Unlisted kinds stay 0.
 Result<FaultPlan> ParseFaultPlan(const std::string& spec);
 
 // How the fuzzing loop reacts to failed executions.

@@ -9,8 +9,9 @@ namespace healer {
 GuestVm::GuestVm(const Target& target, const KernelConfig& config,
                  SimClock* clock, VmLatencyModel latency,
                  const FaultPlan& fault_plan, uint64_t fault_seed,
-                 MetricRegistry* metrics)
+                 MetricRegistry* metrics, RingConfig ring_config)
     : executor_(target, config),
+      ring_(ring_config),
       clock_(clock),
       latency_(latency),
       injector_(fault_plan, fault_seed) {
@@ -23,6 +24,16 @@ GuestVm::GuestVm(const Target& target, const KernelConfig& config,
           StrFormat("healer_fault_injected_%s_total",
                     FaultKindName(static_cast<FaultKind>(i))));
     }
+    m_ring_drains_ = metrics->GetCounter("healer_ring_drains_total");
+    m_ring_submitted_ = metrics->GetCounter("healer_ring_submitted_total");
+    m_ring_completions_ =
+        metrics->GetCounter("healer_ring_completions_total");
+    m_ring_spills_ = metrics->GetCounter("healer_ring_spills_total");
+    m_ring_stalls_ = metrics->GetCounter("healer_ring_stalls_total");
+    m_ring_drain_programs_ =
+        metrics->GetHistogram("healer_ring_drain_programs");
+    ctrl_.set_overflow_counter(
+        metrics->GetCounter("healer_ctrl_overflow_total"));
   }
 }
 
@@ -92,6 +103,23 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     down_ = true;
     return FailWith(ExecFailure::kTimeout);
   }
+  // Ring lifecycle faults on the legacy transport degrade to their closest
+  // shm-channel equivalent, so one fault plan stays valid on both paths and
+  // the per-program failure kinds match the ring path exactly.
+  if (fault == FaultKind::kRingSetup || fault == FaultKind::kRingTorn) {
+    // Setup/register/mmap failure or a torn submission: a wasted round trip
+    // that never became a usable execution.
+    clock_->Advance(latency_.exec_overhead);
+    return FailWith(fault == FaultKind::kRingSetup ? ExecFailure::kRingSetup
+                                                   : ExecFailure::kRingTorn);
+  }
+  if (fault == FaultKind::kRingStall) {
+    // A lost completion looks like a hung executor from the host: the
+    // watchdog budget burns and the guest is reset to resynchronize.
+    clock_->Advance(latency_.exec_timeout);
+    down_ = true;
+    return FailWith(ExecFailure::kRingStall);
+  }
 
   std::vector<uint8_t> bytes = SerializeProg(prog);
   if (fault == FaultKind::kTruncatedResult ||
@@ -150,6 +178,247 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     AppendLog(StrFormat("BUG: %s", result.crash->title.c_str()));
   }
   return result;
+}
+
+std::vector<RingCompletion> GuestVm::ExecBatch(
+    const std::vector<const Prog*>& progs, Bitmap* global_coverage) {
+  std::vector<RingCompletion> out;
+  out.reserve(progs.size());
+  size_t next = 0;
+  while (out.size() < progs.size()) {
+    // Submission phase: fill the SQ until it is full or the next program
+    // exceeds the slot budget. Tags are batch indices, so completion order
+    // can be checked against submission order.
+    bool oversized = false;
+    const uint64_t first_tag = next;
+    size_t submitted = 0;
+    while (next < progs.size()) {
+      const std::vector<uint8_t> bytes = SerializeProg(*progs[next]);
+      if (bytes.size() > ring_.sq().payload_capacity()) {
+        oversized = true;
+        break;
+      }
+      if (!ring_.sq().Push(bytes.data(), bytes.size(), next)) {
+        break;  // SQ full: drain what is queued, then keep submitting.
+      }
+      if (m_ring_submitted_ != nullptr) {
+        m_ring_submitted_->Add();
+      }
+      ++submitted;
+      ++next;
+    }
+    if (submitted > 0) {
+      DrainRing(progs, first_tag, submitted, global_coverage, &out);
+      continue;  // Re-enter submission with an empty SQ.
+    }
+    if (oversized) {
+      // Spill: the program cannot travel through a fixed slot, so it takes
+      // the one-at-a-time channel. Its fault draw happens inside Exec,
+      // which keeps the per-program decision stream aligned with a pure
+      // legacy sequence.
+      ExecResult result = Exec(*progs[next], global_coverage);
+      if (m_ring_spills_ != nullptr) {
+        m_ring_spills_->Add();
+      }
+      out.push_back(
+          RingCompletion{next, std::move(result), clock_->now()});
+      ++next;
+      continue;
+    }
+    break;  // Defensive: nothing submitted and nothing to spill.
+  }
+  return out;
+}
+
+void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
+                        uint64_t first_tag, size_t count,
+                        Bitmap* global_coverage,
+                        std::vector<RingCompletion>* out) {
+  if (!booted_) {
+    Boot();
+  }
+  if (down_) {
+    clock_->Advance(latency_.reboot);
+    AppendLog("[ reboot ] restarting crashed guest");
+    down_ = false;
+    if (m_reboots_ != nullptr) {
+      m_reboots_->Add();
+    }
+  }
+  // One ring "enter": the host pays the round-trip overhead once per drain,
+  // not once per program — the batched transport's throughput win.
+  const SimClock::Nanos drain_start = clock_->now();
+  clock_->Advance(latency_.exec_overhead);
+  if (m_ring_drains_ != nullptr) {
+    m_ring_drains_->Add();
+    m_ring_drain_programs_->Observe(count);
+  }
+
+  // Executor side: multi-shot drain. Every pending submission is popped,
+  // executed under the per-program fault model, and answered with one CQ
+  // completion stamped at post time. No control-socket chatter: the rings
+  // are the only host/guest channel on this path.
+  std::vector<std::pair<uint64_t, SimClock::Nanos>> stamps;
+  stamps.reserve(count);
+  std::vector<uint8_t> bytes;
+  uint64_t tag = 0;
+  for (;;) {
+    const SlotRing::Pop popped = ring_.sq().TryPop(&bytes, &tag);
+    if (popped == SlotRing::Pop::kEmpty) {
+      break;
+    }
+    if (popped != SlotRing::Pop::kOk) {
+      // A torn or replayed SQ entry was consumed and dropped; the reap
+      // phase below surfaces the missing completion as a stall.
+      continue;
+    }
+    const std::optional<FaultKind> fault = injector_.Draw();
+    if (fault.has_value() && m_fault_injected_[0] != nullptr) {
+      m_fault_injected_[static_cast<size_t>(*fault)]->Add();
+    }
+    ExecResult result;
+    bool post = true;
+    if (fault == FaultKind::kBootFailure) {
+      clock_->Advance(booted_ && !down_ ? latency_.reboot : latency_.boot);
+      booted_ = true;
+      down_ = true;
+      result = FailWith(ExecFailure::kBootFailure);
+    } else {
+      if (down_) {
+        // A crash or loss earlier in the drain: the guest restarted and the
+        // executor re-attached to the rings before taking the next entry.
+        clock_->Advance(latency_.reboot);
+        AppendLog("[ reboot ] restarting crashed guest");
+        down_ = false;
+        if (m_reboots_ != nullptr) {
+          m_reboots_->Add();
+        }
+      }
+      if (fault == FaultKind::kVmCrash) {
+        clock_->Advance(latency_.exec_overhead / 2);
+        down_ = true;
+        result = FailWith(ExecFailure::kVmLost);
+      } else if (fault == FaultKind::kExecTimeout) {
+        clock_->Advance(latency_.exec_timeout);
+        down_ = true;
+        result = FailWith(ExecFailure::kTimeout);
+      } else if (fault == FaultKind::kRingSetup ||
+                 fault == FaultKind::kRingTorn) {
+        result = FailWith(fault == FaultKind::kRingSetup
+                              ? ExecFailure::kRingSetup
+                              : ExecFailure::kRingTorn);
+      } else if (fault == FaultKind::kRingStall) {
+        // The completion never lands: nothing is posted, no feedback leaks,
+        // and the reaper times the tag out below.
+        post = false;
+      } else if (fault == FaultKind::kTruncatedResult ||
+                 fault == FaultKind::kBitFlipResult) {
+        // Same corruption model (and Rand stream) as the legacy transport.
+        std::vector<uint8_t> corrupted = bytes;
+        if (!corrupted.empty()) {
+          if (fault == FaultKind::kTruncatedResult) {
+            corrupted.resize(injector_.Rand() % corrupted.size());
+          } else {
+            corrupted[injector_.Rand() % corrupted.size()] ^=
+                static_cast<uint8_t>(1u << (injector_.Rand() % 8));
+          }
+        }
+        executor_.RunSerialized(corrupted.data(), corrupted.size(), nullptr);
+        result = FailWith(ExecFailure::kCorruptedReply);
+      } else {
+        const size_t prog_len =
+            tag < progs.size() ? progs[static_cast<size_t>(tag)]->size() : 0;
+        result =
+            executor_.RunSerialized(bytes.data(), bytes.size(),
+                                    global_coverage);
+        execs_.fetch_add(1, std::memory_order_relaxed);
+        consecutive_failures_.store(0, std::memory_order_relaxed);
+        clock_->Advance(latency_.per_call * prog_len);
+        if (fault == FaultKind::kSlowVm) {
+          clock_->Advance(latency_.slow_penalty);
+          AppendLog("[ fault  ] slow round trip (host contention)");
+        }
+        if (m_execs_ != nullptr) {
+          m_execs_->Add();
+          m_rtt_->Observe(clock_->now() - drain_start);
+        }
+        if (result.Crashed()) {
+          crashes_.fetch_add(1, std::memory_order_relaxed);
+          down_ = true;
+          AppendLog(StrFormat("BUG: %s", result.crash->title.c_str()));
+        }
+      }
+    }
+    if (post) {
+      const std::vector<uint8_t> cqe = EncodeCompletion(result);
+      // A completion too large for a CQ slot (or a full CQ) is lost and
+      // surfaces as a stall; the CQ is sized >= the SQ so a full CQ cannot
+      // happen on the production path.
+      if (ring_.cq().Push(cqe.data(), cqe.size(), tag)) {
+        stamps.emplace_back(tag, clock_->now());
+        if (m_ring_completions_ != nullptr) {
+          m_ring_completions_->Add();
+        }
+      }
+    }
+  }
+
+  // Reap phase: pop completions (they arrive in post order), decode, and
+  // stitch the post-time stamps back on. Any submitted tag without a
+  // completion is timed out by the reaper — the wakeup-fallback watchdog —
+  // as a ring stall, and the guest is reset to resynchronize the rings.
+  std::vector<std::pair<uint64_t, ExecResult>> reaped;
+  reaped.reserve(count);
+  for (;;) {
+    const SlotRing::Pop popped = ring_.cq().TryPop(&bytes, &tag);
+    if (popped == SlotRing::Pop::kEmpty) {
+      break;
+    }
+    if (popped != SlotRing::Pop::kOk) {
+      continue;  // Torn CQ entry: lost; surfaces as a stall below.
+    }
+    Result<ExecResult> decoded = DecodeCompletion(bytes.data(), bytes.size());
+    if (!decoded.ok()) {
+      AppendLog(StrFormat("[ ring   ] dropped completion: %s",
+                          decoded.status().message().c_str()));
+      continue;
+    }
+    reaped.emplace_back(tag, std::move(*decoded));
+  }
+  size_t ri = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const uint64_t want = first_tag + i;
+    if (ri < reaped.size() && reaped[ri].first == want) {
+      SimClock::Nanos stamp = clock_->now();
+      for (const auto& [stamp_tag, at] : stamps) {
+        if (stamp_tag == want) {
+          stamp = at;
+          break;
+        }
+      }
+      out->push_back(
+          RingCompletion{want, std::move(reaped[ri].second), stamp});
+      ++ri;
+    } else {
+      clock_->Advance(latency_.exec_timeout);
+      down_ = true;
+      out->push_back(
+          RingCompletion{want, FailWith(ExecFailure::kRingStall),
+                         clock_->now()});
+      if (m_ring_stalls_ != nullptr) {
+        m_ring_stalls_->Add();
+      }
+    }
+  }
+}
+
+ExecResult GuestVm::ExecRingOne(const Prog& prog, Bitmap* global_coverage) {
+  const std::vector<const Prog*> one = {&prog};
+  std::vector<RingCompletion> completions = ExecBatch(one, global_coverage);
+  if (completions.empty()) {
+    return ExecResult{};
+  }
+  return std::move(completions.front().result);
 }
 
 void GuestVm::QuarantineReboot() {

@@ -26,11 +26,22 @@
 
 #include "src/base/metrics.h"
 #include "src/base/sim_clock.h"
+#include "src/exec/exec_ring.h"
 #include "src/exec/executor.h"
 #include "src/exec/shm_channel.h"
 #include "src/vm/fault_plan.h"
 
 namespace healer {
+
+// One reaped ring completion: the program's submission tag (its index in the
+// batch handed to ExecBatch), the decoded result, and the simulated time at
+// which the completion became visible to the host (used by the replay bench
+// to measure inter-completion spans).
+struct RingCompletion {
+  uint64_t tag = 0;
+  ExecResult result;
+  SimClock::Nanos completed_at = 0;
+};
 
 struct VmLatencyModel {
   SimClock::Nanos boot = 10 * SimClock::kSecond;
@@ -53,7 +64,8 @@ class GuestVm {
   GuestVm(const Target& target, const KernelConfig& config, SimClock* clock,
           VmLatencyModel latency = VmLatencyModel(),
           const FaultPlan& fault_plan = FaultPlan(), uint64_t fault_seed = 0,
-          MetricRegistry* metrics = nullptr);
+          MetricRegistry* metrics = nullptr,
+          RingConfig ring_config = RingConfig());
 
   // Boots the guest and performs the executor handshake.
   void Boot();
@@ -65,6 +77,23 @@ class GuestVm {
   // Injected faults return a result with `failure` set and no calls.
   ExecResult Exec(const Prog& prog, Bitmap* global_coverage);
 
+  // Batched transport: submits the programs into the SQ ring, drains the
+  // executor multi-shot, and reaps one completion per program from the CQ,
+  // in submission order. The per-drain round-trip overhead is charged once
+  // per drain (not once per program) — the ring's throughput win. Fault
+  // semantics per program mirror Exec: each program consumes exactly one
+  // injector draw in submission order, so for a fixed program sequence and
+  // fault seed the per-program results are bit-identical to a sequence of
+  // legacy Exec calls. Programs too large for an SQ slot spill to the
+  // legacy one-at-a-time channel transparently.
+  std::vector<RingCompletion> ExecBatch(const std::vector<const Prog*>& progs,
+                                        Bitmap* global_coverage);
+
+  // Single-program convenience over ExecBatch (batch of one). On the
+  // fault-free path its clock charges equal Exec's, which keeps fixed-seed
+  // campaigns over the ring transport draw-identical to legacy ones.
+  ExecResult ExecRingOne(const Prog& prog, Bitmap* global_coverage);
+
   // Recovery hook: reboots a repeatedly failing guest out-of-band and
   // clears its consecutive-failure streak.
   void QuarantineReboot();
@@ -75,6 +104,10 @@ class GuestVm {
 
   const Executor& executor() const { return executor_; }
   const FaultInjector& injector() const { return injector_; }
+  // Ring transport internals, exposed for the property/hostile test
+  // harnesses; production callers go through ExecBatch/ExecRingOne.
+  ExecRing& ring() { return ring_; }
+  ControlSocket& ctrl() { return ctrl_; }
   uint64_t execs() const { return execs_.load(std::memory_order_relaxed); }
   uint64_t crashes() const {
     return crashes_.load(std::memory_order_relaxed);
@@ -94,10 +127,18 @@ class GuestVm {
   void AppendLog(std::string line);
   // Records an infra failure and builds the typed failure result.
   ExecResult FailWith(ExecFailure failure);
+  // Executor side of one ring round trip: pops every pending SQ entry,
+  // executes it (applying per-program faults), posts completions, then reaps
+  // the CQ into `out`. `first_tag`/`count` identify the tags submitted this
+  // drain so lost completions can be timed out as ring stalls.
+  void DrainRing(const std::vector<const Prog*>& progs, uint64_t first_tag,
+                 size_t count, Bitmap* global_coverage,
+                 std::vector<RingCompletion>* out);
 
   Executor executor_;
   ShmChannel shm_;
   ControlSocket ctrl_;
+  ExecRing ring_;
   SimClock* clock_;
   VmLatencyModel latency_;
   FaultInjector injector_;
@@ -118,6 +159,12 @@ class GuestVm {
   Counter* m_reboots_ = nullptr;                             // healer_vm_reboots_total
   Histogram* m_rtt_ = nullptr;                               // healer_vm_rtt_ns
   std::array<Counter*, kNumFaultKinds> m_fault_injected_{};  // healer_fault_injected_<kind>_total
+  Counter* m_ring_drains_ = nullptr;       // healer_ring_drains_total
+  Counter* m_ring_submitted_ = nullptr;    // healer_ring_submitted_total
+  Counter* m_ring_completions_ = nullptr;  // healer_ring_completions_total
+  Counter* m_ring_spills_ = nullptr;       // healer_ring_spills_total
+  Counter* m_ring_stalls_ = nullptr;       // healer_ring_stalls_total
+  Histogram* m_ring_drain_programs_ = nullptr;  // healer_ring_drain_programs
 };
 
 }  // namespace healer
