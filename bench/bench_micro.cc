@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "src/base/journal.h"
 #include "src/exec/executor.h"
 #include "src/fuzz/corpus.h"
 #include "src/fuzz/call_selector.h"
@@ -232,10 +233,11 @@ void BM_LearningExecCost(benchmark::State& state) {
 }
 BENCHMARK(BM_LearningExecCost);
 
-// The telemetry-overhead guard: full fuzzing iterations with metrics and a
-// live trace ring armed. scripts/check.sh builds this benchmark twice (with
-// and without -DHEALER_NO_TELEMETRY) and asserts the instrumented hot path
-// stays within 3% of the compiled-out baseline.
+// The telemetry-overhead guard: full fuzzing iterations with metrics, a
+// live trace ring, and the flight-recorder journal armed (journal_capacity
+// defaults on in FuzzerOptions). scripts/check.sh builds this benchmark
+// twice (with and without -DHEALER_NO_TELEMETRY) and asserts the
+// instrumented hot path stays within 3% of the compiled-out baseline.
 void BM_FuzzerSteps(benchmark::State& state) {
   constexpr int kSteps = 256;
   for (auto _ : state) {
@@ -255,6 +257,27 @@ void BM_FuzzerSteps(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kSteps);
 }
 BENCHMARK(BM_FuzzerSteps);
+
+// The flight-recorder hot path: stage records in a per-worker writer and
+// drain them at a batch boundary, as the fuzzers do. BM_FuzzerSteps above
+// carries the end-to-end overhead guard (journal_capacity defaults on);
+// this isolates the per-record cost itself.
+void BM_JournalAppend(benchmark::State& state) {
+  constexpr int kBatch = 32;
+  Journal journal(4096);
+  JournalWriter writer(&journal, 0);
+  uint64_t at = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      ++at;
+      writer.Record(JournalKind::kExec, at, at, 3, 7);
+    }
+    writer.Flush();
+  }
+  benchmark::DoNotOptimize(journal.size());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_JournalAppend);
 
 // ---- Corpus::Choose: Fenwick sampler vs the old linear prefix scan ----
 

@@ -5,9 +5,11 @@
 # overhead guard against a -DHEALER_NO_TELEMETRY baseline build), and a
 # parallel stage (scaling-bench smoke + critical-section-share guard), a
 # relation stage (snapshot-Select speedup guard + draw-determinism tests),
-# and an exec stage (ring-transport replay bench + speedup guard).
+# an exec stage (ring-transport replay bench + speedup guard), and an
+# introspect stage (live HTTP endpoints, journal export, postmortem-bundle
+# determinism).
 #
-#   scripts/check.sh              # all seven stages
+#   scripts/check.sh              # all eight stages
 #   scripts/check.sh tier1        # just the tier-1 verify
 #   scripts/check.sh asan         # just the ASan/UBSan stage
 #   scripts/check.sh tsan         # just the TSan stage
@@ -15,6 +17,7 @@
 #   scripts/check.sh parallel     # just the parallel scaling-bench guard
 #   scripts/check.sh relation     # just the relation-engine guards
 #   scripts/check.sh exec         # just the ring-transport replay guard
+#   scripts/check.sh introspect   # just the introspection-plane smoke
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,13 +85,16 @@ run_telemetry() {
   local bench_args="--benchmark_filter=BM_FuzzerSteps \
     --benchmark_repetitions=3 --benchmark_format=csv"
   # Interleave instrumented / compiled-out runs so slow machine-load drift
-  # hits both sides, then compare the global min real_time per binary. The
-  # awk match is anchored on the exact row name: "BM_FuzzerSteps_mean" /
-  # "_stddev" aggregate rows must not leak into the minimum.
+  # hits both sides, then compare the global min real_time per binary. Six
+  # rounds of three repetitions each: the min estimator only converges from
+  # above (noise is strictly additive), so more interleaved samples tighten
+  # both sides without biasing the ratio. The awk match is anchored on the
+  # exact row name: "BM_FuzzerSteps_mean" / "_stddev" aggregate rows must
+  # not leak into the minimum.
   : > "$tmp/with.csv"
   : > "$tmp/without.csv"
   local round
-  for round in 1 2 3; do
+  for round in 1 2 3 4 5 6; do
     # shellcheck disable=SC2086
     ./build/bench/bench_micro $bench_args 2>/dev/null >> "$tmp/with.csv"
     # shellcheck disable=SC2086
@@ -186,6 +192,115 @@ run_exec() {
     -R 'RingTransport|PipelinedRing'
 }
 
+run_introspect() {
+  echo "==> introspect: live endpoints, journal export, postmortem bundles"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target healer_cli healer_postmortem
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+
+  # HTTP fetch helper: curl when present, python3 otherwise.
+  fetch() {  # fetch PORT PATH OUT
+    if command -v curl >/dev/null; then
+      curl -sf "http://127.0.0.1:$1$2" -o "$3"
+    else
+      python3 - "$1" "$2" "$3" <<'EOF'
+import sys, urllib.request
+port, path, out = sys.argv[1:4]
+data = urllib.request.urlopen(
+    "http://127.0.0.1:%s%s" % (port, path), timeout=10).read()
+open(out, "wb").write(data)
+EOF
+    fi
+  }
+
+  # A short campaign with the introspection server on an ephemeral port.
+  # --serve-secs keeps the server answering after the (fast, simulated)
+  # campaign finishes, so the scrapes below always have a live target.
+  ./build/tools/healer fuzz --hours 0.5 --seed 3 --http-port 0 \
+    --serve-secs 20 --status-period 300 \
+    --journal-out "$tmp/journal.jsonl" \
+    > "$tmp/report.txt" 2> "$tmp/stderr.txt" &
+  local fuzz_pid=$!
+  local port="" i
+  for i in $(seq 1 100); do
+    port=$(sed -n \
+      's/.*introspection server listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+      "$tmp/stderr.txt" | head -1)
+    [ -n "$port" ] && break
+    sleep 0.1
+  done
+  [ -n "$port" ] || {
+    echo "FAIL: server port never announced on stderr" >&2
+    kill "$fuzz_pid" 2>/dev/null; exit 1; }
+
+  fetch "$port" /healthz "$tmp/healthz" || {
+    echo "FAIL: /healthz unreachable or unhealthy" >&2
+    kill "$fuzz_pid" 2>/dev/null; exit 1; }
+  grep -q "^ok$" "$tmp/healthz" || {
+    echo "FAIL: /healthz body is not ok" >&2; exit 1; }
+  fetch "$port" /metrics "$tmp/metrics.prom" || {
+    echo "FAIL: /metrics unreachable" >&2; kill "$fuzz_pid" 2>/dev/null
+    exit 1; }
+  fetch "$port" /status "$tmp/status.json" || {
+    echo "FAIL: /status unreachable" >&2; kill "$fuzz_pid" 2>/dev/null
+    exit 1; }
+  fetch "$port" '/journal?n=32' "$tmp/journal_tail.jsonl" || {
+    echo "FAIL: /journal unreachable" >&2; kill "$fuzz_pid" 2>/dev/null
+    exit 1; }
+  wait "$fuzz_pid" || { echo "FAIL: fuzz campaign failed" >&2; exit 1; }
+
+  # The scraped exposition must lint exactly like the --metrics-out dump:
+  # HELP/TYPE comments plus name{labels} value samples, nothing else.
+  grep -q "^# HELP healer_fuzz_execs_total " "$tmp/metrics.prom" || {
+    echo "FAIL: scraped metrics missing HELP line" >&2; exit 1; }
+  grep -q "^# TYPE healer_fuzz_execs_total counter$" "$tmp/metrics.prom" || {
+    echo "FAIL: scraped metrics missing TYPE line" >&2; exit 1; }
+  awk '!/^#/ && NF { if ($0 !~ /^[a-z_]+(\{[^}]*\})? -?[0-9.e+-]+$/) \
+      { print "bad sample: " $0; exit 1 } }' "$tmp/metrics.prom" || {
+    echo "FAIL: malformed scraped Prometheus sample" >&2; exit 1; }
+  grep -q '"execs"' "$tmp/status.json" || {
+    echo "FAIL: /status missing execs" >&2; exit 1; }
+  [ -s "$tmp/journal_tail.jsonl" ] || {
+    echo "FAIL: /journal tail empty" >&2; exit 1; }
+  [ -s "$tmp/journal.jsonl" ] || {
+    echo "FAIL: --journal-out wrote nothing" >&2; exit 1; }
+  grep -q '"kind":"exec"' "$tmp/journal.jsonl" || {
+    echo "FAIL: journal has no exec records" >&2; exit 1; }
+  if command -v python3 >/dev/null; then
+    python3 -c 'import json,sys
+for line in open(sys.argv[1]):
+    json.loads(line)' "$tmp/journal.jsonl" || {
+      echo "FAIL: journal JSONL does not parse" >&2; exit 1; }
+  fi
+  echo "    live endpoints OK: /healthz /metrics /status /journal + JSONL"
+
+  # Postmortem bundles: two same-seed crashing campaigns must write one
+  # bundle per unique crash and byte-identical trees (the flight recorder
+  # and every bundle field derive from simulated time, never wall clock).
+  local run_flags="fuzz --hours 0.5 --seed 3"
+  # shellcheck disable=SC2086
+  ./build/tools/healer $run_flags --postmortem-dir "$tmp/pm_a" >/dev/null
+  # shellcheck disable=SC2086
+  ./build/tools/healer $run_flags --postmortem-dir "$tmp/pm_b" >/dev/null
+  local bundles
+  bundles=$(find "$tmp/pm_a" -mindepth 1 -maxdepth 1 -type d | wc -l)
+  [ "$bundles" -gt 0 ] || {
+    echo "FAIL: no postmortem bundles written" >&2; exit 1; }
+  diff -r "$tmp/pm_a" "$tmp/pm_b" >/dev/null || {
+    echo "FAIL: same-seed postmortem bundles differ" >&2; exit 1; }
+  local bundle
+  bundle=$(find "$tmp/pm_a" -mindepth 1 -maxdepth 1 -type d | sort | head -1)
+  ./build/tools/healer_postmortem "$bundle" > "$tmp/pm.txt" || {
+    echo "FAIL: healer_postmortem failed on $bundle" >&2; exit 1; }
+  grep -q "^crash:" "$tmp/pm.txt" || {
+    echo "FAIL: postmortem printer missing crash section" >&2; exit 1; }
+  grep -q "^journal " "$tmp/pm.txt" || {
+    echo "FAIL: postmortem printer missing journal section" >&2; exit 1; }
+  echo "    postmortem OK: $bundles deterministic bundles, printer renders"
+}
+
 case "$stage" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
@@ -194,8 +309,9 @@ case "$stage" in
   parallel) run_parallel ;;
   relation) run_relation ;;
   exec) run_exec ;;
-  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation; run_exec ;;
-  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|exec|all]" >&2; exit 2 ;;
+  introspect) run_introspect ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation; run_exec; run_introspect ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|exec|introspect|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

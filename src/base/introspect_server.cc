@@ -1,0 +1,226 @@
+#include "src/base/introspect_server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace healer {
+
+namespace {
+
+// Splits a JSONL document into lines (without trailing newlines).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string HttpResponse(const char* status, const char* content_type,
+                         const std::string& body) {
+  std::string out = "HTTP/1.0 ";
+  out += status;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+void IntrospectionHub::PublishMetrics(std::string prometheus_text) {
+  std::lock_guard<std::mutex> lock(mu_);
+  metrics_ = std::move(prometheus_text);
+}
+
+void IntrospectionHub::PublishStatus(std::string status_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  status_ = std::move(status_json);
+}
+
+void IntrospectionHub::PublishJournal(std::string jsonl_tail) {
+  std::vector<std::string> lines = SplitLines(jsonl_tail);
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_lines_ = std::move(lines);
+}
+
+void IntrospectionHub::SetHealthy(bool healthy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  healthy_ = healthy;
+}
+
+std::string IntrospectionHub::metrics() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
+}
+
+std::string IntrospectionHub::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+std::string IntrospectionHub::journal_tail(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t count = n < journal_lines_.size() ? n : journal_lines_.size();
+  std::string out;
+  for (size_t i = journal_lines_.size() - count; i < journal_lines_.size();
+       ++i) {
+    out += journal_lines_[i];
+    out += "\n";
+  }
+  return out;
+}
+
+bool IntrospectionHub::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return healthy_;
+}
+
+bool IntrospectServer::Start(uint16_t port) {
+  if (running_) {
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+  running_ = true;
+  thread_ = std::thread([this] { Serve(); });
+  return true;
+}
+
+void IntrospectServer::Stop() {
+  if (!running_) {
+    return;
+  }
+  running_ = false;
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void IntrospectServer::Serve() {
+  // Poll with a short timeout so Stop() is observed promptly without
+  // signal-based interruption.
+  while (running_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready <= 0 || !(pfd.revents & POLLIN)) {
+      continue;
+    }
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      continue;
+    }
+    HandleConnection(client);
+    ::close(client);
+  }
+}
+
+void IntrospectServer::HandleConnection(int client_fd) {
+  // One read is enough for the GET request lines this plane serves; a
+  // request split across packets beyond 4 KiB is not worth supporting.
+  char buf[4096];
+  const ssize_t got = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
+  if (got <= 0) {
+    return;
+  }
+  buf[got] = '\0';
+  std::string request(buf);
+  const size_t line_end = request.find("\r\n");
+  std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+
+  std::string response;
+  if (line.compare(0, 4, "GET ") != 0) {
+    response = HttpResponse("405 Method Not Allowed", "text/plain",
+                            "method not allowed\n");
+  } else {
+    size_t path_end = line.find(' ', 4);
+    if (path_end == std::string::npos) {
+      path_end = line.size();
+    }
+    std::string path = line.substr(4, path_end - 4);
+    std::string query;
+    const size_t qpos = path.find('?');
+    if (qpos != std::string::npos) {
+      query = path.substr(qpos + 1);
+      path = path.substr(0, qpos);
+    }
+    if (path == "/healthz") {
+      response = hub_->healthy()
+                     ? HttpResponse("200 OK", "text/plain", "ok\n")
+                     : HttpResponse("503 Service Unavailable", "text/plain",
+                                    "not ready\n");
+    } else if (path == "/metrics") {
+      response = HttpResponse(
+          "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+          hub_->metrics());
+    } else if (path == "/status") {
+      response =
+          HttpResponse("200 OK", "application/json", hub_->status() + "\n");
+    } else if (path == "/journal") {
+      size_t n = 64;
+      const size_t npos = query.find("n=");
+      if (npos != std::string::npos) {
+        n = static_cast<size_t>(
+            std::strtoull(query.c_str() + npos + 2, nullptr, 10));
+      }
+      response = HttpResponse("200 OK", "application/x-ndjson",
+                              hub_->journal_tail(n));
+    } else {
+      response = HttpResponse("404 Not Found", "text/plain", "not found\n");
+    }
+  }
+  size_t sent = 0;
+  while (sent < response.size()) {
+    const ssize_t w =
+        ::send(client_fd, response.data() + sent, response.size() - sent, 0);
+    if (w <= 0) {
+      break;
+    }
+    sent += static_cast<size_t>(w);
+  }
+}
+
+}  // namespace healer

@@ -1,0 +1,88 @@
+// Live introspection plane: a minimal localhost HTTP/1.0 server answering
+// entirely from published snapshots, never from live fuzzing state.
+//
+// The split is IntrospectionHub (a mutex-protected store of preformatted
+// response bodies the campaign loop publishes into at its existing sample
+// points) and IntrospectServer (a background accept loop that copies the
+// hub's strings into one-shot HTTP responses). Workers never see either; the
+// hot path cost of serving is zero, and a slow or stuck scraper can at worst
+// delay its own response.
+//
+// Endpoints:
+//   GET /healthz       -> "ok\n" while the campaign is live
+//   GET /metrics       -> Prometheus text exposition (the existing exporter)
+//   GET /status        -> one-line campaign JSON (FormatStatusJson)
+//   GET /journal?n=K   -> newest K journal records as JSONL (default 64)
+//
+// Scope: loopback only (binds 127.0.0.1), HTTP/1.0, Connection: close. This
+// is an operator plane for curl/Prometheus scrapes, not a web server.
+
+#ifndef SRC_BASE_INTROSPECT_SERVER_H_
+#define SRC_BASE_INTROSPECT_SERVER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace healer {
+
+// Published snapshot store. Publishers overwrite whole documents; readers
+// copy them out. One mutex, no reader ever blocks a fuzzing thread.
+class IntrospectionHub {
+ public:
+  void PublishMetrics(std::string prometheus_text);
+  void PublishStatus(std::string status_json);
+  // `jsonl_tail` is the newest window, oldest record first; /journal?n=K
+  // serves its last K lines.
+  void PublishJournal(std::string jsonl_tail);
+  void SetHealthy(bool healthy);
+
+  std::string metrics() const;
+  std::string status() const;
+  // Last min(n, available) journal lines, oldest first.
+  std::string journal_tail(size_t n) const;
+  bool healthy() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::string metrics_;
+  std::string status_ = "{}";
+  std::vector<std::string> journal_lines_;
+  bool healthy_ = false;
+};
+
+// Background HTTP/1.0 server over POSIX sockets. Start() binds and spawns
+// the accept thread; Stop() (or the destructor) shuts it down. Requests are
+// served sequentially — correctness over throughput for an operator plane.
+class IntrospectServer {
+ public:
+  explicit IntrospectServer(IntrospectionHub* hub) : hub_(hub) {}
+  ~IntrospectServer() { Stop(); }
+  IntrospectServer(const IntrospectServer&) = delete;
+  IntrospectServer& operator=(const IntrospectServer&) = delete;
+
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts serving.
+  // Returns false if the socket could not be bound (port taken, sandbox).
+  bool Start(uint16_t port);
+  void Stop();
+
+  bool running() const { return running_; }
+  // The bound port (useful with port 0); 0 when not running.
+  uint16_t port() const { return port_; }
+
+ private:
+  void Serve();
+  void HandleConnection(int client_fd);
+
+  IntrospectionHub* hub_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace healer
+
+#endif  // SRC_BASE_INTROSPECT_SERVER_H_

@@ -23,6 +23,46 @@ uint64_t Histogram::BucketUpperEdge(size_t index) {
   return (uint64_t{1} << index) - 1;
 }
 
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) {
+    return 0.0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank in [0, count]; interpolate linearly inside the covering bucket.
+  const double target = q * static_cast<double>(count);
+  uint64_t before = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) {
+      continue;
+    }
+    if (static_cast<double>(before + in_bucket) >= target) {
+      if (i == 0) {
+        return 0.0;  // Bucket 0 holds only the value 0.
+      }
+      const double lower =
+          static_cast<double>(Histogram::BucketUpperEdge(i - 1) + 1);
+      const double upper = static_cast<double>(Histogram::BucketUpperEdge(i));
+      double frac =
+          (target - static_cast<double>(before)) / static_cast<double>(in_bucket);
+      if (frac < 0.0) {
+        frac = 0.0;
+      }
+      return lower + frac * (upper - lower);
+    }
+    before += in_bucket;
+  }
+  return buckets.empty()
+             ? 0.0
+             : static_cast<double>(
+                   Histogram::BucketUpperEdge(buckets.size() - 1));
+}
+
 uint64_t MetricsSnapshot::counter(const std::string& name) const {
   auto it = counters.find(name);
   return it == counters.end() ? 0 : it->second;
@@ -47,19 +87,45 @@ std::string FormatDouble(double value) {
   return text;
 }
 
+// "# HELP" text escaping per the exposition format: backslash and newline.
+std::string EscapeHelp(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char ch : help) {
+    if (ch == '\\') {
+      out += "\\\\";
+    } else if (ch == '\n') {
+      out += "\\n";
+    } else {
+      out += ch;
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
+  const auto emit_help = [&](const std::string& name) {
+    auto it = help.find(name);
+    if (it != help.end() && !it->second.empty()) {
+      out += StrFormat("# HELP %s %s\n", name.c_str(),
+                       EscapeHelp(it->second).c_str());
+    }
+  };
   for (const auto& [name, value] : counters) {
+    emit_help(name);
     out += StrFormat("# TYPE %s counter\n", name.c_str());
     out += StrFormat("%s %llu\n", name.c_str(), (unsigned long long)value);
   }
   for (const auto& [name, value] : gauges) {
+    emit_help(name);
     out += StrFormat("# TYPE %s gauge\n", name.c_str());
     out += StrFormat("%s %s\n", name.c_str(), FormatDouble(value).c_str());
   }
   for (const auto& [name, hist] : histograms) {
+    emit_help(name);
     out += StrFormat("# TYPE %s histogram\n", name.c_str());
     uint64_t cumulative = 0;
     for (size_t i = 0; i < hist.buckets.size(); ++i) {
@@ -107,7 +173,10 @@ std::string MetricsSnapshot::ToJson() const {
       out += StrFormat("%s%llu", i == 0 ? "" : ", ",
                        (unsigned long long)hist.buckets[i]);
     }
-    out += "]}";
+    out += StrFormat("], \"p50\": %s, \"p90\": %s, \"p99\": %s}",
+                     FormatDouble(hist.Quantile(0.50)).c_str(),
+                     FormatDouble(hist.Quantile(0.90)).c_str(),
+                     FormatDouble(hist.Quantile(0.99)).c_str());
     first = false;
   }
   out += first ? "}\n" : "\n  }\n";
@@ -142,6 +211,12 @@ Histogram* MetricRegistry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
+void MetricRegistry::SetHelp(const std::string& name,
+                             const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  help_[name] = help;
+}
+
 MetricsSnapshot MetricRegistry::Snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   MetricsSnapshot snapshot;
@@ -167,6 +242,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
     }
     snapshot.histograms[name] = std::move(h);
   }
+  snapshot.help = help_;
   return snapshot;
 }
 

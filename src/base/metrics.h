@@ -127,6 +127,11 @@ struct HistogramSnapshot {
   // Per-bucket counts, trimmed after the highest non-empty bucket.
   std::vector<uint64_t> buckets;
 
+  // Quantile estimate (q in [0, 1]) by linear interpolation inside the
+  // covering log2 bucket. Exact for bucket 0 (the value 0); elsewhere the
+  // error is bounded by the bucket width. Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
   bool operator==(const HistogramSnapshot& other) const = default;
 };
 
@@ -137,6 +142,8 @@ struct MetricsSnapshot {
   std::map<std::string, uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  // Optional metric help strings, emitted as "# HELP" exposition lines.
+  std::map<std::string, std::string> help;
 
   bool empty() const {
     return counters.empty() && gauges.empty() && histograms.empty();
@@ -166,6 +173,10 @@ class MetricRegistry {
   Gauge* GetGauge(const std::string& name);
   Histogram* GetHistogram(const std::string& name);
 
+  // Attaches a one-line help string to `name` (any metric type); emitted as
+  // a "# HELP" line by the Prometheus exporter. Last write wins.
+  void SetHelp(const std::string& name, const std::string& help);
+
   MetricsSnapshot Snapshot() const;
   std::string ToPrometheusText() const { return Snapshot().ToPrometheusText(); }
   std::string ToJson() const { return Snapshot().ToJson(); }
@@ -175,6 +186,7 @@ class MetricRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
 };
 
 }  // namespace healer

@@ -149,6 +149,21 @@ struct RingConfig {
   uint32_t cq_slot_bytes = 4096;
 };
 
+// Point-in-time ring occupancy, read without disturbing the transport.
+// Postmortem bundles snapshot one per VM so a crash ships with the depth of
+// both queues and the lifetime push/pop/reject counters at trigger time.
+struct RingOccupancy {
+  uint32_t sq_depth = 0;
+  uint32_t sq_entries = 0;
+  uint32_t cq_depth = 0;
+  uint32_t cq_entries = 0;
+  uint64_t sq_pushes = 0;
+  uint64_t cq_pushes = 0;
+  uint64_t sq_full_rejects = 0;
+
+  bool operator==(const RingOccupancy& other) const = default;
+};
+
 // The paired rings: the fuzzer pushes serialized programs into the SQ and
 // reaps encoded ExecResults from the CQ; the in-guest executor drains the
 // SQ multi-shot and posts completions. Both directions carry the
@@ -159,7 +174,21 @@ class ExecRing {
 
   SlotRing& sq() { return sq_; }
   SlotRing& cq() { return cq_; }
+  const SlotRing& sq() const { return sq_; }
+  const SlotRing& cq() const { return cq_; }
   const RingConfig& config() const { return config_; }
+
+  RingOccupancy Occupancy() const {
+    RingOccupancy occ;
+    occ.sq_depth = static_cast<uint32_t>(sq_.size());
+    occ.sq_entries = sq_.entries();
+    occ.cq_depth = static_cast<uint32_t>(cq_.size());
+    occ.cq_entries = cq_.entries();
+    occ.sq_pushes = sq_.pushes();
+    occ.cq_pushes = cq_.pushes();
+    occ.sq_full_rejects = sq_.full_rejects();
+    return occ;
+  }
 
  private:
   RingConfig config_;

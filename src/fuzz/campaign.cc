@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/base/introspect_server.h"
 #include "src/base/logging.h"
 #include "src/fuzz/corpus_io.h"
 #include "src/fuzz/report.h"
@@ -30,6 +31,8 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   fuzz_options.transport = options.transport;
   fuzz_options.trace_capacity =
       options.capture_trace ? options.trace_capacity : 0;
+  fuzz_options.journal_capacity = options.journal_capacity;
+  fuzz_options.postmortem_dir = options.postmortem_dir;
   Fuzzer fuzzer(target, fuzz_options);
 
   size_t relations_loaded = 0;
@@ -61,21 +64,12 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   CampaignResult result;
   result.options = options;
   SimClock::Nanos next_sample = 0;
-  auto sample = [&] {
-    CoverageSample s;
-    s.hours = fuzzer.clock().hours();
-    s.branches = fuzzer.CoverageCount();
-    s.execs = fuzzer.FuzzExecs();
-    s.relations = fuzzer.relations().Count();
-    result.samples.push_back(s);
-  };
 
-  // Live status: one line through the log sink every status_period of
-  // simulated time, syz-manager style.
+  // Live status bookkeeping (status line + /status endpoint).
   SimClock::Nanos next_status = options.status_period;
   uint64_t last_status_execs = 0;
   SimClock::Nanos last_status_time = 0;
-  auto emit_status = [&] {
+  auto make_status = [&] {
     StatusLineInfo info;
     info.hours = fuzzer.clock().hours();
     info.execs = fuzzer.FuzzExecs();
@@ -94,9 +88,47 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     const FaultStats faults = fuzzer.fault_stats();
     info.failed_execs = faults.failed_execs;
     info.quarantines = faults.quarantines;
+    // Ring/pipeline occupancy and lock share, read from the registry so the
+    // status line can never disagree with /metrics.
+    const MetricsSnapshot snap = fuzzer.metrics().Snapshot();
+    info.ring_drains = snap.counter("healer_ring_drains_total");
+    const auto drain_hist = snap.histograms.find("healer_ring_drain_programs");
+    if (drain_hist != snap.histograms.end() && drain_hist->second.count > 0) {
+      info.ring_depth_mean = static_cast<double>(drain_hist->second.sum) /
+                             static_cast<double>(drain_hist->second.count);
+    }
+    info.ring_stalls = snap.counter("healer_ring_stalls_total");
+    info.lock_held_share = snap.gauge("healer_parallel_lock_held_share");
+    return info;
+  };
+  auto emit_status = [&] {
+    const StatusLineInfo info = make_status();
     LogToSink(LogLevel::kInfo, FormatStatusLine(info));
     last_status_execs = info.execs;
     last_status_time = fuzzer.clock().now();
+  };
+
+  // Snapshot publication for the introspection server: whole documents,
+  // assembled off the hot path and swapped into the hub.
+  auto publish = [&] {
+    if (options.introspect == nullptr) {
+      return;
+    }
+    fuzzer.RefreshGauges();
+    options.introspect->PublishMetrics(fuzzer.metrics().ToPrometheusText());
+    options.introspect->PublishStatus(FormatStatusJson(make_status()));
+    options.introspect->PublishJournal(fuzzer.journal().ToJsonl(256));
+    options.introspect->SetHealthy(true);
+  };
+
+  auto sample = [&] {
+    CoverageSample s;
+    s.hours = fuzzer.clock().hours();
+    s.branches = fuzzer.CoverageCount();
+    s.execs = fuzzer.FuzzExecs();
+    s.relations = fuzzer.relations().Count();
+    result.samples.push_back(s);
+    publish();
   };
 
   while (fuzzer.clock().now() < deadline &&
@@ -137,6 +169,10 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   if (options.capture_trace) {
     result.trace_events = fuzzer.trace().Events();
   }
+  result.journal = fuzzer.journal().Records();
+  // Final publication so post-campaign scrapes (--serve-secs linger) see
+  // the end-of-run state.
+  publish();
 
   if (!options.save_corpus_path.empty()) {
     const Status saved =

@@ -14,6 +14,8 @@
 
 namespace healer {
 
+class IntrospectionHub;  // src/base/introspect_server.h
+
 struct CampaignOptions {
   ToolKind tool = ToolKind::kHealer;
   KernelVersion version = KernelVersion::kV5_11;
@@ -51,6 +53,16 @@ struct CampaignOptions {
   // `trace_capacity` events, copied into CampaignResult::trace_events.
   bool capture_trace = false;
   size_t trace_capacity = 1 << 15;
+  // Flight-recorder ring capacity (0 disables journaling); the buffered
+  // window is copied into CampaignResult::journal.
+  size_t journal_capacity = 4096;
+  // When non-empty, every unique crash writes a self-contained postmortem
+  // bundle directory here (see postmortem.h).
+  std::string postmortem_dir;
+  // When non-null, the campaign publishes metrics / status / journal
+  // snapshots into the hub at every sample point, for the introspection
+  // server to answer from. Not owned.
+  IntrospectionHub* introspect = nullptr;
 };
 
 struct CoverageSample {
@@ -84,6 +96,9 @@ struct CampaignResult {
   MetricsSnapshot telemetry;
   // Buffered span trace, oldest first (empty unless capture_trace).
   std::vector<TraceEvent> trace_events;
+  // Flight-recorder window at campaign end, oldest first (empty when
+  // journal_capacity is 0). Seed-deterministic like every other field.
+  std::vector<JournalRecord> journal;
 
   bool FoundBug(BugId bug) const;
 };

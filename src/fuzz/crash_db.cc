@@ -21,7 +21,11 @@ bool CrashDb::Record(BugId bug, const std::string& title,
   record.first_exec = exec_index;
   record.shortest_repro = repro_len;
   record.hits = 1;
-  records_.emplace(bug, std::move(record));
+  auto [inserted, ok] = records_.emplace(bug, std::move(record));
+  (void)ok;
+  if (on_new_crash_) {
+    on_new_crash_(inserted->second);
+  }
   return true;
 }
 

@@ -5,6 +5,7 @@
 #ifndef SRC_FUZZ_CRASH_DB_H_
 #define SRC_FUZZ_CRASH_DB_H_
 
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -36,8 +37,16 @@ class CrashDb {
 
   std::vector<CrashRecord> All() const;
 
+  // Invoked from Record() for each previously-unseen bug, after the record
+  // is stored — the postmortem-bundle trigger. The callback runs on the
+  // recording thread; keep it bounded.
+  void set_on_new_crash(std::function<void(const CrashRecord&)> hook) {
+    on_new_crash_ = std::move(hook);
+  }
+
  private:
   std::map<BugId, CrashRecord> records_;
+  std::function<void(const CrashRecord&)> on_new_crash_;
 };
 
 }  // namespace healer

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "src/base/logging.h"
+#include "src/base/string_util.h"
 #include "src/fuzz/moonshine.h"
+#include "src/fuzz/postmortem.h"
 #include "src/kernel/coverage.h"
 
 namespace healer {
@@ -74,11 +77,24 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
       minimizer_(AnalysisExec()),
       learner_(nullptr, AnalysisExec(), &clock_),
       reproducer_(AnalysisExec()) {
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    pool_.vm(i).set_journal(&journal_writer_);
+  }
+  if (!options_.postmortem_dir.empty()) {
+    crash_db_.set_on_new_crash(
+        [this](const CrashRecord& crash) { WritePostmortem(crash); });
+  }
   relations_ = std::make_unique<RelationTable>(target.NumSyscalls());
   const bool uses_relations = options_.tool == ToolKind::kHealer;
   if (uses_relations) {
     // Static learning runs once at initialization (Section 6.2).
     StaticRelationLearn(target_, relations_.get());
+    // One summary record stands in for the per-edge stream: static edges
+    // are description-derived, not observed, so per-pair provenance is
+    // the descriptions themselves.
+    journal_writer_.Record(JournalKind::kRelationLearned, clock_.now(),
+                           relations_->Count(), 0, relations_->epoch(),
+                           "static");
   }
   selector_ = std::make_unique<CallSelector>(relations_.get(),
                                              builder_.enabled(), &rng_);
@@ -90,6 +106,7 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
   if (options_.tool == ToolKind::kMoonshine) {
     LoadMoonshineSeeds();
   }
+  journal_writer_.Flush();
 }
 
 ExecFn Fuzzer::AnalysisExec() {
@@ -118,10 +135,17 @@ ExecResult Fuzzer::ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
       m_.exec_ok->Add();
       if (attempt > 0) {
         m_.exec_recovered->Add();
+        // Payload: a = retries it took, b = program length.
+        journal_writer_.Record(JournalKind::kRecovery, clock_.now(),
+                               static_cast<uint64_t>(attempt), prog.size());
       }
       return result;
     }
     m_.exec_failed->Add();
+    // Payload: a = attempt index, b = program length.
+    journal_writer_.Record(JournalKind::kFault, clock_.now(),
+                           static_cast<uint64_t>(attempt), prog.size(), 0,
+                           ExecFailureName(result.failure));
     if (vm.consecutive_failures() >= options_.recovery.quarantine_threshold) {
       vm.QuarantineReboot();
       m_.quarantines->Add();
@@ -202,7 +226,12 @@ void Fuzzer::SeedWith(const std::vector<Prog>& seeds) {
     m_.fuzz_execs->Add();
     m_.seeded->Add();
     m_.prog_len->Observe(seed.size());
+    journal_writer_.Record(JournalKind::kExec, clock_.now(), fuzz_execs_,
+                           result.TotalNewEdges(), seed.size(),
+                           result.Failed() ? ExecFailureName(result.failure)
+                                           : "");
     if (result.Failed()) {
+      journal_writer_.Flush();
       continue;  // Retry budget exhausted: the seed's feedback is discarded.
     }
     m_.coverage_edges->Add(result.TotalNewEdges());
@@ -210,6 +239,7 @@ void Fuzzer::SeedWith(const std::vector<Prog>& seeds) {
       m_.exec_new_edges->Observe(result.TotalNewEdges());
     }
     ProcessFeedback(seed, result);
+    journal_writer_.Flush();
   }
 }
 
@@ -251,10 +281,17 @@ void Fuzzer::Step() {
   m_.fuzz_execs->Add();
   (generate ? m_.generated : m_.mutated)->Add();
   m_.prog_len->Observe(prog.size());
+  // Payload: a = fuzz-exec index, b = new edges, c = program length; a
+  // still-failed execution carries its failure kind in `detail`.
+  journal_writer_.Record(JournalKind::kExec, clock_.now(), fuzz_execs_,
+                         result.TotalNewEdges(), prog.size(),
+                         result.Failed() ? ExecFailureName(result.failure)
+                                         : "");
   if (result.Failed()) {
     // Never merge partial feedback from a faulted execution: no coverage
     // was recorded (the VM guarantees that), no alpha update, no corpus or
     // relation learning.
+    journal_writer_.Flush();
     return;
   }
 
@@ -273,11 +310,21 @@ void Fuzzer::Step() {
     }
   }
   ProcessFeedback(prog, result);
+  journal_writer_.Flush();
 }
 
 void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
+  current_prog_ = &prog;
   if (result.Crashed()) {
     m_.crash_reports->Add();
+    // Payload: a = bug id, b = fuzz-exec index, c = crashing call index.
+    journal_writer_.Record(JournalKind::kCrash, clock_.now(),
+                           static_cast<uint64_t>(result.crash->bug),
+                           fuzz_execs_, result.crash->call_index,
+                           result.crash->title);
+    // Publish the staged records so a postmortem bundle written by the
+    // on_new_crash hook sees this crash (and everything before it).
+    journal_writer_.Flush();
     const bool is_new =
         crash_db_.Record(result.crash->bug, result.crash->title, clock_.now(),
                          fuzz_execs_, result.crash->call_index + 1);
@@ -292,11 +339,17 @@ void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
       if (repro.has_value()) {
         crash_db_.Record(result.crash->bug, result.crash->title, clock_.now(),
                          fuzz_execs_, repro->prog.size());
+        auto bundle_it = bundle_dirs_.find(result.crash->bug);
+        if (bundle_it != bundle_dirs_.end()) {
+          WritePostmortemRepro(bundle_it->second,
+                               repro->prog.ToString() + "\n");
+        }
         repros_.emplace(result.crash->bug, std::move(repro->prog));
       }
     }
   }
   if (result.TotalNewEdges() == 0) {
+    current_prog_ = nullptr;
     return;
   }
   // Minimize, then learn relations from / archive each minimal sequence.
@@ -314,18 +367,36 @@ void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
     if (options_.tool == ToolKind::kHealer &&
         options_.guidance != GuidanceMode::kStaticOnly) {
       const uint64_t learn_before = learner_.execs_used();
-      size_t learned = 0;
+      // LearnInto + Apply instead of Learn: the staged delta is the only
+      // point where per-edge provenance (the observed pair, its epoch) is
+      // still visible, so the journal records are cut from it. The probe
+      // stream and the applied edges are identical to Learn().
+      RelationDelta delta;
+      size_t staged = 0;
       {
         HEALER_TRACE_SPAN(&trace_, &clock_, "learn", "analysis");
-        learned = learner_.Learn(seq.prog);
+        staged = learner_.LearnInto(seq.prog, &delta);
       }
       m_.learn_rounds->Add();
       const uint64_t learn_probes = learner_.execs_used() - learn_before;
       m_.learn_probes->Add(learn_probes);
       m_.learn_execs->Observe(learn_probes);
-      if (learned > 0) {
-        m_.relations_learned->Add(learned);
-        HEALER_TRACE_INSTANT(&trace_, &clock_, "relation-learned", "learn");
+      if (staged > 0) {
+        const size_t learned = relations_->Apply(delta);
+        for (const RelationEdge& edge : delta.edges()) {
+          // Payload: a = influencing call, b = influenced call, c = the
+          // epoch that published the edge; detail names the pair.
+          journal_writer_.Record(
+              JournalKind::kRelationLearned, edge.learned_at,
+              static_cast<uint64_t>(edge.from),
+              static_cast<uint64_t>(edge.to), relations_->epoch(),
+              StrFormat("%s->%s", target_.syscall(edge.from).name.c_str(),
+                        target_.syscall(edge.to).name.c_str()));
+        }
+        if (learned > 0) {
+          m_.relations_learned->Add(learned);
+          HEALER_TRACE_INSTANT(&trace_, &clock_, "relation-learned", "learn");
+        }
       }
     }
     if (choice_table_ != nullptr && seq.prog.size() >= 2) {
@@ -339,8 +410,46 @@ void Fuzzer::ProcessFeedback(const Prog& prog, const ExecResult& result) {
     }
     const uint32_t prio =
         std::max<uint32_t>(1, result.TotalNewEdges());
+    // Payload: a = admitted length, b = priority, c = corpus size after.
+    const uint64_t admitted_len = seq.prog.size();
     corpus_.Add(std::move(seq.prog), prio);
     m_.corpus_adds->Add();
+    journal_writer_.Record(JournalKind::kCorpusAdd, clock_.now(),
+                           admitted_len, prio, corpus_.size());
+  }
+  current_prog_ = nullptr;
+}
+
+void Fuzzer::WritePostmortem(const CrashRecord& crash) {
+  PostmortemBundle bundle;
+  bundle.crash = crash;
+  bundle.seed = options_.seed;
+  bundle.tool = ToolKindName(options_.tool);
+  bundle.transport = ExecTransportName(options_.transport);
+  if (current_prog_ != nullptr) {
+    bundle.program_text = current_prog_->ToString() + "\n";
+  }
+  bundle.journal_window = journal_.Tail(kPostmortemJournalWindow);
+  RefreshGauges();
+  bundle.metrics = metrics_.Snapshot();
+  for (size_t i = 0; i < pool_.size(); ++i) {
+    bundle.rings.push_back(pool_.vm(i).ring().Occupancy());
+  }
+  bundle.relation_epoch = relations_->epoch();
+  bundle.relation_edges = relations_->Count();
+  bundle.relation_static =
+      relations_->CountBySource(RelationSource::kStatic);
+  bundle.relation_dynamic =
+      relations_->CountBySource(RelationSource::kDynamic);
+  bundle.relation_backlog = 0;  // Single-threaded: deltas apply in place.
+  Result<std::string> written =
+      WritePostmortemBundle(options_.postmortem_dir, bundle);
+  if (written.ok()) {
+    bundle_dirs_[crash.bug] = *written;
+  } else {
+    LOG_WARNING << "postmortem bundle for bug "
+                << static_cast<int>(crash.bug)
+                << " not written: " << written.status().ToString();
   }
 }
 

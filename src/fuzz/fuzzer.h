@@ -16,6 +16,7 @@
 #include <memory>
 
 #include "src/base/bitmap.h"
+#include "src/base/journal.h"
 #include "src/base/metrics.h"
 #include "src/base/trace.h"
 #include "src/fuzz/call_selector.h"
@@ -87,6 +88,13 @@ struct FuzzerOptions {
   // Span-trace ring capacity (0 disables tracing entirely; recording then
   // costs one predicted branch per span, no lock).
   size_t trace_capacity = 0;
+  // Flight-recorder ring capacity (0 disables journaling). On by default:
+  // recording is a vector push into a private buffer, drained in batches,
+  // and the check.sh overhead guard covers it.
+  size_t journal_capacity = 4096;
+  // When non-empty, each unique crash writes a postmortem bundle directory
+  // here (see postmortem.h for the layout).
+  std::string postmortem_dir;
 };
 
 class Fuzzer {
@@ -129,6 +137,8 @@ class Fuzzer {
   MetricRegistry& metrics() { return metrics_; }
   const MetricRegistry& metrics() const { return metrics_; }
   TraceBuffer& trace() { return trace_; }
+  Journal& journal() { return journal_; }
+  const Journal& journal() const { return journal_; }
   // Pushes the derived campaign-state gauges (coverage, corpus size,
   // relation counts, alpha, simulated hours) into the registry. Call before
   // snapshotting; counters and histograms are always current.
@@ -145,6 +155,9 @@ class Fuzzer {
   ExecResult ExecWithRecovery(const Prog& prog, Bitmap* coverage);
   void ProcessFeedback(const Prog& prog, const ExecResult& result);
   void LoadMoonshineSeeds();
+  // CrashDb on_new_crash hook target: assembles and writes one postmortem
+  // bundle for a previously-unseen bug (see postmortem.h).
+  void WritePostmortem(const CrashRecord& crash);
 
   const Target& target_;
   FuzzerOptions options_;
@@ -153,6 +166,10 @@ class Fuzzer {
   // Declared before pool_: the VMs register their handles in metrics_.
   MetricRegistry metrics_;
   TraceBuffer trace_{options_.trace_capacity};
+  Journal journal_{options_.journal_capacity};
+  // The single fuzzing thread is the journal's one producer; the VMs share
+  // this writer (set_journal) and it is flushed at the end of each Step.
+  JournalWriter journal_writer_{&journal_, 0};
   FuzzMetrics m_{&metrics_};
   VmPool pool_;
   Bitmap coverage_;
@@ -167,6 +184,12 @@ class Fuzzer {
   CrashReproducer reproducer_;
   AlphaSchedule alpha_;
   std::map<BugId, Prog> repros_;
+  // Bundle directories written per bug, so minimized reproducers can be
+  // appended once minimization finishes.
+  std::map<BugId, std::string> bundle_dirs_;
+  // The program whose feedback is being processed; postmortem context for
+  // the CrashDb hook (valid only inside ProcessFeedback).
+  const Prog* current_prog_ = nullptr;
   uint64_t fuzz_execs_ = 0;
   uint64_t adjacency_notes_ = 0;
   uint64_t last_alpha_updates_ = 0;

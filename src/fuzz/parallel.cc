@@ -4,6 +4,7 @@
 #include <chrono>
 #include <vector>
 
+#include "src/base/string_util.h"
 #include "src/vm/vm_pool.h"
 
 namespace healer {
@@ -74,7 +75,12 @@ class Worker {
         builder_(target,
                  EnabledIds(target, KernelConfig::ForVersion(options.version)),
                  &rng_),
-        selector_(&shared->relations, builder_.enabled(), &rng_) {}
+        selector_(&shared->relations, builder_.enabled(), &rng_),
+        jw_(&shared->journal, static_cast<uint32_t>(index)) {
+    // VM lifecycle / fault / ring-stall records route through this worker's
+    // writer; the VM is worker-owned, so the single-producer contract holds.
+    vm_.set_journal(&jw_);
+  }
 
   void Run() {
     if (options_.pipeline_depth > 1) {
@@ -92,7 +98,8 @@ class Worker {
         Publish();
       }
     }
-    Publish();  // Final flush.
+    Publish();     // Final flush.
+    jw_.Flush();   // Records staged inside the final Publish itself.
   }
 
  private:
@@ -212,7 +219,8 @@ class Worker {
         Publish();
       }
     }
-    Publish();  // Final flush.
+    Publish();     // Final flush.
+    jw_.Flush();   // Records staged inside the final Publish itself.
   }
 
   // One execution on this worker's VM, routed by transport: the pipelined
@@ -297,9 +305,14 @@ class Worker {
       }
     }
     // The exec slot is consumed either way; counting both here keeps
-    // healer_parallel_batched_execs_total == healer_fuzz_execs_total exact.
+    // healer_parallel_batched_execs_total == healer_fuzz_execs_total exact,
+    // and one exec record per slot keeps the journal's exec count
+    // reconcilable with the fuzz_execs total (a = ticket, b = mutated,
+    // c = program length).
     ++batch_.execs;
     m_.fuzz_execs->Add();
+    jw_.Record(JournalKind::kExec, sim_clock_->now(), ticket,
+               mutated ? 1 : 0, prog.size());
     if (!prog.empty()) {
       (mutated ? m_.mutated : m_.generated)->Add();
       m_.prog_len->Observe(prog.size());
@@ -341,6 +354,10 @@ class Worker {
     bool urgent = false;
     if (result.Crashed()) {
       m_.crash_reports->Add();
+      // a = bug, b = exec index, c = crashing call index.
+      jw_.Record(JournalKind::kCrash, sim_clock_->now(),
+                 static_cast<uint64_t>(result.crash->bug), ticket + 1,
+                 result.crash->call_index + 1, result.crash->title);
       batch_.crashes.push_back(PendingCrash{
           result.crash->bug, result.crash->title, ticket + 1,
           result.crash->call_index + 1});
@@ -381,9 +398,13 @@ class Worker {
       // Serialize (for the dedup hash) outside the lock; Publish reuses it
       // via the precomputed-hash Corpus::Add overload.
       const uint64_t hash = Corpus::ContentHash(SerializeProg(seq.prog));
-      batch_.adds.push_back(
-          PendingAdd{std::move(seq.prog),
-                     std::max<uint32_t>(1, result.TotalNewEdges()), hash});
+      const uint32_t priority = std::max<uint32_t>(1, result.TotalNewEdges());
+      // a = minimized length, b = priority; c stays 0 — the fleet corpus
+      // size is only known at publish time, and a locally-staged add can
+      // still lose the dedup race there.
+      jw_.Record(JournalKind::kCorpusAdd, sim_clock_->now(), seq.prog.size(),
+                 priority, 0);
+      batch_.adds.push_back(PendingAdd{std::move(seq.prog), priority, hash});
     }
     return true;  // New coverage: publish so peers can build on it.
   }
@@ -391,6 +412,9 @@ class Worker {
   // The only place SharedFuzzState::mu is taken: merges this worker's batch
   // into the authoritative state in one short critical section.
   void Publish() {
+    // Drain the staged journal records first (one ring-lock acquire), so
+    // the flight recorder and the metrics publish on the same cadence.
+    jw_.Flush();
     if (batch_.Empty()) {
       return;
     }
@@ -403,6 +427,16 @@ class Worker {
       const size_t credited = shared_->relations.Apply(batch_.relations);
       if (credited > 0) {
         m_.relations_learned->Add(credited);
+      }
+      // Journal the edges this worker observed (a = from, b = to,
+      // c = table epoch after apply). A peer may have published the same
+      // edge first; the per-worker provenance is the point of the record.
+      for (const RelationEdge& edge : batch_.relations.edges()) {
+        jw_.Record(JournalKind::kRelationLearned, edge.learned_at, edge.from,
+                   edge.to, shared_->relations.epoch(),
+                   StrFormat("%s->%s",
+                             target_.syscall(edge.from).name.c_str(),
+                             target_.syscall(edge.to).name.c_str()));
       }
       batch_.relations.clear();
     }
@@ -463,6 +497,7 @@ class Worker {
   ProgBuilder builder_;
   CallSelector selector_;
   Batch batch_;
+  JournalWriter jw_;
   std::shared_ptr<const CorpusSnapshot> snapshot_;
   uint64_t snapshot_epoch_ = ~0ULL;
 };
@@ -471,7 +506,8 @@ class Worker {
 
 ParallelResult RunParallelFuzz(const Target& target,
                                const ParallelOptions& options) {
-  SharedFuzzState shared(target.NumSyscalls(), options.trace_capacity);
+  SharedFuzzState shared(target.NumSyscalls(), options.trace_capacity,
+                         options.journal_capacity);
   if (options.tool == ToolKind::kHealer) {
     StaticRelationLearn(target, &shared.relations);
   }
@@ -539,6 +575,7 @@ ParallelResult RunParallelFuzz(const Target& target,
                      : 0.0);
   result.telemetry = shared.metrics.Snapshot();
   result.trace_events = shared.trace.Events();
+  result.journal = shared.journal.Records();
   return result;
 }
 

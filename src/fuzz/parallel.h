@@ -39,6 +39,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/base/journal.h"
 #include "src/base/metrics.h"
 #include "src/base/trace.h"
 #include "src/fuzz/call_selector.h"
@@ -55,10 +56,12 @@ namespace healer {
 
 // The "Shared Fuzz State" box of Figure 3.
 struct SharedFuzzState {
-  explicit SharedFuzzState(size_t num_syscalls, size_t trace_capacity = 0)
+  explicit SharedFuzzState(size_t num_syscalls, size_t trace_capacity = 0,
+                           size_t journal_capacity = 0)
       : coverage(CallCoverage::kMapBits),
         relations(num_syscalls),
-        trace(trace_capacity) {}
+        trace(trace_capacity),
+        journal(journal_capacity) {}
 
   // ---- Lock-free fleet state ----
   Bitmap coverage;          // Atomic-word merges; no external lock.
@@ -96,6 +99,10 @@ struct SharedFuzzState {
   // injected counters live in the VM injectors, merged at the end).
   MetricRegistry metrics;
   TraceBuffer trace;
+  // Flight-recorder ring. Workers never Append directly: each stages
+  // records in its private JournalWriter and drains them at its publish
+  // point, so the journal mutex sees one acquire per batch.
+  Journal journal;
 };
 
 struct ParallelOptions {
@@ -119,6 +126,8 @@ struct ParallelOptions {
   size_t pipeline_depth = 1;
   // Span-trace ring capacity (0 disables tracing).
   size_t trace_capacity = 0;
+  // Flight-recorder ring capacity (0 disables journaling).
+  size_t journal_capacity = 0;
 };
 
 struct ParallelResult {
@@ -143,6 +152,8 @@ struct ParallelResult {
   // trace (empty unless options.trace_capacity > 0).
   MetricsSnapshot telemetry;
   std::vector<TraceEvent> trace_events;
+  // Flight-recorder window, oldest first (empty unless journal_capacity).
+  std::vector<JournalRecord> journal;
 };
 
 // Runs `num_workers` threads until `total_execs` test cases have executed.

@@ -16,22 +16,46 @@ GuestVm::GuestVm(const Target& target, const KernelConfig& config,
       latency_(latency),
       injector_(fault_plan, fault_seed) {
   if (metrics != nullptr) {
+    metrics->SetHelp("healer_vm_execs_total",
+                     "Programs executed by the VM fleet.");
     m_execs_ = metrics->GetCounter("healer_vm_execs_total");
+    metrics->SetHelp("healer_vm_reboots_total",
+                     "Guest reboots after crashes and boot failures.");
     m_reboots_ = metrics->GetCounter("healer_vm_reboots_total");
+    metrics->SetHelp("healer_vm_rtt_ns",
+                     "Simulated nanoseconds per executor round trip.");
     m_rtt_ = metrics->GetHistogram("healer_vm_rtt_ns");
     for (size_t i = 0; i < kNumFaultKinds; ++i) {
-      m_fault_injected_[i] = metrics->GetCounter(
+      const std::string name =
           StrFormat("healer_fault_injected_%s_total",
-                    FaultKindName(static_cast<FaultKind>(i))));
+                    FaultKindName(static_cast<FaultKind>(i)));
+      metrics->SetHelp(name,
+                       StrFormat("Injected %s faults drawn by the fleet.",
+                                 FaultKindName(static_cast<FaultKind>(i))));
+      m_fault_injected_[i] = metrics->GetCounter(name);
     }
+    metrics->SetHelp("healer_ring_drains_total",
+                     "Ring-transport drain round trips.");
     m_ring_drains_ = metrics->GetCounter("healer_ring_drains_total");
+    metrics->SetHelp("healer_ring_submitted_total",
+                     "Programs pushed into SQ rings.");
     m_ring_submitted_ = metrics->GetCounter("healer_ring_submitted_total");
+    metrics->SetHelp("healer_ring_completions_total",
+                     "Completions posted into CQ rings.");
     m_ring_completions_ =
         metrics->GetCounter("healer_ring_completions_total");
+    metrics->SetHelp("healer_ring_spills_total",
+                     "Oversized programs spilled to the legacy channel.");
     m_ring_spills_ = metrics->GetCounter("healer_ring_spills_total");
+    metrics->SetHelp("healer_ring_stalls_total",
+                     "Submissions timed out waiting for a completion.");
     m_ring_stalls_ = metrics->GetCounter("healer_ring_stalls_total");
+    metrics->SetHelp("healer_ring_drain_programs",
+                     "Programs reaped per ring drain.");
     m_ring_drain_programs_ =
         metrics->GetHistogram("healer_ring_drain_programs");
+    metrics->SetHelp("healer_ctrl_overflow_total",
+                     "Control-socket frames dropped to a full buffer.");
     ctrl_.set_overflow_counter(
         metrics->GetCounter("healer_ctrl_overflow_total"));
   }
@@ -50,6 +74,16 @@ void GuestVm::Boot() {
   down_ = false;
   AppendLog(StrFormat("[    0.000000] sim-linux %s booted",
                       KernelVersionName(executor_.config().version)));
+  JournalLifecycle("boot");
+}
+
+void GuestVm::JournalLifecycle(const char* what) {
+  if (journal_ != nullptr) {
+    journal_->Record(JournalKind::kVmLifecycle, clock_->now(),
+                     execs_.load(std::memory_order_relaxed),
+                     consecutive_failures_.load(std::memory_order_relaxed), 0,
+                     what);
+  }
 }
 
 ExecResult GuestVm::FailWith(ExecFailure failure) {
@@ -75,6 +109,7 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     clock_->Advance(booted_ && !down_ ? latency_.reboot : latency_.boot);
     booted_ = true;
     down_ = true;
+    JournalLifecycle("boot-failure");
     return FailWith(ExecFailure::kBootFailure);
   }
   if (!booted_) {
@@ -83,6 +118,7 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
   if (down_) {
     clock_->Advance(latency_.reboot);
     AppendLog("[ reboot ] restarting crashed guest");
+    JournalLifecycle("reboot");
     down_ = false;
     if (m_reboots_ != nullptr) {
       m_reboots_->Add();
@@ -240,6 +276,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
   if (down_) {
     clock_->Advance(latency_.reboot);
     AppendLog("[ reboot ] restarting crashed guest");
+    JournalLifecycle("reboot");
     down_ = false;
     if (m_reboots_ != nullptr) {
       m_reboots_->Add();
@@ -282,6 +319,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
       clock_->Advance(booted_ && !down_ ? latency_.reboot : latency_.boot);
       booted_ = true;
       down_ = true;
+      JournalLifecycle("boot-failure");
       result = FailWith(ExecFailure::kBootFailure);
     } else {
       if (down_) {
@@ -289,6 +327,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
         // executor re-attached to the rings before taking the next entry.
         clock_->Advance(latency_.reboot);
         AppendLog("[ reboot ] restarting crashed guest");
+        JournalLifecycle("reboot");
         down_ = false;
         if (m_reboots_ != nullptr) {
           m_reboots_->Add();
@@ -408,6 +447,11 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
       if (m_ring_stalls_ != nullptr) {
         m_ring_stalls_->Add();
       }
+      if (journal_ != nullptr) {
+        // Payload: a = lost tag, b = SQ depth, c = CQ depth at timeout.
+        journal_->Record(JournalKind::kRingStall, clock_->now(), want,
+                         ring_.sq().size(), ring_.cq().size());
+      }
     }
   }
 }
@@ -431,6 +475,7 @@ void GuestVm::QuarantineReboot() {
   booted_ = true;
   down_ = false;
   AppendLog("[ monitor] quarantined guest force-rebooted");
+  JournalLifecycle("quarantine-reboot");
 }
 
 std::vector<std::string> GuestVm::DrainLog() {

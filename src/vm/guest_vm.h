@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/base/journal.h"
 #include "src/base/metrics.h"
 #include "src/base/sim_clock.h"
 #include "src/exec/exec_ring.h"
@@ -98,6 +99,12 @@ class GuestVm {
   // clears its consecutive-failure streak.
   void QuarantineReboot();
 
+  // Attaches a flight-recorder writer; the VM records lifecycle transitions
+  // (boot, reboot, quarantine) and ring stalls into it. The writer is owned
+  // by the VM's driving worker (which also flushes it), so recording stays
+  // single-producer even in the parallel fuzzer.
+  void set_journal(JournalWriter* journal) { journal_ = journal; }
+
   // Guest console log lines accumulated since the last Drain (consumed by
   // the Monitor's background IO thread).
   std::vector<std::string> DrainLog();
@@ -125,6 +132,9 @@ class GuestVm {
 
  private:
   void AppendLog(std::string line);
+  // Journals one lifecycle transition (no-op without an attached writer).
+  // Payload: a = lifetime execs, b = consecutive failures at the transition.
+  void JournalLifecycle(const char* what);
   // Records an infra failure and builds the typed failure result.
   ExecResult FailWith(ExecFailure failure);
   // Executor side of one ring round trip: pops every pending SQ entry,
@@ -153,6 +163,7 @@ class GuestVm {
   std::atomic<uint64_t> quarantines_{0};
   std::mutex log_mu_;  // The Monitor drains the log from its own thread.
   std::vector<std::string> log_;
+  JournalWriter* journal_ = nullptr;  // Owned and flushed by the driver.
   // Telemetry handles (null when no registry was supplied). All VMs of a
   // pool share the same counters; shards keep parallel workers uncontended.
   Counter* m_execs_ = nullptr;                               // healer_vm_execs_total

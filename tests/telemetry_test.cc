@@ -196,7 +196,8 @@ TEST(MetricsTest, JsonGolden) {
       "  },\n"
       "  \"histograms\": {\n"
       "    \"healer_prog_len\": {\"count\": 1, \"sum\": 2, "
-      "\"buckets\": [0, 0, 1]}\n"
+      "\"buckets\": [0, 0, 1], \"p50\": 2.5, \"p90\": 2.9, "
+      "\"p99\": 2.99}\n"
       "  }\n"
       "}\n";
   EXPECT_EQ(registry.ToJson(), expected);

@@ -11,11 +11,20 @@
 //                 [--status-period SECS]   # live status line (simulated s)
 //                 [--metrics-out FILE]     # Prometheus text (.json -> JSON)
 //                 [--trace-out FILE]       # Chrome trace JSON (Perfetto)
+//                 [--journal-out FILE]     # flight-recorder JSONL (.bin ->
+//                                          # compact binary frame)
+//                 [--journal-capacity N]   # journal ring size (0 disables)
+//                 [--postmortem-dir DIR]   # bundle per unique crash
+//                 [--http-port P]          # live introspection server on
+//                                          # 127.0.0.1:P (0 = ephemeral)
+//                 [--serve-secs S]         # keep serving S wall seconds
+//                                          # after the campaign ends
 //   healer relations [--version V] [--probe]      # static (+dynamic) table
 //   healer convert HEADER_FILE                    # C header -> HealLang
 //   healer replay CORPUS_FILE [--version V]       # run saved programs
 //   healer bugs   [--version V]                   # list live injected bugs
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -23,7 +32,10 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <thread>
 
+#include "src/base/introspect_server.h"
+#include "src/base/journal.h"
 #include "src/exec/executor.h"
 #include "src/fuzz/campaign.h"
 #include "src/fuzz/corpus_io.h"
@@ -124,6 +136,31 @@ int CmdFuzz(const std::map<std::string, std::string>& flags) {
   const std::string trace_out = get("trace-out", "");
   options.capture_trace = !trace_out.empty();
 
+  // Flight recorder and crash postmortems.
+  const std::string journal_out = get("journal-out", "");
+  options.journal_capacity = static_cast<size_t>(
+      std::strtoull(get("journal-capacity", "4096").c_str(), nullptr, 10));
+  options.postmortem_dir = get("postmortem-dir", "");
+
+  // Live introspection: --http-port binds a localhost-only HTTP server
+  // (port 0 picks an ephemeral one; the bound port goes to stderr so
+  // scripts can scrape it). The campaign publishes snapshots into the hub
+  // at every sample point; the server answers from them off the hot path.
+  IntrospectionHub hub;
+  IntrospectServer server(&hub);
+  const std::string http_port = get("http-port", "");
+  if (!http_port.empty()) {
+    if (!server.Start(static_cast<uint16_t>(std::atoi(http_port.c_str())))) {
+      std::fprintf(stderr, "cannot bind introspection server (port %s)\n",
+                   http_port.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "introspection server listening on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(server.port()));
+    std::fflush(stderr);
+    options.introspect = &hub;
+  }
+
   const CampaignResult result = RunCampaign(options);
   ReportOptions ropts;
   ropts.include_samples = flags.count("curve") != 0;
@@ -151,6 +188,27 @@ int CmdFuzz(const std::map<std::string, std::string>& flags) {
       return 1;
     }
     out << TraceEventsToChromeJson(result.trace_events);
+  }
+  if (!journal_out.empty()) {
+    // A .bin suffix selects the compact binary frame; anything else JSONL.
+    const bool bin = journal_out.size() >= 4 &&
+                     journal_out.compare(journal_out.size() - 4, 4,
+                                         ".bin") == 0;
+    std::ofstream out(journal_out, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", journal_out.c_str());
+      return 1;
+    }
+    out << (bin ? JournalRecordsToBinary(result.journal)
+                : JournalRecordsToJsonl(result.journal));
+  }
+  if (server.running()) {
+    const double serve_secs = std::atof(get("serve-secs", "0").c_str());
+    if (serve_secs > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(serve_secs));
+    }
+    server.Stop();
   }
   return 0;
 }
