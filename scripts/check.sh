@@ -5,11 +5,12 @@
 # overhead guard against a -DHEALER_NO_TELEMETRY baseline build), and a
 # parallel stage (scaling-bench smoke + critical-section-share guard), a
 # relation stage (snapshot-Select speedup guard + draw-determinism tests),
-# an exec stage (ring-transport replay bench + speedup guard), and an
+# an exec stage (ring-transport replay bench + speedup guard), an
 # introspect stage (live HTTP endpoints, journal export, postmortem-bundle
-# determinism).
+# determinism), and a hotpath stage (arena allocation-reduction guard +
+# two-level bitmap merge floor + arena/heap equivalence tests).
 #
-#   scripts/check.sh              # all eight stages
+#   scripts/check.sh              # all nine stages
 #   scripts/check.sh tier1        # just the tier-1 verify
 #   scripts/check.sh asan         # just the ASan/UBSan stage
 #   scripts/check.sh tsan         # just the TSan stage
@@ -18,6 +19,7 @@
 #   scripts/check.sh relation     # just the relation-engine guards
 #   scripts/check.sh exec         # just the ring-transport replay guard
 #   scripts/check.sh introspect   # just the introspection-plane smoke
+#   scripts/check.sh hotpath      # just the hot-path memory guards
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -301,6 +303,41 @@ for line in open(sys.argv[1]):
   echo "    postmortem OK: $bundles deterministic bundles, printer renders"
 }
 
+run_hotpath() {
+  echo "==> hotpath: arena allocation guard + bitmap merge floor"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_hotpath healer_tests
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  # bench_hotpath --json-only counts operator-new hits per generated program
+  # (heap vs arena build paths on the same seed) and times the two-level
+  # bitmap MergeNew against a pre-summary full-scan reference on a 16-word
+  # sparse map. The arena path measures ~3.3x fewer allocations and the
+  # sparse merge ~20x faster here; 2x / 4x are the regression tripwires.
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_hotpath" --json-only)
+  [ -f "$tmp/BENCH_hotpath.json" ] || {
+    echo "FAIL: BENCH_hotpath.json not written" >&2; exit 1; }
+  awk -F: '/"gen_alloc_reduction"/ {
+      gsub(/[ ,]/, "", $2); r=$2+0;
+      printf "    arena allocation reduction: %.2fx (floor 2x)\n", r;
+      found=1; if (r < 2) { print "FAIL: allocation reduction below 2x"; exit 1 }
+    } END { if (!found) { print "FAIL: gen_alloc_reduction missing"; exit 1 } }' \
+    "$tmp/BENCH_hotpath.json"
+  awk -F: '/"merge_sparse16_speedup"/ {
+      gsub(/[ ,]/, "", $2); s=$2+0;
+      printf "    sparse-16 MergeNew speedup: %.2fx (floor 4x)\n", s;
+      found=1; if (s < 4) { print "FAIL: sparse merge speedup below 4x"; exit 1 }
+    } END { if (!found) { print "FAIL: merge_sparse16_speedup missing"; exit 1 } }' \
+    "$tmp/BENCH_hotpath.json"
+  # Equivalence + format hardening: arena builds must serialize and cover
+  # bit-identically to heap builds, fixed-seed campaigns must reproduce the
+  # golden fingerprint, and the mmap corpus loader must survive hostile
+  # inputs.
+  ctest --test-dir build --output-on-failure \
+    -R 'ProgArena|ArenaHeapEquivalence|GoldenFingerprint|Hcorp1|BitmapTest'
+}
+
 case "$stage" in
   tier1) run_tier1 ;;
   asan)  run_asan ;;
@@ -310,8 +347,9 @@ case "$stage" in
   relation) run_relation ;;
   exec) run_exec ;;
   introspect) run_introspect ;;
-  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation; run_exec; run_introspect ;;
-  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|exec|introspect|all]" >&2; exit 2 ;;
+  hotpath) run_hotpath ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation; run_exec; run_introspect; run_hotpath ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|exec|introspect|hotpath|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

@@ -5,6 +5,14 @@
 // how many previously-unseen slots the merge contributed, which is the
 // "new coverage" signal consumed by the fuzzers.
 //
+// Two-level layout: alongside the payload words the bitmap maintains a
+// summary index with one bit per payload word (bit w set ⇔ words_[w] != 0;
+// 16 summary words cover the 1024-word coverage map). MergeNew/HasNewBits
+// walk only the occupied words of the source — a per-call map that touched
+// a handful of slots merges in a handful of visits instead of a full
+// 8 KiB scan. The summary is conservative-exact: a bit is set by whichever
+// thread first lands a payload bit in that word, and only Clear() resets it.
+//
 // Concurrency: mutating word accesses go through std::atomic_ref with
 // relaxed ordering, so a campaign-global bitmap can absorb merges from
 // parallel workers without any external lock ("atomic-word MergeNew"). Each
@@ -12,13 +20,15 @@
 // the winner). On the single-threaded path the relaxed loads/stores compile
 // to plain moves; the read-modify-write ops only run for *fresh* bits, which
 // are rare in a warmed-up campaign, so the hot already-seen case costs the
-// same load+test it always did. Clear()/Hash()/operator== remain
-// single-threaded operations for quiescent bitmaps.
+// same load+test it always did. Clear()/Hash()/operator== are quiescent-only
+// operations: they abort if a MergeNew is in flight on this bitmap (always
+// checked, independent of NDEBUG — the check is one relaxed load).
 
 #ifndef SRC_BASE_BITMAP_H_
 #define SRC_BASE_BITMAP_H_
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -29,7 +39,10 @@ namespace healer {
 
 class Bitmap {
  public:
-  explicit Bitmap(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+  explicit Bitmap(size_t bits)
+      : bits_(bits),
+        words_((bits + 63) / 64, 0),
+        summary_((words_.size() + 63) / 64, 0) {}
 
   // Bitmaps participating in a merge/compare must be the same size; a
   // mismatch means two different coverage spaces are being mixed, which
@@ -64,13 +77,16 @@ class Bitmap {
     if (prev & mask) {
       return false;  // Another thread set it between the load and the RMW.
     }
+    MarkSummary(idx >> 6);
     std::atomic_ref<size_t>(popcount_).fetch_add(1,
                                                  std::memory_order_relaxed);
     return true;
   }
 
   void Clear() {
+    CheckQuiescent("Clear");
     std::fill(words_.begin(), words_.end(), 0);
+    std::fill(summary_.begin(), summary_.end(), 0);
     popcount_ = 0;
   }
 
@@ -82,23 +98,31 @@ class Bitmap {
 
   // ORs `other` in; returns the number of bits newly set in *this. `other`
   // must be quiescent (typically a worker-local per-call map); *this may be
-  // merged into concurrently.
+  // merged into concurrently. Visits only `other`'s occupied words, guided
+  // by its summary index.
   size_t MergeNew(const Bitmap& other) {
     CheckSameSize(*this, other);
+    MergeScope in_flight(this);
     size_t fresh = 0;
-    for (size_t i = 0; i < words_.size(); ++i) {
-      const uint64_t theirs = other.words_[i];
-      if (theirs == 0) {
-        continue;
+    for (size_t s = 0; s < other.summary_.size(); ++s) {
+      uint64_t sw = other.summary_[s];
+      while (sw != 0) {
+        const size_t i =
+            (s << 6) + static_cast<size_t>(std::countr_zero(sw));
+        sw &= sw - 1;
+        const uint64_t theirs = other.words_[i];
+        std::atomic_ref<uint64_t> word(words_[i]);
+        uint64_t add = theirs & ~word.load(std::memory_order_relaxed);
+        if (add == 0) {
+          continue;
+        }
+        const uint64_t prev = word.fetch_or(add, std::memory_order_relaxed);
+        add &= ~prev;  // Bits a concurrent merger beat us to are not ours.
+        if (add != 0) {
+          MarkSummary(i);
+          fresh += static_cast<size_t>(std::popcount(add));
+        }
       }
-      std::atomic_ref<uint64_t> word(words_[i]);
-      uint64_t add = theirs & ~word.load(std::memory_order_relaxed);
-      if (add == 0) {
-        continue;
-      }
-      const uint64_t prev = word.fetch_or(add, std::memory_order_relaxed);
-      add &= ~prev;  // Bits a concurrent merger beat us to are not ours.
-      fresh += static_cast<size_t>(__builtin_popcountll(add));
     }
     if (fresh != 0) {
       std::atomic_ref<size_t>(popcount_).fetch_add(fresh,
@@ -107,24 +131,52 @@ class Bitmap {
     return fresh;
   }
 
-  // True iff `other` has at least one bit not present in *this.
+  // True iff `other` has at least one bit not present in *this. Both
+  // bitmaps must be quiescent (analysis/test paths): the dense-block scan
+  // below uses plain word loads so the compiler can vectorize it.
   bool HasNewBits(const Bitmap& other) const {
     CheckSameSize(*this, other);
-    for (size_t i = 0; i < words_.size(); ++i) {
-      if ((other.words_[i] & ~words_[i]) != 0) {
-        return true;
+    for (size_t s = 0; s < other.summary_.size(); ++s) {
+      const uint64_t sw = other.summary_[s];
+      if (sw == 0) {
+        continue;
+      }
+      const size_t base = s << 6;
+      if (sw == ~0ULL && base + 64 <= words_.size()) {
+        // Fully-occupied block: a branch-free OR-reduction over 64 plain
+        // uint64_t lanes (autovectorizes; see bench_hotpath).
+        uint64_t acc = 0;
+        for (size_t i = 0; i < 64; ++i) {
+          acc |= other.words_[base + i] & ~words_[base + i];
+        }
+        if (acc != 0) {
+          return true;
+        }
+        continue;
+      }
+      uint64_t bitset = sw;
+      while (bitset != 0) {
+        const size_t i = base + static_cast<size_t>(std::countr_zero(bitset));
+        bitset &= bitset - 1;
+        if ((other.words_[i] & ~words_[i]) != 0) {
+          return true;
+        }
       }
     }
     return false;
   }
 
   bool operator==(const Bitmap& other) const {
+    CheckQuiescent("operator==");
+    other.CheckQuiescent("operator==");
     return bits_ == other.bits_ && words_ == other.words_;
   }
 
   // Stable content checksum (tests use it to prove a faulted execution left
-  // the campaign bitmap untouched).
+  // the campaign bitmap untouched). Quiescent-only; the hash is over the
+  // payload words, so it is layout-stable across the summary-index change.
   uint64_t Hash() const {
+    CheckQuiescent("Hash");
     uint64_t h = 0xcbf29ce484222325ULL;
     for (uint64_t w : words_) {
       h = (h ^ w) * 0x100000001b3ULL;
@@ -133,10 +185,65 @@ class Bitmap {
     return h;
   }
 
+  // Exposed for tests: the summary word covering payload words
+  // [idx*64, idx*64+64).
+  uint64_t SummaryWord(size_t idx) const {
+    return std::atomic_ref<const uint64_t>(summary_[idx])
+        .load(std::memory_order_relaxed);
+  }
+  size_t SummaryWords() const { return summary_.size(); }
+
  private:
+  // Records "payload word `word` is nonzero". Idempotent; called only on
+  // the fresh-bit path, so the extra RMW is off the already-seen fast path.
+  void MarkSummary(size_t word) {
+    std::atomic_ref<uint64_t>(summary_[word >> 6])
+        .fetch_or(1ULL << (word & 63), std::memory_order_relaxed);
+  }
+
+  // Quiescence contract for Clear/Hash/operator==: these walk the words
+  // non-atomically, so running them concurrently with a MergeNew into this
+  // bitmap would read torn state and (for Clear) lose the summary/payload
+  // pairing. The in-flight counter makes the contract violation loud
+  // instead of silently corrupting coverage accounting.
+  void CheckQuiescent(const char* op) const {
+    if (std::atomic_ref<const size_t>(merges_in_flight_)
+            .load(std::memory_order_acquire) != 0) {
+      std::fprintf(stderr,
+                   "bitmap %s called concurrently with MergeNew (quiescence "
+                   "contract violated)\n",
+                   op);
+      std::abort();
+    }
+  }
+
+  class MergeScope {
+   public:
+    explicit MergeScope(Bitmap* b) : b_(b) {
+      std::atomic_ref<size_t>(b_->merges_in_flight_)
+          .fetch_add(1, std::memory_order_acquire);
+    }
+    ~MergeScope() {
+      std::atomic_ref<size_t>(b_->merges_in_flight_)
+          .fetch_sub(1, std::memory_order_release);
+    }
+    MergeScope(const MergeScope&) = delete;
+    MergeScope& operator=(const MergeScope&) = delete;
+
+   private:
+    Bitmap* b_;
+  };
+
   size_t bits_;
   std::vector<uint64_t> words_;
+  // One bit per payload word; bit w set ⇔ words_[w] != 0 (never reset
+  // except by Clear, so it is exact for quiescent bitmaps).
+  std::vector<uint64_t> summary_;
   size_t popcount_ = 0;
+  // Number of MergeNew calls currently running against this bitmap; a
+  // transient value, meaningful only while threads are live (a copied
+  // quiescent bitmap starts at 0 by definition).
+  size_t merges_in_flight_ = 0;
 };
 
 }  // namespace healer

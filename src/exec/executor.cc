@@ -21,7 +21,7 @@ uint64_t SpecialValueOf(const Type* type) {
 }  // namespace
 
 Executor::Executor(const Target& target, const KernelConfig& config)
-    : target_(target), config_(config) {
+    : target_(target), config_(config), slot_table_(target) {
   handlers_.resize(target.NumSyscalls(), nullptr);
   for (const auto& call : target.syscalls()) {
     const SyscallDef* def = FindSyscallDef(call->name);
@@ -219,7 +219,7 @@ ExecResult Executor::Run(const Prog& prog, Bitmap* global_coverage) {
 
     // Result slots: slot 0 is the return value; out-parameter resources
     // are read back from guest memory.
-    const auto slots = ResultSlotsOf(*call.meta);
+    const auto& slots = slot_table_.of(call.meta->id);
     if (!slots.empty()) {
       size_t max_slot = 0;
       for (const auto& slot : slots) {

@@ -19,6 +19,7 @@
 #include "src/kernel/kernel.h"
 #include "src/prog/prog.h"
 #include "src/prog/serialize.h"
+#include "src/prog/slots.h"
 
 namespace healer {
 
@@ -66,6 +67,9 @@ class Executor {
 
   const Target& target_;
   KernelConfig config_;
+  // Result slots precomputed per syscall id; the per-call extraction loop
+  // borrows them instead of re-walking argument trees every execution.
+  ResultSlotTable slot_table_;
   std::vector<const SyscallDef*> handlers_;
   std::vector<int> enabled_syscalls_;
   CallCoverage cov_;

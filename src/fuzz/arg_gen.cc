@@ -38,7 +38,12 @@ const std::vector<uint64_t>& MagicNumbers() {
 }
 
 void ResourcePool::AddCall(const Syscall& call, int call_index) {
-  for (const ResultSlot& slot : ResultSlotsOf(call)) {
+  AddSlots(ResultSlotsOf(call), call_index);
+}
+
+void ResourcePool::AddSlots(const std::vector<ResultSlot>& slots,
+                            int call_index) {
+  for (const ResultSlot& slot : slots) {
     entries_.push_back(
         Entry{slot.resource, Producer{call_index, slot.slot}});
   }
@@ -47,12 +52,18 @@ void ResourcePool::AddCall(const Syscall& call, int call_index) {
 std::vector<ResourcePool::Producer> ResourcePool::FindProducers(
     const ResourceDesc* wanted) const {
   std::vector<Producer> out;
+  FindProducersInto(wanted, &out);
+  return out;
+}
+
+void ResourcePool::FindProducersInto(const ResourceDesc* wanted,
+                                     std::vector<Producer>* out) const {
+  out->clear();
   for (const Entry& entry : entries_) {
     if (entry.resource->IsCompatibleWith(wanted)) {
-      out.push_back(entry.producer);
+      out->push_back(entry.producer);
     }
   }
-  return out;
 }
 
 uint64_t ArgGenerator::GenScalarValue(const Type* type) {
@@ -102,12 +113,13 @@ ArgPtr ArgGenerator::Gen(const Type* type, const ResourcePool& pool) {
     case TypeKind::kConst:
     case TypeKind::kFlags:
     case TypeKind::kLen:
-      return MakeConstant(type, GenScalarValue(type));
+      return MakeConstant(type, GenScalarValue(type), arena_);
     case TypeKind::kResource: {
-      auto producers = pool.FindProducers(type->resource);
+      auto& producers = producers_scratch_;
+      pool.FindProducersInto(type->resource, &producers);
       if (!producers.empty() && !rng_->OneIn(20)) {
         const auto& pick = producers[rng_->Below(producers.size())];
-        return MakeResourceRef(type, pick.call_index, pick.slot);
+        return MakeResourceRef(type, pick.call_index, pick.slot, arena_);
       }
       // No producer (or deliberate negative test): use a special value or
       // a small arbitrary number that might collide with a live fd.
@@ -119,13 +131,13 @@ ArgPtr ArgGenerator::Gen(const Type* type, const ResourcePool& pool) {
       if (rng_->OneIn(4)) {
         special = rng_->Below(16);
       }
-      return MakeResourceSpecial(type, special);
+      return MakeResourceSpecial(type, special, arena_);
     }
     case TypeKind::kPtr: {
       if (rng_->Bernoulli(kNullPtrChance)) {
-        return MakeNullPointer(type);
+        return MakeNullPointer(type, arena_);
       }
-      return MakePointer(type, Gen(type->elem, pool));
+      return MakePointer(type, Gen(type->elem, pool), arena_);
     }
     case TypeKind::kBuffer: {
       const uint64_t lo = type->buf_min;
@@ -139,23 +151,24 @@ ArgPtr ArgGenerator::Gen(const Type* type, const ResourcePool& pool) {
       for (auto& byte : data) {
         byte = static_cast<uint8_t>(rng_->Next());
       }
-      return MakeData(type, std::move(data));
+      return MakeData(type, std::move(data), arena_);
     }
     case TypeKind::kString: {
       if (!type->str_values.empty()) {
-        return MakeData(type, StringBytes(rng_->PickOne(type->str_values)));
+        return MakeData(type, StringBytes(rng_->PickOne(type->str_values)),
+                        arena_);
       }
       std::string s;
       const uint64_t len = rng_->Below(12);
       for (uint64_t i = 0; i < len; ++i) {
         s.push_back(static_cast<char>('a' + rng_->Below(26)));
       }
-      return MakeData(type, StringBytes(s));
+      return MakeData(type, StringBytes(s), arena_);
     }
     case TypeKind::kFilename: {
       const auto& candidates =
           type->str_values.empty() ? DefaultPaths() : type->str_values;
-      return MakeData(type, StringBytes(rng_->PickOne(candidates)));
+      return MakeData(type, StringBytes(rng_->PickOne(candidates)), arena_);
     }
     case TypeKind::kVma: {
       const uint64_t pages = 1 + rng_->Below(16);
@@ -165,7 +178,7 @@ ArgPtr ArgGenerator::Gen(const Type* type, const ResourcePool& pool) {
         next_vma_page_ = 1;
       }
       const uint64_t addr = GuestMem::kVmaBase + page * GuestMem::kPageSize;
-      return MakeVma(type, addr, pages);
+      return MakeVma(type, addr, pages, arena_);
     }
     case TypeKind::kArray: {
       const uint64_t count = rng_->InRange(
@@ -175,7 +188,7 @@ ArgPtr ArgGenerator::Gen(const Type* type, const ResourcePool& pool) {
       for (uint64_t i = 0; i < count; ++i) {
         inner.push_back(Gen(type->array_elem, pool));
       }
-      return MakeGroup(type, std::move(inner));
+      return MakeGroup(type, std::move(inner), arena_);
     }
     case TypeKind::kStruct: {
       std::vector<ArgPtr> inner;
@@ -183,21 +196,22 @@ ArgPtr ArgGenerator::Gen(const Type* type, const ResourcePool& pool) {
       for (const Field& field : type->fields) {
         inner.push_back(Gen(field.type, pool));
       }
-      return MakeGroup(type, std::move(inner));
+      return MakeGroup(type, std::move(inner), arena_);
     }
     case TypeKind::kUnion: {
       const int index = static_cast<int>(rng_->Below(type->fields.size()));
       return MakeUnion(
           type, index,
-          Gen(type->fields[static_cast<size_t>(index)].type, pool));
+          Gen(type->fields[static_cast<size_t>(index)].type, pool), arena_);
     }
   }
-  return MakeConstant(type, 0);
+  return MakeConstant(type, 0, arena_);
 }
 
 bool ArgMutator::Mutate(Call* call, const ResourcePool& pool) {
-  // Collect mutable nodes.
-  std::vector<Arg*> nodes;
+  // Collect mutable nodes (scratch reused across calls).
+  std::vector<Arg*>& nodes = nodes_scratch_;
+  nodes.clear();
   ForEachArg(*call, [&](Arg& arg) {
     if (arg.type == nullptr) {
       return;
@@ -267,7 +281,7 @@ bool ArgMutator::MutateNode(Arg* arg, const ResourcePool& pool) {
       if (arg->pointee == nullptr || rng_->OneIn(10)) {
         // Toggle nullness.
         if (arg->pointee == nullptr) {
-          arg->pointee = gen_.Gen(arg->type->elem, pool)->Clone();
+          arg->pointee = gen_.Gen(arg->type->elem, pool);
         } else {
           arg->pointee.reset();
         }
@@ -276,7 +290,8 @@ bool ArgMutator::MutateNode(Arg* arg, const ResourcePool& pool) {
       return MutateNode(arg->pointee.get(), pool);
     }
     case ArgKind::kResource: {
-      auto producers = pool.FindProducers(arg->type->resource);
+      auto& producers = producers_scratch_;
+      pool.FindProducersInto(arg->type->resource, &producers);
       if (!producers.empty() && rng_->Chance(3, 4)) {
         const auto& pick = producers[rng_->Below(producers.size())];
         arg->res_ref = pick.call_index;

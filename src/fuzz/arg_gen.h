@@ -27,8 +27,20 @@ class ResourcePool {
   // Registers the result slots of the call at `call_index`.
   void AddCall(const Syscall& call, int call_index);
 
+  // Same, with precomputed slots (ResultSlotTable) — avoids the per-call
+  // argument-tree walk and its allocations on pool refills.
+  void AddSlots(const std::vector<ResultSlot>& slots, int call_index);
+
+  // Forgets all registered producers, retaining capacity for reuse.
+  void Clear() { entries_.clear(); }
+
   // Producers whose resource kind is compatible with `wanted`.
   std::vector<Producer> FindProducers(const ResourceDesc* wanted) const;
+
+  // Allocation-free variant for hot paths: clears `out` and fills it with
+  // the same producers FindProducers would return.
+  void FindProducersInto(const ResourceDesc* wanted,
+                         std::vector<Producer>* out) const;
 
  private:
   struct Entry {
@@ -46,6 +58,10 @@ class ArgGenerator {
   // producers from the prefix of the program under construction.
   ArgPtr Gen(const Type* type, const ResourcePool& pool);
 
+  // Nodes generated after this call are placed in `arena` (nullptr → heap).
+  // The caller owns the arena's Reset() cadence; see DESIGN.md §11.
+  void set_arena(ProgArena* arena) { arena_ = arena; }
+
   // Fraction of pointer args generated as null (exercises EFAULT and
   // missing-optional-argument kernel paths).
   static constexpr double kNullPtrChance = 0.08;
@@ -54,7 +70,11 @@ class ArgGenerator {
   uint64_t GenScalarValue(const Type* type);
 
   Rng* rng_;
+  ProgArena* arena_ = nullptr;
   uint64_t next_vma_page_ = 1;
+  // Reused across Gen calls; kResource synthesis never recurses while the
+  // scratch is live.
+  std::vector<ResourcePool::Producer> producers_scratch_;
 };
 
 class ArgMutator {
@@ -66,11 +86,17 @@ class ArgMutator {
   // call has no mutable node.
   bool Mutate(Call* call, const ResourcePool& pool);
 
+  // Fresh subtrees created by mutations go into `arena` (nullptr → heap).
+  void set_arena(ProgArena* arena) { gen_.set_arena(arena); }
+
  private:
   bool MutateNode(Arg* arg, const ResourcePool& pool);
 
   Rng* rng_;
   ArgGenerator gen_;
+  // Reused across Mutate calls to avoid a per-call vector allocation.
+  std::vector<Arg*> nodes_scratch_;
+  std::vector<ResourcePool::Producer> producers_scratch_;
 };
 
 // Magic values favoured by numeric generation and mutation.

@@ -176,7 +176,8 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
 
   if (!options.save_corpus_path.empty()) {
     const Status saved =
-        SaveProgs(options.save_corpus_path, fuzzer.corpus().ExportAll());
+        SaveProgs(options.save_corpus_path, fuzzer.corpus().ExportAll(),
+                  options.corpus_format);
     if (!saved.ok()) {
       LOG_WARNING << "failed to save corpus: " << saved.ToString();
     }

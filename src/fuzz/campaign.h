@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/fuzz/corpus_io.h"
 #include "src/fuzz/fuzzer.h"
 
 namespace healer {
@@ -38,9 +39,12 @@ struct CampaignOptions {
   // across transports.
   ExecTransport transport = ExecTransport::kShmChannel;
   // Optional corpus persistence: seed programs loaded before fuzzing, and
-  // the final corpus written after it.
+  // the final corpus written after it. Loading auto-detects the container
+  // format; `corpus_format` selects what save_corpus_path is written as
+  // (hcorp1 = mmap-able page-aligned container for instant warm restart).
   std::string initial_corpus_path;
   std::string save_corpus_path;
+  CorpusFormat corpus_format = CorpusFormat::kLegacy;
   // Optional relation persistence: edges from a previous campaign loaded
   // into the table before fuzzing (warm start), and the final table written
   // after it (RelationTable::SaveToFile name-pair format).

@@ -2,12 +2,25 @@
 // campaign can start from "an initial corpus provided by the user"
 // (Section 4) and corpora can be carried across runs.
 //
-// File format: "HCOR" magic, u32 count, then per program u32 length +
-// SerializeProg bytes.
+// Two container formats (see DESIGN.md §11 for the layout diagram):
+//
+//   kLegacy ("HCOR"): magic, u32 count, then per program u32 length +
+//     SerializeProg bytes. Loading re-reads the stream program by program.
+//
+//   kHcorp1 ("HCORP1\n\0"): a checksummed, page-aligned container built for
+//     instant warm restart — a 64-byte header, a flat index of
+//     {offset, length, checksum} entries, zero padding to a page boundary,
+//     then the packed program payloads. Loading is a single mmap plus an
+//     index scan; no per-program reads, and the page cache keeps repeat
+//     restarts effectively free.
+//
+// LoadProgs auto-detects the format from the magic, so --corpus-in accepts
+// either; --corpus-format picks what SaveProgs writes.
 
 #ifndef SRC_FUZZ_CORPUS_IO_H_
 #define SRC_FUZZ_CORPUS_IO_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,10 +29,23 @@
 
 namespace healer {
 
-Status SaveProgs(const std::string& path, const std::vector<Prog>& progs);
+enum class CorpusFormat : uint8_t {
+  kLegacy = 0,
+  kHcorp1 = 1,
+};
 
-// Loads and validates programs against `target`; programs that fail to
-// decode or validate are skipped (counted in *skipped when non-null).
+const char* CorpusFormatName(CorpusFormat format);
+// Parses "legacy" / "hcorp1" (the CLI flag values).
+Result<CorpusFormat> ParseCorpusFormat(const std::string& name);
+
+Status SaveProgs(const std::string& path, const std::vector<Prog>& progs,
+                 CorpusFormat format = CorpusFormat::kLegacy);
+
+// Loads and validates programs against `target`; the container format is
+// auto-detected from the file magic. Programs that fail to decode or
+// validate are skipped (counted in *skipped when non-null); structural
+// container damage (bad magic/checksums, truncation, overlapping or
+// out-of-bounds extents) is a typed ParseError.
 Result<std::vector<Prog>> LoadProgs(const std::string& path,
                                     const Target& target,
                                     size_t* skipped = nullptr);

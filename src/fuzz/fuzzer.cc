@@ -77,6 +77,7 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
       minimizer_(AnalysisExec()),
       learner_(nullptr, AnalysisExec(), &clock_),
       reproducer_(AnalysisExec()) {
+  builder_.set_arena(&arena_);
   for (size_t i = 0; i < pool_.size(); ++i) {
     pool_.vm(i).set_journal(&journal_writer_);
   }
@@ -252,6 +253,10 @@ Status Fuzzer::SaveRelations(const std::string& path) const {
 }
 
 void Fuzzer::Step() {
+  // Everything from the previous iteration is dead: reclaim all candidate
+  // nodes at once. `prog` below (and anything the builder creates) lives in
+  // the arena until the next Step.
+  arena_.Reset();
   bool used_table = false;
   CallChooser chooser = MakeChooser(&used_table);
 
@@ -262,7 +267,7 @@ void Fuzzer::Step() {
         rng_.InRange(options_.gen_len_min, options_.gen_len_max);
     prog = builder_.Generate(chooser, len);
   } else {
-    prog = corpus_.Choose(&rng_).Clone();
+    prog = corpus_.Choose(&rng_).CloneInto(&arena_);
     // Insertion first (call selection is where guidance acts), then
     // parameter mutation.
     if (rng_.Chance(7, 10)) {

@@ -29,6 +29,7 @@
 #include "src/fuzz/prog_builder.h"
 #include "src/fuzz/relation_table.h"
 #include "src/fuzz/repro.h"
+#include "src/prog/arena.h"
 #include "src/vm/vm_pool.h"
 
 namespace healer {
@@ -178,6 +179,11 @@ class Fuzzer {
   std::unique_ptr<RelationTable> relations_;
   std::unique_ptr<CallSelector> selector_;
   std::unique_ptr<ChoiceTable> choice_table_;
+  // Region allocator for Step-scoped candidate programs; reset at the top
+  // of every Step. Declared before builder_ (which borrows it) so the
+  // builder is torn down first. Programs that survive into the corpus are
+  // heap clones produced by the minimizer.
+  ProgArena arena_;
   ProgBuilder builder_;
   Minimizer minimizer_;
   DynamicLearner learner_;

@@ -70,6 +70,8 @@ Prog DistillTrace(const Prog& trace) {
   }
   // Rebuild the program from kept calls, remapping resource references.
   Prog out(trace.target());
+  out.calls().reserve(
+      static_cast<size_t>(std::count(keep.begin(), keep.end(), true)));
   std::vector<int> remap(len, -1);
   for (size_t ci = 0; ci < len; ++ci) {
     if (!keep[ci]) {
@@ -94,6 +96,7 @@ std::vector<Prog> MoonshineSeeds(const Target& target,
                                  const std::vector<int>& enabled,
                                  size_t count, Rng* rng) {
   std::vector<Prog> seeds;
+  seeds.reserve(count);
   for (Prog& trace : SynthesizeTraces(target, enabled, count, rng)) {
     Prog distilled = DistillTrace(trace);
     if (!distilled.empty()) {

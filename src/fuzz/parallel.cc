@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/base/string_util.h"
+#include "src/prog/arena.h"
 #include "src/vm/vm_pool.h"
 
 namespace healer {
@@ -80,6 +81,10 @@ class Worker {
     // VM lifecycle / fault / ring-stall records route through this worker's
     // writer; the VM is worker-owned, so the single-producer contract holds.
     vm_.set_journal(&jw_);
+    // Candidate programs are built in the worker-private arena and die at
+    // the end of each iteration (or pipelined round); corpus survivors are
+    // heap clones staged by the minimizer, so they outlive resets.
+    builder_.set_arena(&arena_);
   }
 
   void Run() {
@@ -88,6 +93,8 @@ class Worker {
       return;
     }
     while (true) {
+      // The previous iteration's candidate is dead; reclaim its nodes.
+      arena_.Reset();
       const uint64_t ticket =
           shared_->exec_tickets.fetch_add(1, std::memory_order_relaxed);
       if (ticket >= options_.total_execs) {
@@ -176,6 +183,10 @@ class Worker {
   // deep pipelines amortize it across hundreds of in-flight programs.
   void RunPipelined() {
     while (true) {
+      // All of the previous round's in-flight programs have been reaped;
+      // reset here (never inside BuildOne — up to pipeline_depth candidates
+      // are alive simultaneously within a round).
+      arena_.Reset();
       std::vector<PendingExec> pending;
       pending.reserve(options_.pipeline_depth);
       while (pending.size() < options_.pipeline_depth) {
@@ -290,7 +301,7 @@ class Worker {
     bool mutated = false;
     Prog prog(&target_);
     if (snapshot_ != nullptr && !snapshot_->empty() && rng_.Chance(3, 5)) {
-      prog = snapshot_->Choose(&rng_).Clone();
+      prog = snapshot_->Choose(&rng_).CloneInto(&arena_);
     }
     CallChooser chooser = MakeChooser(alpha, &pending.used_table);
     if (prog.empty()) {
@@ -494,6 +505,9 @@ class Worker {
   uint32_t tid_;
   FuzzMetrics m_;
   ParallelMetrics pm_;
+  // Declared before builder_ (which borrows it); worker-private, reset at
+  // iteration / pipelined-round boundaries.
+  ProgArena arena_;
   ProgBuilder builder_;
   CallSelector selector_;
   Batch batch_;

@@ -11,18 +11,32 @@ ProgBuilder::ProgBuilder(const Target& target, std::vector<int> enabled,
       enabled_mask_(target.NumSyscalls(), 0),
       rng_(rng),
       gen_(rng),
-      mutator_(rng) {
+      mutator_(rng),
+      slot_table_(target) {
   for (int id : enabled_) {
     enabled_mask_[static_cast<size_t>(id)] = 1;
   }
 }
 
+void ProgBuilder::set_arena(ProgArena* arena) {
+  arena_ = arena;
+  gen_.set_arena(arena);
+  mutator_.set_arena(arena);
+}
+
 ResourcePool ProgBuilder::PoolFor(const Prog& prog, size_t upto) const {
   ResourcePool pool;
-  for (size_t i = 0; i < upto && i < prog.size(); ++i) {
-    pool.AddCall(*prog.calls()[i].meta, static_cast<int>(i));
-  }
+  PoolInto(prog, upto, &pool);
   return pool;
+}
+
+void ProgBuilder::PoolInto(const Prog& prog, size_t upto,
+                           ResourcePool* pool) const {
+  pool->Clear();
+  for (size_t i = 0; i < upto && i < prog.size(); ++i) {
+    pool->AddSlots(slot_table_.of(prog.calls()[i].meta->id),
+                   static_cast<int>(i));
+  }
 }
 
 size_t ProgBuilder::AppendCall(Prog* prog, int syscall_id, int depth) {
@@ -32,14 +46,22 @@ size_t ProgBuilder::AppendCall(Prog* prog, int syscall_id, int depth) {
   const Syscall& meta = target_.syscall(syscall_id);
   size_t appended = 0;
 
+  // One scratch frame per recursion depth, clear-and-refilled so storage is
+  // reused across calls (recursion gives inner frames their own slot).
+  FrameScratch& frame =
+      frames_[depth <= kMaxProducerDepth ? depth : kMaxProducerDepth];
+  ResourcePool& pool = frame.pool;
+
   // Satisfy unmet resource needs by prepending producers (recursively).
   if (depth < kMaxProducerDepth) {
-    ResourcePool pool = PoolFor(*prog, prog->size());
+    PoolInto(*prog, prog->size(), &pool);
     for (const ResourceDesc* wanted : meta.consumed_resources) {
-      if (!pool.FindProducers(wanted).empty() || rng_->OneIn(16)) {
+      pool.FindProducersInto(wanted, &frame.found);
+      if (!frame.found.empty() || rng_->OneIn(16)) {
         continue;  // Satisfied (or deliberately left dangling).
       }
-      std::vector<int> producers;
+      std::vector<int>& producers = frame.producers;
+      producers.clear();
       for (int producer : target_.ProducersOf(wanted)) {
         if (enabled_mask_[static_cast<size_t>(producer)] != 0 &&
             producer != syscall_id) {
@@ -51,14 +73,14 @@ size_t ProgBuilder::AppendCall(Prog* prog, int syscall_id, int depth) {
       }
       appended += AppendCall(prog, producers[rng_->Below(producers.size())],
                              depth + 1);
-      pool = PoolFor(*prog, prog->size());
+      PoolInto(*prog, prog->size(), &pool);
     }
   }
 
   if (prog->size() >= kMaxProgLen) {
     return appended;
   }
-  ResourcePool pool = PoolFor(*prog, prog->size());
+  PoolInto(*prog, prog->size(), &pool);
   Call call;
   call.meta = &meta;
   call.args.reserve(meta.args.size());
@@ -71,6 +93,9 @@ size_t ProgBuilder::AppendCall(Prog* prog, int syscall_id, int depth) {
 
 Prog ProgBuilder::Generate(const CallChooser& choose, size_t target_len) {
   Prog prog(&target_);
+  // Producer insertion can push past target_len, so size for the hard cap
+  // once instead of doubling through push_back.
+  prog.calls().reserve(kMaxProgLen);
   target_len = std::min(target_len, kMaxProgLen);
 
   // Seed with a producer/consumer pair over a random resource kind.
@@ -78,13 +103,15 @@ Prog ProgBuilder::Generate(const CallChooser& choose, size_t target_len) {
     for (int attempt = 0; attempt < 4 && prog.empty(); ++attempt) {
       const auto& res =
           target_.resources()[rng_->Below(target_.resources().size())];
-      std::vector<int> producers;
+      std::vector<int>& producers = seed_producers_;
+      producers.clear();
       for (int id : target_.ProducersOf(res.get())) {
         if (enabled_mask_[static_cast<size_t>(id)] != 0) {
           producers.push_back(id);
         }
       }
-      std::vector<int> consumers;
+      std::vector<int>& consumers = seed_consumers_;
+      consumers.clear();
       for (int id : enabled_) {
         if (Target::Consumes(target_.syscall(id), res.get())) {
           consumers.push_back(id);
@@ -100,7 +127,8 @@ Prog ProgBuilder::Generate(const CallChooser& choose, size_t target_len) {
 
   // Extend with guided selection.
   while (prog.size() < target_len) {
-    std::vector<int> prefix;
+    std::vector<int>& prefix = prefix_scratch_;
+    prefix.clear();
     prefix.reserve(prog.size());
     for (const Call& call : prog.calls()) {
       prefix.push_back(call.meta->id);
@@ -119,7 +147,8 @@ bool ProgBuilder::MutateInsert(Prog* prog, const CallChooser& choose) {
     return false;
   }
   const size_t pos = rng_->Below(prog->size() + 1);
-  std::vector<int> prefix;
+  std::vector<int>& prefix = prefix_scratch_;
+  prefix.clear();
   prefix.reserve(pos);
   for (size_t i = 0; i < pos; ++i) {
     prefix.push_back(prog->calls()[i].meta->id);
@@ -128,8 +157,9 @@ bool ProgBuilder::MutateInsert(Prog* prog, const CallChooser& choose) {
 
   // Build the insertion (with producer chains) against the prefix only.
   Prog head(prog->target());
+  head.calls().reserve(prog->size() + 4);
   for (size_t i = 0; i < pos; ++i) {
-    head.calls().push_back(prog->calls()[i].Clone());
+    head.calls().push_back(prog->calls()[i].CloneInto(arena_));
   }
   const size_t before = head.size();
   AppendCall(&head, chosen);
@@ -140,7 +170,7 @@ bool ProgBuilder::MutateInsert(Prog* prog, const CallChooser& choose) {
 
   // Re-attach the tail, shifting resource references past the insertion.
   for (size_t i = pos; i < prog->size(); ++i) {
-    Call tail_call = prog->calls()[i].Clone();
+    Call tail_call = prog->calls()[i].CloneInto(arena_);
     ForEachArg(tail_call, [&](Arg& arg) {
       if (arg.kind == ArgKind::kResource && arg.res_ref >= 0 &&
           static_cast<size_t>(arg.res_ref) >= pos) {
@@ -163,8 +193,8 @@ bool ProgBuilder::MutateArgs(Prog* prog) {
   const size_t rounds = 1 + rng_->Below(3);
   for (size_t i = 0; i < rounds; ++i) {
     const size_t idx = rng_->Below(prog->size());
-    ResourcePool pool = PoolFor(*prog, idx);
-    any |= mutator_.Mutate(&prog->calls()[idx], pool);
+    PoolInto(*prog, idx, &mutate_pool_scratch_);
+    any |= mutator_.Mutate(&prog->calls()[idx], mutate_pool_scratch_);
   }
   prog->FixupLens();
   return any;

@@ -1,0 +1,61 @@
+#include "src/prog/arena.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace healer {
+
+void* ProgArena::Allocate(size_t size, size_t align) {
+  if (size == 0) size = 1;
+  if (align == 0) align = 1;
+  while (true) {
+    while (current_ < chunks_.size()) {
+      Chunk& c = chunks_[current_];
+      // Align the absolute address: operator new[] only guarantees the
+      // default new-alignment for the chunk base, so over-aligned requests
+      // cannot be satisfied by rounding the offset alone.
+      const uintptr_t base = reinterpret_cast<uintptr_t>(c.base.get());
+      const uintptr_t at =
+          (base + c.used + align - 1) & ~(static_cast<uintptr_t>(align) - 1);
+      const size_t off = static_cast<size_t>(at - base);
+      if (off + size <= c.capacity) {
+        c.used = off + size;
+        bytes_allocated_ += size;
+        return c.base.get() + off;
+      }
+      // This chunk is exhausted for a request this size; move to the next
+      // retained chunk (after Reset) or grow.
+      ++current_;
+    }
+    Grow(size + align);
+  }
+}
+
+void ProgArena::Grow(size_t min_bytes) {
+  size_t want = chunks_.empty() ? kInitialChunkBytes
+                                : chunks_.back().capacity * 2;
+  if (want > kMaxChunkBytes) want = kMaxChunkBytes;
+  if (want < min_bytes) want = min_bytes;
+  Chunk c;
+  c.base.reset(new (std::nothrow) char[want]);
+  if (c.base == nullptr) {
+    std::fprintf(stderr,
+                 "healer: ProgArena chunk allocation of %zu bytes failed\n",
+                 want);
+    std::abort();
+  }
+  c.capacity = want;
+  c.used = 0;
+  chunks_.push_back(std::move(c));
+  current_ = chunks_.size() - 1;
+  bytes_reserved_ += want;
+}
+
+void ProgArena::Reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  current_ = 0;
+  bytes_allocated_ = 0;
+  ++reset_count_;
+}
+
+}  // namespace healer

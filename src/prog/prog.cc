@@ -3,11 +3,28 @@
 #include <algorithm>
 
 #include "src/base/string_util.h"
+#include "src/prog/arena.h"
 
 namespace healer {
 
-ArgPtr Arg::Clone() const {
-  auto copy = std::make_unique<Arg>();
+namespace {
+
+// Single node-construction point for both ownership modes.
+ArgPtr NewArg(ProgArena* arena) {
+  if (arena == nullptr) {
+    return ArgPtr(new Arg());
+  }
+  Arg* node = arena->New<Arg>();
+  node->arena_owned = true;
+  return ArgPtr(node);
+}
+
+}  // namespace
+
+ArgPtr Arg::Clone() const { return CloneInto(nullptr); }
+
+ArgPtr Arg::CloneInto(ProgArena* arena) const {
+  ArgPtr copy = NewArg(arena);
   copy->type = type;
   copy->kind = kind;
   copy->val = val;
@@ -17,11 +34,11 @@ ArgPtr Arg::Clone() const {
   copy->res_ref = res_ref;
   copy->res_slot = res_slot;
   if (pointee != nullptr) {
-    copy->pointee = pointee->Clone();
+    copy->pointee = pointee->CloneInto(arena);
   }
   copy->inner.reserve(inner.size());
   for (const auto& child : inner) {
-    copy->inner.push_back(child->Clone());
+    copy->inner.push_back(child->CloneInto(arena));
   }
   return copy;
 }
@@ -49,44 +66,44 @@ uint64_t Arg::Size() const {
   return 0;
 }
 
-ArgPtr MakeConstant(const Type* type, uint64_t val) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakeConstant(const Type* type, uint64_t val, ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kConstant;
   arg->val = val;
   return arg;
 }
 
-ArgPtr MakeData(const Type* type, std::vector<uint8_t> data) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakeData(const Type* type, std::vector<uint8_t> data, ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kData;
   arg->data = std::move(data);
   return arg;
 }
 
-ArgPtr MakePointer(const Type* type, ArgPtr pointee) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakePointer(const Type* type, ArgPtr pointee, ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kPointer;
   arg->pointee = std::move(pointee);
   return arg;
 }
 
-ArgPtr MakeNullPointer(const Type* type) {
-  return MakePointer(type, nullptr);
+ArgPtr MakeNullPointer(const Type* type, ProgArena* arena) {
+  return MakePointer(type, nullptr, arena);
 }
 
-ArgPtr MakeGroup(const Type* type, std::vector<ArgPtr> inner) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakeGroup(const Type* type, std::vector<ArgPtr> inner, ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kGroup;
   arg->inner = std::move(inner);
   return arg;
 }
 
-ArgPtr MakeUnion(const Type* type, int index, ArgPtr inner) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakeUnion(const Type* type, int index, ArgPtr inner, ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kUnion;
   arg->union_index = index;
@@ -94,8 +111,9 @@ ArgPtr MakeUnion(const Type* type, int index, ArgPtr inner) {
   return arg;
 }
 
-ArgPtr MakeResourceRef(const Type* type, int call_index, int slot) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakeResourceRef(const Type* type, int call_index, int slot,
+                       ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kResource;
   arg->res_ref = call_index;
@@ -103,8 +121,8 @@ ArgPtr MakeResourceRef(const Type* type, int call_index, int slot) {
   return arg;
 }
 
-ArgPtr MakeResourceSpecial(const Type* type, uint64_t val) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakeResourceSpecial(const Type* type, uint64_t val, ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kResource;
   arg->res_ref = -1;
@@ -112,8 +130,9 @@ ArgPtr MakeResourceSpecial(const Type* type, uint64_t val) {
   return arg;
 }
 
-ArgPtr MakeVma(const Type* type, uint64_t addr, uint64_t pages) {
-  auto arg = std::make_unique<Arg>();
+ArgPtr MakeVma(const Type* type, uint64_t addr, uint64_t pages,
+               ProgArena* arena) {
+  ArgPtr arg = NewArg(arena);
   arg->type = type;
   arg->kind = ArgKind::kVma;
   arg->val = addr;
@@ -121,12 +140,14 @@ ArgPtr MakeVma(const Type* type, uint64_t addr, uint64_t pages) {
   return arg;
 }
 
-Call Call::Clone() const {
+Call Call::Clone() const { return CloneInto(nullptr); }
+
+Call Call::CloneInto(ProgArena* arena) const {
   Call copy;
   copy.meta = meta;
   copy.args.reserve(args.size());
   for (const auto& arg : args) {
-    copy.args.push_back(arg->Clone());
+    copy.args.push_back(arg->CloneInto(arena));
   }
   return copy;
 }
@@ -167,11 +188,13 @@ void ForEachArg(const Call& call, const std::function<void(const Arg&)>& fn) {
   }
 }
 
-Prog Prog::Clone() const {
+Prog Prog::Clone() const { return CloneInto(nullptr); }
+
+Prog Prog::CloneInto(ProgArena* arena) const {
   Prog copy(target_);
   copy.calls_.reserve(calls_.size());
   for (const auto& call : calls_) {
-    copy.calls_.push_back(call.Clone());
+    copy.calls_.push_back(call.CloneInto(arena));
   }
   return copy;
 }

@@ -28,8 +28,18 @@ enum class ArgKind {
   kVma,       // Page-aligned address + page count in the VMA window.
 };
 
+class ProgArena;
+
 struct Arg;
-using ArgPtr = std::unique_ptr<Arg>;
+
+// Args live either on the heap (corpus-owned programs) or in a ProgArena
+// (Step-scoped candidates). The deleter dispatches per node: arena nodes run
+// ~Arg() only — releasing heap members like `data`/`inner` — while the node
+// bytes are reclaimed wholesale by ProgArena::Reset().
+struct ArgDeleter {
+  void operator()(Arg* arg) const;
+};
+using ArgPtr = std::unique_ptr<Arg, ArgDeleter>;
 
 struct Arg {
   const Type* type = nullptr;
@@ -54,21 +64,46 @@ struct Arg {
   int res_ref = -1;
   int res_slot = 0;
 
+  // True when this node's storage belongs to a ProgArena (see ArgDeleter).
+  bool arena_owned = false;
+
   ArgPtr Clone() const;
+  // Deep copy with nodes placed in `arena` (nullptr → heap, same as Clone).
+  // Heap members (`data`, `inner` backing stores) always come from malloc;
+  // only the Arg nodes themselves are region-allocated.
+  ArgPtr CloneInto(ProgArena* arena) const;
 
   // Byte size this arg occupies when serialized into guest memory.
   uint64_t Size() const;
 };
 
-ArgPtr MakeConstant(const Type* type, uint64_t val);
-ArgPtr MakeData(const Type* type, std::vector<uint8_t> data);
-ArgPtr MakePointer(const Type* type, ArgPtr pointee);
-ArgPtr MakeNullPointer(const Type* type);
-ArgPtr MakeGroup(const Type* type, std::vector<ArgPtr> inner);
-ArgPtr MakeUnion(const Type* type, int index, ArgPtr inner);
-ArgPtr MakeResourceRef(const Type* type, int call_index, int slot);
-ArgPtr MakeResourceSpecial(const Type* type, uint64_t val);
-ArgPtr MakeVma(const Type* type, uint64_t addr, uint64_t pages);
+inline void ArgDeleter::operator()(Arg* arg) const {
+  if (arg == nullptr) return;
+  if (arg->arena_owned) {
+    arg->~Arg();
+  } else {
+    delete arg;
+  }
+}
+
+// Every factory takes an optional arena; nullptr (the default) allocates the
+// node on the heap, preserving all pre-arena call sites.
+ArgPtr MakeConstant(const Type* type, uint64_t val, ProgArena* arena = nullptr);
+ArgPtr MakeData(const Type* type, std::vector<uint8_t> data,
+                ProgArena* arena = nullptr);
+ArgPtr MakePointer(const Type* type, ArgPtr pointee,
+                   ProgArena* arena = nullptr);
+ArgPtr MakeNullPointer(const Type* type, ProgArena* arena = nullptr);
+ArgPtr MakeGroup(const Type* type, std::vector<ArgPtr> inner,
+                 ProgArena* arena = nullptr);
+ArgPtr MakeUnion(const Type* type, int index, ArgPtr inner,
+                 ProgArena* arena = nullptr);
+ArgPtr MakeResourceRef(const Type* type, int call_index, int slot,
+                       ProgArena* arena = nullptr);
+ArgPtr MakeResourceSpecial(const Type* type, uint64_t val,
+                           ProgArena* arena = nullptr);
+ArgPtr MakeVma(const Type* type, uint64_t addr, uint64_t pages,
+               ProgArena* arena = nullptr);
 
 struct Call {
   const Syscall* meta = nullptr;
@@ -78,6 +113,7 @@ struct Call {
   Call(Call&&) = default;
   Call& operator=(Call&&) = default;
   Call Clone() const;
+  Call CloneInto(ProgArena* arena) const;
 };
 
 class Prog {
@@ -94,6 +130,10 @@ class Prog {
   bool empty() const { return calls_.empty(); }
 
   Prog Clone() const;
+  // Deep copy with Arg nodes placed in `arena` (nullptr → heap). The copy
+  // must not outlive the arena's next Reset(); corpus admission paths clone
+  // back to heap (Clone()) before storing.
+  Prog CloneInto(ProgArena* arena) const;
 
   // Removes call `index`. Resource args referring to it degrade to their
   // kind's special value; references to later calls shift down by one.

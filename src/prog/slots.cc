@@ -1,8 +1,43 @@
 #include "src/prog/slots.h"
 
-#include <functional>
+#include "src/syzlang/target.h"
 
 namespace healer {
+
+namespace {
+
+// Walk pointee trees under out-direction pointers, numbering resource
+// scalars in encounter order. Must match the executor's extraction walk.
+// A plain recursive function: the previous std::function-based walk heap-
+// allocated its closure on every call, which dominated the builder's
+// allocation profile (see bench_hotpath).
+void WalkSlots(const Type* type, bool out_ctx, int* next,
+               std::vector<ResultSlot>* slots) {
+  switch (type->kind) {
+    case TypeKind::kResource:
+      if (out_ctx) {
+        slots->push_back(ResultSlot{(*next)++, type->resource});
+      }
+      break;
+    case TypeKind::kPtr:
+      WalkSlots(type->elem, type->dir == Dir::kOut || type->dir == Dir::kInOut,
+                next, slots);
+      break;
+    case TypeKind::kArray:
+      WalkSlots(type->array_elem, out_ctx, next, slots);
+      break;
+    case TypeKind::kStruct:
+    case TypeKind::kUnion:
+      for (const auto& field : type->fields) {
+        WalkSlots(field.type, out_ctx, next, slots);
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
 
 std::vector<ResultSlot> ResultSlotsOf(const Syscall& call) {
   std::vector<ResultSlot> slots;
@@ -10,36 +45,17 @@ std::vector<ResultSlot> ResultSlotsOf(const Syscall& call) {
     slots.push_back(ResultSlot{0, call.ret});
   }
   int next = 1;
-  // Walk pointee trees under out-direction pointers, numbering resource
-  // scalars in encounter order. Must match the executor's extraction walk.
-  std::function<void(const Type*, bool)> walk = [&](const Type* type,
-                                                    bool out_ctx) {
-    switch (type->kind) {
-      case TypeKind::kResource:
-        if (out_ctx) {
-          slots.push_back(ResultSlot{next++, type->resource});
-        }
-        break;
-      case TypeKind::kPtr:
-        walk(type->elem, type->dir == Dir::kOut || type->dir == Dir::kInOut);
-        break;
-      case TypeKind::kArray:
-        walk(type->array_elem, out_ctx);
-        break;
-      case TypeKind::kStruct:
-      case TypeKind::kUnion:
-        for (const auto& field : type->fields) {
-          walk(field.type, out_ctx);
-        }
-        break;
-      default:
-        break;
-    }
-  };
   for (const auto& arg : call.args) {
-    walk(arg.type, false);
+    WalkSlots(arg.type, false, &next, &slots);
   }
   return slots;
+}
+
+ResultSlotTable::ResultSlotTable(const Target& target) {
+  by_id_.reserve(target.NumSyscalls());
+  for (size_t id = 0; id < target.NumSyscalls(); ++id) {
+    by_id_.push_back(ResultSlotsOf(target.syscall(static_cast<int>(id))));
+  }
 }
 
 }  // namespace healer

@@ -14,6 +14,8 @@
 
 namespace healer {
 
+class Target;
+
 struct ResultSlot {
   int slot = 0;
   const ResourceDesc* resource = nullptr;
@@ -22,6 +24,22 @@ struct ResultSlot {
 // All result slots of `call` (empty when it produces nothing). Slot 0 is
 // present iff the call has a return resource.
 std::vector<ResultSlot> ResultSlotsOf(const Syscall& call);
+
+// Slots are a static property of each syscall, but ResultSlotsOf re-walks the
+// argument trees (and allocates) on every invocation. Hot paths — the
+// builder's resource-pool refills and the executor's result extraction —
+// precompute every syscall's slots once and borrow them by dense id.
+class ResultSlotTable {
+ public:
+  explicit ResultSlotTable(const Target& target);
+
+  const std::vector<ResultSlot>& of(int syscall_id) const {
+    return by_id_[static_cast<size_t>(syscall_id)];
+  }
+
+ private:
+  std::vector<std::vector<ResultSlot>> by_id_;
+};
 
 }  // namespace healer
 

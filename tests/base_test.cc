@@ -258,6 +258,104 @@ TEST(BitmapTest, ConcurrentMergeNewCreditsExactly) {
   EXPECT_EQ(global.Count(), kBits);  // Stride-1 local covers everything.
 }
 
+TEST(BitmapTest, SummaryTracksOccupiedWords) {
+  Bitmap bitmap(64 * 128);  // 128 payload words -> 2 summary words.
+  ASSERT_EQ(bitmap.SummaryWords(), 2u);
+  EXPECT_EQ(bitmap.SummaryWord(0), 0u);
+  EXPECT_EQ(bitmap.SummaryWord(1), 0u);
+  bitmap.Set(0);            // Payload word 0.
+  bitmap.Set(5 * 64 + 7);   // Payload word 5.
+  bitmap.Set(70 * 64 + 1);  // Payload word 70 -> summary word 1, bit 6.
+  EXPECT_EQ(bitmap.SummaryWord(0), (1ULL << 0) | (1ULL << 5));
+  EXPECT_EQ(bitmap.SummaryWord(1), 1ULL << 6);
+}
+
+TEST(BitmapTest, MergeNewMarksSummaryInDestination) {
+  Bitmap a(256);
+  Bitmap b(256);
+  b.Set(130);  // Payload word 2.
+  EXPECT_EQ(a.MergeNew(b), 1u);
+  EXPECT_EQ(a.SummaryWord(0), 1ULL << 2);
+}
+
+TEST(BitmapTest, ClearResetsSummary) {
+  Bitmap bitmap(64 * 100);
+  for (size_t i = 0; i < bitmap.size_bits(); i += 64) {
+    bitmap.Set(i);
+  }
+  bitmap.Clear();
+  for (size_t s = 0; s < bitmap.SummaryWords(); ++s) {
+    EXPECT_EQ(bitmap.SummaryWord(s), 0u) << "summary word " << s;
+  }
+  // A stale summary bit after Clear would make MergeNew/HasNewBits skip or
+  // revisit words incorrectly; the map must keep working after the reset.
+  Bitmap other(64 * 100);
+  other.Set(99);
+  EXPECT_TRUE(bitmap.HasNewBits(other));
+  EXPECT_EQ(bitmap.MergeNew(other), 1u);
+  EXPECT_TRUE(bitmap.Test(99));
+}
+
+TEST(BitmapTest, RandomizedMergeMatchesSetReference) {
+  // Property: the summary-guided MergeNew credits exactly the set-difference
+  // cardinality, is idempotent, and leaves Count() at the union size.
+  Rng rng(12345);
+  for (int round = 0; round < 25; ++round) {
+    const size_t bits = 64 * (1 + rng.Below(300));
+    Bitmap acc(bits);
+    Bitmap inc(bits);
+    std::set<size_t> acc_ref;
+    std::set<size_t> inc_ref;
+    const size_t n = rng.Below(200);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t a = rng.Below(bits);
+      acc.Set(a);
+      acc_ref.insert(a);
+      const size_t b = rng.Below(bits);
+      inc.Set(b);
+      inc_ref.insert(b);
+    }
+    size_t expected_fresh = 0;
+    for (size_t b : inc_ref) {
+      expected_fresh += acc_ref.count(b) ? 0 : 1;
+    }
+    EXPECT_EQ(acc.HasNewBits(inc), expected_fresh != 0);
+    EXPECT_EQ(acc.MergeNew(inc), expected_fresh);
+    EXPECT_EQ(acc.MergeNew(inc), 0u);
+    std::set<size_t> union_ref = acc_ref;
+    union_ref.insert(inc_ref.begin(), inc_ref.end());
+    EXPECT_EQ(acc.Count(), union_ref.size());
+    for (size_t b : union_ref) {
+      EXPECT_TRUE(acc.Test(b));
+    }
+  }
+}
+
+TEST(BitmapTest, HasNewBitsDenseBlockPath) {
+  // 64 consecutive fully-set payload words make a summary word ~0, which
+  // routes HasNewBits through the branch-free OR-reduction path.
+  const size_t bits = 64 * 64 * 2;
+  Bitmap dense(bits);
+  for (size_t i = 0; i < 64 * 64; ++i) {
+    dense.Set(i);
+  }
+  ASSERT_EQ(dense.SummaryWord(0), ~0ULL);
+  Bitmap self(bits);
+  EXPECT_TRUE(self.HasNewBits(dense));
+  self.MergeNew(dense);
+  EXPECT_FALSE(self.HasNewBits(dense));
+  // A single missing bit deep inside the dense block is still detected.
+  Bitmap almost(bits);
+  for (size_t i = 0; i < 64 * 64; ++i) {
+    if (i != 2048) {
+      almost.Set(i);
+    }
+  }
+  EXPECT_TRUE(almost.HasNewBits(dense));
+  EXPECT_EQ(almost.MergeNew(dense), 1u);
+  EXPECT_FALSE(almost.HasNewBits(dense));
+}
+
 // ---- Hash ----
 
 TEST(HashTest, Fnv1aStable) {

@@ -9,8 +9,10 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/base/hash.h"
 #include "src/base/metrics.h"
 #include "src/base/rng.h"
 #include "src/exec/exec_ring.h"
@@ -350,6 +352,231 @@ TEST(CorpusHostileTest, GarbageEntrySkippedNotFatal) {
   ASSERT_TRUE(progs.ok()) << progs.status().ToString();
   EXPECT_EQ(progs->size(), 1u);
   EXPECT_EQ(skipped, 1u);
+}
+
+// ---- hcorp1 container hardening ----
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return bytes;
+  }
+  std::fseek(f, 0, SEEK_END);
+  bytes.resize(static_cast<size_t>(std::ftell(f)));
+  std::rewind(f);
+  if (!bytes.empty() && std::fread(bytes.data(), bytes.size(), 1, f) != 1) {
+    bytes.clear();
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+uint64_t HashOf(const uint8_t* data, size_t len) {
+  return Fnv1a(std::string_view(reinterpret_cast<const char*>(data), len));
+}
+
+uint64_t GetU64At(const std::vector<uint8_t>& b, size_t off) {
+  uint64_t v;
+  std::memcpy(&v, b.data() + off, 8);
+  return v;
+}
+
+void PutU32At(std::vector<uint8_t>* b, size_t off, uint32_t v) {
+  std::memcpy(b->data() + off, &v, 4);
+}
+
+void PutU64At(std::vector<uint8_t>* b, size_t off, uint64_t v) {
+  std::memcpy(b->data() + off, &v, 8);
+}
+
+// Recomputes the index checksum (header word at 48) and the header checksum
+// (at 56) after a test mutated header fields, index entries, or payloads —
+// so each test trips exactly the validation stage it targets, not the
+// checksums in front of it.
+void FixHcorpChecksums(std::vector<uint8_t>* b) {
+  const uint64_t count = GetU64At(*b, 16);
+  const uint64_t index_len = count * 16;
+  if (index_len <= b->size() - 64) {
+    PutU64At(b, 48, HashOf(b->data() + 64, index_len));
+  }
+  PutU64At(b, 56, HashOf(b->data(), 56));
+}
+
+// Recomputes index entry `i`'s payload checksum from the (possibly
+// corrupted) payload bytes.
+void FixHcorpEntryChecksum(std::vector<uint8_t>* b, size_t i) {
+  const uint64_t payload_off = GetU64At(*b, 32);
+  const size_t entry = 64 + i * 16;
+  const uint64_t offset = GetU64At(*b, entry);
+  uint32_t len;
+  std::memcpy(&len, b->data() + entry + 8, 4);
+  PutU32At(b, entry + 12,
+           static_cast<uint32_t>(
+               HashOf(b->data() + payload_off + offset, len)));
+}
+
+// A valid two-program hcorp1 file to corrupt, written to `path`.
+std::vector<uint8_t> SampleHcorp1(const std::string& path) {
+  const Target& target = BuiltinTarget();
+  std::vector<int> ids;
+  for (const auto& call : target.syscalls()) {
+    ids.push_back(call->id);
+  }
+  Rng rng(4);
+  std::vector<Prog> progs;
+  progs.push_back(BuildChain(target, ids, {"memfd_create", "write$memfd"},
+                             &rng));
+  progs.push_back(BuildChain(target, ids, {"memfd_create", "write$memfd"},
+                             &rng));
+  EXPECT_TRUE(SaveProgs(path, progs, CorpusFormat::kHcorp1).ok());
+  return ReadFileBytes(path);
+}
+
+TEST(Hcorp1HostileTest, TruncatedHeaderRejected) {
+  const std::string path = "/tmp/healer_hcorp_trunc_header.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  bytes.resize(32);  // Magic survives; the rest of the header does not.
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "truncated hcorp1 header");
+}
+
+TEST(Hcorp1HostileTest, HeaderChecksumMismatchRejected) {
+  const std::string path = "/tmp/healer_hcorp_hdr_sum.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  bytes[20] ^= 0x01;  // Count field, checksum left stale.
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "header checksum mismatch");
+}
+
+TEST(Hcorp1HostileTest, UnsupportedVersionRejected) {
+  const std::string path = "/tmp/healer_hcorp_version.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  PutU32At(&bytes, 8, 2);
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "unsupported hcorp1 version");
+}
+
+TEST(Hcorp1HostileTest, UnsupportedPageSizeRejected) {
+  const std::string path = "/tmp/healer_hcorp_pagesize.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  PutU32At(&bytes, 12, 512);
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "unsupported hcorp1 page size");
+}
+
+TEST(Hcorp1HostileTest, HugeCountRejected) {
+  const std::string path = "/tmp/healer_hcorp_count.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  PutU64At(&bytes, 16, (1ull << 20) + 1);
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "bad corpus count");
+}
+
+TEST(Hcorp1HostileTest, IndexBeyondFileRejected) {
+  // A count under the cap whose index could not fit in the file must be
+  // caught by extent validation before any index byte is read.
+  const std::string path = "/tmp/healer_hcorp_index_oob.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  PutU64At(&bytes, 16, 100000);
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "index out of bounds");
+}
+
+TEST(Hcorp1HostileTest, MisalignedPayloadRejected) {
+  const std::string path = "/tmp/healer_hcorp_align.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  PutU64At(&bytes, 32, GetU64At(bytes, 32) + 16);
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "payload extent mismatch");
+}
+
+TEST(Hcorp1HostileTest, TruncatedPayloadRejected) {
+  const std::string path = "/tmp/healer_hcorp_trunc_payload.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  bytes.pop_back();  // Header stays intact; the payload extent shrinks.
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "payload extent mismatch");
+}
+
+TEST(Hcorp1HostileTest, IndexChecksumMismatchRejected) {
+  const std::string path = "/tmp/healer_hcorp_idx_sum.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  bytes[64] ^= 0x01;  // Entry 0 offset, index checksum left stale.
+  PutU64At(&bytes, 56, HashOf(bytes.data(), 56));  // Header stays valid.
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "index checksum mismatch");
+}
+
+TEST(Hcorp1HostileTest, EntryExtentOutOfBoundsRejected) {
+  const std::string path = "/tmp/healer_hcorp_entry_oob.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  PutU32At(&bytes, 64 + 8, (1u << 24) + 1);  // Entry 0 length over the cap.
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "extent out of bounds");
+}
+
+TEST(Hcorp1HostileTest, OverlappingEntriesRejected) {
+  const std::string path = "/tmp/healer_hcorp_overlap.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  PutU64At(&bytes, 64 + 16, 0);  // Entry 1 rewound onto entry 0's bytes.
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "overlaps its predecessor");
+}
+
+TEST(Hcorp1HostileTest, EntryChecksumMismatchRejected) {
+  const std::string path = "/tmp/healer_hcorp_entry_sum.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  const uint64_t payload_off = GetU64At(bytes, 32);
+  bytes[payload_off] ^= 0x01;  // Payload damage, entry checksum stale.
+  WriteFileBytes(path, bytes);
+  ExpectLoadError(path, "payload checksum mismatch");
+}
+
+TEST(Hcorp1HostileTest, UndecodableProgramSkippedNotFatal) {
+  // Structural checks pass (every checksum rewritten to match the damage);
+  // the program that no longer decodes is skipped, its sibling loads.
+  const std::string path = "/tmp/healer_hcorp_skip.bin";
+  std::vector<uint8_t> bytes = SampleHcorp1(path);
+  const uint64_t payload_off = GetU64At(bytes, 32);
+  bytes[payload_off] ^= 0x01;  // Entry 0's wire magic byte.
+  FixHcorpEntryChecksum(&bytes, 0);
+  FixHcorpChecksums(&bytes);
+  WriteFileBytes(path, bytes);
+  size_t skipped = 0;
+  Result<std::vector<Prog>> progs =
+      LoadProgs(path, BuiltinTarget(), &skipped);
+  ASSERT_TRUE(progs.ok()) << progs.status().ToString();
+  EXPECT_EQ(progs->size(), 1u);
+  EXPECT_EQ(skipped, 1u);
+}
+
+TEST(Hcorp1HostileTest, RandomBitFlipsNeverCrashTheLoader) {
+  const std::string path = "/tmp/healer_hcorp_flip_src.bin";
+  const std::string flipped = "/tmp/healer_hcorp_flip.bin";
+  const std::vector<uint8_t> bytes = SampleHcorp1(path);
+  Rng rng(515);
+  size_t survived = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint8_t> mutated = bytes;
+    const size_t bit = rng.Below(mutated.size() * 8);
+    mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    WriteFileBytes(flipped, mutated);
+    Result<std::vector<Prog>> progs =
+        LoadProgs(flipped, BuiltinTarget(), nullptr);
+    if (progs.ok()) {
+      ++survived;  // Padding-byte flips may survive; they must not crash.
+    }
+  }
+  // Any flip in header, index, or payload trips a checksum.
+  EXPECT_LT(survived, 200u);
 }
 
 // ---- shared-memory channel hardening ----

@@ -3,6 +3,10 @@
 //   healer fuzz   [--tool healer|healer-|syzkaller|moonshine]
 //                 [--version 4.19|5.0|5.4|5.6|5.11] [--hours H] [--seed N]
 //                 [--corpus-in FILE] [--corpus-out FILE]
+//                 [--corpus-format hcorp1|legacy]  # container written by
+//                                          # --corpus-out (loading
+//                                          # auto-detects; hcorp1 is the
+//                                          # mmap-able warm-start format)
 //                 [--relations-in FILE]    # warm-start the relation table
 //                 [--relations-out FILE]   # save learned relations
 //                 [--curve] [--edges]
@@ -104,6 +108,16 @@ int CmdFuzz(const std::map<std::string, std::string>& flags) {
   options.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
   options.initial_corpus_path = get("corpus-in", "");
   options.save_corpus_path = get("corpus-out", "");
+  {
+    Result<CorpusFormat> format =
+        ParseCorpusFormat(get("corpus-format", "legacy"));
+    if (!format.ok()) {
+      std::fprintf(stderr, "bad --corpus-format: %s\n",
+                   format.status().ToString().c_str());
+      return 2;
+    }
+    options.corpus_format = *format;
+  }
   options.initial_relations_path = get("relations-in", "");
   options.save_relations_path = get("relations-out", "");
 
