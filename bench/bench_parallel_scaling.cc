@@ -9,11 +9,25 @@
 // runs a smoke config and fails if the 8-worker lock-held share exceeds its
 // threshold.
 //
-// Usage: bench_parallel_scaling [total_execs] (default 4000)
+// The second section scales the reactor fleet instead of the workers: the
+// same 4 worker threads drive 8 / 64 / 512 / 2048 simulated guests through
+// the sharded EventLoop topology (DESIGN.md §12), reporting wall time,
+// execs/sec and the peak OS-thread count sampled from /proc/self/status.
+// The fleet's scaling claim is structural — guests are state machines, not
+// threads — so peak threads must stay at workers + harness regardless of
+// fleet size. Emits BENCH_fleet.json; scripts/check.sh's `fleet` stage
+// guards the thread ceiling and the 2048-guest wall-clock budget.
+//
+// Usage: bench_parallel_scaling [total_execs] [fleet_execs]
+//        (defaults 4000 and total_execs)
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -65,9 +79,85 @@ ScalingRow RunOne(size_t workers, uint64_t total_execs) {
   return row;
 }
 
+// Current OS-thread count of this process (Threads: in /proc/self/status);
+// 0 when the file is unavailable (non-Linux), which disables the guard.
+size_t CurrentThreads() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  char line[256];
+  size_t threads = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "Threads: %zu", &threads) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return threads;
+}
+
+struct FleetRow {
+  size_t fleet = 0;
+  size_t shards = 0;
+  double wall_secs = 0.0;
+  double execs_per_sec = 0.0;
+  size_t peak_threads = 0;
+};
+
+constexpr size_t kFleetWorkers = 4;
+
+FleetRow RunFleet(size_t fleet_size, uint64_t total_execs) {
+  // Peak-thread sampler: polls while the campaign runs. It is itself one of
+  // the threads it counts, as is the main thread; the guard budgets for
+  // both.
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> peak{CurrentThreads()};
+  std::thread sampler([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const size_t n = CurrentThreads();
+      size_t p = peak.load(std::memory_order_relaxed);
+      while (n > p && !peak.compare_exchange_weak(p, n)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  ParallelOptions options;
+  options.tool = ToolKind::kHealer;
+  options.seed = 7;
+  options.num_workers = kFleetWorkers;
+  options.total_execs = total_execs;
+  options.batch_size = 32;
+  options.fleet_size = fleet_size;
+  // A light fault mix keeps the reboot path (parked guests, shard
+  // doorbells, async reboot timers) in play at every scale.
+  options.fault_plan.set_rate(FaultKind::kVmCrash, 0.01);
+  options.fault_plan.set_rate(FaultKind::kBootFailure, 0.02);
+  const auto start = std::chrono::steady_clock::now();
+  const ParallelResult result = RunParallelFuzz(BuiltinTarget(), options);
+  const double wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  stop.store(true);
+  sampler.join();
+
+  FleetRow row;
+  row.fleet = fleet_size;
+  row.shards = result.fleet.size();
+  row.wall_secs = wall_secs;
+  row.execs_per_sec =
+      wall_secs > 0.0 ? static_cast<double>(result.fuzz_execs) / wall_secs
+                      : 0.0;
+  row.peak_threads = peak.load();
+  return row;
+}
+
 int Main(int argc, char** argv) {
   const uint64_t total_execs =
       argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 4000;
+  const uint64_t fleet_execs =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : total_execs;
   bench::PrintHeader(
       "Parallel scaling: execs/sec and time-under-lock by worker count",
       "Figure 3's shared-state design; lock-held share is the headline on "
@@ -98,6 +188,37 @@ int Main(int argc, char** argv) {
               "(old hold-everything design ~= 1.0)\n",
               share8);
   bench::WriteBenchJson("parallel_scaling", metrics);
+
+  bench::PrintHeader(
+      "Reactor fleet scaling: simulated guests on a fixed 4-worker pool",
+      "DESIGN.md §12; guests are event-loop state machines, not threads");
+  std::printf("%8s %8s %12s %14s %14s\n", "guests", "shards", "wall-secs",
+              "execs/sec", "peak-threads");
+  std::vector<std::pair<std::string, double>> fleet_metrics;
+  fleet_metrics.emplace_back("workers", static_cast<double>(kFleetWorkers));
+  fleet_metrics.emplace_back("fleet_execs",
+                             static_cast<double>(fleet_execs));
+  for (size_t fleet : {8, 64, 512, 2048}) {
+    const FleetRow row = RunFleet(fleet, fleet_execs);
+    std::printf("%8zu %8zu %12.3f %14.0f %14zu\n", row.fleet, row.shards,
+                row.wall_secs, row.execs_per_sec, row.peak_threads);
+    const std::string prefix = "fleet" + std::to_string(fleet) + "_";
+    fleet_metrics.emplace_back(prefix + "shards",
+                               static_cast<double>(row.shards));
+    fleet_metrics.emplace_back(prefix + "wall_secs", row.wall_secs);
+    fleet_metrics.emplace_back(prefix + "execs_per_sec", row.execs_per_sec);
+    fleet_metrics.emplace_back(prefix + "peak_threads",
+                               static_cast<double>(row.peak_threads));
+    // The structural budget: workers + shards + the harness's own main and
+    // sampler threads. The check.sh guard compares peak against this.
+    fleet_metrics.emplace_back(
+        prefix + "thread_budget",
+        static_cast<double>(kFleetWorkers + row.shards + 2));
+  }
+  bench::PrintRule();
+  std::printf("guests are reactor state machines: the thread count must not "
+              "scale with the fleet\n");
+  bench::WriteBenchJson("fleet", fleet_metrics);
   return 0;
 }
 

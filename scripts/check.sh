@@ -4,6 +4,8 @@
 # telemetry stage (smoke-test the observability surfaces + hot-path
 # overhead guard against a -DHEALER_NO_TELEMETRY baseline build), and a
 # parallel stage (scaling-bench smoke + critical-section-share guard), a
+# fleet stage (reactor-fleet scaling: OS-thread ceiling + wall-clock budget
+# + storm determinism tests), a
 # relation stage (snapshot-Select speedup guard + draw-determinism tests),
 # an exec stage (ring-transport replay bench + speedup guard), an
 # introspect stage (live HTTP endpoints, journal export, postmortem-bundle
@@ -16,6 +18,7 @@
 #   scripts/check.sh tsan         # just the TSan stage
 #   scripts/check.sh telemetry    # just the telemetry smoke + overhead guard
 #   scripts/check.sh parallel     # just the parallel scaling-bench guard
+#   scripts/check.sh fleet        # just the reactor-fleet scaling guards
 #   scripts/check.sh relation     # just the relation-engine guards
 #   scripts/check.sh exec         # just the ring-transport replay guard
 #   scripts/check.sh introspect   # just the introspection-plane smoke
@@ -140,6 +143,46 @@ run_parallel() {
       found=1; if (share > 0.25) { print "FAIL: lock-held share above budget"; exit 1 }
     } END { if (!found) { print "FAIL: workers8_lock_held_share missing"; exit 1 } }' \
     "$tmp/BENCH_parallel_scaling.json"
+}
+
+run_fleet() {
+  echo "==> fleet: reactor scaling bench + thread-ceiling/wall-clock guards"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_parallel_scaling healer_tests
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_parallel_scaling" 2000 1500)
+  [ -f "$tmp/BENCH_fleet.json" ] || {
+    echo "FAIL: BENCH_fleet.json not written" >&2; exit 1; }
+  # Guard 1 — the tentpole's structural claim: 2048 simulated guests are
+  # event-loop state machines multiplexed over the worker threads, so the
+  # process's peak OS-thread count must stay within workers + shards + the
+  # bench harness's own two threads (main + sampler). peak_threads reads 0
+  # only when /proc is unavailable, which skips the guard.
+  awk '
+    /"fleet2048_peak_threads"/ { gsub(/[^0-9.]/, ""); peak=$0+0 }
+    /"fleet2048_thread_budget"/ { gsub(/[^0-9.]/, ""); budget=$0+0 }
+    END {
+      if (budget == 0) { print "FAIL: fleet2048_thread_budget missing"; exit 1 }
+      printf "    2048-guest peak OS threads: %d (budget %d)\n", peak, budget;
+      if (peak == 0) { print "    (no /proc/self/status; ceiling skipped)"; exit 0 }
+      if (peak > budget) { print "FAIL: thread count scales with fleet size"; exit 1 }
+    }' "$tmp/BENCH_fleet.json"
+  # Guard 2 — wall-clock budget: the 2048-guest smoke config measures ~2.6s
+  # here; 30s is the regression tripwire (an accidental O(fleet) hot path or
+  # a reactor spin shows up as an order-of-magnitude blowup, not seconds).
+  awk -F: '/"fleet2048_wall_secs"/ {
+      gsub(/[ ,]/, "", $2); secs=$2+0;
+      printf "    2048-guest wall time: %.2fs (budget 30s)\n", secs;
+      found=1; if (secs > 30) { print "FAIL: 2048-guest wall time above budget"; exit 1 }
+    } END { if (!found) { print "FAIL: fleet2048_wall_secs missing"; exit 1 } }' \
+    "$tmp/BENCH_fleet.json"
+  # Storm determinism + lifecycle correctness: boot/crash storms charge
+  # exactly once, same-seed journals are byte-identical, and the legacy
+  # topology is untouched by the fleet plumbing.
+  ctest --test-dir build --output-on-failure \
+    -R 'EventLoopTest|FleetPoolTest|FleetFuzzerTest|FleetFuzzTest|VmPoolTest'
 }
 
 run_relation() {
@@ -344,12 +387,13 @@ case "$stage" in
   tsan)  run_tsan ;;
   telemetry) run_telemetry ;;
   parallel) run_parallel ;;
+  fleet) run_fleet ;;
   relation) run_relation ;;
   exec) run_exec ;;
   introspect) run_introspect ;;
   hotpath) run_hotpath ;;
-  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_relation; run_exec; run_introspect; run_hotpath ;;
-  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|relation|exec|introspect|hotpath|all]" >&2; exit 2 ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_fleet; run_relation; run_exec; run_introspect; run_hotpath ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|fleet|relation|exec|introspect|hotpath|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

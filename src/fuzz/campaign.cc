@@ -22,6 +22,8 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
   fuzz_options.version = options.version;
   fuzz_options.seed = options.seed;
   fuzz_options.num_vms = options.num_vms;
+  fuzz_options.fleet_size = options.fleet_size;
+  fuzz_options.fleet_shards = options.fleet_shards;
   fuzz_options.latency = options.latency;
   fuzz_options.moonshine_traces = options.moonshine_traces;
   fuzz_options.guidance = options.guidance;
@@ -85,6 +87,9 @@ CampaignResult RunCampaign(const CampaignOptions& options) {
     info.relations = fuzzer.relations().Count();
     info.crashes = fuzzer.crashes().UniqueBugs();
     info.vms = fuzzer.pool().size();
+    if (fuzzer.pool().fleet()) {
+      info.fleet = fuzzer.pool().ShardSummaries();
+    }
     const FaultStats faults = fuzzer.fault_stats();
     info.failed_execs = faults.failed_execs;
     info.quarantines = faults.quarantines;

@@ -24,6 +24,10 @@ struct CampaignOptions {
   double hours = 24.0;
   uint64_t max_execs = ~0ull;
   size_t num_vms = 2;
+  // Total simulated guests / reactor shards; see FuzzerOptions::fleet_size.
+  // 0 keeps the legacy pinned pool.
+  size_t fleet_size = 0;
+  size_t fleet_shards = 0;
   size_t moonshine_traces = 64;
   SimClock::Nanos sample_period = 5 * SimClock::kMinute;
   VmLatencyModel latency;

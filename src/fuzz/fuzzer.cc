@@ -60,6 +60,22 @@ std::vector<int> EnabledSyscalls(const Target& target,
   return enabled;
 }
 
+size_t PoolCount(const FuzzerOptions& options) {
+  return options.fleet_size == 0
+             ? options.num_vms
+             : std::max(options.fleet_size, options.num_vms);
+}
+
+FleetOptions PoolFleet(const FuzzerOptions& options) {
+  FleetOptions fleet;
+  fleet.lanes = options.num_vms;
+  fleet.shards = options.fleet_shards != 0
+                     ? options.fleet_shards
+                     : std::clamp<size_t>(PoolCount(options) / 256, 1,
+                                          std::max<size_t>(options.num_vms, 1));
+  return fleet;
+}
+
 }  // namespace
 
 Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
@@ -67,8 +83,8 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
       options_(options),
       rng_(options.seed),
       pool_(target, KernelConfig::ForVersion(options.version), &clock_,
-            options.num_vms, options.latency, options.fault_plan,
-            options.seed, &metrics_),
+            PoolCount(options), options.latency, options.fault_plan,
+            options.seed, &metrics_, PoolFleet(options)),
       coverage_(CallCoverage::kMapBits),
       builder_(target,
                EnabledSyscalls(target,
@@ -80,6 +96,13 @@ Fuzzer::Fuzzer(const Target& target, FuzzerOptions options)
   builder_.set_arena(&arena_);
   for (size_t i = 0; i < pool_.size(); ++i) {
     pool_.vm(i).set_journal(&journal_writer_);
+  }
+  if (pool_.fleet()) {
+    // Single-threaded fuzzer: one producer, so the shards flush through the
+    // same writer the VMs record into.
+    for (size_t s = 0; s < pool_.num_shards(); ++s) {
+      pool_.set_shard_journal(s, &journal_writer_);
+    }
   }
   if (!options_.postmortem_dir.empty()) {
     crash_db_.set_on_new_crash(
@@ -122,17 +145,40 @@ ExecFn Fuzzer::AnalysisExec() {
   };
 }
 
+GuestVm* Fuzzer::AcquireFuzzVm(size_t* lane) {
+  if (!pool_.fleet()) {
+    *lane = 0;
+    return &pool_.Next();
+  }
+  *lane = next_lane_;
+  next_lane_ = (next_lane_ + 1) % pool_.num_lanes();
+  GuestVm* vm = pool_.AcquireReady(*lane);
+  // All fleet guests share the fuzzer's single-producer writer (the
+  // fuzzing loop is one thread, and it is the only pumper too).
+  vm->set_journal(&journal_writer_);
+  return vm;
+}
+
+void Fuzzer::ReleaseFuzzVm(size_t lane, GuestVm* vm) {
+  if (pool_.fleet()) {
+    pool_.Release(lane, vm);
+  }
+}
+
 ExecResult Fuzzer::ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
   HEALER_TRACE_SPAN(&trace_, &clock_, "exec", "vm");
   SimClock::Nanos backoff = options_.recovery.backoff;
   int attempt = 0;
   while (true) {
-    GuestVm& vm = pool_.Next();
+    size_t lane = 0;
+    GuestVm* vm_ptr = AcquireFuzzVm(&lane);
+    GuestVm& vm = *vm_ptr;
     m_.exec_attempts->Add();
     ExecResult result = options_.transport == ExecTransport::kRing
                             ? vm.ExecRingOne(prog, coverage)
                             : vm.Exec(prog, coverage);
     if (!result.Failed()) {
+      ReleaseFuzzVm(lane, vm_ptr);
       m_.exec_ok->Add();
       if (attempt > 0) {
         m_.exec_recovered->Add();
@@ -152,6 +198,7 @@ ExecResult Fuzzer::ExecWithRecovery(const Prog& prog, Bitmap* coverage) {
       m_.quarantines->Add();
       HEALER_TRACE_INSTANT(&trace_, &clock_, "quarantine", "fault");
     }
+    ReleaseFuzzVm(lane, vm_ptr);
     if (attempt >= options_.recovery.max_retries) {
       m_.exec_discarded->Add();
       return result;
@@ -438,7 +485,7 @@ void Fuzzer::WritePostmortem(const CrashRecord& crash) {
   RefreshGauges();
   bundle.metrics = metrics_.Snapshot();
   for (size_t i = 0; i < pool_.size(); ++i) {
-    bundle.rings.push_back(pool_.vm(i).ring().Occupancy());
+    bundle.rings.push_back(pool_.vm(i).ring_occupancy());
   }
   bundle.relation_epoch = relations_->epoch();
   bundle.relation_edges = relations_->Count();

@@ -96,6 +96,15 @@ struct FuzzerOptions {
   // When non-empty, each unique crash writes a postmortem bundle directory
   // here (see postmortem.h for the layout).
   std::string postmortem_dir;
+  // Total simulated guests. 0 (or == num_vms) keeps the legacy pinned pool
+  // — draw-identical to the historical fuzzer. A larger value builds a
+  // reactor fleet with num_vms lanes: executions rotate over the lanes and
+  // crashed guests reboot on EventLoop timers instead of charging the next
+  // execution (see vm_pool.h).
+  size_t fleet_size = 0;
+  // Reactor shards for fleet mode. 0 = auto (fleet_size / 256, clamped to
+  // [1, num_vms]).
+  size_t fleet_shards = 0;
 };
 
 class Fuzzer {
@@ -160,6 +169,14 @@ class Fuzzer {
   // bundle for a previously-unseen bug (see postmortem.h).
   void WritePostmortem(const CrashRecord& crash);
 
+  // VM checkout for one execution attempt. Legacy topology: the historical
+  // health-skipping round robin (pool_.Next()) and a no-op release. Fleet
+  // topology: pops a ready guest from the next lane (pumping the lane's
+  // reactor shard when dry) and returns it to the freelist — or parks it
+  // for an async reboot — afterwards.
+  GuestVm* AcquireFuzzVm(size_t* lane);
+  void ReleaseFuzzVm(size_t lane, GuestVm* vm);
+
   const Target& target_;
   FuzzerOptions options_;
   Rng rng_;
@@ -199,6 +216,7 @@ class Fuzzer {
   uint64_t fuzz_execs_ = 0;
   uint64_t adjacency_notes_ = 0;
   uint64_t last_alpha_updates_ = 0;
+  size_t next_lane_ = 0;  // Fleet-mode lane rotation.
 };
 
 }  // namespace healer

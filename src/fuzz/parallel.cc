@@ -1,5 +1,6 @@
 #include "src/fuzz/parallel.h"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
 #include <vector>
@@ -62,13 +63,14 @@ class TimedLock {
 class Worker {
  public:
   Worker(const Target& target, const ParallelOptions& options,
-         SharedFuzzState* shared, size_t index, GuestVm* vm,
+         SharedFuzzState* shared, size_t index, VmPool* pool,
          const SimClock* sim_clock)
       : target_(target),
         options_(options),
         shared_(shared),
         rng_(options.seed * 7919 + index),
-        vm_(*vm),
+        pool_(pool),
+        lane_(index % pool->num_lanes()),
         sim_clock_(sim_clock),
         tid_(static_cast<uint32_t>(index)),
         m_(&shared->metrics),
@@ -78,9 +80,6 @@ class Worker {
                  &rng_),
         selector_(&shared->relations, builder_.enabled(), &rng_),
         jw_(&shared->journal, static_cast<uint32_t>(index)) {
-    // VM lifecycle / fault / ring-stall records route through this worker's
-    // writer; the VM is worker-owned, so the single-producer contract holds.
-    vm_.set_journal(&jw_);
     // Candidate programs are built in the worker-private arena and die at
     // the end of each iteration (or pipelined round); corpus survivors are
     // heap clones staged by the minimizer, so they outlive resets.
@@ -103,11 +102,53 @@ class Worker {
       const bool urgent = Step(ticket);
       if (urgent || batch_.execs >= options_.batch_size) {
         Publish();
+        PumpLaneShard();
       }
     }
     Publish();     // Final flush.
     jw_.Flush();   // Records staged inside the final Publish itself.
+    PumpLaneShard();
   }
+
+ private:
+  // ---- fleet lane protocol ----
+  // A worker owns a guest only for the execution+feedback half of an
+  // iteration (or one pipelined round): acquired from the lane freelist,
+  // released when the feedback is staged. In the legacy topology the lane
+  // holds exactly one pinned VM and release is a no-op, so the protocol
+  // collapses to the historical worker-owns-VM model.
+  GuestVm& AcquireVm() {
+    GuestVm* vm = pool_->AcquireReady(lane_);
+    // Lifecycle / fault / ring-stall records route through this worker's
+    // writer while it drives the VM (single producer: the VM is checked
+    // out of the freelist).
+    vm->set_journal(&jw_);
+    vm_ = vm;
+    return *vm;
+  }
+  void ReleaseVm() {
+    if (vm_ == nullptr) {
+      return;
+    }
+    if (pool_->fleet()) {
+      // Hand journal ownership back to the shard: an async reboot fired by
+      // whichever worker pumps next must not write into this worker's
+      // single-producer staging buffer.
+      vm_->set_journal(shard_journal_);
+      pool_->Release(lane_, vm_);
+    }
+    vm_ = nullptr;
+  }
+  void PumpLaneShard() {
+    if (pool_->fleet()) {
+      pool_->PumpShard(pool_->shard_of_lane(lane_));
+    }
+  }
+
+ public:
+  // The shard journal this worker's lane re-attaches on release (fleet
+  // mode; may stay null when journaling is disabled).
+  void set_shard_journal(JournalWriter* journal) { shard_journal_ = journal; }
 
  private:
   // Feedback accumulated since the last publish.
@@ -216,8 +257,9 @@ class Worker {
       if (!progs.empty()) {
         TraceSpan span(&shared_->trace, sim_clock_, "exec-batch", "vm", tid_);
         m_.exec_attempts->Add(progs.size());
+        AcquireVm();
         std::vector<RingCompletion> completions =
-            vm_.ExecBatch(progs, &shared_->coverage);
+            vm_->ExecBatch(progs, &shared_->coverage);
         for (RingCompletion& completion : completions) {
           const PendingExec& p =
               pending[pending_of[static_cast<size_t>(completion.tag)]];
@@ -225,21 +267,24 @@ class Worker {
                                               std::move(completion.result));
           urgent |= HandleFeedback(p, result);
         }
+        ReleaseVm();
       }
       if (urgent || batch_.execs >= options_.batch_size) {
         Publish();
+        PumpLaneShard();
       }
     }
     Publish();     // Final flush.
     jw_.Flush();   // Records staged inside the final Publish itself.
+    PumpLaneShard();
   }
 
   // One execution on this worker's VM, routed by transport: the pipelined
   // path (pipeline_depth > 1) keeps retries and analysis probes on the ring
   // so a worker uses exactly one transport for its whole campaign.
   ExecResult ExecOne(const Prog& prog, Bitmap* coverage) {
-    return options_.pipeline_depth > 1 ? vm_.ExecRingOne(prog, coverage)
-                                       : vm_.Exec(prog, coverage);
+    return options_.pipeline_depth > 1 ? vm_->ExecRingOne(prog, coverage)
+                                       : vm_->Exec(prog, coverage);
   }
 
   // The recovery tail shared by both transports: takes the result of an
@@ -253,9 +298,9 @@ class Worker {
     int attempt = 0;
     while (result.Failed()) {
       m_.exec_failed->Add();
-      if (vm_.consecutive_failures() >=
+      if (vm_->consecutive_failures() >=
           options_.recovery.quarantine_threshold) {
-        vm_.QuarantineReboot();
+        vm_->QuarantineReboot();
         m_.quarantines->Add();
       }
       if (attempt >= options_.recovery.max_retries) {
@@ -339,9 +384,12 @@ class Worker {
     if (pending.prog.empty()) {
       return false;
     }
+    AcquireVm();
     const ExecResult result =
         ExecWithRecovery(pending.prog, &shared_->coverage);
-    return HandleFeedback(pending, result);
+    const bool urgent = HandleFeedback(pending, result);
+    ReleaseVm();
+    return urgent;
   }
 
   // Back half of one iteration: feedback processing for a recovered (or
@@ -500,11 +548,14 @@ class Worker {
   SharedFuzzState* shared_;
   Rng rng_;
   SimClock clock_;  // Worker-local timestamps for learned relations.
-  GuestVm& vm_;
+  VmPool* pool_;
+  size_t lane_;
+  GuestVm* vm_ = nullptr;  // Checked out between AcquireVm and ReleaseVm.
   const SimClock* sim_clock_;  // The fleet clock, for trace timestamps.
   uint32_t tid_;
   FuzzMetrics m_;
   ParallelMetrics pm_;
+  JournalWriter* shard_journal_ = nullptr;
   // Declared before builder_ (which borrows it); worker-private, reset at
   // iteration / pipelined-round boundaries.
   ProgArena arena_;
@@ -527,16 +578,51 @@ ParallelResult RunParallelFuzz(const Target& target,
   }
   shared.corpus_snapshot = shared.corpus.Snapshot();
   SimClock clock;  // Shared simulated clock (atomic; advanced lock-free).
+  // Topology: fleet_size == 0 (or == num_workers) is the legacy pinned
+  // pool; anything larger spreads the guests over one lane per worker and
+  // fleet_shards reactors that the workers pump cooperatively.
+  const size_t fleet_size =
+      options.fleet_size == 0
+          ? options.num_workers
+          : std::max(options.fleet_size, options.num_workers);
+  size_t fleet_shards = options.fleet_shards;
+  if (fleet_shards == 0) {
+    fleet_shards = std::clamp<size_t>(fleet_size / 256, 1,
+                                      std::max<size_t>(options.num_workers, 1));
+  }
+  FleetOptions fleet;
+  fleet.lanes = options.num_workers;
+  fleet.shards = fleet_shards;
   VmPool pool(target, KernelConfig::ForVersion(options.version), &clock,
-              options.num_workers, VmLatencyModel(), options.fault_plan,
-              options.seed, &shared.metrics);
+              fleet_size, VmLatencyModel(), options.fault_plan, options.seed,
+              &shared.metrics, fleet);
+  // Reactor-side lifecycle records (async boots, crash reboots) write into
+  // one journal writer per shard — producer ids continue after the workers'
+  // — flushed by whichever worker pumps the shard.
+  std::vector<std::unique_ptr<JournalWriter>> shard_journals;
+  if (pool.fleet()) {
+    for (size_t s = 0; s < pool.num_shards(); ++s) {
+      shard_journals.push_back(std::make_unique<JournalWriter>(
+          &shared.journal,
+          static_cast<uint32_t>(options.num_workers + s)));
+      pool.set_shard_journal(s, shard_journals.back().get());
+    }
+    for (size_t i = 0; i < pool.size(); ++i) {
+      pool.vm(i).set_journal(
+          shard_journals[pool.shard_of_lane(i % pool.num_lanes())].get());
+    }
+  }
   Monitor monitor(&pool);
   monitor.Start();
 
   std::vector<std::unique_ptr<Worker>> workers;
   for (size_t i = 0; i < options.num_workers; ++i) {
     workers.push_back(std::make_unique<Worker>(target, options, &shared, i,
-                                               &pool.vm(i), &clock));
+                                               &pool, &clock));
+    if (pool.fleet()) {
+      workers.back()->set_shard_journal(
+          shard_journals[pool.shard_of_lane(i % pool.num_lanes())].get());
+    }
   }
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> threads;
@@ -550,6 +636,7 @@ ParallelResult RunParallelFuzz(const Target& target,
   const uint64_t wall_ns = ToNs(std::chrono::steady_clock::now() - wall_start);
   ParallelResult result;
   result.vm_health = monitor.HealthReport();
+  result.fleet = pool.ShardSummaries();
   monitor.Stop();
 
   result.coverage = shared.coverage.Count();

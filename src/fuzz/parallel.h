@@ -1,8 +1,10 @@
 // Multi-worker fuzzing (Figure 3): worker threads (Job_i) drive the entire
 // fuzzing process on the host and synchronize through a shared fuzzing
 // state — coverage bitmap, corpus, crash db, relation table, alpha schedule
-// — while each worker owns a guest VM. A background Monitor thread drains
-// the VMs' console logs.
+// — while each worker pulls ready guests from its VmPool lane (in the
+// default topology that lane holds exactly one pinned VM). The Monitor's
+// log drains ride the pool's reactor shards as SimClock timers; no
+// dedicated monitor thread exists.
 //
 // The shared-state mutex covers ONLY feedback merging. Workers fuzz
 // against read-mostly views and batch their feedback:
@@ -128,6 +130,16 @@ struct ParallelOptions {
   size_t trace_capacity = 0;
   // Flight-recorder ring capacity (0 disables journaling).
   size_t journal_capacity = 0;
+  // Total simulated guests. 0 (the default) keeps the legacy topology: one
+  // VM pinned per worker, byte-identical to the historical pool. A value
+  // above num_workers builds a reactor fleet instead — VMs spread across
+  // one lane per worker, lifecycle (async boots, crash reboots) driven by
+  // EventLoop shards that the workers pump cooperatively. No extra OS
+  // threads: 2048 guests still run on num_workers threads.
+  size_t fleet_size = 0;
+  // Reactor shards for fleet mode. 0 = auto: fleet_size / 256, clamped to
+  // [1, num_workers].
+  size_t fleet_shards = 0;
 };
 
 struct ParallelResult {
@@ -143,6 +155,8 @@ struct ParallelResult {
   // from the Monitor.
   FaultStats faults;
   std::vector<VmHealth> vm_health;
+  // Final per-shard fleet census (one entry even in legacy mode).
+  std::vector<FleetShardSummary> fleet;
   // The final corpus (for differential/property checks against the
   // single-threaded fuzzer).
   std::vector<Prog> corpus_progs;

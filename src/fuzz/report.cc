@@ -161,23 +161,56 @@ std::string FormatStatusLine(const StatusLineInfo& info) {
   if (info.lock_held_share > 0) {
     out += StrFormat(", lock %.3f", info.lock_held_share);
   }
+  if (!info.fleet.empty()) {
+    out += ", fleet [";
+    for (size_t i = 0; i < info.fleet.size(); ++i) {
+      const FleetShardSummary& s = info.fleet[i];
+      if (i > 0) {
+        out += " ";
+      }
+      out += StrFormat("s%zu r%zu/b%zu/c%zu/q%zu", s.shard, s.ready,
+                       s.booting + s.cold + s.rebooting,
+                       s.crashed, s.quarantined);
+    }
+    out += "]";
+  }
   return out;
 }
 
 std::string FormatStatusJson(const StatusLineInfo& info) {
-  return StrFormat(
+  std::string out = StrFormat(
       "{\"hours\": %.4f, \"execs\": %llu, \"execs_per_sec\": %.2f, "
       "\"coverage\": %zu, \"corpus\": %zu, \"relations\": %zu, "
       "\"crashes\": %zu, \"vms\": %zu, \"failed_execs\": %llu, "
       "\"quarantines\": %llu, \"ring_drains\": %llu, "
       "\"ring_depth_mean\": %.2f, \"ring_stalls\": %llu, "
-      "\"lock_held_share\": %.4f}",
+      "\"lock_held_share\": %.4f",
       info.hours, (unsigned long long)info.execs, info.execs_per_sec,
       info.coverage, info.corpus, info.relations, info.crashes, info.vms,
       (unsigned long long)info.failed_execs,
       (unsigned long long)info.quarantines,
       (unsigned long long)info.ring_drains, info.ring_depth_mean,
       (unsigned long long)info.ring_stalls, info.lock_held_share);
+  if (!info.fleet.empty()) {
+    out += ", \"fleet\": [";
+    for (size_t i = 0; i < info.fleet.size(); ++i) {
+      const FleetShardSummary& s = info.fleet[i];
+      if (i > 0) {
+        out += ", ";
+      }
+      out += StrFormat(
+          "{\"shard\": %zu, \"vms\": %zu, \"ready\": %zu, \"booting\": %zu, "
+          "\"executing\": %zu, \"crashed\": %zu, \"rebooting\": %zu, "
+          "\"quarantined\": %zu, \"timers_pending\": %zu, "
+          "\"events_dispatched\": %llu}",
+          s.shard, s.vms, s.ready, s.booting + s.cold, s.executing, s.crashed,
+          s.rebooting, s.quarantined, s.timers_pending,
+          (unsigned long long)s.events_dispatched);
+    }
+    out += "]";
+  }
+  out += "}";
+  return out;
 }
 
 }  // namespace healer

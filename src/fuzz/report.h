@@ -11,8 +11,10 @@
 #define SRC_FUZZ_REPORT_H_
 
 #include <string>
+#include <vector>
 
 #include "src/fuzz/campaign.h"
+#include "src/vm/vm_pool.h"
 
 namespace healer {
 
@@ -51,6 +53,8 @@ struct StatusLineInfo {
   // Share of wall time SharedFuzzState::mu was held (parallel fuzzer only;
   // 0 for the single-threaded loop, where there is no shared lock).
   double lock_held_share = 0.0;
+  // Per-shard fleet census (empty in the legacy pinned-pool topology).
+  std::vector<FleetShardSummary> fleet;
 };
 
 // syz-manager style: "12.5h: execs 48123 (22/sec sim), cover 1234, ...".

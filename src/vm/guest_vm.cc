@@ -6,12 +6,33 @@
 
 namespace healer {
 
+const char* VmStateName(VmState state) {
+  switch (state) {
+    case VmState::kCold:
+      return "cold";
+    case VmState::kBooting:
+      return "booting";
+    case VmState::kReady:
+      return "ready";
+    case VmState::kExecuting:
+      return "executing";
+    case VmState::kCrashed:
+      return "crashed";
+    case VmState::kRebooting:
+      return "rebooting";
+    case VmState::kQuarantined:
+      return "quarantined";
+  }
+  return "?";
+}
+
 GuestVm::GuestVm(const Target& target, const KernelConfig& config,
                  SimClock* clock, VmLatencyModel latency,
                  const FaultPlan& fault_plan, uint64_t fault_seed,
                  MetricRegistry* metrics, RingConfig ring_config)
-    : executor_(target, config),
-      ring_(ring_config),
+    : target_(&target),
+      config_(config),
+      ring_config_(ring_config),
       clock_(clock),
       latency_(latency),
       injector_(fault_plan, fault_seed) {
@@ -61,7 +82,29 @@ GuestVm::GuestVm(const Target& target, const KernelConfig& config,
   }
 }
 
+Executor& GuestVm::EnsureExecutor() const {
+  if (executor_ == nullptr) {
+    executor_ = std::make_unique<Executor>(*target_, config_);
+  }
+  return *executor_;
+}
+
+ShmChannel& GuestVm::EnsureShm() const {
+  if (shm_ == nullptr) {
+    shm_ = std::make_unique<ShmChannel>();
+  }
+  return *shm_;
+}
+
+ExecRing& GuestVm::EnsureRing() const {
+  if (ring_ == nullptr) {
+    ring_ = std::make_unique<ExecRing>(ring_config_);
+  }
+  return *ring_;
+}
+
 void GuestVm::Boot() {
+  set_state(VmState::kBooting);
   clock_->Advance(latency_.boot);
   // Handshake over the control socket, as the in-guest agent does on start.
   ctrl_.Send(CtrlFrame{CtrlKind::kHandshake, 0xcafe});
@@ -70,16 +113,98 @@ void GuestVm::Boot() {
     ctrl_.Send(CtrlFrame{CtrlKind::kHandshakeAck, frame.payload});
     ctrl_.Recv(&frame);  // Consume the ack.
   }
-  booted_ = true;
-  down_ = false;
+  set_state(VmState::kReady);
   AppendLog(StrFormat("[    0.000000] sim-linux %s booted",
-                      KernelVersionName(executor_.config().version)));
+                      KernelVersionName(config_.version)));
   JournalLifecycle("boot");
 }
 
+bool GuestVm::StartBootAsync(EventLoop* loop,
+                             std::function<void(GuestVm&)> done) {
+  VmState expected = VmState::kCold;
+  if (!state_.compare_exchange_strong(expected, VmState::kBooting,
+                                      std::memory_order_acq_rel)) {
+    return false;
+  }
+  // One injector draw per start attempt, mirroring the synchronous path's
+  // one-draw-per-execution budget. Only a boot-failure outcome applies to a
+  // cold start; other kinds leave the boot on track.
+  const std::optional<FaultKind> fault = injector_.Draw();
+  if (fault.has_value() && m_fault_injected_[0] != nullptr) {
+    m_fault_injected_[static_cast<size_t>(*fault)]->Add();
+  }
+  const bool failed = fault == FaultKind::kBootFailure;
+  loop->ScheduleAfter(
+      latency_.boot, [this, loop, failed, done = std::move(done)]() mutable {
+        FinishBootTimer(loop, failed, std::move(done));
+      });
+  return true;
+}
+
+void GuestVm::FinishBootTimer(EventLoop* loop, bool boot_failed,
+                              std::function<void(GuestVm&)> done) {
+  if (boot_failed) {
+    infra_faults_.fetch_add(1, std::memory_order_relaxed);
+    consecutive_failures_.fetch_add(1, std::memory_order_relaxed);
+    AppendLog(StrFormat("[ fault  ] boot failed: %s",
+                        ExecFailureName(ExecFailure::kBootFailure)));
+    set_state(VmState::kCrashed);
+    JournalLifecycleAt(loop->now(), "boot-failure");
+  } else {
+    ctrl_.Send(CtrlFrame{CtrlKind::kHandshake, 0xcafe});
+    CtrlFrame frame;
+    if (ctrl_.Recv(&frame) && frame.kind == CtrlKind::kHandshake) {
+      ctrl_.Send(CtrlFrame{CtrlKind::kHandshakeAck, frame.payload});
+      ctrl_.Recv(&frame);
+    }
+    set_state(VmState::kReady);
+    AppendLog(StrFormat("[    0.000000] sim-linux %s booted",
+                        KernelVersionName(config_.version)));
+    JournalLifecycleAt(loop->now(), "boot");
+  }
+  if (done) {
+    done(*this);
+  }
+}
+
+bool GuestVm::StartRebootAsync(EventLoop* loop,
+                               std::function<void(GuestVm&)> done) {
+  VmState expected = VmState::kCrashed;
+  if (!state_.compare_exchange_strong(expected, VmState::kRebooting,
+                                      std::memory_order_acq_rel)) {
+    expected = VmState::kQuarantined;
+    if (!state_.compare_exchange_strong(expected, VmState::kRebooting,
+                                        std::memory_order_acq_rel)) {
+      return false;
+    }
+  }
+  loop->ScheduleAfter(latency_.reboot,
+                      [this, loop, done = std::move(done)]() mutable {
+                        FinishRebootTimer(loop, std::move(done));
+                      });
+  return true;
+}
+
+void GuestVm::FinishRebootTimer(EventLoop* loop,
+                                std::function<void(GuestVm&)> done) {
+  AppendLog("[ reboot ] restarting crashed guest");
+  JournalLifecycleAt(loop->now(), "reboot");
+  set_state(VmState::kReady);
+  if (m_reboots_ != nullptr) {
+    m_reboots_->Add();
+  }
+  if (done) {
+    done(*this);
+  }
+}
+
 void GuestVm::JournalLifecycle(const char* what) {
+  JournalLifecycleAt(clock_->now(), what);
+}
+
+void GuestVm::JournalLifecycleAt(SimClock::Nanos at, const char* what) {
   if (journal_ != nullptr) {
-    journal_->Record(JournalKind::kVmLifecycle, clock_->now(),
+    journal_->Record(JournalKind::kVmLifecycle, at,
                      execs_.load(std::memory_order_relaxed),
                      consecutive_failures_.load(std::memory_order_relaxed), 0,
                      what);
@@ -106,20 +231,23 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     // The guest dies (or was down) and the automatic restart fails: the VM
     // burns the boot budget and stays down until the recovery policy or a
     // later, fault-free Exec brings it back.
-    clock_->Advance(booted_ && !down_ ? latency_.reboot : latency_.boot);
-    booted_ = true;
-    down_ = true;
+    const VmState s = state();
+    clock_->Advance(s == VmState::kReady || s == VmState::kExecuting
+                        ? latency_.reboot
+                        : latency_.boot);
+    set_state(VmState::kCrashed);
     JournalLifecycle("boot-failure");
     return FailWith(ExecFailure::kBootFailure);
   }
-  if (!booted_) {
+  if (state() == VmState::kCold || state() == VmState::kBooting) {
     Boot();
   }
-  if (down_) {
+  if (down()) {
+    set_state(VmState::kRebooting);
     clock_->Advance(latency_.reboot);
     AppendLog("[ reboot ] restarting crashed guest");
     JournalLifecycle("reboot");
-    down_ = false;
+    set_state(VmState::kReady);
     if (m_reboots_ != nullptr) {
       m_reboots_->Add();
     }
@@ -129,14 +257,14 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     // The QEMU instance is lost mid-program: partial wall-clock cost, no
     // reply, and the next execution pays a reboot.
     clock_->Advance(latency_.exec_overhead / 2);
-    down_ = true;
+    set_state(VmState::kCrashed);
     return FailWith(ExecFailure::kVmLost);
   }
   if (fault == FaultKind::kExecTimeout) {
     // The in-guest agent hangs; the watchdog waits out its budget and the
     // guest must be reset to get a fresh executor.
     clock_->Advance(latency_.exec_timeout);
-    down_ = true;
+    set_state(VmState::kCrashed);
     return FailWith(ExecFailure::kTimeout);
   }
   // Ring lifecycle faults on the legacy transport degrade to their closest
@@ -153,7 +281,7 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
     // A lost completion looks like a hung executor from the host: the
     // watchdog budget burns and the guest is reset to resynchronize.
     clock_->Advance(latency_.exec_timeout);
-    down_ = true;
+    set_state(VmState::kCrashed);
     return FailWith(ExecFailure::kRingStall);
   }
 
@@ -172,22 +300,26 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
             static_cast<uint8_t>(1u << (injector_.Rand() % 8));
       }
     }
-    if (shm_.WriteProg(bytes)) {
-      executor_.RunSerialized(shm_.prog_data(), shm_.prog_size(), nullptr);
+    ShmChannel& shm = EnsureShm();
+    if (shm.WriteProg(bytes)) {
+      EnsureExecutor().RunSerialized(shm.prog_data(), shm.prog_size(),
+                                     nullptr);
     }
     clock_->Advance(latency_.exec_overhead);
     return FailWith(ExecFailure::kCorruptedReply);
   }
 
-  if (!shm_.WriteProg(bytes)) {
+  ShmChannel& shm = EnsureShm();
+  if (!shm.WriteProg(bytes)) {
     LOG_WARNING << "program too large for shm region (" << bytes.size()
                 << " bytes)";
     return ExecResult{};
   }
   ctrl_.Send(CtrlFrame{CtrlKind::kExecRequest, bytes.size()});
-  ExecResult result =
-      executor_.RunSerialized(shm_.prog_data(), shm_.prog_size(),
-                              global_coverage);
+  set_state(VmState::kExecuting);
+  ExecResult result = EnsureExecutor().RunSerialized(shm.prog_data(),
+                                                     shm.prog_size(),
+                                                     global_coverage);
   CtrlFrame frame;
   ctrl_.Recv(&frame);  // The request we queued; the reply follows.
   ctrl_.Send(CtrlFrame{CtrlKind::kExecReply, result.calls.size()});
@@ -207,17 +339,20 @@ ExecResult GuestVm::Exec(const Prog& prog, Bitmap* global_coverage) {
   }
   if (result.Crashed()) {
     crashes_.fetch_add(1, std::memory_order_relaxed);
-    down_ = true;
+    set_state(VmState::kCrashed);
     ctrl_.Send(CtrlFrame{CtrlKind::kCrashNotice,
                          static_cast<uint64_t>(result.crash->bug)});
     ctrl_.Recv(&frame);
     AppendLog(StrFormat("BUG: %s", result.crash->title.c_str()));
+  } else {
+    set_state(VmState::kReady);
   }
   return result;
 }
 
 std::vector<RingCompletion> GuestVm::ExecBatch(
     const std::vector<const Prog*>& progs, Bitmap* global_coverage) {
+  ExecRing& ring = EnsureRing();
   std::vector<RingCompletion> out;
   out.reserve(progs.size());
   size_t next = 0;
@@ -230,11 +365,11 @@ std::vector<RingCompletion> GuestVm::ExecBatch(
     size_t submitted = 0;
     while (next < progs.size()) {
       const std::vector<uint8_t> bytes = SerializeProg(*progs[next]);
-      if (bytes.size() > ring_.sq().payload_capacity()) {
+      if (bytes.size() > ring.sq().payload_capacity()) {
         oversized = true;
         break;
       }
-      if (!ring_.sq().Push(bytes.data(), bytes.size(), next)) {
+      if (!ring.sq().Push(bytes.data(), bytes.size(), next)) {
         break;  // SQ full: drain what is queued, then keep submitting.
       }
       if (m_ring_submitted_ != nullptr) {
@@ -270,14 +405,16 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
                         uint64_t first_tag, size_t count,
                         Bitmap* global_coverage,
                         std::vector<RingCompletion>* out) {
-  if (!booted_) {
+  ExecRing& ring = EnsureRing();
+  if (state() == VmState::kCold || state() == VmState::kBooting) {
     Boot();
   }
-  if (down_) {
+  if (down()) {
+    set_state(VmState::kRebooting);
     clock_->Advance(latency_.reboot);
     AppendLog("[ reboot ] restarting crashed guest");
     JournalLifecycle("reboot");
-    down_ = false;
+    set_state(VmState::kReady);
     if (m_reboots_ != nullptr) {
       m_reboots_->Add();
     }
@@ -300,7 +437,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
   std::vector<uint8_t> bytes;
   uint64_t tag = 0;
   for (;;) {
-    const SlotRing::Pop popped = ring_.sq().TryPop(&bytes, &tag);
+    const SlotRing::Pop popped = ring.sq().TryPop(&bytes, &tag);
     if (popped == SlotRing::Pop::kEmpty) {
       break;
     }
@@ -316,30 +453,33 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
     ExecResult result;
     bool post = true;
     if (fault == FaultKind::kBootFailure) {
-      clock_->Advance(booted_ && !down_ ? latency_.reboot : latency_.boot);
-      booted_ = true;
-      down_ = true;
+      const VmState s = state();
+      clock_->Advance(s == VmState::kReady || s == VmState::kExecuting
+                          ? latency_.reboot
+                          : latency_.boot);
+      set_state(VmState::kCrashed);
       JournalLifecycle("boot-failure");
       result = FailWith(ExecFailure::kBootFailure);
     } else {
-      if (down_) {
+      if (down()) {
         // A crash or loss earlier in the drain: the guest restarted and the
         // executor re-attached to the rings before taking the next entry.
+        set_state(VmState::kRebooting);
         clock_->Advance(latency_.reboot);
         AppendLog("[ reboot ] restarting crashed guest");
         JournalLifecycle("reboot");
-        down_ = false;
+        set_state(VmState::kReady);
         if (m_reboots_ != nullptr) {
           m_reboots_->Add();
         }
       }
       if (fault == FaultKind::kVmCrash) {
         clock_->Advance(latency_.exec_overhead / 2);
-        down_ = true;
+        set_state(VmState::kCrashed);
         result = FailWith(ExecFailure::kVmLost);
       } else if (fault == FaultKind::kExecTimeout) {
         clock_->Advance(latency_.exec_timeout);
-        down_ = true;
+        set_state(VmState::kCrashed);
         result = FailWith(ExecFailure::kTimeout);
       } else if (fault == FaultKind::kRingSetup ||
                  fault == FaultKind::kRingTorn) {
@@ -362,14 +502,16 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
                 static_cast<uint8_t>(1u << (injector_.Rand() % 8));
           }
         }
-        executor_.RunSerialized(corrupted.data(), corrupted.size(), nullptr);
+        EnsureExecutor().RunSerialized(corrupted.data(), corrupted.size(),
+                                       nullptr);
         result = FailWith(ExecFailure::kCorruptedReply);
       } else {
         const size_t prog_len =
             tag < progs.size() ? progs[static_cast<size_t>(tag)]->size() : 0;
+        set_state(VmState::kExecuting);
         result =
-            executor_.RunSerialized(bytes.data(), bytes.size(),
-                                    global_coverage);
+            EnsureExecutor().RunSerialized(bytes.data(), bytes.size(),
+                                           global_coverage);
         execs_.fetch_add(1, std::memory_order_relaxed);
         consecutive_failures_.store(0, std::memory_order_relaxed);
         clock_->Advance(latency_.per_call * prog_len);
@@ -383,8 +525,10 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
         }
         if (result.Crashed()) {
           crashes_.fetch_add(1, std::memory_order_relaxed);
-          down_ = true;
+          set_state(VmState::kCrashed);
           AppendLog(StrFormat("BUG: %s", result.crash->title.c_str()));
+        } else {
+          set_state(VmState::kReady);
         }
       }
     }
@@ -393,7 +537,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
       // A completion too large for a CQ slot (or a full CQ) is lost and
       // surfaces as a stall; the CQ is sized >= the SQ so a full CQ cannot
       // happen on the production path.
-      if (ring_.cq().Push(cqe.data(), cqe.size(), tag)) {
+      if (ring.cq().Push(cqe.data(), cqe.size(), tag)) {
         stamps.emplace_back(tag, clock_->now());
         if (m_ring_completions_ != nullptr) {
           m_ring_completions_->Add();
@@ -409,7 +553,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
   std::vector<std::pair<uint64_t, ExecResult>> reaped;
   reaped.reserve(count);
   for (;;) {
-    const SlotRing::Pop popped = ring_.cq().TryPop(&bytes, &tag);
+    const SlotRing::Pop popped = ring.cq().TryPop(&bytes, &tag);
     if (popped == SlotRing::Pop::kEmpty) {
       break;
     }
@@ -440,7 +584,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
       ++ri;
     } else {
       clock_->Advance(latency_.exec_timeout);
-      down_ = true;
+      set_state(VmState::kCrashed);
       out->push_back(
           RingCompletion{want, FailWith(ExecFailure::kRingStall),
                          clock_->now()});
@@ -450,7 +594,7 @@ void GuestVm::DrainRing(const std::vector<const Prog*>& progs,
       if (journal_ != nullptr) {
         // Payload: a = lost tag, b = SQ depth, c = CQ depth at timeout.
         journal_->Record(JournalKind::kRingStall, clock_->now(), want,
-                         ring_.sq().size(), ring_.cq().size());
+                         ring.sq().size(), ring.cq().size());
       }
     }
   }
@@ -471,9 +615,9 @@ void GuestVm::QuarantineReboot() {
     m_reboots_->Add();
   }
   consecutive_failures_.store(0, std::memory_order_relaxed);
+  set_state(VmState::kRebooting);
   clock_->Advance(latency_.reboot);
-  booted_ = true;
-  down_ = false;
+  set_state(VmState::kReady);
   AppendLog("[ monitor] quarantined guest force-rebooted");
   JournalLifecycle("quarantine-reboot");
 }

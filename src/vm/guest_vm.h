@@ -7,12 +7,35 @@
 // one program round trip costs ~overhead + per-call time, so a 24-hour
 // campaign corresponds to a few hundred thousand executions.
 //
+// Lifecycle is an explicit state machine (DESIGN.md §12):
+//
+//   kCold ──boot──▶ kBooting ──handshake──▶ kReady ⇄ kExecuting
+//                                             │  ▲
+//                                crash/fault  ▼  │ reboot done
+//                                          kCrashed ──▶ kRebooting
+//                                             │              ▲
+//                                  recovery   ▼              │
+//                                        kQuarantined ───────┘
+//
+// Two drivers advance it. The synchronous path (Exec/ExecBatch) charges the
+// shared campaign clock inline, exactly as it always has — a crashed guest
+// reboots at the top of its next execution. The reactor path
+// (StartBootAsync/StartRebootAsync) instead arms a timer on an EventLoop
+// shard and transitions when it fires, so hundreds of overlapping
+// boots/reboots cost one latency of virtual time, not their sum. Both paths
+// share the same state variable, counters, log lines and journal records.
+//
 // A GuestVm may carry a FaultInjector (see fault_plan.h). Injected faults
 // surface as typed ExecFailure results that never carry feedback: a faulted
 // execution leaves the global coverage bitmap untouched and returns no
 // per-call results, so callers can discard it safely. Health counters
 // (consecutive failures, infra faults, quarantines) feed the recovery
 // policy and the Monitor's per-VM health report.
+//
+// Transports (executor, shm channel, rings — ~5 MiB together) allocate
+// lazily on first execution: a fleet of thousands of cold or boot-looping
+// guests costs kilobytes each, which is what makes 2048-VM storm scenarios
+// runnable (the boot handshake itself only touches the control socket).
 
 #ifndef SRC_VM_GUEST_VM_H_
 #define SRC_VM_GUEST_VM_H_
@@ -20,10 +43,13 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "src/base/event_loop.h"
 #include "src/base/journal.h"
 #include "src/base/metrics.h"
 #include "src/base/sim_clock.h"
@@ -55,6 +81,20 @@ struct VmLatencyModel {
   SimClock::Nanos slow_penalty = 2 * SimClock::kSecond;
 };
 
+// Lifecycle states. Stored in one atomic so the Monitor, the status line
+// and the fleet freelists can classify a guest while a worker drives it.
+enum class VmState : uint8_t {
+  kCold = 0,     // Never booted; transports unallocated.
+  kBooting,      // Boot latency in flight (async) or handshake running.
+  kReady,        // Healthy, waiting for work.
+  kExecuting,    // A program round trip is in flight.
+  kCrashed,      // Guest down (kernel crash, lost VM, watchdog, ring stall).
+  kRebooting,    // Reboot latency in flight.
+  kQuarantined,  // Parked by the recovery policy pending a forced reboot.
+};
+
+const char* VmStateName(VmState state);
+
 class GuestVm {
  public:
   // `clock` is shared with the campaign and must outlive the VM. A
@@ -68,9 +108,33 @@ class GuestVm {
           MetricRegistry* metrics = nullptr,
           RingConfig ring_config = RingConfig());
 
-  // Boots the guest and performs the executor handshake.
+  // Boots the guest and performs the executor handshake (blocking: charges
+  // the campaign clock inline).
   void Boot();
-  bool booted() const { return booted_; }
+
+  VmState state() const { return state_.load(std::memory_order_acquire); }
+  bool booted() const {
+    const VmState s = state();
+    return s != VmState::kCold && s != VmState::kBooting;
+  }
+  // Down guests must reboot before executing again.
+  bool down() const {
+    const VmState s = state();
+    return s == VmState::kCrashed || s == VmState::kQuarantined;
+  }
+
+  // ---- reactor-driven lifecycle (fleet mode) ----
+  // Arms the boot (kCold -> kBooting) on `loop`: the state flips to kReady
+  // (or kCrashed, if the injector draws a boot failure) when the timer
+  // fires, `done` running after the transition settles. Returns false — and
+  // arms nothing — unless the VM was kCold, which makes the charge
+  // exactly-once under concurrent callers. Charges the loop's virtual time,
+  // not the shared campaign clock.
+  bool StartBootAsync(EventLoop* loop,
+                      std::function<void(GuestVm&)> done = nullptr);
+  // Arms the reboot (kCrashed/kQuarantined -> kRebooting) the same way.
+  bool StartRebootAsync(EventLoop* loop,
+                        std::function<void(GuestVm&)> done = nullptr);
 
   // Serializes `prog` into shared memory, round-trips through the executor,
   // and advances the simulated clock. A crashing program marks the VM as
@@ -106,15 +170,20 @@ class GuestVm {
   void set_journal(JournalWriter* journal) { journal_ = journal; }
 
   // Guest console log lines accumulated since the last Drain (consumed by
-  // the Monitor's background IO thread).
+  // the Monitor's reactor timers).
   std::vector<std::string> DrainLog();
 
-  const Executor& executor() const { return executor_; }
+  const Executor& executor() const { return EnsureExecutor(); }
   const FaultInjector& injector() const { return injector_; }
   // Ring transport internals, exposed for the property/hostile test
   // harnesses; production callers go through ExecBatch/ExecRingOne.
-  ExecRing& ring() { return ring_; }
+  ExecRing& ring() { return EnsureRing(); }
   ControlSocket& ctrl() { return ctrl_; }
+  // Non-allocating occupancy probe: all-zero until the ring transport has
+  // been exercised (introspection must not inflate a lazy fleet).
+  RingOccupancy ring_occupancy() const {
+    return ring_ != nullptr ? ring_->Occupancy() : RingOccupancy{};
+  }
   uint64_t execs() const { return execs_.load(std::memory_order_relaxed); }
   uint64_t crashes() const {
     return crashes_.load(std::memory_order_relaxed);
@@ -134,7 +203,10 @@ class GuestVm {
   void AppendLog(std::string line);
   // Journals one lifecycle transition (no-op without an attached writer).
   // Payload: a = lifetime execs, b = consecutive failures at the transition.
+  // The At variant lets reactor transitions stamp the loop's virtual time
+  // instead of the shared campaign clock.
   void JournalLifecycle(const char* what);
+  void JournalLifecycleAt(SimClock::Nanos at, const char* what);
   // Records an infra failure and builds the typed failure result.
   ExecResult FailWith(ExecFailure failure);
   // Executor side of one ring round trip: pops every pending SQ entry,
@@ -144,16 +216,30 @@ class GuestVm {
   void DrainRing(const std::vector<const Prog*>& progs, uint64_t first_tag,
                  size_t count, Bitmap* global_coverage,
                  std::vector<RingCompletion>* out);
+  // Shared tail of both async transitions; fires when the armed timer does.
+  // `loop` supplies the virtual timestamp for the journal record.
+  void FinishBootTimer(EventLoop* loop, bool boot_failed,
+                       std::function<void(GuestVm&)> done);
+  void FinishRebootTimer(EventLoop* loop, std::function<void(GuestVm&)> done);
+  // Lazy transport construction (first execution; idempotent).
+  Executor& EnsureExecutor() const;
+  ShmChannel& EnsureShm() const;
+  ExecRing& EnsureRing() const;
+  void set_state(VmState s) { state_.store(s, std::memory_order_release); }
 
-  Executor executor_;
-  ShmChannel shm_;
+  const Target* target_;
+  KernelConfig config_;
+  RingConfig ring_config_;
+  // Allocated on first use; mutable so const probes (executor()) can
+  // materialize them. A cold VM carries none of the three.
+  mutable std::unique_ptr<Executor> executor_;
+  mutable std::unique_ptr<ShmChannel> shm_;
+  mutable std::unique_ptr<ExecRing> ring_;
   ControlSocket ctrl_;
-  ExecRing ring_;
   SimClock* clock_;
   VmLatencyModel latency_;
   FaultInjector injector_;
-  bool booted_ = false;
-  bool down_ = false;
+  std::atomic<VmState> state_{VmState::kCold};
   // Counters are atomics so the Monitor's health poll can read them while a
   // parallel worker executes on the VM.
   std::atomic<uint64_t> execs_{0};
@@ -161,7 +247,7 @@ class GuestVm {
   std::atomic<uint64_t> infra_faults_{0};
   std::atomic<uint64_t> consecutive_failures_{0};
   std::atomic<uint64_t> quarantines_{0};
-  std::mutex log_mu_;  // The Monitor drains the log from its own thread.
+  std::mutex log_mu_;  // Drained from whichever thread pumps the Monitor.
   std::vector<std::string> log_;
   JournalWriter* journal_ = nullptr;  // Owned and flushed by the driver.
   // Telemetry handles (null when no registry was supplied). All VMs of a

@@ -140,6 +140,14 @@ int CmdFuzz(const std::map<std::string, std::string>& flags) {
   options.recovery.max_retries =
       std::atoi(get("fault-retries", "3").c_str());
 
+  // Fleet topology: --fleet-size N simulates N guests on the reactor
+  // shards (0 = legacy pinned pool); --fleet-shards overrides the
+  // auto-derived shard count (fleet_size / 256).
+  options.fleet_size = static_cast<size_t>(
+      std::strtoull(get("fleet-size", "0").c_str(), nullptr, 10));
+  options.fleet_shards = static_cast<size_t>(
+      std::strtoull(get("fleet-shards", "0").c_str(), nullptr, 10));
+
   // Telemetry surfaces: live status, metric dump, span trace.
   const double status_secs = std::atof(get("status-period", "0").c_str());
   if (status_secs > 0) {
