@@ -1,0 +1,152 @@
+// Distributed campaign scaling bench (DESIGN.md §13): runs the sharded
+// gossip campaign at 1/2/4/8 shards with a fixed per-shard workload and
+// reports aggregate execs/sec, the union-coverage curve, and the wall time
+// to reach the 1-shard campaign's final coverage (time-to-coverage).
+//
+// Shards fuzz on their own threads, so aggregate throughput should scale
+// with the core count; on boxes with fewer cores than shards the shards
+// time-slice one CPU and the ratio flattens. The emitted `cores` metric
+// lets scripts/check.sh's `distributed` stage skip the >=3x@4-shards
+// throughput guard on hosts that physically cannot show it (same idiom as
+// the fleet stage's thread-budget guard).
+//
+// The second section is the correctness half of the distributed story: two
+// 4-shard campaigns that differ only in their adversarial network seed
+// (delivery shuffle + replays) must reconcile to byte-identical global
+// relation tables and identical per-shard corpus fingerprints.
+// `reconcile_identical` is 1.0 when they do; check.sh fails the stage when
+// it is not.
+//
+// Emits BENCH_distributed.json.
+//
+// Usage: bench_distributed [rounds] [execs_per_round] (defaults 6 and 250)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/fuzz/shard.h"
+#include "src/syzlang/builtin_descs.h"
+
+namespace healer {
+namespace {
+
+ShardedCampaignOptions BenchOptions(size_t shards, size_t rounds,
+                                    size_t execs_per_round,
+                                    uint64_t net_seed) {
+  ShardedCampaignOptions options;
+  options.shards = shards;
+  options.rounds = rounds;
+  options.execs_per_round = execs_per_round;
+  options.fanout = 1;
+  options.seed = 7;
+  options.net_seed = net_seed;
+  options.reconcile_every = 0;  // Identities still checked at the end.
+  return options;
+}
+
+// Wall seconds until the union-coverage curve first reaches `target`
+// branches; negative when the campaign never got there.
+double TimeToCoverage(const ShardedCampaignResult& result, size_t target) {
+  for (const RoundSample& sample : result.samples) {
+    if (sample.union_coverage >= target) {
+      return static_cast<double>(sample.wall_ns) / 1e9;
+    }
+  }
+  return -1.0;
+}
+
+int Main(int argc, char** argv) {
+  const size_t rounds =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 6;
+  const size_t execs_per_round =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 250;
+  const Target& target = BuiltinTarget();
+  const size_t cores = std::thread::hardware_concurrency();
+
+  bench::PrintHeader(
+      "Distributed campaign scaling: aggregate execs/sec and "
+      "time-to-coverage by shard count",
+      "the sharded-gossip topology of DESIGN.md §13; throughput scaling "
+      "needs cores >= shards");
+  std::printf("cores: %zu, %zu rounds x %zu execs/round per shard\n\n",
+              cores, rounds, execs_per_round);
+  std::printf("%8s %12s %14s %12s %12s %14s\n", "shards", "execs",
+              "execs/sec", "coverage", "ttc-secs", "gossip-bytes");
+
+  std::vector<std::pair<std::string, double>> metrics;
+  metrics.emplace_back("cores", static_cast<double>(cores));
+  metrics.emplace_back("rounds", static_cast<double>(rounds));
+  metrics.emplace_back("execs_per_round",
+                       static_cast<double>(execs_per_round));
+
+  double eps1 = 0.0;
+  size_t coverage1 = 0;
+  for (size_t shards : {1, 2, 4, 8}) {
+    const ShardedCampaignResult result = RunShardedCampaign(
+        target, BenchOptions(shards, rounds, execs_per_round, 1));
+    const double wall_secs = static_cast<double>(result.wall_ns) / 1e9;
+    const double eps =
+        wall_secs > 0
+            ? static_cast<double>(result.total_execs) / wall_secs
+            : 0.0;
+    if (shards == 1) {
+      eps1 = eps;
+      coverage1 = result.union_coverage;
+    }
+    const double ttc = TimeToCoverage(result, coverage1);
+    std::printf("%8zu %12llu %14.0f %12zu %12.3f %14llu\n", shards,
+                static_cast<unsigned long long>(result.total_execs), eps,
+                result.union_coverage, ttc,
+                static_cast<unsigned long long>(result.gossip_bytes));
+    const std::string prefix = "shards" + std::to_string(shards) + "_";
+    metrics.emplace_back(prefix + "execs",
+                         static_cast<double>(result.total_execs));
+    metrics.emplace_back(prefix + "wall_secs", wall_secs);
+    metrics.emplace_back(prefix + "execs_per_sec", eps);
+    metrics.emplace_back(prefix + "union_coverage",
+                         static_cast<double>(result.union_coverage));
+    metrics.emplace_back(prefix + "ttc_secs", ttc);
+    metrics.emplace_back(prefix + "speedup_vs_1",
+                         eps1 > 0 ? eps / eps1 : 0.0);
+    metrics.emplace_back(prefix + "gossip_bytes",
+                         static_cast<double>(result.gossip_bytes));
+    metrics.emplace_back(prefix + "identities_ok",
+                         result.identities_ok ? 1.0 : 0.0);
+  }
+
+  bench::PrintRule();
+  std::printf("Reconciliation: two 4-shard campaigns, adversarial net "
+              "seeds 1 vs 2\n");
+  const ShardedCampaignResult a = RunShardedCampaign(
+      target, BenchOptions(4, rounds, execs_per_round, 1));
+  const ShardedCampaignResult b = RunShardedCampaign(
+      target, BenchOptions(4, rounds, execs_per_round, 2));
+  const bool identical =
+      a.reconciled_relations == b.reconciled_relations &&
+      a.reconciled_relations_hash == b.reconciled_relations_hash &&
+      a.corpus_fingerprints == b.corpus_fingerprints;
+  std::printf("  net_seed 1: %zu edges, hash %016llx\n", a.union_relations,
+              static_cast<unsigned long long>(a.reconciled_relations_hash));
+  std::printf("  net_seed 2: %zu edges, hash %016llx\n", b.union_relations,
+              static_cast<unsigned long long>(b.reconciled_relations_hash));
+  std::printf("  byte-identical: %s\n", identical ? "yes" : "NO");
+  metrics.emplace_back("reconcile_identical", identical ? 1.0 : 0.0);
+  metrics.emplace_back("reconcile_relations",
+                       static_cast<double>(a.union_relations));
+  metrics.emplace_back(
+      "reconcile_identities_ok",
+      a.identities_ok && b.identities_ok ? 1.0 : 0.0);
+
+  bench::WriteBenchJson("distributed", metrics);
+  return identical ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace healer
+
+int main(int argc, char** argv) { return healer::Main(argc, argv); }

@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Compare a freshly generated BENCH_*.json against a committed baseline.
+
+Usage: bench_diff.py BASELINE FRESH [options]
+
+Every metric in the baseline must exist in the fresh run; each is then
+compared under a per-metric-class tolerance:
+
+  flags    (*_ok, *identical)        fresh must be at least the baseline —
+                                     a correctness bit that was 1 may never
+                                     drop to 0.
+  timings  (*_ns, *_ms, *_secs,      machine- and load-dependent; only an
+            *_per_sec, *ttc*)        order-of-magnitude change is
+                                     interesting. Allowed factor either way:
+                                     --timing-factor (default 5.0).
+  counts   (*execs*, *rounds*,       workload shape; nearly deterministic.
+            *_bytes, *edges*,        Allowed relative drift: --count-tol
+            *relations*, *coverage*, (default 0.10).
+            *shards*, *threads*,
+            *publishes*, *words*)
+  ratios   (everything else:         derived speedups/shares/ratios; noisy
+            speedup, share, ratio,   on loaded boxes but bounded. Allowed
+            reduction, ...)          relative drift: --ratio-tol (default
+                                     0.50). The direction-sensitive floors
+                                     and ceilings live in check.sh stages;
+                                     this diff only catches silent drift of
+                                     the committed baselines.
+
+Host-shape metrics (`cores`, `workers`) are reported but never failed: the
+baseline records the machine it ran on, not a claim about this one.
+
+Exit status: 0 when every metric is within tolerance, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.exit("bench_diff: cannot load %s: %s" % (path, err))
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        sys.exit("bench_diff: %s has no metrics object" % path)
+    return doc.get("bench", "?"), metrics
+
+
+INFORMATIONAL = {"cores", "workers"}
+
+FLAG_SUFFIXES = ("_ok", "identical")
+TIMING_MARKERS = ("_ns", "_ms", "_secs", "_per_sec", "ttc", "_vs_1")
+COUNT_MARKERS = ("execs", "rounds", "_bytes", "edges", "relations",
+                 "coverage", "shards", "threads", "publishes", "words",
+                 "fleet", "budget", "allocs")
+
+
+def classify(name):
+    if name in INFORMATIONAL:
+        return "info"
+    if name.endswith(FLAG_SUFFIXES):
+        return "flag"
+    if any(m in name for m in TIMING_MARKERS):
+        return "timing"
+    if any(m in name for m in COUNT_MARKERS):
+        return "count"
+    return "ratio"
+
+
+def rel_drift(base, fresh):
+    if base == 0:
+        return abs(fresh)
+    return abs(fresh - base) / abs(base)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="diff fresh bench metrics against a committed baseline")
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--timing-factor", type=float, default=5.0,
+                        help="allowed factor either way for timing metrics")
+    parser.add_argument("--count-tol", type=float, default=0.10,
+                        help="allowed relative drift for count metrics")
+    parser.add_argument("--ratio-tol", type=float, default=0.50,
+                        help="allowed relative drift for ratio metrics")
+    parser.add_argument("--loose", action="append", default=[],
+                        metavar="NAME",
+                        help="treat NAME as timing-class (factor tolerance);"
+                        " for ratios of timings that are themselves noisy")
+    args = parser.parse_args()
+
+    base_name, base = load_metrics(args.baseline)
+    fresh_name, fresh = load_metrics(args.fresh)
+    if base_name != fresh_name:
+        sys.exit("bench_diff: comparing different benches (%s vs %s)" %
+                 (base_name, fresh_name))
+
+    failures = 0
+    print("bench %s: %d baseline metrics" % (base_name, len(base)))
+    for name in sorted(base):
+        b = base[name]
+        if name not in fresh:
+            print("  FAIL %-34s missing from fresh run" % name)
+            failures += 1
+            continue
+        f = fresh[name]
+        kind = "timing" if name in args.loose else classify(name)
+        verdict, detail = "ok", ""
+        if kind == "info":
+            verdict = "info"
+            detail = "baseline %g, fresh %g (host shape, not compared)" % (
+                b, f)
+        elif kind == "flag":
+            if f < b:
+                verdict = "FAIL"
+            detail = "baseline %g, fresh %g" % (b, f)
+        elif kind == "timing":
+            lo, hi = b / args.timing_factor, b * args.timing_factor
+            if b > 0 and not (lo <= f <= hi):
+                verdict = "FAIL"
+            detail = "baseline %g, fresh %g (factor %.1fx allowed)" % (
+                b, f, args.timing_factor)
+        elif kind == "count":
+            drift = rel_drift(b, f)
+            if drift > args.count_tol:
+                verdict = "FAIL"
+            detail = "baseline %g, fresh %g (drift %.1f%%, tol %.0f%%)" % (
+                b, f, drift * 100, args.count_tol * 100)
+        else:
+            drift = rel_drift(b, f)
+            if drift > args.ratio_tol:
+                verdict = "FAIL"
+            detail = "baseline %g, fresh %g (drift %.1f%%, tol %.0f%%)" % (
+                b, f, drift * 100, args.ratio_tol * 100)
+        if verdict == "FAIL":
+            failures += 1
+        print("  %-4s %-34s %s [%s]" % (verdict, name, detail, kind))
+
+    extra = sorted(set(fresh) - set(base))
+    for name in extra:
+        print("  note %-34s new metric (not in baseline)" % name)
+    if failures:
+        print("bench_diff: %d metric(s) out of tolerance" % failures)
+        return 1
+    print("bench_diff: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

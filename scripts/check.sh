@@ -9,10 +9,13 @@
 # relation stage (snapshot-Select speedup guard + draw-determinism tests),
 # an exec stage (ring-transport replay bench + speedup guard), an
 # introspect stage (live HTTP endpoints, journal export, postmortem-bundle
-# determinism), and a hotpath stage (arena allocation-reduction guard +
-# two-level bitmap merge floor + arena/heap equivalence tests).
+# determinism), a hotpath stage (arena allocation-reduction guard +
+# two-level bitmap merge floor + arena/heap timing guards + equivalence
+# tests), a distributed stage (sharded-gossip scaling bench +
+# byte-identical-reconciliation guard), and a benchdiff stage (fresh bench
+# metrics vs the committed BENCH_*.json baselines).
 #
-#   scripts/check.sh              # all nine stages
+#   scripts/check.sh              # all stages
 #   scripts/check.sh tier1        # just the tier-1 verify
 #   scripts/check.sh asan         # just the ASan/UBSan stage
 #   scripts/check.sh tsan         # just the TSan stage
@@ -23,6 +26,8 @@
 #   scripts/check.sh exec         # just the ring-transport replay guard
 #   scripts/check.sh introspect   # just the introspection-plane smoke
 #   scripts/check.sh hotpath      # just the hot-path memory guards
+#   scripts/check.sh distributed  # just the sharded-campaign guards
+#   scripts/check.sh benchdiff    # just the baseline-drift diff
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -373,12 +378,113 @@ run_hotpath() {
       found=1; if (s < 4) { print "FAIL: sparse merge speedup below 4x"; exit 1 }
     } END { if (!found) { print "FAIL: merge_sparse16_speedup missing"; exit 1 } }' \
     "$tmp/BENCH_hotpath.json"
+  # Time guards: the allocation win must not be paid for in wall-clock. The
+  # bench interleaves short arena/heap (and dense twolevel/flat) blocks and
+  # compares per-loop minima, so these ratios are stable under load; the
+  # ceilings bound time, not just counts. The dense escape hatch keeps the
+  # two-level merge within 1.1x of a flat linear scan even at >= 50% map
+  # occupancy, and HCORP1 warm-start may never be slower than the legacy
+  # text loader.
+  awk -F: '/"gen_time_ratio"/ {
+      gsub(/[ ,]/, "", $2); r=$2+0;
+      printf "    arena/heap generation time ratio: %.3f (ceiling 1.05)\n", r;
+      found=1; if (r > 1.05) { print "FAIL: arena generation slower than heap"; exit 1 }
+    } END { if (!found) { print "FAIL: gen_time_ratio missing"; exit 1 } }' \
+    "$tmp/BENCH_hotpath.json"
+  awk -F: '/"merge_dense_ratio"/ {
+      gsub(/[ ,]/, "", $2); r=$2+0;
+      printf "    dense twolevel/flat merge ratio: %.3f (ceiling 1.1)\n", r;
+      found=1; if (r > 1.1) { print "FAIL: dense merge above flat-scan ceiling"; exit 1 }
+    } END { if (!found) { print "FAIL: merge_dense_ratio missing"; exit 1 } }' \
+    "$tmp/BENCH_hotpath.json"
+  awk -F: '/"warmstart_speedup"/ {
+      gsub(/[ ,]/, "", $2); s=$2+0;
+      printf "    HCORP1 warm-start speedup: %.3fx (floor 1x)\n", s;
+      found=1; if (s < 1) { print "FAIL: HCORP1 warm-start slower than legacy"; exit 1 }
+    } END { if (!found) { print "FAIL: warmstart_speedup missing"; exit 1 } }' \
+    "$tmp/BENCH_hotpath.json"
   # Equivalence + format hardening: arena builds must serialize and cover
   # bit-identically to heap builds, fixed-seed campaigns must reproduce the
   # golden fingerprint, and the mmap corpus loader must survive hostile
   # inputs.
   ctest --test-dir build --output-on-failure \
     -R 'ProgArena|ArenaHeapEquivalence|GoldenFingerprint|Hcorp1|BitmapTest'
+}
+
+run_distributed() {
+  echo "==> distributed: sharded-gossip scaling bench + reconciliation guard"
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_distributed healer_tests
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_distributed")
+  [ -f "$tmp/BENCH_distributed.json" ] || {
+    echo "FAIL: BENCH_distributed.json not written" >&2; exit 1; }
+  # Guard 1 — the tentpole's correctness claim: two 4-shard campaigns under
+  # different adversarial network seeds (delivery shuffle + replays) must
+  # reconcile to byte-identical global relation tables, and every shard's
+  # exactly-once relation identity must hold.
+  awk -F: '/"reconcile_identical"/ {
+      gsub(/[ ,]/, "", $2); same=$2+0;
+      printf "    reconciled tables byte-identical across net seeds: %s\n", \
+        same == 1 ? "yes" : "NO";
+      found=1; if (same != 1) { print "FAIL: reconciliation differs across gossip orderings"; exit 1 }
+    } END { if (!found) { print "FAIL: reconcile_identical missing"; exit 1 } }' \
+    "$tmp/BENCH_distributed.json"
+  awk -F: '/identities_ok"/ {
+      gsub(/[ ,]/, "", $2); if ($2+0 != 1) bad=1; found=1
+    } END {
+      if (!found) { print "FAIL: identities_ok metrics missing"; exit 1 }
+      if (bad) { print "FAIL: exactly-once relation identity violated"; exit 1 }
+      print "    exactly-once identities hold at every shard count"
+    }' "$tmp/BENCH_distributed.json"
+  # Guard 2 — throughput scaling: aggregate execs/sec at 4 shards must be
+  # >= 3x the 1-shard rate. Shards scale with cores (they fuzz on their own
+  # threads), so the guard is only meaningful when the host has >= 4 cores;
+  # on smaller boxes the shards time-slice one CPU and the ratio is ~1 by
+  # construction, so the guard is skipped (same idiom as the fleet stage's
+  # /proc-less thread-ceiling skip).
+  awk -F: '
+    /"cores"/ { gsub(/[ ,]/, "", $2); cores=$2+0 }
+    /"shards4_speedup_vs_1"/ { gsub(/[ ,]/, "", $2); s4=$2+0; found=1 }
+    END {
+      if (!found) { print "FAIL: shards4_speedup_vs_1 missing"; exit 1 }
+      if (cores < 4) {
+        printf "    4-shard throughput: %.2fx of 1-shard (%d cores; >=3x guard skipped)\n", s4, cores;
+        exit 0
+      }
+      printf "    4-shard throughput: %.2fx of 1-shard (floor 3x)\n", s4;
+      if (s4 < 3) { print "FAIL: 4-shard aggregate throughput below 3x"; exit 1 }
+    }' "$tmp/BENCH_distributed.json"
+  # Reconciliation + hostile-gossip tests: cross-shard state flow, identity
+  # accounting, canonical byte encodings, and the HGSP1 decoder's posture
+  # against truncation, bad lengths, and replayed deltas.
+  ctest --test-dir build --output-on-failure \
+    -R 'ShardedCampaignTest|GossipCodecTest|GossipDedupTest|GossipScheduleTest|GossipHostileTest'
+}
+
+run_benchdiff() {
+  echo "==> benchdiff: fresh bench metrics vs committed baselines"
+  if ! command -v python3 >/dev/null; then
+    echo "    (python3 unavailable; stage skipped)"
+    return 0
+  fi
+  cmake -B build -S . >/dev/null
+  cmake --build build -j"$jobs" --target bench_hotpath bench_distributed
+  local tmp
+  tmp=$(mktemp -d)
+  trap 'rm -rf "$tmp"' RETURN
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_hotpath" --json-only)
+  (cd "$tmp" && "$OLDPWD/build/bench/bench_distributed")
+  # The two timing-derived hotpath ratios are compared under the loose
+  # factor tolerance: their floors/ceilings are enforced by the hotpath
+  # stage above; the diff only has to catch silent baseline drift.
+  python3 scripts/bench_diff.py BENCH_hotpath.json \
+    "$tmp/BENCH_hotpath.json" \
+    --loose merge_dense_ratio --loose merge_sparse16_speedup
+  python3 scripts/bench_diff.py BENCH_distributed.json \
+    "$tmp/BENCH_distributed.json"
 }
 
 case "$stage" in
@@ -392,8 +498,10 @@ case "$stage" in
   exec) run_exec ;;
   introspect) run_introspect ;;
   hotpath) run_hotpath ;;
-  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_fleet; run_relation; run_exec; run_introspect; run_hotpath ;;
-  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|fleet|relation|exec|introspect|hotpath|all]" >&2; exit 2 ;;
+  distributed) run_distributed ;;
+  benchdiff) run_benchdiff ;;
+  all)   run_tier1; run_asan; run_tsan; run_telemetry; run_parallel; run_fleet; run_relation; run_exec; run_introspect; run_hotpath; run_distributed; run_benchdiff ;;
+  *) echo "usage: $0 [tier1|asan|tsan|telemetry|parallel|fleet|relation|exec|introspect|hotpath|distributed|benchdiff|all]" >&2; exit 2 ;;
 esac
 
 echo "==> all requested checks passed"

@@ -18,6 +18,40 @@ inline uint64_t Fnv1a(std::string_view data, uint64_t seed = 0xcbf29ce484222325U
   return h;
 }
 
+// Word-at-a-time content hash: FNV-style fold over 8-byte native-endian
+// lanes with a MurmurHash3 finalizer, the length mixed into the seed so
+// "abc" and "abc\0" differ. ~8x faster than byte-serial Fnv1a on the
+// multi-KiB payloads the HCORP1 corpus container checksums (the warm-start
+// hot path, BENCH_hotpath warmstart_speedup). Stable across runs on a given
+// endianness (HCORP1 files are host-endian already); not cryptographic —
+// it detects corruption, not adversaries.
+inline uint64_t FastBytesHash(std::string_view data,
+                              uint64_t seed = 0xcbf29ce484222325ULL) {
+  uint64_t h = seed ^ (static_cast<uint64_t>(data.size()) * 0x9e3779b97f4a7c15ULL);
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t w;
+    __builtin_memcpy(&w, p, 8);
+    h = (h ^ w) * 0x100000001b3ULL;
+    h ^= h >> 29;
+    p += 8;
+    n -= 8;
+  }
+  if (n != 0) {
+    uint64_t w = 0;
+    __builtin_memcpy(&w, p, n);
+    h = (h ^ w) * 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
 // Mixes a 64-bit value (finalizer from MurmurHash3).
 inline uint64_t Mix64(uint64_t x) {
   x ^= x >> 33;

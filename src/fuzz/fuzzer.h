@@ -137,6 +137,15 @@ class Fuzzer {
   double alpha() const { return alpha_.alpha(); }
   VmPool& pool() { return pool_; }
   const FuzzerOptions& options() const { return options_; }
+  // Mutable state access for the sharded-campaign gossip layer (shard.h):
+  // a FuzzShard imports peer deltas — relation edges via Apply(), coverage
+  // words via OrWord(), seed programs via Corpus::Add — between Step()
+  // batches. Single-threaded like everything else here: callers must not
+  // mutate while Step() is running.
+  RelationTable* mutable_relations() { return relations_.get(); }
+  Bitmap* mutable_coverage() { return &coverage_; }
+  Corpus* mutable_corpus() { return &corpus_; }
+
   // Minimized reproducer for a found bug, nullptr when unknown.
   const Prog* ReproFor(BugId bug) const;
   // Injected-fault counters (from the VM injectors) merged with the

@@ -1,0 +1,264 @@
+#include "src/fuzz/gossip.h"
+
+#include <cstring>
+
+#include "src/base/hash.h"
+#include "src/base/string_util.h"
+
+namespace healer {
+
+namespace {
+
+constexpr char kMagic[4] = {'H', 'G', 'S', 'P'};
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + 4);
+  std::memcpy(out->data() + at, &v, 4);
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + 8);
+  std::memcpy(out->data() + at, &v, 8);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+uint64_t PayloadChecksum(const uint8_t* data, size_t len) {
+  return FastBytesHash(
+      std::string_view(reinterpret_cast<const char*>(data), len));
+}
+
+}  // namespace
+
+void AppendGossipFrame(const GossipFrame& frame, std::vector<uint8_t>* out) {
+  out->reserve(out->size() + kGossipHeaderBytes + frame.payload.size());
+  out->insert(out->end(), kMagic, kMagic + 4);
+  out->push_back(kGossipVersion);
+  out->push_back(static_cast<uint8_t>(frame.type));
+  out->push_back(0);
+  out->push_back(0);
+  PutU32(out, frame.origin);
+  PutU32(out, static_cast<uint32_t>(frame.payload.size()));
+  PutU64(out, frame.seq);
+  PutU64(out, PayloadChecksum(frame.payload.data(), frame.payload.size()));
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+}
+
+Result<GossipFrame> DecodeGossipFrame(const uint8_t* data, size_t size,
+                                      size_t* consumed) {
+  if (size < kGossipHeaderBytes) {
+    return ParseError("gossip: truncated frame header");
+  }
+  if (std::memcmp(data, kMagic, 4) != 0) {
+    return ParseError("gossip: bad frame magic");
+  }
+  if (data[4] != kGossipVersion) {
+    return ParseError(
+        StrFormat("gossip: unsupported version %u", data[4]));
+  }
+  const uint8_t type = data[5];
+  if (type != static_cast<uint8_t>(GossipFrameType::kRelations) &&
+      type != static_cast<uint8_t>(GossipFrameType::kCoverage) &&
+      type != static_cast<uint8_t>(GossipFrameType::kSeeds)) {
+    return ParseError(StrFormat("gossip: unknown frame type %u", type));
+  }
+  if (data[6] != 0 || data[7] != 0) {
+    return ParseError("gossip: nonzero reserved header bytes");
+  }
+  const uint32_t payload_len = GetU32(data + 12);
+  if (payload_len > kGossipMaxPayload) {
+    return ParseError(
+        StrFormat("gossip: payload length %u exceeds limit", payload_len));
+  }
+  if (size - kGossipHeaderBytes < payload_len) {
+    return ParseError("gossip: truncated frame payload");
+  }
+  const uint64_t checksum = GetU64(data + 24);
+  if (PayloadChecksum(data + kGossipHeaderBytes, payload_len) != checksum) {
+    return ParseError("gossip: payload checksum mismatch");
+  }
+  GossipFrame frame;
+  frame.type = static_cast<GossipFrameType>(type);
+  frame.origin = GetU32(data + 8);
+  frame.seq = GetU64(data + 16);
+  frame.payload.assign(data + kGossipHeaderBytes,
+                       data + kGossipHeaderBytes + payload_len);
+  *consumed = kGossipHeaderBytes + payload_len;
+  return frame;
+}
+
+Result<std::vector<GossipFrame>> DecodeGossipStream(const uint8_t* data,
+                                                    size_t size) {
+  std::vector<GossipFrame> frames;
+  size_t at = 0;
+  while (at < size) {
+    size_t consumed = 0;
+    Result<GossipFrame> frame = DecodeGossipFrame(data + at, size - at,
+                                                  &consumed);
+    if (!frame.ok()) {
+      return frame.status();
+    }
+    frames.push_back(std::move(*frame));
+    at += consumed;
+  }
+  return frames;
+}
+
+std::vector<uint8_t> EncodeRelationsPayload(
+    const std::vector<RelationEdge>& edges) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + edges.size() * 8);
+  PutU32(&out, static_cast<uint32_t>(edges.size()));
+  for (const RelationEdge& e : edges) {
+    PutU32(&out, static_cast<uint32_t>(e.from));
+    PutU32(&out, static_cast<uint32_t>(e.to));
+  }
+  return out;
+}
+
+Result<std::vector<WireRelationEdge>> DecodeRelationsPayload(
+    const std::vector<uint8_t>& payload, size_t num_syscalls) {
+  if (payload.size() < 4) {
+    return ParseError("gossip: truncated relations payload");
+  }
+  const uint32_t count = GetU32(payload.data());
+  if (count > kGossipMaxEdges) {
+    return ParseError(
+        StrFormat("gossip: relations count %u exceeds limit", count));
+  }
+  if (payload.size() != 4 + static_cast<size_t>(count) * 8) {
+    return ParseError("gossip: relations payload length mismatch");
+  }
+  std::vector<WireRelationEdge> edges;
+  edges.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireRelationEdge e;
+    e.from = GetU32(payload.data() + 4 + i * 8);
+    e.to = GetU32(payload.data() + 8 + i * 8);
+    if (e.from >= num_syscalls || e.to >= num_syscalls) {
+      return ParseError(StrFormat("gossip: relation edge (%u, %u) out of "
+                                  "range for %zu syscalls",
+                                  e.from, e.to, num_syscalls));
+    }
+    edges.push_back(e);
+  }
+  return edges;
+}
+
+std::vector<uint8_t> EncodeCoveragePayload(
+    const std::vector<WireCoverageWord>& words) {
+  std::vector<uint8_t> out;
+  out.reserve(4 + words.size() * 12);
+  PutU32(&out, static_cast<uint32_t>(words.size()));
+  for (const WireCoverageWord& w : words) {
+    PutU32(&out, w.index);
+    PutU64(&out, w.value);
+  }
+  return out;
+}
+
+Result<std::vector<WireCoverageWord>> DecodeCoveragePayload(
+    const std::vector<uint8_t>& payload, size_t word_count) {
+  if (payload.size() < 4) {
+    return ParseError("gossip: truncated coverage payload");
+  }
+  const uint32_t count = GetU32(payload.data());
+  if (count > kGossipMaxWords) {
+    return ParseError(
+        StrFormat("gossip: coverage count %u exceeds limit", count));
+  }
+  if (payload.size() != 4 + static_cast<size_t>(count) * 12) {
+    return ParseError("gossip: coverage payload length mismatch");
+  }
+  std::vector<WireCoverageWord> words;
+  words.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireCoverageWord w;
+    w.index = GetU32(payload.data() + 4 + i * 12);
+    w.value = GetU64(payload.data() + 8 + i * 12);
+    if (w.index >= word_count) {
+      return ParseError(StrFormat("gossip: coverage word index %u out of "
+                                  "range for %zu words",
+                                  w.index, word_count));
+    }
+    words.push_back(w);
+  }
+  return words;
+}
+
+std::vector<uint8_t> EncodeSeedsPayload(
+    const std::vector<std::vector<uint8_t>>& progs) {
+  std::vector<uint8_t> out;
+  PutU32(&out, static_cast<uint32_t>(progs.size()));
+  for (const std::vector<uint8_t>& blob : progs) {
+    PutU32(&out, static_cast<uint32_t>(blob.size()));
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<uint8_t>>> DecodeSeedsPayload(
+    const std::vector<uint8_t>& payload) {
+  if (payload.size() < 4) {
+    return ParseError("gossip: truncated seeds payload");
+  }
+  const uint32_t count = GetU32(payload.data());
+  if (count > kGossipMaxSeeds) {
+    return ParseError(
+        StrFormat("gossip: seeds count %u exceeds limit", count));
+  }
+  std::vector<std::vector<uint8_t>> progs;
+  progs.reserve(count);
+  size_t at = 4;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (payload.size() - at < 4) {
+      return ParseError("gossip: truncated seed length");
+    }
+    const uint32_t len = GetU32(payload.data() + at);
+    at += 4;
+    if (len > kGossipMaxSeedBytes) {
+      return ParseError(
+          StrFormat("gossip: seed length %u exceeds limit", len));
+    }
+    if (payload.size() - at < len) {
+      return ParseError("gossip: truncated seed bytes");
+    }
+    progs.emplace_back(payload.begin() + static_cast<ptrdiff_t>(at),
+                       payload.begin() + static_cast<ptrdiff_t>(at + len));
+    at += len;
+  }
+  if (at != payload.size()) {
+    return ParseError("gossip: trailing bytes after seeds payload");
+  }
+  return progs;
+}
+
+std::vector<size_t> GossipPeers(size_t shard, size_t shard_count,
+                                size_t fanout, size_t round) {
+  std::vector<size_t> peers;
+  if (shard_count < 2 || fanout == 0) {
+    return peers;
+  }
+  const size_t others = shard_count - 1;
+  const size_t k = fanout < others ? fanout : others;
+  peers.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t step = 1 + (round * k + i) % others;
+    peers.push_back((shard + step) % shard_count);
+  }
+  return peers;
+}
+
+}  // namespace healer

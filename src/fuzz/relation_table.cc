@@ -138,6 +138,15 @@ std::vector<RelationEdge> RelationTable::EdgesBefore(
   return out;
 }
 
+std::vector<RelationEdge> RelationTable::EdgesFrom(size_t start) const {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (start >= edges_.size()) {
+    return {};
+  }
+  return std::vector<RelationEdge>(
+      edges_.begin() + static_cast<ptrdiff_t>(start), edges_.end());
+}
+
 std::vector<int> RelationTable::InfluencedBy(int from) const {
   const std::shared_ptr<const RelationSnapshot> snap = snapshot();
   const int32_t* row = snap->Row(from);

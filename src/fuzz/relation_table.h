@@ -139,6 +139,11 @@ class RelationTable {
   std::vector<RelationEdge> EdgesBefore(
       SimClock::Nanos cutoff = ~SimClock::Nanos{0}) const;
 
+  // Tail of the append-only edge log from position `start` (the gossip
+  // cursor read: a shard emits EdgesFrom(cursor) and advances the cursor by
+  // the returned size). Positions are stable — the log never reorders.
+  std::vector<RelationEdge> EdgesFrom(size_t start) const;
+
   // Influence candidates of call `from` (all `to` with R[from][to] = 1).
   // Convenience wrapper over the snapshot row; allocates, so hot paths
   // should walk snapshot()->Row() directly.

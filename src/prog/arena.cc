@@ -5,9 +5,13 @@
 
 namespace healer {
 
-void* ProgArena::Allocate(size_t size, size_t align) {
-  if (size == 0) size = 1;
-  if (align == 0) align = 1;
+void* ProgArena::AllocateSlow(size_t size, size_t align) {
+  // The inline cursor ran ahead of Chunk::used; write it back before
+  // consulting the chunk bookkeeping.
+  if (current_ < chunks_.size()) {
+    Chunk& c = chunks_[current_];
+    c.used = static_cast<size_t>(ptr_ - c.base.get());
+  }
   while (true) {
     while (current_ < chunks_.size()) {
       Chunk& c = chunks_[current_];
@@ -21,6 +25,8 @@ void* ProgArena::Allocate(size_t size, size_t align) {
       if (off + size <= c.capacity) {
         c.used = off + size;
         bytes_allocated_ += size;
+        ptr_ = c.base.get() + c.used;
+        end_ = c.base.get() + c.capacity;
         return c.base.get() + off;
       }
       // This chunk is exhausted for a request this size; move to the next
@@ -56,6 +62,13 @@ void ProgArena::Reset() {
   current_ = 0;
   bytes_allocated_ = 0;
   ++reset_count_;
+  if (!chunks_.empty()) {
+    ptr_ = chunks_[0].base.get();
+    end_ = ptr_ + chunks_[0].capacity;
+  } else {
+    ptr_ = nullptr;
+    end_ = nullptr;
+  }
 }
 
 }  // namespace healer

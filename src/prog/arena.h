@@ -43,7 +43,21 @@ class ProgArena {
 
   // Returns `size` bytes aligned to `align` (a power of two). Never fails
   // short of OOM (which aborts, matching allocator behavior elsewhere).
-  void* Allocate(size_t size, size_t align);
+  // The in-chunk case is inline — align, bounds-check, bump — so a New<T>
+  // from the generator loop compiles to a few arithmetic ops on the cached
+  // cursor; chunk exhaustion and growth stay out of line.
+  void* Allocate(size_t size, size_t align) {
+    if (size == 0) size = 1;
+    if (align == 0) align = 1;
+    const uintptr_t at = (reinterpret_cast<uintptr_t>(ptr_) + align - 1) &
+                         ~(static_cast<uintptr_t>(align) - 1);
+    if (at + size <= reinterpret_cast<uintptr_t>(end_)) {
+      ptr_ = reinterpret_cast<char*>(at + size);
+      bytes_allocated_ += size;
+      return reinterpret_cast<void*>(at);
+    }
+    return AllocateSlow(size, align);
+  }
 
   // Constructs a T in arena storage. The caller owns destruction (for Arg
   // this is the ArgPtr deleter); the bytes are reclaimed by Reset().
@@ -70,10 +84,19 @@ class ProgArena {
     size_t used = 0;
   };
 
+  // Cold path: writes the cursor back into the current chunk, then walks
+  // retained chunks / grows until the request fits.
+  void* AllocateSlow(size_t size, size_t align);
+
   // Appends a chunk able to hold at least `min_bytes` and makes it current.
   void Grow(size_t min_bytes);
 
   std::vector<Chunk> chunks_;
+  // Bump cursor into chunks_[current_]: next free byte and one-past-the-end.
+  // Both null while the arena is empty, which safely fails the inline bounds
+  // check and routes the first allocation to AllocateSlow.
+  char* ptr_ = nullptr;
+  char* end_ = nullptr;
   size_t current_ = 0;          // Index of the chunk being bumped.
   size_t bytes_allocated_ = 0;  // Since last Reset, rounded up per alignment.
   size_t bytes_reserved_ = 0;   // Sum of chunk capacities (monotonic).

@@ -151,7 +151,11 @@ void EncodeArg(const Arg& arg, Writer& w) {
 constexpr int kMaxDecodeDepth = 64;
 
 // Decodes one arg of type `type`, validating tags against the type kind.
-Result<ArgPtr> DecodeArg(const Type* type, Reader& r, int depth = 0) {
+// `prog` holds the calls decoded so far (the current call is not yet
+// appended), so resource refs are semantically checked in this same pass —
+// accepted programs need no separate Validate() walk.
+Result<ArgPtr> DecodeArg(const Type* type, Reader& r, const Prog& prog,
+                         int depth = 0) {
   if (depth > kMaxDecodeDepth) {
     return ParseError("arg nesting too deep");
   }
@@ -181,7 +185,8 @@ Result<ArgPtr> DecodeArg(const Type* type, Reader& r, int depth = 0) {
       if (type == nullptr || type->kind != TypeKind::kPtr) {
         return ParseError("pointer tag for non-pointer type");
       }
-      HEALER_ASSIGN_OR_RETURN(ArgPtr pointee, DecodeArg(type->elem, r, depth + 1));
+      HEALER_ASSIGN_OR_RETURN(ArgPtr pointee,
+                              DecodeArg(type->elem, r, prog, depth + 1));
       return MakePointer(type, std::move(pointee));
     }
     case Tag::kGroup: {
@@ -196,14 +201,16 @@ Result<ArgPtr> DecodeArg(const Type* type, Reader& r, int depth = 0) {
           return ParseError("struct field count mismatch");
         }
         for (uint32_t i = 0; i < count; ++i) {
-          HEALER_ASSIGN_OR_RETURN(ArgPtr child,
-                                  DecodeArg(type->fields[i].type, r, depth + 1));
+          HEALER_ASSIGN_OR_RETURN(
+              ArgPtr child,
+              DecodeArg(type->fields[i].type, r, prog, depth + 1));
           inner.push_back(std::move(child));
         }
       } else if (type != nullptr && type->kind == TypeKind::kArray) {
         for (uint32_t i = 0; i < count; ++i) {
-          HEALER_ASSIGN_OR_RETURN(ArgPtr child,
-                                  DecodeArg(type->array_elem, r, depth + 1));
+          HEALER_ASSIGN_OR_RETURN(
+              ArgPtr child,
+              DecodeArg(type->array_elem, r, prog, depth + 1));
           inner.push_back(std::move(child));
         }
       } else {
@@ -219,8 +226,8 @@ Result<ArgPtr> DecodeArg(const Type* type, Reader& r, int depth = 0) {
       if (!r.U32(&index) || index >= type->fields.size()) {
         return ParseError("bad union index");
       }
-      HEALER_ASSIGN_OR_RETURN(ArgPtr child,
-                              DecodeArg(type->fields[index].type, r, depth + 1));
+      HEALER_ASSIGN_OR_RETURN(
+          ArgPtr child, DecodeArg(type->fields[index].type, r, prog, depth + 1));
       return MakeUnion(type, static_cast<int>(index), std::move(child));
     }
     case Tag::kResourceRef: {
@@ -229,8 +236,30 @@ Result<ArgPtr> DecodeArg(const Type* type, Reader& r, int depth = 0) {
       if (!r.U32(&ref) || !r.U32(&slot)) {
         return ParseError("truncated resource ref");
       }
-      return MakeResourceRef(type, static_cast<int>(ref),
-                             static_cast<int>(slot));
+      // Refs are semantically checked here (mirroring Prog::Validate): a
+      // non-degraded ref must point at an earlier call whose syscall
+      // produces a compatible resource.
+      const int ref_idx = static_cast<int>(ref);
+      if (ref_idx >= 0) {
+        if (static_cast<size_t>(ref_idx) >= prog.size()) {
+          return ParseError("resource ref not before the call");
+        }
+        if (type == nullptr || type->resource == nullptr) {
+          return ParseError("resource arg without resource type");
+        }
+        const Syscall* producer = prog.calls()[ref_idx].meta;
+        bool compatible = false;
+        for (const ResourceDesc* produced : producer->produced_resources) {
+          if (produced->IsCompatibleWith(type->resource)) {
+            compatible = true;
+            break;
+          }
+        }
+        if (!compatible) {
+          return ParseError("resource ref producer type mismatch");
+        }
+      }
+      return MakeResourceRef(type, ref_idx, static_cast<int>(slot));
     }
     case Tag::kResourceSpecial: {
       uint64_t val;
@@ -300,7 +329,8 @@ Result<Prog> DeserializeProg(const Target& target, const uint8_t* data,
     Call call;
     call.meta = &meta;
     for (uint32_t ai = 0; ai < nargs; ++ai) {
-      HEALER_ASSIGN_OR_RETURN(ArgPtr arg, DecodeArg(meta.args[ai].type, r));
+      HEALER_ASSIGN_OR_RETURN(ArgPtr arg,
+                              DecodeArg(meta.args[ai].type, r, prog));
       call.args.push_back(std::move(arg));
     }
     prog.calls().push_back(std::move(call));

@@ -21,7 +21,10 @@ namespace healer {
 std::vector<uint8_t> SerializeProg(const Prog& prog);
 
 // Decodes a buffer produced by SerializeProg against `target`. Fails on
-// truncated input, unknown syscall ids, or structure mismatches.
+// truncated input, unknown syscall ids, structure mismatches, or resource
+// refs that don't point at an earlier, compatible producer call — a
+// returned Prog already satisfies Prog::Validate(), so bulk loaders need no
+// second validation walk.
 Result<Prog> DeserializeProg(const Target& target, const uint8_t* data,
                              size_t size);
 

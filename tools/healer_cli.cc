@@ -23,28 +23,54 @@
 //                                          # 127.0.0.1:P (0 = ephemeral)
 //                 [--serve-secs S]         # keep serving S wall seconds
 //                                          # after the campaign ends
+//                 [--shards N]             # sharded campaign (DESIGN.md §13):
+//                                          # N in-process fuzzer shards
+//                                          # exchanging HGSP1 gossip
+//                 [--rounds R] [--execs-per-round E] [--fanout F]
+//                 [--net-seed S]           # adversarial delivery shuffle
+//                 [--sequential]           # fuzz phase on one thread
 //   healer relations [--version V] [--probe]      # static (+dynamic) table
 //   healer convert HEADER_FILE                    # C header -> HealLang
 //   healer replay CORPUS_FILE [--version V]       # run saved programs
 //   healer bugs   [--version V]                   # list live injected bugs
+//   healer shard  --shard-index I --shards N --gossip-dir DIR
+//                 [--rounds R] [--execs-per-round E] [--fanout F] [--seed S]
+//                 # one shard as an OS process; gossip batches travel as
+//                 # files in DIR (r{round}_s{from}_to{to}.gsp, written
+//                 # tmp+rename, polled by the receiver). Run N of these
+//                 # with the same flags and distinct --shard-index.
+//   healer reconcile --shards N --gossip-dir DIR
+//                 # union the shard{I}.rel canonical tables written by
+//                 # `healer shard` and print the reconciled hash
 
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <thread>
+#include <utility>
+#include <vector>
 
+#include "src/base/hash.h"
 #include "src/base/introspect_server.h"
 #include "src/base/journal.h"
 #include "src/exec/executor.h"
 #include "src/fuzz/campaign.h"
 #include "src/fuzz/corpus_io.h"
+#include "src/fuzz/gossip.h"
 #include "src/fuzz/learner.h"
 #include "src/fuzz/report.h"
+#include "src/fuzz/shard.h"
 #include "src/fuzz/templates.h"
 #include "src/syzlang/builtin_descs.h"
 #include "src/syzlang/header_gen.h"
@@ -96,12 +122,296 @@ std::vector<int> AllIds(const Target& target) {
   return ids;
 }
 
+// ---- sharded campaign (fuzz --shards N) ----
+
+void PrintShardedReport(const ShardedCampaignResult& result) {
+  const double secs =
+      static_cast<double>(result.wall_ns) / 1e9;
+  std::printf("shards: %zu\n", result.shards);
+  std::printf("total execs: %llu (%.0f execs/sec aggregate)\n",
+              static_cast<unsigned long long>(result.total_execs),
+              secs > 0 ? static_cast<double>(result.total_execs) / secs : 0);
+  std::printf("union coverage: %zu branches\n", result.union_coverage);
+  std::printf("union relations: %zu edges (reconciled hash %016llx)\n",
+              result.union_relations,
+              static_cast<unsigned long long>(
+                  result.reconciled_relations_hash));
+  std::printf("gossip: %llu bytes, %llu frames applied, %llu replays "
+              "dropped\n",
+              static_cast<unsigned long long>(result.gossip_bytes),
+              static_cast<unsigned long long>(result.frames_exchanged),
+              static_cast<unsigned long long>(result.frames_replayed));
+  for (size_t i = 0; i < result.shard_coverage.size(); ++i) {
+    std::printf("  shard %zu: %zu branches, corpus fingerprint %016llx\n",
+                i, result.shard_coverage[i],
+                static_cast<unsigned long long>(
+                    result.corpus_fingerprints[i]));
+  }
+  std::printf("identities: %s\n", result.identities_ok ? "OK" : "FAILED");
+}
+
+int CmdShardedFuzz(const std::map<std::string, std::string>& flags,
+                   size_t shards) {
+  auto get = [&](const char* name, const char* fallback) {
+    auto it = flags.find(name);
+    return it == flags.end() ? std::string(fallback) : it->second;
+  };
+  ShardedCampaignOptions options;
+  options.shards = shards;
+  options.rounds = static_cast<size_t>(
+      std::strtoull(get("rounds", "8").c_str(), nullptr, 10));
+  options.execs_per_round = static_cast<size_t>(
+      std::strtoull(get("execs-per-round", "128").c_str(), nullptr, 10));
+  options.fanout = static_cast<size_t>(
+      std::strtoull(get("fanout", "1").c_str(), nullptr, 10));
+  options.seed = std::strtoull(get("seed", "1").c_str(), nullptr, 10);
+  options.net_seed =
+      std::strtoull(get("net-seed", "0").c_str(), nullptr, 10);
+  options.use_threads = flags.count("sequential") == 0;
+  options.reconcile_every = static_cast<size_t>(
+      std::strtoull(get("reconcile-every", "4").c_str(), nullptr, 10));
+  options.base.tool = ParseTool(get("tool", "healer"));
+  options.base.version = ParseVersion(get("version", "5.11"));
+
+  const ShardedCampaignResult result =
+      RunShardedCampaign(BuiltinTarget(), options);
+  PrintShardedReport(result);
+  return result.identities_ok ? 0 : 1;
+}
+
+// ---- file-based gossip transport (multi-process shard mode) ----
+//
+// Frames travel as files in a shared --gossip-dir: round R's batch from
+// shard A to shard B is r{R}_s{A}_to{B}.gsp, written tmp+rename (rename is
+// atomic on POSIX, so an openable file is a complete file) and polled for
+// by the receiver. A file is written every scheduled edge, even when the
+// batch is empty — its appearance is the lockstep barrier.
+
+std::string FramePath(const std::string& dir, size_t round, size_t from,
+                      size_t to) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "r%zu_s%zu_to%zu.gsp", round, from, to);
+  return dir + "/" + name;
+}
+
+bool WriteFileAtomic(const std::string& path,
+                     const std::vector<uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return false;
+    }
+    if (!bytes.empty()) {
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    if (!out) {
+      return false;
+    }
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+bool WaitReadFile(const std::string& path, double timeout_secs,
+                  std::vector<uint8_t>* out) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_secs);
+  for (;;) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string& s = buf.str();
+      out->assign(s.begin(), s.end());
+      return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+int CmdShard(const std::map<std::string, std::string>& flags) {
+  auto get = [&](const char* name, const char* fallback) {
+    auto it = flags.find(name);
+    return it == flags.end() ? std::string(fallback) : it->second;
+  };
+  const size_t n = static_cast<size_t>(
+      std::strtoull(get("shards", "0").c_str(), nullptr, 10));
+  const size_t me = static_cast<size_t>(
+      std::strtoull(get("shard-index", "0").c_str(), nullptr, 10));
+  const std::string dir = get("gossip-dir", "");
+  if (n < 1 || me >= n || dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: healer shard --shard-index I --shards N "
+                 "--gossip-dir DIR (I < N)\n");
+    return 2;
+  }
+  if (::mkdir(dir.c_str(), 0777) != 0 && errno != EEXIST) {
+    std::fprintf(stderr, "cannot create %s\n", dir.c_str());
+    return 1;
+  }
+  const size_t rounds = static_cast<size_t>(
+      std::strtoull(get("rounds", "8").c_str(), nullptr, 10));
+  const size_t execs = static_cast<size_t>(
+      std::strtoull(get("execs-per-round", "128").c_str(), nullptr, 10));
+  const size_t fanout = static_cast<size_t>(
+      std::strtoull(get("fanout", "1").c_str(), nullptr, 10));
+  const double timeout = std::atof(get("poll-timeout", "120").c_str());
+
+  FuzzerOptions base;
+  base.tool = ParseTool(get("tool", "healer"));
+  base.version = ParseVersion(get("version", "5.11"));
+  // Same seed schedule as the in-process campaign: shard i fuzzes with
+  // seed + i, so an N-process run reproduces `fuzz --shards N --sequential`.
+  base.seed =
+      std::strtoull(get("seed", "1").c_str(), nullptr, 10) + me;
+
+  const Target& target = BuiltinTarget();
+  FuzzShard shard(target, base, static_cast<uint32_t>(me));
+
+  for (size_t round = 0; round < rounds; ++round) {
+    shard.RunExecs(execs);
+    const std::vector<uint8_t> batch = shard.EmitGossip();
+    for (size_t peer : GossipPeers(me, n, fanout, round)) {
+      if (!WriteFileAtomic(FramePath(dir, round, me, peer), batch)) {
+        std::fprintf(stderr, "shard %zu: cannot write gossip for round "
+                     "%zu\n", me, round);
+        return 1;
+      }
+    }
+    // Everyone whose schedule lists us this round will write us a file;
+    // block until each arrives (the lockstep barrier).
+    for (size_t from = 0; from < n; ++from) {
+      if (from == me) {
+        continue;
+      }
+      const std::vector<size_t> peers = GossipPeers(from, n, fanout, round);
+      if (std::find(peers.begin(), peers.end(), me) == peers.end()) {
+        continue;
+      }
+      std::vector<uint8_t> bytes;
+      if (!WaitReadFile(FramePath(dir, round, from, me), timeout, &bytes)) {
+        std::fprintf(stderr, "shard %zu: timed out waiting for shard %zu "
+                     "in round %zu\n", me, from, round);
+        return 1;
+      }
+      if (!bytes.empty()) {
+        const Status status = shard.Ingest(bytes.data(), bytes.size());
+        if (!status.ok()) {
+          std::fprintf(stderr, "shard %zu: hostile batch from shard %zu: "
+                       "%s\n", me, from, status.ToString().c_str());
+          return 1;
+        }
+      }
+    }
+    shard.ApplyInbox();
+  }
+
+  // Final artifacts for `healer reconcile`: the canonical relation table
+  // bytes plus a small JSON summary.
+  const std::vector<uint8_t> canonical = shard.CanonicalRelationBytes();
+  char path[512];
+  std::snprintf(path, sizeof(path), "%s/shard%zu.rel", dir.c_str(), me);
+  if (!WriteFileAtomic(path, canonical)) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return 1;
+  }
+  const bool identity_ok = shard.CheckRelationIdentity();
+  std::snprintf(path, sizeof(path), "%s/shard%zu.json", dir.c_str(), me);
+  {
+    std::ofstream out(path);
+    out << "{\"shard\": " << me
+        << ", \"execs\": " << shard.fuzzer().FuzzExecs()
+        << ", \"coverage\": " << shard.fuzzer().CoverageCount()
+        << ", \"relations\": " << shard.fuzzer().relations().Count()
+        << ", \"corpus_fingerprint\": \"" << std::hex
+        << shard.CorpusFingerprint() << std::dec << "\""
+        << ", \"gossip_bytes_out\": " << shard.stats().gossip_bytes_out
+        << ", \"identity_ok\": " << (identity_ok ? "true" : "false")
+        << "}\n";
+  }
+  std::printf("shard %zu: %llu execs, %zu branches, %zu relations, "
+              "identity %s\n",
+              me,
+              static_cast<unsigned long long>(shard.fuzzer().FuzzExecs()),
+              shard.fuzzer().CoverageCount(),
+              shard.fuzzer().relations().Count(),
+              identity_ok ? "OK" : "FAILED");
+  return identity_ok ? 0 : 1;
+}
+
+int CmdReconcile(const std::map<std::string, std::string>& flags) {
+  auto get = [&](const char* name, const char* fallback) {
+    auto it = flags.find(name);
+    return it == flags.end() ? std::string(fallback) : it->second;
+  };
+  const size_t n = static_cast<size_t>(
+      std::strtoull(get("shards", "0").c_str(), nullptr, 10));
+  const std::string dir = get("gossip-dir", "");
+  if (n < 1 || dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: healer reconcile --shards N --gossip-dir DIR\n");
+    return 2;
+  }
+  const Target& target = BuiltinTarget();
+  std::set<std::pair<uint32_t, uint32_t>> unioned;
+  for (size_t i = 0; i < n; ++i) {
+    char path[512];
+    std::snprintf(path, sizeof(path), "%s/shard%zu.rel", dir.c_str(), i);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s (did every shard finish?)\n",
+                   path);
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string& s = buf.str();
+    const std::vector<uint8_t> bytes(s.begin(), s.end());
+    // Shard artifacts cross a filesystem boundary, so they get the same
+    // hostile-input treatment as gossip frames off the wire.
+    Result<std::vector<WireRelationEdge>> edges =
+        DecodeRelationsPayload(bytes, target.NumSyscalls());
+    if (!edges.ok()) {
+      std::fprintf(stderr, "%s: %s\n", path,
+                   edges.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("shard %zu: %zu edges\n", i, edges->size());
+    for (const WireRelationEdge& e : *edges) {
+      unioned.insert({e.from, e.to});
+    }
+  }
+  std::vector<RelationEdge> all;
+  all.reserve(unioned.size());
+  for (const auto& [from, to] : unioned) {
+    all.push_back({static_cast<int>(from), static_cast<int>(to),
+                   RelationSource::kDynamic, 0});
+  }
+  const std::vector<uint8_t> canonical = EncodeRelationsPayload(all);
+  const uint64_t hash = FastBytesHash(std::string_view(
+      reinterpret_cast<const char*>(canonical.data()), canonical.size()));
+  std::printf("reconciled: %zu edges, hash %016llx\n", unioned.size(),
+              static_cast<unsigned long long>(hash));
+  return 0;
+}
+
 int CmdFuzz(const std::map<std::string, std::string>& flags) {
   CampaignOptions options;
   auto get = [&](const char* name, const char* fallback) {
     auto it = flags.find(name);
     return it == flags.end() ? std::string(fallback) : it->second;
   };
+  {
+    const size_t shards = static_cast<size_t>(
+        std::strtoull(get("shards", "1").c_str(), nullptr, 10));
+    if (shards > 1) {
+      return CmdShardedFuzz(flags, shards);
+    }
+  }
   options.tool = ParseTool(get("tool", "healer"));
   options.version = ParseVersion(get("version", "5.11"));
   options.hours = std::atof(get("hours", "4").c_str());
@@ -344,8 +654,8 @@ int CmdBugs(const std::map<std::string, std::string>& flags) {
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: healer <fuzz|relations|convert|replay|bugs> "
-               "[flags]\n");
+               "usage: healer <fuzz|relations|convert|replay|bugs|"
+               "shard|reconcile> [flags]\n");
 }
 
 }  // namespace
@@ -371,6 +681,12 @@ int main(int argc, char** argv) {
   }
   if (cmd == "bugs") {
     return CmdBugs(flags);
+  }
+  if (cmd == "shard") {
+    return CmdShard(flags);
+  }
+  if (cmd == "reconcile") {
+    return CmdReconcile(flags);
   }
   Usage();
   return 2;
